@@ -1,0 +1,392 @@
+//! Data-aware multicast (paper §4.2, the paper's own reference \[3\]):
+//! per-topic gossip groups arranged along a topic hierarchy.
+//!
+//! Events of topic `t` are gossiped only inside `t`'s **group** — the nodes
+//! enrolled for `t`. In the ideal case the group is exactly the subscriber
+//! set, which "yields fairness with respect to the dissemination since
+//! processes contribute only for messages they deliver". The catch the
+//! paper highlights: to keep a topic *hierarchy* navigable, "some processes
+//! need to subscribe to a supertopic, consequently forced to be interested
+//! in all topics" — these bridge nodes forward subtopic traffic they never
+//! asked for, behaving like mini-brokers. Group assignment is an input
+//! here, so experiments can build both the ideal and the bridged variant
+//! and measure the difference.
+
+use crate::common::DeliveryLog;
+use fed_core::ledger::FairnessLedger;
+use fed_pubsub::{Event, EventId, SubscriptionTable, TopicId, TopicSpace};
+use fed_sim::{Context, NodeId, Protocol, SimDuration};
+use fed_util::rng::Rng64;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Arc;
+
+/// Static group table: which nodes gossip for which topic.
+pub type GroupTable = HashMap<TopicId, Vec<NodeId>>;
+
+/// Timer token for gossip rounds.
+const ROUND_TIMER: u64 = 1;
+
+/// Wire messages.
+#[derive(Debug, Clone)]
+pub enum DamMsg {
+    /// Intra-group gossip batch for one topic.
+    Gossip {
+        /// Topic the batch belongs to.
+        topic: TopicId,
+        /// Events (all on `topic`).
+        events: Vec<Event>,
+    },
+    /// A publisher outside the group hands an event to a member.
+    Handoff {
+        /// The event.
+        event: Event,
+    },
+}
+
+/// Driver commands.
+#[derive(Debug, Clone)]
+pub enum DamCmd {
+    /// Publish an event.
+    Publish(Event),
+    /// Subscribe to a topic (delivery-side only; group enrolment is the
+    /// static [`GroupTable`]).
+    SubscribeTopic(TopicId),
+}
+
+/// Configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DamConfig {
+    /// Gossip round period.
+    pub period: SimDuration,
+    /// Partners per round per topic.
+    pub fanout: usize,
+    /// Rounds an event stays forwardable.
+    pub ttl_rounds: u32,
+}
+
+impl Default for DamConfig {
+    fn default() -> Self {
+        DamConfig {
+            period: SimDuration::from_millis(100),
+            fanout: 4,
+            ttl_rounds: 8,
+        }
+    }
+}
+
+/// A data-aware multicast node.
+#[derive(Debug)]
+pub struct DamNode {
+    id: NodeId,
+    config: DamConfig,
+    groups: Arc<GroupTable>,
+    space: Arc<TopicSpace>,
+    subs: SubscriptionTable,
+    /// Per-topic buffered events with TTL (ordered so round processing is
+    /// deterministic — HashMap iteration order would leak into the RNG
+    /// consumption sequence and break replay).
+    buffer: BTreeMap<TopicId, Vec<(Event, u32)>>,
+    seen: HashSet<EventId>,
+    ledger: FairnessLedger,
+    log: DeliveryLog,
+}
+
+impl DamNode {
+    /// Creates a node over shared group and topic-space tables.
+    pub fn new(
+        id: NodeId,
+        config: DamConfig,
+        groups: Arc<GroupTable>,
+        space: Arc<TopicSpace>,
+    ) -> Self {
+        DamNode {
+            id,
+            config,
+            groups,
+            space,
+            subs: SubscriptionTable::new(),
+            buffer: BTreeMap::new(),
+            seen: HashSet::new(),
+            ledger: FairnessLedger::new(),
+            log: DeliveryLog::new(),
+        }
+    }
+
+    /// Fairness ledger.
+    pub fn ledger(&self) -> &FairnessLedger {
+        &self.ledger
+    }
+
+    /// Delivery log.
+    pub fn deliveries(&self) -> &DeliveryLog {
+        &self.log
+    }
+
+    /// Whether this node is enrolled in `topic`'s gossip group.
+    pub fn is_group_member(&self, topic: TopicId) -> bool {
+        self.groups
+            .get(&topic)
+            .map(|g| g.contains(&self.id))
+            .unwrap_or(false)
+    }
+
+    fn group_peers(&self, topic: TopicId) -> Vec<NodeId> {
+        self.groups
+            .get(&topic)
+            .map(|g| g.iter().copied().filter(|&p| p != self.id).collect())
+            .unwrap_or_default()
+    }
+
+    fn accept(&mut self, ctx: &mut Context<'_, DamMsg>, event: Event) {
+        if !self.seen.insert(event.id()) {
+            return;
+        }
+        if self.subs.matches_in(&event, &self.space) {
+            let now = ctx.now();
+            if self.log.deliver(&event, now) {
+                self.ledger.record_delivery();
+            }
+        }
+        // Only group members keep forwarding.
+        if self.is_group_member(event.topic()) {
+            self.buffer
+                .entry(event.topic())
+                .or_default()
+                .push((event, self.config.ttl_rounds));
+        }
+    }
+}
+
+impl Protocol for DamNode {
+    type Msg = DamMsg;
+    type Cmd = DamCmd;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, DamMsg>) {
+        let jitter = ctx.rng().range_u64(self.config.period.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(jitter), ROUND_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DamMsg>, _from: NodeId, msg: DamMsg) {
+        match msg {
+            DamMsg::Gossip { events, .. } => {
+                for event in events {
+                    self.accept(ctx, event);
+                }
+            }
+            DamMsg::Handoff { event } => self.accept(ctx, event),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, DamMsg>, token: u64) {
+        debug_assert_eq!(token, ROUND_TIMER);
+        let topics: Vec<TopicId> = self.buffer.keys().copied().collect();
+        for topic in topics {
+            let batch: Vec<Event> = self
+                .buffer
+                .get(&topic)
+                .map(|v| v.iter().map(|(e, _)| e.clone()).collect())
+                .unwrap_or_default();
+            if batch.is_empty() {
+                continue;
+            }
+            let peers = self.group_peers(topic);
+            if peers.is_empty() {
+                continue;
+            }
+            let k = self.config.fanout.min(peers.len());
+            let picked = ctx.rng().sample_indices(peers.len(), k);
+            let size = 12 + batch.iter().map(Event::size_bytes).sum::<usize>();
+            for i in picked {
+                ctx.send(
+                    peers[i],
+                    DamMsg::Gossip {
+                        topic,
+                        events: batch.clone(),
+                    },
+                );
+                self.ledger.record_forward(size);
+            }
+        }
+        // Age buffers.
+        for entries in self.buffer.values_mut() {
+            for (_, ttl) in entries.iter_mut() {
+                *ttl = ttl.saturating_sub(1);
+            }
+            entries.retain(|(_, ttl)| *ttl > 0);
+        }
+        self.buffer.retain(|_, v| !v.is_empty());
+        ctx.set_timer(self.config.period, ROUND_TIMER);
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, DamMsg>, cmd: DamCmd) {
+        match cmd {
+            DamCmd::Publish(event) => {
+                self.ledger.record_publish(event.size_bytes());
+                if self.is_group_member(event.topic()) {
+                    self.accept(ctx, event);
+                } else {
+                    // Bridge into the group through one member.
+                    let peers = self.group_peers(event.topic());
+                    if let Some(&member) = ctx.rng().choose(&peers) {
+                        ctx.send(member, DamMsg::Handoff { event });
+                    }
+                }
+            }
+            DamCmd::SubscribeTopic(topic) => {
+                self.subs.subscribe_topic(topic);
+                self.ledger.set_active_filters(self.subs.len() as u32);
+            }
+        }
+    }
+
+    fn message_size(msg: &DamMsg) -> usize {
+        match msg {
+            DamMsg::Gossip { events, .. } => {
+                12 + events.iter().map(Event::size_bytes).sum::<usize>()
+            }
+            DamMsg::Handoff { event } => 8 + event.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    use fed_sim::{SimTime, Simulation};
+
+    fn build(
+        n: usize,
+        groups: GroupTable,
+        space: TopicSpace,
+    ) -> Simulation<DamNode> {
+        let groups = Arc::new(groups);
+        let space = Arc::new(space);
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(5)));
+        Simulation::new(n, net, 31, move |id, _| {
+            DamNode::new(id, DamConfig::default(), Arc::clone(&groups), Arc::clone(&space))
+        })
+    }
+
+    #[test]
+    fn events_stay_inside_the_group() {
+        let n = 32;
+        let topic = TopicId::new(0);
+        let members: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members.clone());
+        let mut sim = build(n, groups, TopicSpace::flat(1));
+        for m in &members {
+            sim.schedule_command(SimTime::ZERO, *m, DamCmd::SubscribeTopic(topic));
+        }
+        let e = Event::bare(EventId::new(0, 1), topic);
+        sim.schedule_command(SimTime::from_millis(100), NodeId::new(0), DamCmd::Publish(e.clone()));
+        sim.run_until(SimTime::from_secs(5));
+        for (id, node) in sim.nodes() {
+            if members.contains(&id) {
+                assert!(node.deliveries().contains(e.id()), "{id} member missed");
+            } else {
+                assert!(node.deliveries().is_empty());
+                assert_eq!(
+                    node.ledger().totals().forwarded_msgs,
+                    0,
+                    "{id} outside the group must do zero work"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outside_publisher_hands_off() {
+        let n = 16;
+        let topic = TopicId::new(0);
+        let members: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members.clone());
+        let mut sim = build(n, groups, TopicSpace::flat(1));
+        for m in &members {
+            sim.schedule_command(SimTime::ZERO, *m, DamCmd::SubscribeTopic(topic));
+        }
+        // Node 10 is not in the group but publishes.
+        let e = Event::bare(EventId::new(10, 1), topic);
+        sim.schedule_command(SimTime::from_millis(100), NodeId::new(10), DamCmd::Publish(e.clone()));
+        sim.run_until(SimTime::from_secs(5));
+        let got = members
+            .iter()
+            .filter(|m| sim.node(**m).unwrap().deliveries().contains(e.id()))
+            .count();
+        assert_eq!(got, members.len(), "handoff reaches the whole group");
+    }
+
+    #[test]
+    fn supertopic_bridges_forward_without_delivering() {
+        // Hierarchy: root -> sub. Node 0 is enrolled in `sub`'s group as a
+        // bridge (supertopic member) but only subscribes to an unrelated
+        // topic -> it forwards sub-traffic with zero benefit.
+        let mut space = TopicSpace::new();
+        let root = space.register("root").unwrap();
+        let sub = space.register_under("root/sub", root).unwrap();
+        let n = 16;
+        let mut members: Vec<NodeId> = (1..6).map(NodeId::new).collect();
+        members.push(NodeId::new(0)); // the bridge
+        let mut groups = GroupTable::new();
+        groups.insert(sub, members.clone());
+        let mut sim = build(n, groups, space);
+        for m in 1..6u32 {
+            sim.schedule_command(SimTime::ZERO, NodeId::new(m), DamCmd::SubscribeTopic(sub));
+        }
+        for k in 0..10u32 {
+            sim.schedule_command(
+                SimTime::from_millis(100 * (k as u64 + 1)),
+                NodeId::new(1),
+                DamCmd::Publish(Event::bare(EventId::new(1, k), sub)),
+            );
+        }
+        sim.run_until(SimTime::from_secs(8));
+        let bridge = sim.node(NodeId::new(0)).unwrap();
+        assert!(bridge.deliveries().is_empty(), "bridge has no interest");
+        assert!(
+            bridge.ledger().totals().forwarded_msgs > 0,
+            "bridge is conscripted into forwarding — the paper's critique"
+        );
+    }
+
+    #[test]
+    fn hierarchical_subscription_delivers_subtopic_events() {
+        let mut space = TopicSpace::new();
+        let root = space.register("root").unwrap();
+        let sub = space.register_under("root/sub", root).unwrap();
+        let members: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(sub, members.clone());
+        let mut sim = build(8, groups, space);
+        // Node 0 subscribes to the *root*; events arrive on `sub`.
+        sim.schedule_command(SimTime::ZERO, NodeId::new(0), DamCmd::SubscribeTopic(root));
+        let e = Event::bare(EventId::new(1, 1), sub);
+        sim.schedule_command(SimTime::from_millis(100), NodeId::new(1), DamCmd::Publish(e.clone()));
+        sim.run_until(SimTime::from_secs(5));
+        assert!(
+            sim.node(NodeId::new(0)).unwrap().deliveries().contains(e.id()),
+            "supertopic subscriber delivers subtopic event"
+        );
+    }
+
+    #[test]
+    fn buffers_drain_after_ttl() {
+        let topic = TopicId::new(0);
+        let members: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members);
+        let mut sim = build(8, groups, TopicSpace::flat(1));
+        sim.schedule_command(
+            SimTime::from_millis(50),
+            NodeId::new(0),
+            DamCmd::Publish(Event::bare(EventId::new(0, 1), topic)),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let sent_before: u64 = sim.transport_stats_all().iter().map(|s| s.msgs_sent).sum();
+        sim.run_until(SimTime::from_secs(4));
+        let sent_after: u64 = sim.transport_stats_all().iter().map(|s| s.msgs_sent).sum();
+        assert_eq!(sent_before, sent_after, "gossip stops after TTL drain");
+    }
+}

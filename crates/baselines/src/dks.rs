@@ -1,0 +1,348 @@
+//! DKS-style multicast: per-topic groups reached through an index DHT
+//! (paper §4.1, the paper's reference \[1\]).
+//!
+//! "Other approaches like DKS use multiple DHTs to group processes
+//! according to their interest and have a special index DHT that allows
+//! subscribers to find a correct topic. This allows, when publishing an
+//! event, to only involve those processes with a matching subscription.
+//! Nevertheless, similar to Scribe some processes in the index DHT which
+//! are close to frequently contacted rendezvous nodes will suffer for the
+//! same reasons."
+//!
+//! Model: publications are routed through the index DHT to the topic's
+//! index node; the index node injects the event into the topic group
+//! (subscribers only), which floods it internally with an infect-and-die
+//! epidemic. Group members only handle traffic they want — but index-route
+//! relays and index nodes work for topics they never subscribed to.
+
+use crate::common::DeliveryLog;
+use crate::dam::GroupTable;
+use fed_core::ledger::FairnessLedger;
+use fed_dht::{DhtId, DhtNetwork};
+use fed_pubsub::{Event, EventId, SubscriptionTable, TopicId};
+use fed_sim::{Context, NodeId, Protocol};
+use fed_util::rng::Rng64;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Wire messages.
+#[derive(Debug, Clone)]
+pub enum DksMsg {
+    /// Publication routed through the index DHT.
+    IndexRoute {
+        /// The event.
+        event: Event,
+    },
+    /// Intra-group epidemic.
+    GroupFlood {
+        /// The event.
+        event: Event,
+    },
+}
+
+/// Driver commands.
+#[derive(Debug, Clone)]
+pub enum DksCmd {
+    /// Publish an event.
+    Publish(Event),
+    /// Subscribe to a topic (delivery interest; group membership comes from
+    /// the static [`GroupTable`], mirroring `fed_baselines::dam`).
+    SubscribeTopic(TopicId),
+}
+
+/// Configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DksConfig {
+    /// Infect-and-die fanout inside the group.
+    pub group_fanout: usize,
+    /// How many seed members the index node contacts.
+    pub seeds: usize,
+}
+
+impl Default for DksConfig {
+    fn default() -> Self {
+        DksConfig {
+            group_fanout: 4,
+            seeds: 2,
+        }
+    }
+}
+
+/// A DKS-style node.
+#[derive(Debug)]
+pub struct DksNode {
+    id: NodeId,
+    config: DksConfig,
+    dht: Arc<DhtNetwork>,
+    groups: Arc<GroupTable>,
+    subs: SubscriptionTable,
+    seen: HashSet<EventId>,
+    ledger: FairnessLedger,
+    log: DeliveryLog,
+}
+
+impl DksNode {
+    /// Creates a node over shared index DHT and group tables.
+    pub fn new(
+        id: NodeId,
+        config: DksConfig,
+        dht: Arc<DhtNetwork>,
+        groups: Arc<GroupTable>,
+    ) -> Self {
+        DksNode {
+            id,
+            config,
+            dht,
+            groups,
+            subs: SubscriptionTable::new(),
+            seen: HashSet::new(),
+            ledger: FairnessLedger::new(),
+            log: DeliveryLog::new(),
+        }
+    }
+
+    /// Fairness ledger.
+    pub fn ledger(&self) -> &FairnessLedger {
+        &self.ledger
+    }
+
+    /// Delivery log.
+    pub fn deliveries(&self) -> &DeliveryLog {
+        &self.log
+    }
+
+    fn next_hop(&self, topic: TopicId) -> Option<NodeId> {
+        self.dht
+            .state_of(self.id.index())
+            .expect("node in DHT")
+            .next_hop(DhtId::of_topic(topic.index()))
+            .map(|n| NodeId::new(n.index as u32))
+    }
+
+    fn group_peers(&self, topic: TopicId) -> Vec<NodeId> {
+        self.groups
+            .get(&topic)
+            .map(|g| g.iter().copied().filter(|&p| p != self.id).collect())
+            .unwrap_or_default()
+    }
+
+    fn flood_once(&mut self, ctx: &mut Context<'_, DksMsg>, event: &Event) {
+        let peers = self.group_peers(event.topic());
+        if peers.is_empty() {
+            return;
+        }
+        let k = self.config.group_fanout.min(peers.len());
+        let picked = ctx.rng().sample_indices(peers.len(), k);
+        let size = event.size_bytes();
+        for i in picked {
+            ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+            self.ledger.record_forward(size);
+        }
+    }
+
+    fn accept_in_group(&mut self, ctx: &mut Context<'_, DksMsg>, event: Event) {
+        if !self.seen.insert(event.id()) {
+            return; // infect-and-die: forward only on first receipt
+        }
+        if self.subs.matches(&event) {
+            let now = ctx.now();
+            if self.log.deliver(&event, now) {
+                self.ledger.record_delivery();
+            }
+        }
+        self.flood_once(ctx, &event);
+    }
+}
+
+impl Protocol for DksNode {
+    type Msg = DksMsg;
+    type Cmd = DksCmd;
+
+    fn on_init(&mut self, _ctx: &mut Context<'_, DksMsg>) {}
+
+    fn on_message(&mut self, ctx: &mut Context<'_, DksMsg>, _from: NodeId, msg: DksMsg) {
+        match msg {
+            DksMsg::IndexRoute { event } => match self.next_hop(event.topic()) {
+                Some(next) => {
+                    // Index-route relay: work for an arbitrary topic.
+                    self.ledger.record_forward(event.size_bytes());
+                    ctx.send(next, DksMsg::IndexRoute { event });
+                }
+                None => {
+                    // We are the index node for this topic: seed the group.
+                    let peers = self.group_peers(event.topic());
+                    let k = self.config.seeds.min(peers.len());
+                    let picked = ctx.rng().sample_indices(peers.len(), k);
+                    let size = event.size_bytes();
+                    for i in picked {
+                        ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+                        self.ledger.record_forward(size);
+                    }
+                    // The index node may itself be a subscriber.
+                    if self.groups
+                        .get(&event.topic())
+                        .map(|g| g.contains(&self.id))
+                        .unwrap_or(false)
+                    {
+                        self.accept_in_group(ctx, event);
+                    }
+                }
+            },
+            DksMsg::GroupFlood { event } => self.accept_in_group(ctx, event),
+        }
+    }
+
+    fn on_timer(&mut self, _ctx: &mut Context<'_, DksMsg>, _token: u64) {}
+
+    fn on_command(&mut self, ctx: &mut Context<'_, DksMsg>, cmd: DksCmd) {
+        match cmd {
+            DksCmd::Publish(event) => {
+                self.ledger.record_publish(event.size_bytes());
+                match self.next_hop(event.topic()) {
+                    Some(next) => ctx.send(next, DksMsg::IndexRoute { event }),
+                    None => {
+                        // Publisher is the index node.
+                        let msg = DksMsg::IndexRoute { event };
+                        if let DksMsg::IndexRoute { event } = msg {
+                            // Seed directly.
+                            let peers = self.group_peers(event.topic());
+                            let k = self.config.seeds.min(peers.len());
+                            let picked = ctx.rng().sample_indices(peers.len(), k);
+                            let size = event.size_bytes();
+                            for i in picked {
+                                ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+                                self.ledger.record_forward(size);
+                            }
+                            if self.groups
+                                .get(&event.topic())
+                                .map(|g| g.contains(&self.id))
+                                .unwrap_or(false)
+                            {
+                                self.accept_in_group(ctx, event);
+                            }
+                        }
+                    }
+                }
+            }
+            DksCmd::SubscribeTopic(topic) => {
+                self.subs.subscribe_topic(topic);
+                self.ledger.set_active_filters(self.subs.len() as u32);
+            }
+        }
+    }
+
+    fn message_size(msg: &DksMsg) -> usize {
+        match msg {
+            DksMsg::IndexRoute { event } | DksMsg::GroupFlood { event } => 8 + event.size_bytes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    use fed_sim::{SimDuration, SimTime, Simulation};
+
+    fn build(n: usize, groups: GroupTable) -> Simulation<DksNode> {
+        let dht = Arc::new(DhtNetwork::build(n));
+        let groups = Arc::new(groups);
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(5)));
+        let cfg = DksConfig {
+            group_fanout: 5,
+            seeds: 3,
+        };
+        Simulation::new(n, net, 41, move |id, _| {
+            DksNode::new(id, cfg, Arc::clone(&dht), Arc::clone(&groups))
+        })
+    }
+
+    #[test]
+    fn group_members_receive_events() {
+        let n = 64;
+        let topic = TopicId::new(2);
+        let members: Vec<NodeId> = (10..30).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members.clone());
+        let mut s = build(n, groups);
+        for m in &members {
+            s.schedule_command(SimTime::ZERO, *m, DksCmd::SubscribeTopic(topic));
+        }
+        let e = Event::bare(EventId::new(50, 1), topic);
+        s.schedule_command(SimTime::from_millis(100), NodeId::new(50), DksCmd::Publish(e.clone()));
+        s.run_until(SimTime::from_secs(5));
+        let got = members
+            .iter()
+            .filter(|m| s.node(**m).unwrap().deliveries().contains(e.id()))
+            .count();
+        assert_eq!(got, members.len(), "epidemic covers the group");
+    }
+
+    #[test]
+    fn index_relays_work_without_interest() {
+        let n = 128;
+        let topic = TopicId::new(5);
+        let members: Vec<NodeId> = (0..10).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members.clone());
+        let mut s = build(n, groups);
+        for m in &members {
+            s.schedule_command(SimTime::ZERO, *m, DksCmd::SubscribeTopic(topic));
+        }
+        for k in 0..20u32 {
+            s.schedule_command(
+                SimTime::from_millis(100 + 20 * k as u64),
+                NodeId::new(100),
+                DksCmd::Publish(Event::bare(EventId::new(100, k), topic)),
+            );
+        }
+        s.run_until(SimTime::from_secs(10));
+        let uninterested_workers = s
+            .nodes()
+            .filter(|(id, p)| {
+                !members.contains(id)
+                    && id.as_u32() != 100
+                    && p.ledger().totals().forwarded_msgs > 0
+            })
+            .count();
+        assert!(
+            uninterested_workers > 0,
+            "index-route relays are conscripted — the paper's critique of DKS"
+        );
+    }
+
+    #[test]
+    fn non_members_never_deliver() {
+        let n = 32;
+        let topic = TopicId::new(1);
+        let members: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+        let mut groups = GroupTable::new();
+        groups.insert(topic, members.clone());
+        let mut s = build(n, groups);
+        for m in &members {
+            s.schedule_command(SimTime::ZERO, *m, DksCmd::SubscribeTopic(topic));
+        }
+        let e = Event::bare(EventId::new(20, 1), topic);
+        s.schedule_command(SimTime::from_millis(50), NodeId::new(20), DksCmd::Publish(e.clone()));
+        s.run_until(SimTime::from_secs(5));
+        for (id, node) in s.nodes() {
+            if !members.contains(&id) {
+                assert!(node.deliveries().is_empty(), "{id}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_group_event_dies_at_index() {
+        let n = 16;
+        let mut s = build(n, GroupTable::new());
+        s.schedule_command(
+            SimTime::from_millis(50),
+            NodeId::new(3),
+            DksCmd::Publish(Event::bare(EventId::new(3, 1), TopicId::new(7))),
+        );
+        s.run_until(SimTime::from_secs(2));
+        let total: usize = s.nodes().map(|(_, p)| p.deliveries().len()).sum();
+        assert_eq!(total, 0);
+    }
+}

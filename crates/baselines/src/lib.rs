@@ -1,0 +1,37 @@
+//! # fed-baselines
+//!
+//! Every architecture the paper's §4 ("How Fair Are Existing Approaches?")
+//! analyses, implemented over the same simulator and the same fairness
+//! ledger as the core protocol so their contribution/benefit ratios are
+//! directly comparable:
+//!
+//! | Module | System | Paper's fairness verdict |
+//! |---|---|---|
+//! | [`broker`] | Central broker | one node does everything |
+//! | [`scribe`] | Scribe over Pastry (§4.1) | uninterested interior nodes forward; rendezvous hotspots |
+//! | [`dks`] | DKS-style groups + index DHT (§4.1) | index-route relays suffer |
+//! | [`dam`] | Data-aware multicast (§4.2) | fair *except* supertopic bridges |
+//! | [`splitstream`] | SplitStream forest (§3.1) | load-balanced but benefit-blind |
+//!
+//! The classic static-fanout gossip baseline is
+//! [`fed_core::gossip::GossipNode`] with
+//! [`fed_core::gossip::GossipConfig::classic`] — identical code path to the
+//! fair protocol with adaptation switched off, so comparisons isolate the
+//! adaptation itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broker;
+pub mod common;
+pub mod dam;
+pub mod dks;
+pub mod scribe;
+pub mod splitstream;
+
+pub use broker::{BrokerCmd, BrokerMsg, BrokerNode};
+pub use common::DeliveryLog;
+pub use dam::{DamCmd, DamConfig, DamMsg, DamNode, GroupTable};
+pub use dks::{DksCmd, DksConfig, DksMsg, DksNode};
+pub use scribe::{ScribeCmd, ScribeMsg, ScribeNode};
+pub use splitstream::{Forest, SplitStreamNode, StripeCmd, StripeMsg};

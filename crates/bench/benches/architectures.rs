@@ -1,0 +1,103 @@
+//! Regenerates and times the survey/system experiments: T-ARCH, E-CHURN,
+//! E-SUBS, E-CONV, E-ROBUST and E-BIAS.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_tables_once() {
+    PRINT.call_once(|| {
+        println!("\n===== paper claim tables (seed 42) =====");
+        let arch = fed_experiments::arch::run(96, 42);
+        println!("{}", arch.table);
+        let churn = fed_experiments::churn::run(96, 15.0, 42);
+        println!("{}", churn.table);
+        let subs = fed_experiments::subs::run(96, 42);
+        println!("{}", subs.table);
+        let conv = fed_experiments::conv::run(96, 42);
+        println!("{}", conv.table);
+        println!(
+            "E-CONV: converged in {} rounds ({:.1} -> {:.1} fanout)\n",
+            conv.rounds_to_converge, conv.fanout_before, conv.fanout_after
+        );
+        let robust = fed_experiments::robust::run(64, 42);
+        println!("{}", robust.loss_table);
+        println!("{}", robust.crash_table);
+        let bias = fed_experiments::bias::run(96, 42);
+        println!("{}", bias.table);
+        println!("===== end of claim tables =====\n");
+    });
+}
+
+fn bench_arch(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("arch_comparison_n48", |b| {
+        b.iter(|| black_box(fed_experiments::arch::run(48, 42)))
+    });
+    g.finish();
+}
+
+fn bench_churn(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("churn_feedback_n48", |b| {
+        b.iter(|| black_box(fed_experiments::churn::run(48, 15.0, 42)))
+    });
+    g.finish();
+}
+
+fn bench_subs(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("subscription_cost_n64", |b| {
+        b.iter(|| black_box(fed_experiments::subs::run(64, 42)))
+    });
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("convergence_n48", |b| {
+        b.iter(|| black_box(fed_experiments::conv::run(48, 42)))
+    });
+    g.finish();
+}
+
+fn bench_robust(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("robustness_n48", |b| {
+        b.iter(|| black_box(fed_experiments::robust::run(48, 42)))
+    });
+    g.finish();
+}
+
+fn bench_bias(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("systems");
+    g.sample_size(10);
+    g.bench_function("bias_resistance_n64", |b| {
+        b.iter(|| black_box(fed_experiments::bias::run(64, 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_arch,
+    bench_churn,
+    bench_subs,
+    bench_conv,
+    bench_robust,
+    bench_bias
+);
+criterion_main!(benches);

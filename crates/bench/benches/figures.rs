@@ -1,0 +1,70 @@
+//! Regenerates and times the paper's four figures (FIG1–FIG4).
+//!
+//! Each benchmark prints its measured table once (so `cargo bench`
+//! reproduces the paper artifacts), then times the underlying simulation
+//! at a reduced size.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT: Once = Once::new();
+
+fn print_tables_once() {
+    PRINT.call_once(|| {
+        println!("\n===== paper figure tables (seed 42) =====");
+        let f1 = fed_experiments::fig1::run(128, 42);
+        println!("{}", f1.table);
+        let f2 = fed_experiments::fig2::run(96, 42);
+        println!("{}", f2.table);
+        let f3 = fed_experiments::fig3::run(96, 42);
+        println!("{}", f3.table);
+        let f4 = fed_experiments::fig4::run(96, &[32, 64, 128, 256], 42);
+        println!("{}", f4.fanout_table);
+        println!("{}", f4.scale_table);
+        println!("===== end of figure tables =====\n");
+    });
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig1_ratio_n64", |b| {
+        b.iter(|| black_box(fed_experiments::fig1::run(64, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig2_topic_n48", |b| {
+        b.iter(|| black_box(fed_experiments::fig2::run(48, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig3_expressive_n48", |b| {
+        b.iter(|| black_box(fed_experiments::fig3::run(48, 42)))
+    });
+    g.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    print_tables_once();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.bench_function("fig4_basic_n64", |b| {
+        b.iter(|| black_box(fed_experiments::fig4::run(64, &[32, 64], 42)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig1, bench_fig2, bench_fig3, bench_fig4);
+criterion_main!(benches);

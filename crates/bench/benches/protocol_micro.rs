@@ -1,0 +1,125 @@
+//! Micro-benchmarks of the protocol hot paths: ledger accounting,
+//! controller updates, filter matching and whole gossip rounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fed_core::adaptive::{Controller, ControllerConfig, GlobalRateEstimator, RateSample};
+use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
+use fed_core::ledger::{FairnessLedger, RatioSpec};
+use fed_membership::FullMembership;
+use fed_pubsub::{parse_filter, Event, EventId, TopicId};
+use fed_sim::network::NetworkModel;
+use fed_sim::{NodeId, SimDuration, SimTime, Simulation};
+use std::hint::black_box;
+
+fn bench_ledger(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ledger");
+    g.bench_function("record_forward", |b| {
+        let mut ledger = FairnessLedger::new();
+        b.iter(|| {
+            ledger.record_forward(black_box(512));
+        })
+    });
+    g.bench_function("ratio_topic_based", |b| {
+        let mut ledger = FairnessLedger::new();
+        for _ in 0..100 {
+            ledger.record_forward(256);
+            ledger.record_delivery();
+        }
+        ledger.set_active_filters(4);
+        let spec = RatioSpec::topic_based();
+        b.iter(|| black_box(ledger.ratio(&spec)))
+    });
+    g.finish();
+}
+
+fn bench_controllers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptive");
+    g.bench_function("controller_update", |b| {
+        let mut ctl = Controller::new(ControllerConfig::new(8.0, 0.0, 32.0, 0.5));
+        b.iter(|| black_box(ctl.update(black_box(3.0), black_box(2.0))))
+    });
+    g.bench_function("estimator_observe", |b| {
+        let mut est = GlobalRateEstimator::new(0.05, 0.0);
+        let sample = RateSample {
+            benefit_rate: 2.0,
+            contribution_rate: 8.0,
+            benefit_total: 500.0,
+            contribution_total: 2_000.0,
+        };
+        b.iter(|| est.observe(black_box(sample)))
+    });
+    g.finish();
+}
+
+fn bench_filters(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter");
+    let filter = parse_filter(
+        r#"(symbol == "FED" && price > 100) || (volume > 9000 && !(region == "EU"))"#,
+    )
+    .expect("benchmark filter parses");
+    let event = Event::builder(EventId::new(0, 0), TopicId::new(0))
+        .attr("symbol", "FED")
+        .attr("price", 150i64)
+        .attr("volume", 100i64)
+        .attr("region", "US")
+        .build();
+    g.bench_function("match_compound", |b| {
+        b.iter(|| black_box(filter.matches(black_box(&event))))
+    });
+    g.bench_function("parse_compound", |b| {
+        b.iter(|| {
+            black_box(
+                parse_filter(
+                    r#"(symbol == "FED" && price > 100) || (volume > 9000 && !(region == "EU"))"#,
+                )
+                .expect("parses"),
+            )
+        })
+    });
+    g.finish();
+}
+
+fn bench_gossip_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gossip_sim");
+    g.sample_size(10);
+    for &n in &[64usize, 256] {
+        g.bench_with_input(
+            BenchmarkId::new("one_second_fair", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
+                    let mut sim = Simulation::new(
+                        n,
+                        NetworkModel::default(),
+                        7,
+                        move |id, _| GossipNode::new(id, cfg.clone(), FullMembership::new(id, n)),
+                    );
+                    let topic = TopicId::new(0);
+                    for i in 0..n as u32 {
+                        sim.schedule_command(SimTime::ZERO, NodeId::new(i), GossipCmd::SubscribeTopic(topic));
+                    }
+                    for k in 0..10u32 {
+                        sim.schedule_command(
+                            SimTime::from_millis(50 * k as u64),
+                            NodeId::new(0),
+                            GossipCmd::Publish(Event::bare(EventId::new(0, k), topic)),
+                        );
+                    }
+                    sim.run_until(SimTime::from_secs(1));
+                    black_box(sim.events_processed())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ledger,
+    bench_controllers,
+    bench_filters,
+    bench_gossip_rounds
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Micro-benchmarks of the substrates: PRNG, distributions, DHT routing,
+//! Cyclon shuffles and raw event-queue throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fed_dht::{DhtId, DhtNetwork};
+use fed_membership::CyclonState;
+use fed_sim::network::NetworkModel;
+use fed_sim::{Context, NodeId, Protocol, SimDuration, SimTime, Simulation};
+use fed_util::dist::Zipf;
+use fed_util::rng::{Rng64, Xoshiro256StarStar};
+use std::hint::black_box;
+
+fn bench_rng(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("xoshiro_next_u64", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    g.bench_function("sample_indices_8_of_1024", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        b.iter(|| black_box(rng.sample_indices(1024, 8)))
+    });
+    g.bench_function("zipf_sample_10k_ranks", |b| {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let zipf = Zipf::new(10_000, 1.0).expect("valid");
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
+    g.finish();
+}
+
+fn bench_dht(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dht");
+    g.sample_size(20);
+    for &n in &[256usize, 1024] {
+        let net = DhtNetwork::build(n);
+        g.bench_with_input(BenchmarkId::new("route_path", n), &n, |b, _| {
+            let mut k = 0usize;
+            b.iter(|| {
+                k = (k + 1) % n;
+                black_box(
+                    net.route_path(k, DhtId::of_topic(k % 32))
+                        .expect("valid start"),
+                )
+            })
+        });
+    }
+    g.bench_function("build_n512", |b| {
+        b.iter(|| black_box(DhtNetwork::build(512)))
+    });
+    g.finish();
+}
+
+fn bench_cyclon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cyclon");
+    g.bench_function("shuffle_exchange", |b| {
+        let mut a = CyclonState::new(NodeId::new(0), 16, 8);
+        let mut peer = CyclonState::new(NodeId::new(1), 16, 8);
+        a.bootstrap((1..17).map(NodeId::new));
+        peer.bootstrap((2..18).map(NodeId::new));
+        let mut rng = Xoshiro256StarStar::seed_from_u64(5);
+        b.iter(|| {
+            if let Some((q, batch)) = a.start_shuffle(&mut rng) {
+                let reply = peer.handle_request(NodeId::new(0), &batch, &mut rng);
+                a.handle_response(q, &reply);
+            }
+        })
+    });
+    g.finish();
+}
+
+/// A deliberately chatty protocol to stress the event queue.
+struct Chatter;
+
+impl Protocol for Chatter {
+    type Msg = u64;
+    type Cmd = ();
+    fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+    fn on_message(&mut self, _ctx: &mut Context<'_, u64>, _from: NodeId, _msg: u64) {}
+    fn on_timer(&mut self, ctx: &mut Context<'_, u64>, _token: u64) {
+        let n = ctx.system_size() as u32;
+        let to = NodeId::new(ctx.rng().next_u64() as u32 % n);
+        ctx.send(to, 42);
+        ctx.set_timer(SimDuration::from_millis(1), 0);
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    g.bench_function("throughput_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(64, NetworkModel::default(), 3, |_, _| Chatter);
+            sim.run_until(SimTime::from_millis(780)); // ~100k events
+            black_box(sim.events_processed())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rng, bench_dht, bench_cyclon, bench_engine);
+criterion_main!(benches);

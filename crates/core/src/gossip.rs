@@ -1,0 +1,821 @@
+//! The push gossip dissemination protocol — basic (paper Figure 4) and
+//! fairness-adaptive (paper §5.2) in one implementation.
+//!
+//! Every `period` the node runs a **round**:
+//!
+//! 1. close the ledger window and update its own benefit/contribution rate
+//!    estimates;
+//! 2. if adaptation is enabled, update the fanout / message-size
+//!    controllers from the gossip-aggregated population mean;
+//! 3. pick `F` partners via `SELECTPARTICIPANTS` (a
+//!    [`PeerSampler`]), select up to `N` buffered events via
+//!    `SELECTEVENTS`, and push one gossip message to each partner.
+//!
+//! On receipt, an event is delivered iff `ISINTERESTED(e)` — the node's
+//! [`SubscriptionTable`] — and not yet delivered; *all* fresh events are
+//! buffered and re-forwarded for `ttl_rounds` rounds regardless of local
+//! interest. That unconditional forwarding is exactly the unfairness the
+//! paper identifies: with a static fanout, an uninterested peer works as
+//! hard as a heavy consumer. The adaptive controllers redistribute that
+//! work in proportion to measured benefit.
+
+use crate::adaptive::{Controller, ControllerConfig, GlobalRateEstimator, RateSample};
+use crate::behavior::Behavior;
+use crate::ledger::{FairnessLedger, RatioSpec};
+use fed_membership::PeerSampler;
+use fed_pubsub::{Event, EventId, Filter, SubscriptionTable, TopicId};
+use fed_sim::{Context, NodeId, Protocol, SimDuration, SimTime};
+use fed_util::rng::Rng64;
+use std::collections::{HashMap, HashSet};
+
+/// Timer token for the periodic gossip round.
+const ROUND_TIMER: u64 = 1;
+
+/// Configuration of a [`GossipNode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipConfig {
+    /// Gossip round period.
+    pub period: SimDuration,
+    /// Fanout controller bounds/target (`target_mean` is the static fanout
+    /// when adaptation is off).
+    pub fanout: ControllerConfig,
+    /// Events-per-message controller bounds/target.
+    pub events_per_msg: ControllerConfig,
+    /// Adapt the fanout to the benefit share (paper §5.2, Figure 3 left)?
+    pub adapt_fanout: bool,
+    /// Adapt the message size to the benefit share (Figure 3 right)?
+    pub adapt_msg_size: bool,
+    /// Rounds an event remains in the forwarding buffer.
+    pub ttl_rounds: u32,
+    /// Accounting rules for the fairness ratio.
+    pub spec: RatioSpec,
+    /// Smoothing for the population-mean estimator.
+    pub estimator_alpha: f64,
+    /// Smoothing for the node's own rate estimate.
+    pub own_rate_alpha: f64,
+    /// Gain of the lifetime-ratio correction term (0 disables it). With a
+    /// positive gain, a peer whose lifetime contribution exceeds
+    /// `κ̂ × lifetime benefit` throttles its fanout below the proportional
+    /// share (and vice versa), driving the paper's Figure 1 ratio — which
+    /// is defined over *totals* — toward equality.
+    pub ratio_correction_gain: f64,
+    /// Civic-minimum relay rate: a peer whose allocation rounds to zero
+    /// still relays buffered events with this per-round probability. This
+    /// is the floor that keeps the epidemic alive when an event's initial
+    /// seeds all land on zero-benefit peers (robustness, §5.2 Q5).
+    pub min_relay_rate: f64,
+    /// Lifetime cap on civic-minimum work: civic relaying stops once the
+    /// peer's contribution exceeds `κ̂ × benefit + civic_allowance`
+    /// messages. This bounds the snapshot-ratio distortion a zero-benefit
+    /// peer can accumulate to a constant, instead of letting it grow with
+    /// stream length.
+    pub civic_allowance: f64,
+}
+
+impl GossipConfig {
+    /// The classic static protocol of Figure 4: fixed fanout `f`, fixed
+    /// message size `n_events`, no adaptation.
+    pub fn classic(f: usize, n_events: usize, period: SimDuration) -> Self {
+        GossipConfig {
+            period,
+            fanout: ControllerConfig::new(f as f64, f as f64, f as f64, 1.0),
+            events_per_msg: ControllerConfig::new(
+                n_events as f64,
+                n_events as f64,
+                n_events as f64,
+                1.0,
+            ),
+            adapt_fanout: false,
+            adapt_msg_size: false,
+            ttl_rounds: 8,
+            spec: RatioSpec::topic_based(),
+            estimator_alpha: 0.05,
+            own_rate_alpha: 0.2,
+            ratio_correction_gain: 0.0,
+            min_relay_rate: 0.0,
+            civic_allowance: 0.0,
+        }
+    }
+
+    /// The fair protocol: same mean work, redistributed by benefit share.
+    ///
+    /// `f` and `n_events` become *population means*; individual nodes move
+    /// inside `[1, 4f]` and `[1, 4n]` respectively.
+    pub fn fair(f: usize, n_events: usize, period: SimDuration) -> Self {
+        GossipConfig {
+            period,
+            // Zero floor + stochastic rounding: a peer whose fair share is
+            // zero stops forwarding entirely; the benefit-weighted majority
+            // carries the epidemic (paper §5.2 Q3 — the fanout requirement
+            // is on the population sum, not on each individual peer).
+            fanout: ControllerConfig::new(f as f64, 0.0, 4.0 * f as f64, 0.5),
+            events_per_msg: ControllerConfig::new(
+                n_events as f64,
+                1.0,
+                4.0 * n_events as f64,
+                0.5,
+            ),
+            adapt_fanout: true,
+            adapt_msg_size: false,
+            ttl_rounds: 8,
+            spec: RatioSpec::topic_based(),
+            estimator_alpha: 0.05,
+            own_rate_alpha: 0.2,
+            ratio_correction_gain: 0.05,
+            min_relay_rate: 0.25,
+            civic_allowance: 2.0 * f as f64,
+        }
+    }
+
+    /// Fair protocol adapting both knobs with expressive (byte) accounting
+    /// — the full Figure 3 configuration.
+    pub fn fair_expressive(f: usize, n_events: usize, period: SimDuration) -> Self {
+        let mut cfg = Self::fair(f, n_events, period);
+        cfg.adapt_msg_size = true;
+        cfg.spec = RatioSpec::expressive();
+        cfg
+    }
+}
+
+/// External commands injected by applications / experiment drivers.
+#[derive(Debug, Clone)]
+pub enum GossipCmd {
+    /// Publish an event into the system at this node.
+    Publish(Event),
+    /// Add a topic subscription.
+    SubscribeTopic(TopicId),
+    /// Add a content subscription.
+    SubscribeContent(Filter),
+    /// Drop every active subscription.
+    ClearSubscriptions,
+}
+
+/// Wire messages.
+#[derive(Debug, Clone)]
+pub enum GossipMsg {
+    /// A gossip push: events plus the fairness piggyback.
+    Push {
+        /// Batch of events.
+        events: Vec<Event>,
+        /// Sender's advertised windowed rates (see
+        /// [`crate::adaptive`]).
+        sample: RateSample,
+    },
+}
+
+/// Where one delivery came from, with its timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeliveryRecord {
+    /// When the event was delivered at this node.
+    pub at: SimTime,
+    /// Gossip hop count is not tracked per-event (events travel in
+    /// batches); rounds since node start serves as the latency proxy.
+    pub round: u64,
+}
+
+/// One buffered event with its remaining forwarding budget.
+#[derive(Debug, Clone)]
+struct Buffered {
+    event: Event,
+    ttl: u32,
+}
+
+/// A push-gossip dissemination node (Figure 4 + §5.2 adaptation).
+///
+/// Generic over the peer sampling strategy `S` (full membership oracle or
+/// Cyclon views).
+#[derive(Debug)]
+pub struct GossipNode<S> {
+    id: NodeId,
+    config: GossipConfig,
+    sampler: S,
+    subs: SubscriptionTable,
+    buffer: Vec<Buffered>,
+    seen: HashSet<EventId>,
+    delivered: HashMap<EventId, DeliveryRecord>,
+    ledger: FairnessLedger,
+    estimator: GlobalRateEstimator,
+    fanout_ctl: Controller,
+    size_ctl: Controller,
+    own_rates: RateSample,
+    behavior: Behavior,
+    rounds: u64,
+    duplicates: u64,
+    /// Per-sender gossip receipts since round, for the audit protocol.
+    receipts: HashMap<NodeId, (u64, u64)>,
+    /// Last advertised rates per sender (audit evidence).
+    peer_claims: HashMap<NodeId, RateSample>,
+}
+
+impl<S: PeerSampler> GossipNode<S> {
+    /// Creates a node.
+    pub fn new(id: NodeId, config: GossipConfig, sampler: S) -> Self {
+        // Prior mean benefit 0: a cold system reports no deliveries, which
+        // makes the controllers fall back to the classic target fanout
+        // until a real benefit signal propagates (bootstrap = Figure 4
+        // behaviour, adaptation phases in smoothly).
+        let estimator = GlobalRateEstimator::new(config.estimator_alpha, 0.0);
+        let fanout_ctl = Controller::new(config.fanout);
+        let size_ctl = Controller::new(config.events_per_msg);
+        GossipNode {
+            id,
+            config,
+            sampler,
+            subs: SubscriptionTable::new(),
+            buffer: Vec::new(),
+            seen: HashSet::new(),
+            delivered: HashMap::new(),
+            ledger: FairnessLedger::new(),
+            estimator,
+            fanout_ctl,
+            size_ctl,
+            own_rates: RateSample::default(),
+            behavior: Behavior::Honest,
+            rounds: 0,
+            duplicates: 0,
+            receipts: HashMap::new(),
+            peer_claims: HashMap::new(),
+        }
+    }
+
+    /// Creates a node with a non-honest behaviour model.
+    pub fn with_behavior(id: NodeId, config: GossipConfig, sampler: S, behavior: Behavior) -> Self {
+        let mut node = Self::new(id, config, sampler);
+        node.behavior = behavior;
+        node
+    }
+
+    /// The node's id.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The fairness ledger (read access for experiments).
+    pub fn ledger(&self) -> &FairnessLedger {
+        &self.ledger
+    }
+
+    /// The lifetime contribution/benefit ratio under the node's spec.
+    pub fn ratio(&self) -> f64 {
+        self.ledger.ratio(&self.config.spec)
+    }
+
+    /// Active subscriptions.
+    pub fn subscriptions(&self) -> &SubscriptionTable {
+        &self.subs
+    }
+
+    /// Every delivery with its record.
+    pub fn deliveries(&self) -> &HashMap<EventId, DeliveryRecord> {
+        &self.delivered
+    }
+
+    /// Whether this node delivered `event`.
+    pub fn has_delivered(&self, event: EventId) -> bool {
+        self.delivered.contains_key(&event)
+    }
+
+    /// Current fanout allocation.
+    pub fn fanout(&self) -> usize {
+        self.fanout_ctl.value_rounded()
+    }
+
+    /// Current events-per-message allocation.
+    pub fn events_per_msg(&self) -> usize {
+        self.size_ctl.value_rounded()
+    }
+
+    /// Completed gossip rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Redundant event receipts (overhead metric).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// The node's current estimate of the population mean benefit rate.
+    pub fn estimated_mean_benefit(&self) -> f64 {
+        self.estimator.mean_benefit()
+    }
+
+    /// The node's smoothed own rates (what it advertises when honest).
+    pub fn own_rates(&self) -> RateSample {
+        self.own_rates
+    }
+
+    /// The behaviour model.
+    pub fn behavior(&self) -> &Behavior {
+        &self.behavior
+    }
+
+    /// Receipt counter snapshot for `peer`: `(messages, since_round)`.
+    pub fn receipts_from(&self, peer: NodeId) -> Option<(u64, u64)> {
+        self.receipts.get(&peer).copied()
+    }
+
+    /// Last advertised rate sample seen from `peer`.
+    pub fn claim_of(&self, peer: NodeId) -> Option<RateSample> {
+        self.peer_claims.get(&peer).copied()
+    }
+
+    /// Read access to the peer sampler.
+    pub fn sampler(&self) -> &S {
+        &self.sampler
+    }
+
+    fn deliver_if_interested(&mut self, event: &Event, now: SimTime) {
+        if self.subs.matches(event) && !self.delivered.contains_key(&event.id()) {
+            self.delivered.insert(
+                event.id(),
+                DeliveryRecord {
+                    at: now,
+                    round: self.rounds,
+                },
+            );
+            self.ledger.record_delivery();
+        }
+    }
+
+    fn accept_event(&mut self, event: Event, now: SimTime) {
+        if !self.seen.insert(event.id()) {
+            self.duplicates += 1;
+            return;
+        }
+        self.deliver_if_interested(&event, now);
+        self.buffer.push(Buffered {
+            event,
+            ttl: self.config.ttl_rounds,
+        });
+    }
+
+    fn run_round(&mut self, ctx: &mut Context<'_, GossipMsg>) {
+        // 1. Close the accounting window and refresh own rate estimates.
+        // The *control* benefit rate is deliveries (+ maintenance credits)
+        // only: standing filters appear in the measured Fig.-2 ratio as a
+        // one-off benefit, so feeding them into the per-round rate would
+        // allocate zero-traffic subscribers perpetual work their snapshot
+        // benefit can never absorb.
+        self.ledger.roll_window();
+        let spec = self.config.spec;
+        let window = self.ledger.last_window();
+        let wb = (window.delivered_events + window.maintenance_credits) as f64;
+        let wc = self.ledger.window_contribution(&spec);
+        let a = self.config.own_rate_alpha;
+        self.own_rates.benefit_rate += a * (wb - self.own_rates.benefit_rate);
+        self.own_rates.contribution_rate += a * (wc - self.own_rates.contribution_rate);
+
+        // 2. Update controllers from the aggregated population view:
+        // proportional share plus the lifetime-ratio correction.
+        if self.config.adapt_fanout {
+            let proportional = self.fanout_ctl.proportional_allocation(
+                self.own_rates.benefit_rate,
+                self.estimator.mean_benefit(),
+            );
+            let kappa = self.estimator.lifetime_ratio(1e-6);
+            let excess = self.ledger.contribution(&spec) - kappa * self.ledger.benefit(&spec);
+            let allocation = proportional - self.config.ratio_correction_gain * excess;
+            self.fanout_ctl.steer(allocation);
+        }
+        if self.config.adapt_msg_size {
+            self.size_ctl
+                .update(self.own_rates.benefit_rate, self.estimator.mean_benefit());
+        }
+        self.behavior.shape_controllers(&mut self.fanout_ctl, &mut self.size_ctl);
+
+        // 3. SELECTPARTICIPANTS(F) and SELECTEVENTS(N in events).
+        let mut fanout = if self.config.adapt_fanout {
+            self.fanout_ctl.sample_discrete(ctx.rng())
+        } else {
+            self.fanout_ctl.value_rounded()
+        };
+        // Civic minimum: fully throttled peers holding live events still
+        // relay occasionally so an epidemic cannot be strangled at birth —
+        // but only within the civic allowance, so the donated work stays a
+        // bounded constant per peer.
+        if fanout == 0 && !self.buffer.is_empty() && self.config.min_relay_rate > 0.0 {
+            let kappa = self.estimator.lifetime_ratio(1e-6);
+            let budget = kappa * self.ledger.benefit(&spec) + self.config.civic_allowance;
+            if self.ledger.contribution(&spec) < budget
+                && ctx.rng().bernoulli(self.config.min_relay_rate)
+            {
+                fanout = 1;
+            }
+        }
+        let n_events = self.size_ctl.value_rounded();
+        let partners = self.sampler.sample_peers(ctx.rng(), fanout);
+        if !partners.is_empty() && !self.buffer.is_empty() {
+            let k = n_events.min(self.buffer.len());
+            let picked = ctx.rng().sample_indices(self.buffer.len(), k);
+            let events: Vec<Event> = picked
+                .into_iter()
+                .map(|i| self.buffer[i].event.clone())
+                .collect();
+            let sample = self.behavior.advertise(RateSample {
+                benefit_rate: self.own_rates.benefit_rate,
+                contribution_rate: self.own_rates.contribution_rate,
+                benefit_total: self.ledger.benefit(&spec),
+                contribution_total: self.ledger.contribution(&spec),
+            });
+            let bytes = push_size(&events);
+            for peer in partners {
+                ctx.send(
+                    peer,
+                    GossipMsg::Push {
+                        events: events.clone(),
+                        sample,
+                    },
+                );
+                self.ledger.record_forward(bytes);
+            }
+        }
+
+        // 4. Age the buffer.
+        for b in &mut self.buffer {
+            b.ttl = b.ttl.saturating_sub(1);
+        }
+        self.buffer.retain(|b| b.ttl > 0);
+        self.rounds += 1;
+    }
+}
+
+impl<S: PeerSampler + 'static> Protocol for GossipNode<S> {
+    type Msg = GossipMsg;
+    type Cmd = GossipCmd;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, GossipMsg>) {
+        // Jittered first round desynchronizes the population.
+        let jitter = ctx.rng().range_u64(self.config.period.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(jitter), ROUND_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
+        match msg {
+            GossipMsg::Push { events, sample } => {
+                self.estimator.observe(sample);
+                self.peer_claims.insert(from, sample);
+                let entry = self.receipts.entry(from).or_insert((0, self.rounds));
+                entry.0 += 1;
+                self.sampler.note_peer(from);
+                let now = ctx.now();
+                for event in events {
+                    self.accept_event(event, now);
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, GossipMsg>, token: u64) {
+        debug_assert_eq!(token, ROUND_TIMER);
+        self.run_round(ctx);
+        ctx.set_timer(self.config.period, ROUND_TIMER);
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, GossipMsg>, cmd: GossipCmd) {
+        match cmd {
+            GossipCmd::Publish(event) => {
+                self.ledger.record_publish(event.size_bytes());
+                let now = ctx.now();
+                self.accept_event(event.clone(), now);
+                // Seed the epidemic immediately: the publisher pushes the
+                // fresh event to `2 × target_mean` random peers at its own
+                // expense. Without this, a publisher whose fair-share
+                // fanout is (near) zero would sit on its own events — the
+                // paper's accounting explicitly charges publishers for the
+                // messages they originate (Fig. 2), so the seed cost lands
+                // on the right ledger. The doubled width makes the launch
+                // robust even when most of the population is uninterested
+                // (and therefore throttled): the chance that no benefit-
+                // funded peer receives a seed decays exponentially in the
+                // seed fanout.
+                let seed_fanout = (2.0 * self.config.fanout.target_mean).round().max(1.0) as usize;
+                let peers = self.sampler.sample_peers(ctx.rng(), seed_fanout);
+                let sample = self.behavior.advertise(RateSample {
+                    benefit_rate: self.own_rates.benefit_rate,
+                    contribution_rate: self.own_rates.contribution_rate,
+                    benefit_total: self.ledger.benefit(&self.config.spec),
+                    contribution_total: self.ledger.contribution(&self.config.spec),
+                });
+                let bytes = push_size(std::slice::from_ref(&event));
+                for peer in peers {
+                    ctx.send(
+                        peer,
+                        GossipMsg::Push {
+                            events: vec![event.clone()],
+                            sample,
+                        },
+                    );
+                    self.ledger.record_forward(bytes);
+                }
+            }
+            GossipCmd::SubscribeTopic(topic) => {
+                self.subs.subscribe_topic(topic);
+                self.ledger.set_active_filters(self.subs.len() as u32);
+            }
+            GossipCmd::SubscribeContent(filter) => {
+                self.subs.subscribe_content(filter);
+                self.ledger.set_active_filters(self.subs.len() as u32);
+            }
+            GossipCmd::ClearSubscriptions => {
+                let ids: Vec<_> = self.subs.iter().map(|(id, _)| id).collect();
+                for id in ids {
+                    let _ = self.subs.unsubscribe(id);
+                }
+                self.ledger.set_active_filters(0);
+            }
+        }
+    }
+
+    fn message_size(msg: &GossipMsg) -> usize {
+        match msg {
+            GossipMsg::Push { events, .. } => push_size(events),
+        }
+    }
+}
+
+/// Wire size of a push message: header + piggyback + event payloads.
+fn push_size(events: &[Event]) -> usize {
+    8 + RateSample::WIRE_BYTES + events.iter().map(Event::size_bytes).sum::<usize>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_membership::FullMembership;
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    use fed_sim::Simulation;
+
+    type Node = GossipNode<FullMembership>;
+
+    fn net(ms: u64) -> NetworkModel {
+        NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(ms)))
+    }
+
+    fn classic_sim(n: usize, fanout: usize, seed: u64) -> Simulation<Node> {
+        let cfg = GossipConfig::classic(fanout, 16, SimDuration::from_millis(100));
+        Simulation::new(n, net(10), seed, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+        })
+    }
+
+    fn everyone_subscribes(sim: &mut Simulation<Node>, topic: TopicId) {
+        for i in 0..sim.len() {
+            sim.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i as u32),
+                GossipCmd::SubscribeTopic(topic),
+            );
+        }
+    }
+
+    #[test]
+    fn event_reaches_all_interested_nodes() {
+        let n = 64;
+        let mut sim = classic_sim(n, 5, 42);
+        let topic = TopicId::new(0);
+        everyone_subscribes(&mut sim, topic);
+        let event = Event::bare(EventId::new(0, 1), topic);
+        sim.schedule_command(
+            SimTime::from_millis(200),
+            NodeId::new(0),
+            GossipCmd::Publish(event.clone()),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        let delivered = sim
+            .nodes()
+            .filter(|(_, p)| p.has_delivered(event.id()))
+            .count();
+        assert_eq!(delivered, n, "atomic delivery expected with fanout 5");
+    }
+
+    #[test]
+    fn uninterested_nodes_never_deliver_but_forward() {
+        let n = 32;
+        let mut sim = classic_sim(n, 4, 7);
+        // Only even nodes subscribe.
+        for i in (0..n).step_by(2) {
+            sim.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i as u32),
+                GossipCmd::SubscribeTopic(TopicId::new(0)),
+            );
+        }
+        let event = Event::bare(EventId::new(1, 1), TopicId::new(0));
+        sim.schedule_command(
+            SimTime::from_millis(150),
+            NodeId::new(1),
+            GossipCmd::Publish(event.clone()),
+        );
+        sim.run_until(SimTime::from_secs(5));
+        for (id, node) in sim.nodes() {
+            if id.index() % 2 == 0 {
+                assert!(node.has_delivered(event.id()), "{id} interested");
+            } else {
+                assert!(!node.has_delivered(event.id()), "{id} not interested");
+            }
+        }
+        // Odd (uninterested) nodes still forwarded: that is the unfairness.
+        let odd_forwards: u64 = sim
+            .nodes()
+            .filter(|(id, _)| id.index() % 2 == 1)
+            .map(|(_, p)| p.ledger().totals().forwarded_msgs)
+            .sum();
+        assert!(odd_forwards > 0, "uninterested peers still do gossip work");
+    }
+
+    #[test]
+    fn publisher_delivers_own_interesting_event() {
+        let mut sim = classic_sim(4, 2, 3);
+        let topic = TopicId::new(0);
+        everyone_subscribes(&mut sim, topic);
+        let event = Event::bare(EventId::new(0, 9), topic);
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(0),
+            GossipCmd::Publish(event.clone()),
+        );
+        sim.run_until(SimTime::from_millis(120));
+        assert!(sim.node(NodeId::new(0)).unwrap().has_delivered(event.id()));
+    }
+
+    #[test]
+    fn no_duplicate_deliveries() {
+        let n = 24;
+        let mut sim = classic_sim(n, 6, 11);
+        everyone_subscribes(&mut sim, TopicId::new(0));
+        for k in 0..5u32 {
+            sim.schedule_command(
+                SimTime::from_millis(100 + k as u64 * 50),
+                NodeId::new(k),
+                GossipCmd::Publish(Event::bare(EventId::new(k, 1), TopicId::new(0))),
+            );
+        }
+        sim.run_until(SimTime::from_secs(4));
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.deliveries().len(), 5, "each event delivered once");
+            assert_eq!(node.ledger().totals().delivered_events, 5);
+        }
+    }
+
+    #[test]
+    fn ttl_expires_events_from_buffer() {
+        let mut cfg = GossipConfig::classic(2, 8, SimDuration::from_millis(50));
+        cfg.ttl_rounds = 2;
+        let mut sim: Simulation<Node> = Simulation::new(8, net(5), 5, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, 8))
+        });
+        sim.schedule_command(
+            SimTime::from_millis(60),
+            NodeId::new(0),
+            GossipCmd::Publish(Event::bare(EventId::new(0, 1), TopicId::new(0))),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        for (_, node) in sim.nodes() {
+            assert!(node.buffer.is_empty(), "buffers must drain after TTL");
+        }
+        // Traffic stops once the event expires everywhere: check the last
+        // second produced no event-bearing messages by sampling stats.
+        let sent_before: u64 = sim
+            .transport_stats_all()
+            .iter()
+            .map(|s| s.msgs_sent)
+            .sum();
+        sim.run_until(SimTime::from_secs(4));
+        let sent_after: u64 = sim
+            .transport_stats_all()
+            .iter()
+            .map(|s| s.msgs_sent)
+            .sum();
+        assert_eq!(sent_before, sent_after, "no gossip without fresh events");
+    }
+
+    #[test]
+    fn subscriptions_update_filter_count() {
+        let mut sim = classic_sim(2, 1, 1);
+        let id = NodeId::new(0);
+        sim.schedule_command(SimTime::ZERO, id, GossipCmd::SubscribeTopic(TopicId::new(1)));
+        sim.schedule_command(SimTime::ZERO, id, GossipCmd::SubscribeTopic(TopicId::new(2)));
+        sim.run_until(SimTime::from_millis(10));
+        assert_eq!(sim.node(id).unwrap().ledger().active_filters(), 2);
+        sim.schedule_command(SimTime::from_millis(20), id, GossipCmd::ClearSubscriptions);
+        sim.run_until(SimTime::from_millis(30));
+        assert_eq!(sim.node(id).unwrap().ledger().active_filters(), 0);
+        assert!(sim.node(id).unwrap().subscriptions().is_empty());
+    }
+
+    #[test]
+    fn static_config_never_moves_knobs() {
+        let n = 16;
+        let mut sim = classic_sim(n, 3, 13);
+        everyone_subscribes(&mut sim, TopicId::new(0));
+        for k in 0..20u32 {
+            sim.schedule_command(
+                SimTime::from_millis(100 * k as u64),
+                NodeId::new(k % n as u32),
+                GossipCmd::Publish(Event::bare(EventId::new(k, 1), TopicId::new(0))),
+            );
+        }
+        sim.run_until(SimTime::from_secs(5));
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.fanout(), 3);
+            assert_eq!(node.events_per_msg(), 16);
+        }
+    }
+
+    #[test]
+    fn adaptive_fanout_tracks_benefit_share() {
+        // Node 0 subscribes to everything; others to nothing. With steady
+        // publications the fair protocol should push node 0's fanout above
+        // the mean and everyone else's to the floor.
+        let n = 16;
+        let cfg = GossipConfig::fair(4, 16, SimDuration::from_millis(100));
+        let mut sim: Simulation<Node> = Simulation::new(n, net(10), 21, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+        });
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(0),
+            GossipCmd::SubscribeTopic(TopicId::new(0)),
+        );
+        // steady stream of events from node 1
+        for k in 0..200u32 {
+            sim.schedule_command(
+                SimTime::from_millis(100 * k as u64),
+                NodeId::new(1),
+                GossipCmd::Publish(Event::bare(EventId::new(1, k), TopicId::new(0))),
+            );
+        }
+        sim.run_until(SimTime::from_secs(25));
+        // The benefiting node must end up carrying a disproportionate share
+        // of the forwarding work; uninterested peers get throttled by the
+        // lifetime-ratio correction.
+        let w0 = sim
+            .node(NodeId::new(0))
+            .unwrap()
+            .ledger()
+            .totals()
+            .forwarded_msgs;
+        let w_others: Vec<u64> = sim
+            .nodes()
+            .filter(|(id, _)| id.index() >= 2)
+            .map(|(_, p)| p.ledger().totals().forwarded_msgs)
+            .collect();
+        let avg_others = w_others.iter().sum::<u64>() as f64 / w_others.len() as f64;
+        assert!(
+            w0 as f64 > 2.0 * avg_others,
+            "interested node forwarded {w0} vs uninterested average {avg_others}"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_counted_not_redelivered() {
+        let n = 8;
+        let mut sim = classic_sim(n, 7, 17);
+        everyone_subscribes(&mut sim, TopicId::new(0));
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(0),
+            GossipCmd::Publish(Event::bare(EventId::new(0, 1), TopicId::new(0))),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let dupes: u64 = sim.nodes().map(|(_, p)| p.duplicates()).sum();
+        assert!(dupes > 0, "fanout 7 in n=8 must produce redundancy");
+        for (_, node) in sim.nodes() {
+            assert_eq!(node.deliveries().len(), 1);
+        }
+    }
+
+    #[test]
+    fn message_size_accounts_events_and_piggyback() {
+        let e = Event::builder(EventId::new(0, 0), TopicId::new(0))
+            .payload_bytes(100)
+            .build();
+        let msg = GossipMsg::Push {
+            events: vec![e.clone(), e],
+            sample: RateSample::default(),
+        };
+        let expect = 8 + RateSample::WIRE_BYTES + 2 * (16 + 100);
+        assert_eq!(Node::message_size(&msg), expect);
+    }
+
+    #[test]
+    fn receipts_and_claims_tracked() {
+        let n = 4;
+        let mut sim = classic_sim(n, 3, 23);
+        everyone_subscribes(&mut sim, TopicId::new(0));
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(0),
+            GossipCmd::Publish(Event::bare(EventId::new(0, 1), TopicId::new(0))),
+        );
+        sim.run_until(SimTime::from_secs(2));
+        // someone must have received from node 0 and recorded its claim
+        let tracked = sim
+            .nodes()
+            .filter(|(id, _)| id.index() != 0)
+            .any(|(_, p)| p.receipts_from(NodeId::new(0)).is_some()
+                && p.claim_of(NodeId::new(0)).is_some());
+        assert!(tracked);
+    }
+}

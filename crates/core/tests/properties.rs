@@ -1,0 +1,209 @@
+//! Property-based tests of the fairness core: ledger arithmetic,
+//! controller behaviour and audit soundness.
+
+use fed_core::adaptive::{Controller, ControllerConfig, GlobalRateEstimator, RateSample};
+use fed_core::audit::{audit_subject, AuditConfig, AuditOutcome, WitnessReport};
+use fed_core::ledger::{ContributionMetric, FairnessLedger, RatioSpec};
+use fed_sim::NodeId;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Publish(usize),
+    Forward(usize),
+    Maintain,
+    Credit,
+    Deliver,
+    SetFilters(u32),
+    Roll,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1usize..2_000).prop_map(Op::Publish),
+        (1usize..2_000).prop_map(Op::Forward),
+        Just(Op::Maintain),
+        Just(Op::Credit),
+        Just(Op::Deliver),
+        (0u32..16).prop_map(Op::SetFilters),
+        Just(Op::Roll),
+    ]
+}
+
+fn apply(ledger: &mut FairnessLedger, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Publish(b) => ledger.record_publish(*b),
+            Op::Forward(b) => ledger.record_forward(*b),
+            Op::Maintain => ledger.record_maintenance(),
+            Op::Credit => ledger.record_maintenance_credit(),
+            Op::Deliver => ledger.record_delivery(),
+            Op::SetFilters(k) => ledger.set_active_filters(*k),
+            Op::Roll => ledger.roll_window(),
+        }
+    }
+}
+
+proptest! {
+    /// Contribution and benefit are non-negative, monotone under
+    /// recording, and the ratio is always finite under a positive epsilon.
+    #[test]
+    fn ledger_invariants(ops in prop::collection::vec(op_strategy(), 0..200)) {
+        let mut ledger = FairnessLedger::new();
+        let specs = [RatioSpec::topic_based(), RatioSpec::expressive()];
+        let mut last = [0.0f64; 2];
+        for op in &ops {
+            apply(&mut ledger, std::slice::from_ref(op));
+            for (i, spec) in specs.iter().enumerate() {
+                let c = ledger.contribution(spec);
+                prop_assert!(c >= 0.0 && c.is_finite());
+                prop_assert!(c + 1e-9 >= last[i], "contribution decreased");
+                last[i] = c;
+                let b = ledger.benefit(spec);
+                prop_assert!(b >= 0.0 && b.is_finite());
+                prop_assert!(ledger.ratio(spec).is_finite());
+            }
+        }
+    }
+
+    /// Rolling windows never changes lifetime totals, and window counters
+    /// sum to the lifetime totals across all windows plus the open one.
+    #[test]
+    fn window_roll_conserves_totals(ops in prop::collection::vec(op_strategy(), 0..120)) {
+        let mut with_rolls = FairnessLedger::new();
+        apply(&mut with_rolls, &ops);
+        let mut without_rolls = FairnessLedger::new();
+        let filtered: Vec<Op> = ops.iter().filter(|o| !matches!(o, Op::Roll)).cloned().collect();
+        apply(&mut without_rolls, &filtered);
+        prop_assert_eq!(with_rolls.totals(), without_rolls.totals());
+    }
+
+    /// The message metric counts messages, the byte metric counts bytes:
+    /// forwarding k messages of b bytes moves them accordingly.
+    #[test]
+    fn metric_separation(k in 1usize..50, b in 1usize..4_096) {
+        let mut ledger = FairnessLedger::new();
+        for _ in 0..k {
+            ledger.record_forward(b);
+        }
+        let msgs = RatioSpec { metric: ContributionMetric::Messages, ..RatioSpec::topic_based() };
+        let bytes = RatioSpec { metric: ContributionMetric::Bytes, ..RatioSpec::expressive() };
+        prop_assert_eq!(ledger.contribution(&msgs), k as f64);
+        prop_assert_eq!(ledger.contribution(&bytes), (k * b) as f64);
+    }
+
+    /// The controller's output always respects its clamps, whatever the
+    /// inputs, and equal inputs at gain 1 give the target.
+    #[test]
+    fn controller_always_clamped(
+        target in 1.0f64..32.0,
+        span in 1.0f64..8.0,
+        gain in 0.01f64..1.0,
+        inputs in prop::collection::vec((0.0f64..1e6, 0.0f64..1e6), 1..64),
+    ) {
+        let min = target / span;
+        let max = target * span;
+        let mut ctl = Controller::new(ControllerConfig::new(target, min, max, gain));
+        for (own, mean) in inputs {
+            let v = ctl.update(own, mean);
+            prop_assert!(v >= min - 1e-9 && v <= max + 1e-9, "{v} outside [{min}, {max}]");
+        }
+    }
+
+    /// Stochastic rounding is unbiased: its long-run mean equals the
+    /// continuous allocation.
+    #[test]
+    fn stochastic_rounding_unbiased(value in 0.0f64..16.0, seed in any::<u64>()) {
+        use fed_util::rng::Xoshiro256StarStar;
+        let mut ctl = Controller::new(ControllerConfig::new(8.0, 0.0, 16.0, 1.0));
+        ctl.force(value);
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let n = 20_000;
+        let total: usize = (0..n).map(|_| ctl.sample_discrete(&mut rng)).sum();
+        let mean = total as f64 / n as f64;
+        prop_assert!((mean - ctl.value()).abs() < 0.1, "mean {mean} vs {}", ctl.value());
+    }
+
+    /// The estimator's mean stays within the convex hull of its prior and
+    /// every observed sample.
+    #[test]
+    fn estimator_stays_in_hull(
+        alpha in 0.01f64..1.0,
+        prior in 0.0f64..10.0,
+        samples in prop::collection::vec(0.0f64..100.0, 1..64),
+    ) {
+        let mut est = GlobalRateEstimator::new(alpha, prior);
+        let mut lo = prior;
+        let mut hi = prior;
+        for &s in &samples {
+            est.observe(RateSample { benefit_rate: s, ..RateSample::default() });
+            lo = lo.min(s);
+            hi = hi.max(s);
+            prop_assert!(est.mean_benefit() >= lo - 1e-9);
+            prop_assert!(est.mean_benefit() <= hi + 1e-9);
+        }
+    }
+
+    /// Audit soundness: an honest subject whose receipts exactly match its
+    /// claim is never flagged, whatever the committee composition.
+    #[test]
+    fn audit_never_flags_exact_truth(
+        rate in 0.1f64..50.0,
+        witnesses in 1usize..32,
+        rounds in 10u64..500,
+        n in 3usize..1_000,
+    ) {
+        // Spread the exact expected total across the committee (floor +
+        // remainder), mimicking receipts whose committee-wide average
+        // matches the claim exactly — per-witness rounding would introduce
+        // a systematic bias no real sampling has.
+        let per_witness = rate / (n as f64 - 1.0);
+        let total = (per_witness * rounds as f64 * witnesses as f64).round() as u64;
+        let base = total / witnesses as u64;
+        let remainder = (total % witnesses as u64) as usize;
+        let reports: Vec<WitnessReport> = (0..witnesses)
+            .map(|w| WitnessReport {
+                messages: base + u64::from(w < remainder),
+                rounds,
+            })
+            .collect();
+        let verdict = audit_subject(
+            NodeId::new(0),
+            rate,
+            &reports,
+            n,
+            &AuditConfig { min_evidence: 1, tolerance: 0.7 },
+        );
+        if verdict.evidence >= 10 {
+            prop_assert_eq!(verdict.outcome, AuditOutcome::Consistent, "{}", verdict);
+        }
+    }
+
+    /// Audit sensitivity: claims k× above the witnessed rate are flagged
+    /// once k exceeds the tolerance band.
+    #[test]
+    fn audit_flags_large_overclaims(
+        rate in 1.0f64..50.0,
+        factor in 3.0f64..20.0,
+        n in 10usize..500,
+    ) {
+        let per_witness = rate / (n as f64 - 1.0);
+        let rounds = 1_000u64;
+        let reports: Vec<WitnessReport> = (0..16)
+            .map(|_| WitnessReport {
+                messages: (per_witness * rounds as f64).round() as u64,
+                rounds,
+            })
+            .collect();
+        let verdict = audit_subject(
+            NodeId::new(0),
+            rate * factor,
+            &reports,
+            n,
+            &AuditConfig { min_evidence: 1, tolerance: 0.7 },
+        );
+        if verdict.evidence >= 10 {
+            prop_assert_eq!(verdict.outcome, AuditOutcome::OverClaimed, "{}", verdict);
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # fed-dht
+//!
+//! A Pastry-like structured-overlay substrate: 64-bit ring identifiers,
+//! prefix routing tables with leaf sets, and whole-system route/rendezvous
+//! queries.
+//!
+//! This exists to reproduce the paper's §4.1 analysis of **structured**
+//! selective dissemination (Scribe over Pastry): rendezvous nodes and the
+//! interior nodes of DHT routes do forwarding work for topics they never
+//! subscribed to — the canonical fairness violation. The routing tables are
+//! built offline from global knowledge (the join protocol is irrelevant to
+//! fairness accounting); routes have the same prefix-routing structure,
+//! `O(log n)` length and rendezvous placement as Pastry's.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fed_dht::{DhtId, DhtNetwork};
+//!
+//! let net = DhtNetwork::build(100);
+//! let key = DhtId::of_topic(7);
+//! let root = net.root_of(key);
+//! let path = net.route_path(0, key)?;
+//! assert_eq!(*path.last().unwrap(), root.index);
+//! # Ok::<(), fed_dht::UnknownNode>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod network;
+pub mod routing;
+
+pub use id::{DhtId, DIGIT_BASE, DIGIT_BITS, NUM_DIGITS};
+pub use network::{DhtNetwork, UnknownNode};
+pub use routing::{DhtNode, RoutingState};

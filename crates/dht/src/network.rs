@@ -1,0 +1,225 @@
+//! Whole-system DHT view: routes and rendezvous computation.
+//!
+//! [`DhtNetwork`] bundles the routing state of every node and answers the
+//! two questions the Scribe baseline needs: *which node is the rendezvous
+//! (root) for a key*, and *along which node path does a message travel from
+//! a member to that root*. Paths are what determine fairness: every
+//! interior node of a path becomes a forwarder in the multicast tree,
+//! whether it is interested in the topic or not (paper §4.1).
+
+use crate::id::DhtId;
+use crate::routing::{DhtNode, RoutingState};
+use std::fmt;
+
+/// Error raised for queries about unknown node indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownNode(pub usize);
+
+impl fmt::Display for UnknownNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown node index {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownNode {}
+
+/// Complete routing infrastructure over `n` nodes.
+#[derive(Debug, Clone)]
+pub struct DhtNetwork {
+    nodes: Vec<DhtNode>,
+    states: Vec<RoutingState>,
+}
+
+impl DhtNetwork {
+    /// Default Pastry leaf-set size.
+    pub const DEFAULT_LEAF_SIZE: usize = 16;
+
+    /// Builds the network for nodes `0..n` with ids derived by hashing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build(n: usize) -> Self {
+        Self::build_with_leaf_size(n, Self::DEFAULT_LEAF_SIZE)
+    }
+
+    /// Builds with an explicit leaf-set size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn build_with_leaf_size(n: usize, leaf_size: usize) -> Self {
+        assert!(n > 0, "DHT requires at least one node");
+        let nodes: Vec<DhtNode> = (0..n)
+            .map(|i| DhtNode {
+                index: i,
+                id: DhtId::of_node_index(i),
+            })
+            .collect();
+        let states = nodes
+            .iter()
+            .map(|&me| RoutingState::build(me, &nodes, leaf_size))
+            .collect();
+        DhtNetwork { nodes, states }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Always `false` (empty networks are rejected at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The ring id of node `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNode`] when out of range.
+    pub fn id_of(&self, index: usize) -> Result<DhtId, UnknownNode> {
+        self.nodes
+            .get(index)
+            .map(|n| n.id)
+            .ok_or(UnknownNode(index))
+    }
+
+    /// Routing state of node `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNode`] when out of range.
+    pub fn state_of(&self, index: usize) -> Result<&RoutingState, UnknownNode> {
+        self.states.get(index).ok_or(UnknownNode(index))
+    }
+
+    /// The node numerically closest to `key` — the rendezvous/root.
+    pub fn root_of(&self, key: DhtId) -> DhtNode {
+        *self
+            .nodes
+            .iter()
+            .min_by_key(|n| (n.id.ring_distance(key), n.id))
+            .expect("non-empty")
+    }
+
+    /// The full node-index path from `start` to the root of `key`,
+    /// inclusive of both endpoints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNode`] if `start` is out of range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if routing fails to converge within `4 * NUM_DIGITS` hops,
+    /// which would indicate a broken routing invariant (covered by tests).
+    pub fn route_path(&self, start: usize, key: DhtId) -> Result<Vec<usize>, UnknownNode> {
+        if start >= self.nodes.len() {
+            return Err(UnknownNode(start));
+        }
+        let mut path = vec![start];
+        let mut cur = start;
+        let budget = 4 * crate::id::NUM_DIGITS;
+        for _ in 0..budget {
+            match self.states[cur].next_hop(key) {
+                Some(next) => {
+                    cur = next.index;
+                    path.push(cur);
+                }
+                None => return Ok(path),
+            }
+        }
+        panic!("routing did not converge from {start} to {key}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_end_at_root() {
+        let net = DhtNetwork::build(200);
+        for t in 0..20 {
+            let key = DhtId::of_topic(t);
+            let root = net.root_of(key);
+            for start in (0..200).step_by(17) {
+                let path = net.route_path(start, key).unwrap();
+                assert_eq!(*path.first().unwrap(), start);
+                assert_eq!(*path.last().unwrap(), root.index);
+            }
+        }
+    }
+
+    #[test]
+    fn paths_are_logarithmically_short() {
+        let net = DhtNetwork::build(1024);
+        let key = DhtId::of_topic(3);
+        let mut max_len = 0usize;
+        for start in 0..1024 {
+            let path = net.route_path(start, key).unwrap();
+            max_len = max_len.max(path.len());
+        }
+        // log16(1024) = 2.5; leaf sets shorten tails. Anything <= 8 is sane.
+        assert!(max_len <= 8, "max path length {max_len}");
+    }
+
+    #[test]
+    fn path_has_no_cycles() {
+        let net = DhtNetwork::build(300);
+        for t in 0..10 {
+            let key = DhtId::of_topic(t);
+            for start in (0..300).step_by(23) {
+                let path = net.route_path(start, key).unwrap();
+                let mut sorted = path.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), path.len(), "cycle in {path:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn root_is_stable_and_closest() {
+        let net = DhtNetwork::build(64);
+        let key = DhtId::of_topic(0);
+        let root = net.root_of(key);
+        for i in 0..64 {
+            let d = net.id_of(i).unwrap().ring_distance(key);
+            assert!(d >= root.id.ring_distance(key));
+        }
+    }
+
+    #[test]
+    fn root_route_from_root_is_trivial() {
+        let net = DhtNetwork::build(64);
+        let key = DhtId::of_topic(5);
+        let root = net.root_of(key);
+        let path = net.route_path(root.index, key).unwrap();
+        assert_eq!(path, vec![root.index]);
+    }
+
+    #[test]
+    fn unknown_node_errors() {
+        let net = DhtNetwork::build(4);
+        assert_eq!(net.id_of(9), Err(UnknownNode(9)));
+        assert!(net.state_of(9).is_err());
+        assert_eq!(net.route_path(9, DhtId::new(1)), Err(UnknownNode(9)));
+        assert_eq!(format!("{}", UnknownNode(9)), "unknown node index 9");
+    }
+
+    #[test]
+    fn single_node_network() {
+        let net = DhtNetwork::build(1);
+        let key = DhtId::of_topic(1);
+        assert_eq!(net.root_of(key).index, 0);
+        assert_eq!(net.route_path(0, key).unwrap(), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rejected() {
+        let _ = DhtNetwork::build(0);
+    }
+}

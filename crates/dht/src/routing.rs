@@ -1,0 +1,291 @@
+//! Pastry-style routing state: prefix routing table plus leaf set.
+//!
+//! Routing tables here are built offline from global knowledge rather than
+//! through Pastry's join protocol — the Scribe fairness baseline only needs
+//! the *structure* of the routes (who forwards for whom), not the join
+//! dynamics. This substitution is recorded in DESIGN.md.
+
+use crate::id::{DhtId, DIGIT_BASE, NUM_DIGITS};
+use std::fmt;
+
+/// Identifies a node by dense index together with its ring id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DhtNode {
+    /// Dense node index (matches `fed_sim::NodeId`).
+    pub index: usize,
+    /// Ring position.
+    pub id: DhtId,
+}
+
+/// Per-node Pastry routing state.
+#[derive(Debug, Clone)]
+pub struct RoutingState {
+    me: DhtNode,
+    /// `table[row][col]`: a node whose id shares `row` digits with ours and
+    /// has digit `col` at position `row`.
+    table: Vec<Vec<Option<DhtNode>>>,
+    /// The `l` nodes numerically closest to us on the ring (excluding us).
+    leaf_set: Vec<DhtNode>,
+}
+
+impl RoutingState {
+    /// Builds routing state for `me` from the complete node list.
+    ///
+    /// Deterministic: among equally valid candidates for a table slot the
+    /// numerically closest id wins.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not contained in `all`.
+    pub fn build(me: DhtNode, all: &[DhtNode], leaf_size: usize) -> Self {
+        assert!(
+            all.iter().any(|n| n.index == me.index),
+            "node must be part of the system"
+        );
+        let mut table: Vec<Vec<Option<DhtNode>>> = vec![vec![None; DIGIT_BASE]; NUM_DIGITS];
+        for &node in all {
+            if node.index == me.index {
+                continue;
+            }
+            let row = me.id.shared_prefix_len(node.id);
+            if row >= NUM_DIGITS {
+                continue; // duplicate id (hash collision): unusable for prefix routing
+            }
+            let col = node.id.digit(row);
+            let slot = &mut table[row][col];
+            let better = match slot {
+                None => true,
+                Some(existing) => {
+                    node.id.ring_distance(me.id) < existing.id.ring_distance(me.id)
+                }
+            };
+            if better {
+                *slot = Some(node);
+            }
+        }
+        // Two-sided leaf set (as in Pastry): the leaf_size/2 nearest ring
+        // successors and the leaf_size/2 nearest predecessors. Having both
+        // immediate neighbours guarantees greedy routing converges to the
+        // globally closest node.
+        let half = (leaf_size / 2).max(1);
+        let mut by_cw: Vec<DhtNode> = all
+            .iter()
+            .copied()
+            .filter(|n| n.index != me.index)
+            .collect();
+        by_cw.sort_by_key(|n| n.id.as_u64().wrapping_sub(me.id.as_u64()));
+        let successors: Vec<DhtNode> = by_cw.iter().copied().take(half).collect();
+        let predecessors: Vec<DhtNode> = by_cw.iter().rev().copied().take(half).collect();
+        let mut leaf_set = successors;
+        for p in predecessors {
+            if !leaf_set.iter().any(|n| n.index == p.index) {
+                leaf_set.push(p);
+            }
+        }
+        RoutingState {
+            me,
+            table,
+            leaf_set,
+        }
+    }
+
+    /// This node.
+    pub fn me(&self) -> DhtNode {
+        self.me
+    }
+
+    /// The leaf set (numerically closest peers).
+    pub fn leaf_set(&self) -> &[DhtNode] {
+        &self.leaf_set
+    }
+
+    /// The routing-table entry at `(row, col)`.
+    pub fn table_entry(&self, row: usize, col: usize) -> Option<DhtNode> {
+        self.table.get(row).and_then(|r| r.get(col)).copied().flatten()
+    }
+
+    /// Chooses the next hop toward `key`, or `None` when this node is
+    /// closer to `key` than every node it knows (i.e. it is the root).
+    ///
+    /// Greedy on ring distance over the union of routing-table entries and
+    /// the leaf set. The prefix table provides the `O(log n)` long jumps;
+    /// the two-sided leaf set (which always contains the immediate ring
+    /// successor and predecessor) guarantees the greedy walk terminates at
+    /// the globally closest node. Ring distance strictly decreases per hop,
+    /// so routes are loop-free.
+    pub fn next_hop(&self, key: DhtId) -> Option<DhtNode> {
+        let my_dist = self.me.id.ring_distance(key);
+        if my_dist == 0 {
+            return None;
+        }
+        // Prefer the prefix-table entry when it makes distance progress —
+        // this preserves Pastry's logarithmic hop count.
+        let row = self.me.id.shared_prefix_len(key);
+        if row < NUM_DIGITS {
+            let col = key.digit(row);
+            if let Some(node) = self.table[row][col] {
+                if node.id.ring_distance(key) < my_dist {
+                    return Some(node);
+                }
+            }
+        }
+        // Otherwise: best known node strictly closer to the key.
+        self.table
+            .iter()
+            .flatten()
+            .flatten()
+            .chain(self.leaf_set.iter())
+            .copied()
+            .filter(|n| n.id.ring_distance(key) < my_dist)
+            .min_by_key(|n| (n.id.ring_distance(key), n.id))
+    }
+}
+
+impl fmt::Display for RoutingState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let filled: usize = self
+            .table
+            .iter()
+            .map(|row| row.iter().filter(|s| s.is_some()).count())
+            .sum();
+        write!(
+            f,
+            "routing(me={}, table_entries={}, leafs={})",
+            self.me.id,
+            filled,
+            self.leaf_set.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nodes(n: usize) -> Vec<DhtNode> {
+        (0..n)
+            .map(|i| DhtNode {
+                index: i,
+                id: DhtId::of_node_index(i),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn build_populates_table_and_leafs() {
+        let all = nodes(64);
+        let st = RoutingState::build(all[0], &all, 8);
+        assert_eq!(st.me().index, 0);
+        assert_eq!(st.leaf_set().len(), 8);
+        // Row 0 should be well populated with 64 nodes and 16 columns.
+        let row0 = (0..DIGIT_BASE)
+            .filter(|&c| st.table_entry(0, c).is_some())
+            .count();
+        assert!(row0 >= 12, "row0 filled {row0}/16");
+        // No entry may be ourselves.
+        for row in 0..NUM_DIGITS {
+            for col in 0..DIGIT_BASE {
+                if let Some(e) = st.table_entry(row, col) {
+                    assert_ne!(e.index, 0);
+                    assert_eq!(e.id.shared_prefix_len(st.me().id), row);
+                    assert_eq!(e.id.digit(row), col);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "part of the system")]
+    fn build_rejects_foreign_node() {
+        let all = nodes(4);
+        let stranger = DhtNode {
+            index: 99,
+            id: DhtId::new(42),
+        };
+        let _ = RoutingState::build(stranger, &all, 4);
+    }
+
+    #[test]
+    fn leaf_set_contains_ring_neighbours() {
+        let all = nodes(32);
+        let me = all[5];
+        let st = RoutingState::build(me, &all, 6);
+        let succ = all
+            .iter()
+            .filter(|n| n.index != 5)
+            .min_by_key(|n| n.id.as_u64().wrapping_sub(me.id.as_u64()))
+            .unwrap();
+        let pred = all
+            .iter()
+            .filter(|n| n.index != 5)
+            .min_by_key(|n| me.id.as_u64().wrapping_sub(n.id.as_u64()))
+            .unwrap();
+        let leaf_idx: Vec<usize> = st.leaf_set().iter().map(|n| n.index).collect();
+        assert!(leaf_idx.contains(&succ.index), "successor in leaf set");
+        assert!(leaf_idx.contains(&pred.index), "predecessor in leaf set");
+        assert!(st.leaf_set().len() <= 6);
+    }
+
+    #[test]
+    fn next_hop_strictly_approaches_key() {
+        let all = nodes(128);
+        let states: Vec<RoutingState> = all
+            .iter()
+            .map(|&me| RoutingState::build(me, &all, 8))
+            .collect();
+        let key = DhtId::of_topic(7);
+        for start in 0..all.len() {
+            let mut cur = start;
+            let mut hops = 0;
+            loop {
+                match states[cur].next_hop(key) {
+                    Some(next) => {
+                        assert!(
+                            next.id.ring_distance(key) < all[cur].id.ring_distance(key),
+                            "hop must strictly decrease ring distance"
+                        );
+                        cur = next.index;
+                    }
+                    None => break,
+                }
+                hops += 1;
+                assert!(hops <= 64, "routing loop from {start}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_routes_converge_to_same_root() {
+        let all = nodes(100);
+        let states: Vec<RoutingState> = all
+            .iter()
+            .map(|&me| RoutingState::build(me, &all, 8))
+            .collect();
+        for t in 0..10 {
+            let key = DhtId::of_topic(t);
+            let mut roots = std::collections::BTreeSet::new();
+            for start in 0..all.len() {
+                let mut cur = start;
+                while let Some(next) = states[cur].next_hop(key) {
+                    cur = next.index;
+                }
+                roots.insert(cur);
+            }
+            assert_eq!(roots.len(), 1, "topic {t} reached roots {roots:?}");
+            // The root must be the globally numerically-closest node.
+            let true_root = all
+                .iter()
+                .min_by_key(|n| (n.id.ring_distance(key), n.id))
+                .unwrap();
+            assert!(roots.contains(&true_root.index));
+        }
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let all = nodes(8);
+        let st = RoutingState::build(all[0], &all, 4);
+        let s = format!("{st}");
+        assert!(s.contains("leafs=4"), "{s}");
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests of the DHT routing invariants.
+
+use fed_dht::{DhtId, DhtNetwork, NUM_DIGITS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every route ends at the global root, is cycle-free and short.
+    #[test]
+    fn routes_converge_loop_free(
+        n in 2usize..300,
+        key in any::<u64>(),
+        starts in prop::collection::vec(0usize..300, 1..8),
+    ) {
+        let net = DhtNetwork::build(n);
+        let key = DhtId::new(key);
+        let root = net.root_of(key);
+        for &start in &starts {
+            let start = start % n;
+            let path = net.route_path(start, key).expect("valid start");
+            prop_assert_eq!(*path.first().expect("non-empty"), start);
+            prop_assert_eq!(*path.last().expect("non-empty"), root.index);
+            let mut sorted = path.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), path.len(), "cycle in path");
+            prop_assert!(
+                path.len() <= 4 * NUM_DIGITS,
+                "path of {} hops for n={n}",
+                path.len()
+            );
+        }
+    }
+
+    /// Ring distance to the key strictly decreases along every route.
+    #[test]
+    fn routes_are_monotone(n in 2usize..200, key in any::<u64>(), start in 0usize..200) {
+        let net = DhtNetwork::build(n);
+        let key = DhtId::new(key);
+        let path = net.route_path(start % n, key).expect("valid start");
+        let mut last = u64::MAX;
+        for &hop in &path {
+            let d = net.id_of(hop).expect("in range").ring_distance(key);
+            prop_assert!(d < last || last == u64::MAX, "distance went {last} -> {d}");
+            last = d;
+        }
+    }
+
+    /// The root really is the globally closest node.
+    #[test]
+    fn root_minimizes_distance(n in 1usize..300, key in any::<u64>()) {
+        let net = DhtNetwork::build(n);
+        let key = DhtId::new(key);
+        let root = net.root_of(key);
+        let rd = root.id.ring_distance(key);
+        for i in 0..n {
+            prop_assert!(net.id_of(i).expect("in range").ring_distance(key) >= rd);
+        }
+    }
+
+    /// Digit extraction and prefix length agree with each other.
+    #[test]
+    fn digits_consistent_with_prefix(a in any::<u64>(), b in any::<u64>()) {
+        let x = DhtId::new(a);
+        let y = DhtId::new(b);
+        let p = x.shared_prefix_len(y);
+        for i in 0..p {
+            prop_assert_eq!(x.digit(i), y.digit(i));
+        }
+        if p < NUM_DIGITS {
+            prop_assert_ne!(x.digit(p), y.digit(p));
+        }
+        prop_assert_eq!(x.shared_prefix_len(y), y.shared_prefix_len(x));
+    }
+
+    /// Ring distance is a metric-ish: symmetric, zero iff equal, bounded.
+    #[test]
+    fn ring_distance_properties(a in any::<u64>(), b in any::<u64>()) {
+        let x = DhtId::new(a);
+        let y = DhtId::new(b);
+        prop_assert_eq!(x.ring_distance(y), y.ring_distance(x));
+        prop_assert_eq!(x.ring_distance(x), 0);
+        prop_assert!(x.ring_distance(y) <= u64::MAX / 2 + 1);
+        if a != b {
+            prop_assert!(x.ring_distance(y) > 0);
+        }
+    }
+}

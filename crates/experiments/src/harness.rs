@@ -1,0 +1,199 @@
+//! Shared experiment harness: scenario → simulation → audit.
+
+use fed_core::behavior::Behavior;
+use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
+use fed_core::ledger::FairnessLedger;
+use fed_membership::FullMembership;
+use fed_metrics::delivery::DeliveryAudit;
+use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::{NodeId, SimDuration, SimTime, Simulation};
+use fed_util::rng::Xoshiro256StarStar;
+use fed_workload::interest::{Appetite, InterestProfile};
+use fed_workload::pubs::{generate_schedule, PubPlan, Publication};
+
+/// The node type every gossip experiment runs.
+pub type Node = GossipNode<FullMembership>;
+
+/// A complete gossip scenario description.
+#[derive(Debug, Clone)]
+pub struct GossipScenario {
+    /// Population size.
+    pub n: usize,
+    /// Topic universe size.
+    pub num_topics: usize,
+    /// Topic popularity skew for subscriptions.
+    pub zipf_s: f64,
+    /// Per-node subscription appetite.
+    pub appetite: Appetite,
+    /// Publication plan.
+    pub plan: PubPlan,
+    /// Master seed.
+    pub seed: u64,
+    /// Network model.
+    pub net: NetworkModel,
+}
+
+impl GossipScenario {
+    /// A sensible default: heterogeneous interest over a Zipf topic
+    /// universe with a steady publication stream.
+    pub fn standard(n: usize, seed: u64) -> Self {
+        GossipScenario {
+            n,
+            num_topics: 20,
+            zipf_s: 1.0,
+            appetite: Appetite::Bimodal {
+                heavy_fraction: 0.2,
+                heavy: 8,
+                light: 1,
+            },
+            plan: PubPlan {
+                rate_per_sec: 20.0,
+                duration: SimTime::from_secs(20),
+                topic_zipf_s: 1.0,
+                payload_bytes: 64,
+                warmup: SimTime::from_secs(2),
+            },
+            seed,
+            net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
+        }
+    }
+
+    /// End of the publication phase plus a drain margin.
+    pub fn horizon(&self) -> SimTime {
+        // TTL drain: 8 rounds of 100ms plus latency slack.
+        SimTime::from_micros(
+            self.plan.warmup.as_micros() + self.plan.duration.as_micros() + 4_000_000,
+        )
+    }
+}
+
+/// A prepared run: simulation with workload wired in, plus ground truth.
+pub struct GossipRun {
+    /// The simulation (not yet executed).
+    pub sim: Simulation<Node>,
+    /// Who subscribes to what.
+    pub profile: InterestProfile,
+    /// Scheduled publications.
+    pub schedule: Vec<Publication>,
+    /// Scenario horizon.
+    pub horizon: SimTime,
+}
+
+impl GossipRun {
+    /// Runs to the scenario horizon.
+    pub fn run(&mut self) {
+        let horizon = self.horizon;
+        self.sim.run_until(horizon);
+    }
+
+    /// Builds the delivery audit from ground truth and observed state.
+    pub fn audit(&self) -> DeliveryAudit {
+        let mut audit = DeliveryAudit::new();
+        for p in &self.schedule {
+            audit.expect(
+                p.event.id(),
+                p.at,
+                self.profile.subscribers_of(p.event.topic()),
+            );
+        }
+        for (id, node) in self.sim.nodes() {
+            for (eid, rec) in node.deliveries() {
+                audit.record(*eid, id.index(), rec.at);
+            }
+        }
+        audit
+    }
+
+    /// Ledgers of all nodes in id order.
+    pub fn ledgers(&self) -> Vec<&FairnessLedger> {
+        self.sim.nodes().map(|(_, n)| n.ledger()).collect()
+    }
+}
+
+/// Builds a gossip run; `behavior` assigns a behaviour model per node.
+pub fn build_gossip<B>(scenario: &GossipScenario, config: GossipConfig, behavior: B) -> GossipRun
+where
+    B: Fn(NodeId) -> Behavior + 'static,
+{
+    let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
+    let profile = InterestProfile::generate(
+        &mut rng,
+        scenario.n,
+        scenario.num_topics,
+        scenario.zipf_s,
+        scenario.appetite,
+    )
+    .expect("scenario parameters are validated by construction");
+    let schedule = generate_schedule(&mut rng, scenario.n, scenario.num_topics, &scenario.plan)
+        .expect("scenario parameters are validated by construction");
+    let n = scenario.n;
+    let mut sim = Simulation::new(n, scenario.net.clone(), scenario.seed, move |id, _| {
+        GossipNode::with_behavior(
+            id,
+            config.clone(),
+            FullMembership::new(id, n),
+            behavior(id),
+        )
+    });
+    for i in 0..n {
+        for &topic in profile.topics_of(i) {
+            sim.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i as u32),
+                GossipCmd::SubscribeTopic(topic),
+            );
+        }
+    }
+    for p in &schedule {
+        sim.schedule_command(
+            p.at,
+            NodeId::new(p.publisher as u32),
+            GossipCmd::Publish(p.event.clone()),
+        );
+    }
+    GossipRun {
+        sim,
+        profile,
+        schedule,
+        horizon: scenario.horizon(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_core::ledger::RatioSpec;
+
+    #[test]
+    fn standard_scenario_runs_and_audits() {
+        let scenario = GossipScenario::standard(32, 11);
+        let cfg = GossipConfig::classic(5, 16, SimDuration::from_millis(100));
+        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        run.run();
+        let audit = run.audit();
+        assert!(audit.num_events() > 0);
+        assert!(audit.reliability() > 0.99, "r={}", audit.reliability());
+        assert_eq!(audit.spurious(), 0);
+        let ledgers = run.ledgers();
+        assert_eq!(ledgers.len(), 32);
+        let spec = RatioSpec::topic_based();
+        assert!(ledgers.iter().any(|l| l.contribution(&spec) > 0.0));
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let scenario = GossipScenario::standard(16, 5);
+        let cfg = GossipConfig::classic(4, 16, SimDuration::from_millis(100));
+        let r1 = {
+            let mut run = build_gossip(&scenario, cfg.clone(), |_| Behavior::Honest);
+            run.run();
+            run.audit().reliability()
+        };
+        let r2 = {
+            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            run.run();
+            run.audit().reliability()
+        };
+        assert_eq!(r1, r2);
+    }
+}

@@ -1,0 +1,105 @@
+//! # fed-experiments
+//!
+//! One module per paper artifact (see DESIGN.md §4 for the full index):
+//!
+//! | Id | Module | Paper artifact |
+//! |---|---|---|
+//! | FIG1 | [`fig1`] | Figure 1 — ratio equalization |
+//! | FIG2 | [`fig2`] | Figure 2 — topic-based filter-weighted accounting |
+//! | FIG3 | [`fig3`] | Figure 3 — fanout & message-size modulation |
+//! | FIG4 | [`fig4`] | Figure 4 — basic push gossip, epidemic curves |
+//! | T-ARCH | [`arch`] | §4 — fairness of existing architectures |
+//! | E-CHURN | [`churn`] | §1/§6 — unfairness-driven churn |
+//! | E-SUBS | [`subs`] | §5.1 — subscription maintenance cost |
+//! | E-CONV | [`conv`] | §5.2 Q1/Q2 — controller convergence |
+//! | E-ROBUST | [`robust`] | §5.2 Q5 — robustness under loss/crash |
+//! | E-BIAS | [`bias`] | §5.2 Q6 — audits against lying peers |
+//! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
+//!
+//! Every experiment is a plain function taking `(n, seed)` and returning a
+//! result struct with one or more [`fed_metrics::table::Table`]s; the
+//! `fed-experiments` binary runs them by id and prints the tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod arch;
+pub mod bias;
+pub mod churn;
+pub mod conv;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod harness;
+pub mod robust;
+pub mod subs;
+
+/// The canonical experiment ids in DESIGN.md order.
+pub const EXPERIMENT_IDS: &[&str] = &[
+    "fig1", "fig2", "fig3", "fig4", "arch", "churn", "subs", "conv", "robust", "bias",
+    "ablation",
+];
+
+/// Runs one experiment by id at a default size, printing its tables.
+///
+/// Returns `false` for unknown ids. Sizes are chosen so the full suite
+/// finishes in a few minutes on a laptop; the benches sweep larger sizes.
+pub fn run_by_id(id: &str, seed: u64) -> bool {
+    match id {
+        "fig1" => {
+            let r = fig1::run(256, seed);
+            println!("{}", r.table);
+        }
+        "fig2" => {
+            let r = fig2::run(128, seed);
+            println!("{}", r.table);
+        }
+        "fig3" => {
+            let r = fig3::run(128, seed);
+            println!("{}", r.table);
+        }
+        "fig4" => {
+            let r = fig4::run(128, &[32, 64, 128, 256, 512], seed);
+            println!("{}", r.fanout_table);
+            println!("{}", r.scale_table);
+        }
+        "arch" => {
+            let r = arch::run(128, seed);
+            println!("{}", r.table);
+        }
+        "churn" => {
+            let r = churn::run(128, 15.0, seed);
+            println!("{}", r.table);
+        }
+        "subs" => {
+            let r = subs::run(128, seed);
+            println!("{}", r.table);
+        }
+        "conv" => {
+            let r = conv::run(128, seed);
+            println!("{}", r.table);
+            println!(
+                "converged in {} rounds ({} -> {} fanout)\n",
+                r.rounds_to_converge, r.fanout_before, r.fanout_after
+            );
+        }
+        "robust" => {
+            let r = robust::run(96, seed);
+            println!("{}", r.loss_table);
+            println!("{}", r.crash_table);
+        }
+        "bias" => {
+            let r = bias::run(128, seed);
+            println!("{}", r.table);
+        }
+        "ablation" => {
+            let r = ablation::run(128, seed);
+            println!("{}", r.gain_table);
+            println!("{}", r.civic_table);
+        }
+        _ => return false,
+    }
+    true
+}

@@ -1,0 +1,51 @@
+//! Command-line experiment runner.
+//!
+//! ```text
+//! fed-experiments            # run every experiment
+//! fed-experiments fig1 arch  # run selected experiments
+//! fed-experiments --seed 7 fig1
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut seed = 42u64;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => {
+                    eprintln!("--seed requires an integer value");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: fed-experiments [--seed N] [ids...]\navailable ids: {}",
+                    fed_experiments::EXPERIMENT_IDS.join(", ")
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = fed_experiments::EXPERIMENT_IDS
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for id in &ids {
+        eprintln!("=== running {id} (seed {seed}) ===");
+        if !fed_experiments::run_by_id(id, seed) {
+            eprintln!(
+                "unknown experiment {id:?}; available: {}",
+                fed_experiments::EXPERIMENT_IDS.join(", ")
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

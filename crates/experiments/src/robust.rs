@@ -1,0 +1,148 @@
+//! E-ROBUST — §5.2 Q5: "How can an adaptive algorithm maintain robustness
+//! of gossip protocols?"
+//!
+//! Gossip's selling point is reliability under loss and crashes. The risk
+//! of fairness adaptation is that throttling low-benefit peers thins the
+//! epidemic. We sweep message-loss rates and crash fractions and compare
+//! delivery reliability of the classic and fair protocols.
+
+use crate::harness::{build_gossip, GossipScenario};
+use fed_core::behavior::Behavior;
+use fed_core::gossip::GossipConfig;
+use fed_metrics::table::{fmt_f64, Table};
+use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::{NodeId, SimDuration, SimTime};
+use fed_util::rng::{Rng64, SplitMix64};
+
+/// Result of the E-ROBUST experiment.
+#[derive(Debug)]
+pub struct RobustResult {
+    /// Loss sweep table.
+    pub loss_table: Table,
+    /// Crash sweep table.
+    pub crash_table: Table,
+    /// (loss, classic reliability, fair reliability).
+    pub loss_points: Vec<(f64, f64, f64)>,
+    /// (crash fraction, classic reliability, fair reliability).
+    pub crash_points: Vec<(f64, f64, f64)>,
+}
+
+/// Runs E-ROBUST at population size `n`.
+pub fn run(n: usize, seed: u64) -> RobustResult {
+    let mut loss_table = Table::new(
+        format!("E-ROBUST-a: reliability vs message loss (n={n})"),
+        &["loss", "classic", "fair"],
+    );
+    let mut loss_points = Vec::new();
+    for loss in [0.0, 0.1, 0.2, 0.3, 0.4] {
+        let mut rel = Vec::new();
+        for cfg in [
+            GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
+            GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+        ] {
+            let mut scenario = GossipScenario::standard(n, seed);
+            scenario.net = NetworkModel::lossy(
+                LatencyModel::Constant(SimDuration::from_millis(10)),
+                loss,
+            );
+            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            run.run();
+            rel.push(run.audit().reliability());
+        }
+        loss_table.row_owned(vec![
+            fmt_f64(loss),
+            fmt_f64(rel[0]),
+            fmt_f64(rel[1]),
+        ]);
+        loss_points.push((loss, rel[0], rel[1]));
+    }
+
+    let mut crash_table = Table::new(
+        format!("E-ROBUST-b: reliability vs crashed fraction (n={n})"),
+        &["crashed", "classic", "fair"],
+    );
+    let mut crash_points = Vec::new();
+    for crash_frac in [0.0, 0.1, 0.2, 0.3] {
+        let mut rel = Vec::new();
+        for cfg in [
+            GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
+            GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+        ] {
+            let scenario = GossipScenario::standard(n, seed ^ 0x5A5A);
+            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            // Crash a random fraction mid-stream.
+            let mut pick = SplitMix64::seed_from_u64(seed);
+            let to_crash = (n as f64 * crash_frac) as usize;
+            let victims = pick.sample_indices(n, to_crash);
+            for v in &victims {
+                run.sim
+                    .schedule_crash(SimTime::from_secs(8), NodeId::new(*v as u32));
+            }
+            run.run();
+            // Reliability counted over survivors and pre-crash events only:
+            // measure deliveries of events published before the crash wave
+            // at nodes that stayed alive.
+            let mut audit = fed_metrics::delivery::DeliveryAudit::new();
+            for p in &run.schedule {
+                if p.at < SimTime::from_secs(8) {
+                    let interested: Vec<usize> = run
+                        .profile
+                        .subscribers_of(p.event.topic())
+                        .into_iter()
+                        .filter(|i| !victims.contains(i))
+                        .collect();
+                    audit.expect(p.event.id(), p.at, interested);
+                }
+            }
+            for (id, node) in run.sim.nodes() {
+                for (eid, rec) in node.deliveries() {
+                    audit.record(*eid, id.index(), rec.at);
+                }
+            }
+            rel.push(audit.reliability());
+        }
+        crash_table.row_owned(vec![
+            fmt_f64(crash_frac),
+            fmt_f64(rel[0]),
+            fmt_f64(rel[1]),
+        ]);
+        crash_points.push((crash_frac, rel[0], rel[1]));
+    }
+
+    RobustResult {
+        loss_table,
+        crash_table,
+        loss_points,
+        crash_points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fair_protocol_keeps_gossip_robustness() {
+        let r = run(64, 31);
+        for (loss, classic, fair) in &r.loss_points {
+            assert!(
+                *fair > 0.95,
+                "fair reliability at loss {loss}: {fair}\n{}",
+                r.loss_table
+            );
+            assert!(
+                fair + 0.05 > *classic,
+                "fair must stay within 5% of classic at loss {loss}\n{}",
+                r.loss_table
+            );
+        }
+        for (frac, classic, fair) in &r.crash_points {
+            assert!(
+                *fair > 0.93,
+                "fair reliability at crash {frac}: {fair}\n{}",
+                r.crash_table
+            );
+            assert!(fair + 0.07 > *classic, "crash {frac}\n{}", r.crash_table);
+        }
+    }
+}

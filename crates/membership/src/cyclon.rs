@@ -1,0 +1,415 @@
+//! Cyclon-style view shuffling (Voulgaris, Gavidia, van Steen 2005).
+//!
+//! The paper relies on the peer-sampling literature (its refs [2, 11, 12,
+//! 13, 15]) for maintaining "well distributed partial views to support
+//! random communication partner selection". Cyclon is the canonical
+//! representative: periodically each node swaps a few view entries with its
+//! oldest neighbour, which keeps the overlay connected, keeps in-degrees
+//! balanced and retires dead descriptors by age.
+//!
+//! [`CyclonState`] is embeddable protocol logic (the fair-gossip core and
+//! baselines drive it with their own timers); [`CyclonNode`] wraps it into
+//! a standalone [`fed_sim::Protocol`] for testing and measurement.
+
+use crate::sampler::PeerSampler;
+use crate::view::{PartialView, ViewEntry};
+use fed_sim::{Context, NodeId, Protocol, SimDuration};
+use fed_util::rng::Rng64;
+
+/// The shuffle state machine of one node.
+#[derive(Debug, Clone)]
+pub struct CyclonState {
+    view: PartialView,
+    shuffle_len: usize,
+    /// Entries sent in the currently outstanding shuffle request.
+    pending: Option<(NodeId, Vec<ViewEntry>)>,
+}
+
+impl CyclonState {
+    /// Creates a state with a view of `capacity` entries, exchanging
+    /// `shuffle_len` entries per shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `shuffle_len == 0`.
+    pub fn new(owner: NodeId, capacity: usize, shuffle_len: usize) -> Self {
+        assert!(shuffle_len > 0, "shuffle length must be positive");
+        CyclonState {
+            view: PartialView::new(owner, capacity),
+            shuffle_len: shuffle_len.min(capacity),
+            pending: None,
+        }
+    }
+
+    /// Seeds the view with initial contacts (typically ring successors).
+    pub fn bootstrap<I: IntoIterator<Item = NodeId>>(&mut self, peers: I) {
+        for p in peers {
+            if self.view.is_full() {
+                break;
+            }
+            self.view.insert(p);
+        }
+    }
+
+    /// Read access to the view.
+    pub fn view(&self) -> &PartialView {
+        &self.view
+    }
+
+    /// The node owning this state.
+    pub fn owner(&self) -> NodeId {
+        self.view.owner()
+    }
+
+    /// Begins a shuffle: ages the view, removes the oldest peer `q` and
+    /// returns `(q, entries-to-send)`. Returns `None` on an empty view.
+    ///
+    /// The sent batch always contains a fresh descriptor of the owner, plus
+    /// up to `shuffle_len - 1` random other entries.
+    pub fn start_shuffle<R: Rng64>(&mut self, rng: &mut R) -> Option<(NodeId, Vec<ViewEntry>)> {
+        self.view.increment_ages();
+        let oldest = self.view.oldest()?;
+        self.view.remove(oldest.id);
+        let mut batch = self.view.sample_entries(rng, self.shuffle_len - 1);
+        batch.push(ViewEntry::fresh(self.owner()));
+        self.pending = Some((oldest.id, batch.clone()));
+        Some((oldest.id, batch))
+    }
+
+    /// Handles an incoming shuffle request from `from`; returns the entries
+    /// to send back.
+    pub fn handle_request<R: Rng64>(
+        &mut self,
+        from: NodeId,
+        incoming: &[ViewEntry],
+        rng: &mut R,
+    ) -> Vec<ViewEntry> {
+        let reply = self.view.sample_entries(rng, self.shuffle_len);
+        self.merge(incoming, &reply);
+        // Knowing `from` is alive is free information: keep a fresh
+        // descriptor if there is room.
+        self.view.insert(from);
+        reply
+    }
+
+    /// Handles the response to our outstanding request.
+    ///
+    /// Ignores responses from peers we have no outstanding shuffle with
+    /// (stale or duplicated network traffic).
+    pub fn handle_response(&mut self, from: NodeId, incoming: &[ViewEntry]) {
+        match self.pending.take() {
+            Some((q, sent)) if q == from => {
+                self.merge(incoming, &sent);
+            }
+            other => {
+                self.pending = other; // not ours: put it back
+            }
+        }
+    }
+
+    /// Cyclon merge rule: insert incoming descriptors into empty slots
+    /// first, then into slots occupied by entries we sent away, never
+    /// duplicating and never inserting the owner.
+    fn merge(&mut self, incoming: &[ViewEntry], sent: &[ViewEntry]) {
+        let mut replaceable: Vec<NodeId> = sent.iter().map(|e| e.id).collect();
+        for entry in incoming {
+            if entry.id == self.owner() || self.view.contains(entry.id) {
+                continue;
+            }
+            if self.view.insert_entry(*entry) {
+                continue;
+            }
+            // View full: evict one of the entries we shipped to the peer.
+            let mut inserted = false;
+            while let Some(victim) = replaceable.pop() {
+                if self.view.remove(victim).is_some() {
+                    self.view.insert_entry(*entry);
+                    inserted = true;
+                    break;
+                }
+            }
+            if !inserted {
+                break; // nothing replaceable left
+            }
+        }
+    }
+
+    /// Drops `peer` from the view (e.g. confirmed dead).
+    pub fn evict(&mut self, peer: NodeId) {
+        self.view.remove(peer);
+    }
+}
+
+impl PeerSampler for CyclonState {
+    fn sample_peers<R: Rng64>(&mut self, rng: &mut R, k: usize) -> Vec<NodeId> {
+        self.view.sample(rng, k)
+    }
+
+    fn known_peers(&self) -> Vec<NodeId> {
+        self.view.ids()
+    }
+
+    fn note_peer(&mut self, peer: NodeId) {
+        self.view.insert(peer);
+    }
+
+    fn note_dead(&mut self, peer: NodeId) {
+        self.evict(peer);
+    }
+}
+
+/// Wire messages of the standalone Cyclon protocol.
+#[derive(Debug, Clone)]
+pub enum CyclonMsg {
+    /// Shuffle request carrying the initiator's batch.
+    Request(Vec<ViewEntry>),
+    /// Shuffle response carrying the acceptor's batch.
+    Response(Vec<ViewEntry>),
+}
+
+/// A standalone Cyclon node for simulation (used by membership experiments
+/// and as a template for embedding [`CyclonState`] in larger protocols).
+#[derive(Debug, Clone)]
+pub struct CyclonNode {
+    /// The shuffle state (public for post-run analysis).
+    pub state: CyclonState,
+    period: SimDuration,
+}
+
+const SHUFFLE_TIMER: u64 = 1;
+
+impl CyclonNode {
+    /// Creates a node that shuffles every `period`, bootstrapped with its
+    /// `capacity` ring successors (the conventional simulation bootstrap).
+    pub fn new(
+        id: NodeId,
+        n: usize,
+        capacity: usize,
+        shuffle_len: usize,
+        period: SimDuration,
+    ) -> Self {
+        let mut state = CyclonState::new(id, capacity, shuffle_len);
+        let successors =
+            (1..=capacity).map(|d| NodeId::new(((id.index() + d) % n) as u32));
+        state.bootstrap(successors);
+        CyclonNode { state, period }
+    }
+}
+
+impl Protocol for CyclonNode {
+    type Msg = CyclonMsg;
+    type Cmd = ();
+
+    fn on_init(&mut self, ctx: &mut Context<'_, CyclonMsg>) {
+        // Desynchronize: first shuffle after a random fraction of the period.
+        let jitter = ctx.rng().range_u64(self.period.as_micros().max(1));
+        ctx.set_timer(SimDuration::from_micros(jitter), SHUFFLE_TIMER);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, CyclonMsg>, from: NodeId, msg: CyclonMsg) {
+        match msg {
+            CyclonMsg::Request(batch) => {
+                let reply = self.state.handle_request(from, &batch, ctx.rng());
+                ctx.send(from, CyclonMsg::Response(reply));
+            }
+            CyclonMsg::Response(batch) => {
+                self.state.handle_response(from, &batch);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, CyclonMsg>, token: u64) {
+        debug_assert_eq!(token, SHUFFLE_TIMER);
+        if let Some((q, batch)) = self.state.start_shuffle(ctx.rng()) {
+            ctx.send(q, CyclonMsg::Request(batch));
+        }
+        ctx.set_timer(self.period, SHUFFLE_TIMER);
+    }
+
+    fn message_size(msg: &CyclonMsg) -> usize {
+        let entries = match msg {
+            CyclonMsg::Request(b) | CyclonMsg::Response(b) => b.len(),
+        };
+        8 + entries * 8 // header + (id, age) pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    use fed_sim::{SimTime, Simulation};
+    use fed_util::rng::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(99)
+    }
+
+    #[test]
+    fn start_shuffle_removes_oldest_and_includes_self() {
+        let mut s = CyclonState::new(NodeId::new(0), 4, 3);
+        s.bootstrap([NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let mut r = rng();
+        let (q, batch) = s.start_shuffle(&mut r).unwrap();
+        assert!(!s.view().contains(q), "oldest removed from view");
+        assert!(
+            batch.iter().any(|e| e.id == NodeId::new(0) && e.age == 0),
+            "fresh self descriptor included"
+        );
+        assert!(batch.len() <= 3);
+    }
+
+    #[test]
+    fn empty_view_cannot_shuffle() {
+        let mut s = CyclonState::new(NodeId::new(0), 4, 2);
+        assert!(s.start_shuffle(&mut rng()).is_none());
+    }
+
+    #[test]
+    fn request_reply_merges_both_sides() {
+        let mut a = CyclonState::new(NodeId::new(0), 4, 2);
+        a.bootstrap([NodeId::new(1)]);
+        let mut b = CyclonState::new(NodeId::new(1), 4, 2);
+        b.bootstrap([NodeId::new(3)]);
+        let mut r = rng();
+        let (q, batch) = a.start_shuffle(&mut r).unwrap();
+        assert_eq!(q, NodeId::new(1), "the single view entry is the oldest");
+        let reply = b.handle_request(NodeId::new(0), &batch, &mut r);
+        a.handle_response(NodeId::new(1), &reply);
+        // b must have learned about node 0 (the fresh self descriptor).
+        assert!(b.view().contains(NodeId::new(0)));
+    }
+
+    #[test]
+    fn stale_response_ignored() {
+        let mut s = CyclonState::new(NodeId::new(0), 4, 2);
+        s.bootstrap([NodeId::new(1)]);
+        let before = s.view().clone();
+        s.handle_response(NodeId::new(7), &[ViewEntry::fresh(NodeId::new(9))]);
+        assert_eq!(s.view(), &before, "response without request is dropped");
+    }
+
+    #[test]
+    fn merge_never_contains_self_or_duplicates() {
+        let mut s = CyclonState::new(NodeId::new(0), 3, 3);
+        s.bootstrap([NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        let incoming = vec![
+            ViewEntry::fresh(NodeId::new(0)), // self
+            ViewEntry::fresh(NodeId::new(2)), // duplicate
+            ViewEntry::fresh(NodeId::new(4)),
+        ];
+        let sent = vec![ViewEntry::fresh(NodeId::new(3))];
+        s.merge(&incoming, &sent);
+        let ids = s.view().ids();
+        assert!(!ids.contains(&NodeId::new(0)));
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ids.len());
+        assert!(s.view().contains(NodeId::new(4)), "replaced a sent entry");
+        assert!(!s.view().contains(NodeId::new(3)), "sent entry evicted");
+    }
+
+    #[test]
+    fn peer_sampler_impl() {
+        let mut s = CyclonState::new(NodeId::new(0), 4, 2);
+        s.bootstrap([NodeId::new(1), NodeId::new(2)]);
+        let mut r = rng();
+        let peers = s.sample_peers(&mut r, 2);
+        assert_eq!(peers.len(), 2);
+        s.note_peer(NodeId::new(3));
+        assert!(s.known_peers().contains(&NodeId::new(3)));
+        s.note_dead(NodeId::new(3));
+        assert!(!s.known_peers().contains(&NodeId::new(3)));
+    }
+
+    /// End-to-end: after shuffling for a while the overlay stays connected
+    /// and in-degrees stay balanced — the property gossip correctness
+    /// depends on.
+    #[test]
+    fn simulated_overlay_converges() {
+        let n = 64;
+        let cap = 8;
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(20)));
+        let mut sim = Simulation::new(n, net, 1234, move |id, _| {
+            CyclonNode::new(id, n, cap, 4, SimDuration::from_millis(200))
+        });
+        sim.run_until(SimTime::from_secs(20));
+
+        // In-degree distribution.
+        let mut indeg = vec![0usize; n];
+        for (_, node) in sim.nodes() {
+            for peer in node.state.view().ids() {
+                indeg[peer.index()] += 1;
+            }
+        }
+        let zero_indeg = indeg.iter().filter(|&&d| d == 0).count();
+        assert_eq!(zero_indeg, 0, "every node must be known by someone");
+        let max = *indeg.iter().max().unwrap();
+        assert!(max <= cap * 4, "in-degree {max} explodes beyond balance");
+
+        // Weak connectivity via union of directed edges.
+        let mut adj = vec![Vec::new(); n];
+        for (id, node) in sim.nodes() {
+            for peer in node.state.view().ids() {
+                adj[id.index()].push(peer.index());
+                adj[peer.index()].push(id.index());
+            }
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for &w in &adj[v] {
+                if !seen[w] {
+                    seen[w] = true;
+                    stack.push(w);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "overlay partitioned");
+    }
+
+    /// Dead nodes are eventually forgotten (age-based eviction).
+    #[test]
+    fn dead_nodes_age_out() {
+        let n = 32;
+        let cap = 6;
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10)));
+        let mut sim = Simulation::new(n, net, 77, move |id, _| {
+            CyclonNode::new(id, n, cap, 3, SimDuration::from_millis(100))
+        });
+        sim.run_until(SimTime::from_secs(2));
+        // Kill a quarter of the nodes.
+        for i in 0..n / 4 {
+            sim.schedule_crash(sim.now(), NodeId::new(i as u32));
+        }
+        sim.run_until(SimTime::from_secs(40));
+        let mut dead_refs = 0usize;
+        let mut live_nodes = 0usize;
+        for (id, node) in sim.nodes() {
+            if !sim.is_alive(id) {
+                continue;
+            }
+            live_nodes += 1;
+            dead_refs += node
+                .state
+                .view()
+                .ids()
+                .iter()
+                .filter(|p| !sim.is_alive(**p))
+                .count();
+        }
+        // Cyclon replaces dead descriptors as they become the oldest; after
+        // 38s (380 rounds) residual references must be rare.
+        let avg = dead_refs as f64 / live_nodes as f64;
+        assert!(avg < 1.0, "avg dead refs per live view = {avg}");
+    }
+
+    #[test]
+    fn message_size_scales_with_batch() {
+        let small = CyclonMsg::Request(vec![]);
+        let big = CyclonMsg::Request(vec![ViewEntry::fresh(NodeId::new(1)); 5]);
+        assert!(CyclonNode::message_size(&big) > CyclonNode::message_size(&small));
+    }
+}

@@ -1,0 +1,34 @@
+//! # fed-membership
+//!
+//! Membership and peer sampling for gossip dissemination: bounded partial
+//! views, the Cyclon shuffle protocol, and a full-membership oracle — the
+//! `SELECTPARTICIPANTS(F)` of the paper's Figure 4.
+//!
+//! The [`PeerSampler`] trait lets dissemination protocols stay agnostic to
+//! how partners are found: the idealized [`FullMembership`] oracle used in
+//! gossip analysis, or the realistic [`cyclon::CyclonState`] partial view.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fed_membership::{FullMembership, PeerSampler};
+//! use fed_sim::NodeId;
+//! use fed_util::rng::Xoshiro256StarStar;
+//!
+//! let mut sampler = FullMembership::new(NodeId::new(0), 100);
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let partners = sampler.sample_peers(&mut rng, 5);
+//! assert_eq!(partners.len(), 5);
+//! assert!(partners.iter().all(|p| *p != NodeId::new(0)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cyclon;
+pub mod sampler;
+pub mod view;
+
+pub use cyclon::{CyclonMsg, CyclonNode, CyclonState};
+pub use sampler::{FullMembership, PeerSampler};
+pub use view::{PartialView, ViewEntry};

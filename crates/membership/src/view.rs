@@ -1,0 +1,294 @@
+//! Bounded partial views.
+//!
+//! "It is common for unstructured approaches that each peer keeps knowledge
+//! about a number of communication partners, forming its view of the
+//! system" (paper §4.2). A [`PartialView`] is that bounded set: entries
+//! carry an age used by shuffle protocols (Cyclon) to retire stale peers.
+
+use fed_sim::NodeId;
+use fed_util::rng::Rng64;
+use std::fmt;
+
+/// One view entry: a peer descriptor with an age counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ViewEntry {
+    /// The peer.
+    pub id: NodeId,
+    /// Shuffle-rounds since this descriptor was created (0 = freshest).
+    pub age: u32,
+}
+
+impl ViewEntry {
+    /// Creates a fresh (age 0) entry.
+    pub fn fresh(id: NodeId) -> Self {
+        ViewEntry { id, age: 0 }
+    }
+}
+
+impl fmt::Display for ViewEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.id, self.age)
+    }
+}
+
+/// A bounded, duplicate-free set of peer descriptors excluding the owner.
+///
+/// # Examples
+///
+/// ```
+/// use fed_membership::view::PartialView;
+/// use fed_sim::NodeId;
+///
+/// let mut view = PartialView::new(NodeId::new(0), 4);
+/// view.insert(NodeId::new(1));
+/// view.insert(NodeId::new(1)); // duplicate ignored
+/// view.insert(NodeId::new(0)); // self ignored
+/// assert_eq!(view.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartialView {
+    owner: NodeId,
+    capacity: usize,
+    entries: Vec<ViewEntry>,
+}
+
+impl PartialView {
+    /// Creates an empty view owned by `owner` with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(owner: NodeId, capacity: usize) -> Self {
+        assert!(capacity > 0, "view capacity must be positive");
+        PartialView {
+            owner,
+            capacity,
+            entries: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The owner (never contained in the view).
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the view holds no peers.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Returns `true` when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Whether `id` is in the view.
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.entries.iter().any(|e| e.id == id)
+    }
+
+    /// Inserts a fresh entry for `id` if there is room and it is neither the
+    /// owner nor already present. Returns `true` when inserted.
+    pub fn insert(&mut self, id: NodeId) -> bool {
+        self.insert_entry(ViewEntry::fresh(id))
+    }
+
+    /// Inserts an aged entry under the same rules as [`PartialView::insert`].
+    pub fn insert_entry(&mut self, entry: ViewEntry) -> bool {
+        if entry.id == self.owner || self.contains(entry.id) || self.is_full() {
+            return false;
+        }
+        self.entries.push(entry);
+        true
+    }
+
+    /// Inserts, evicting the oldest entry if full. Keeps the freshest age
+    /// when the peer is already present.
+    pub fn insert_or_replace_oldest(&mut self, entry: ViewEntry) {
+        if entry.id == self.owner {
+            return;
+        }
+        if let Some(existing) = self.entries.iter_mut().find(|e| e.id == entry.id) {
+            existing.age = existing.age.min(entry.age);
+            return;
+        }
+        if self.is_full() {
+            if let Some(idx) = self.oldest_index() {
+                self.entries.swap_remove(idx);
+            }
+        }
+        self.entries.push(entry);
+    }
+
+    /// Removes `id`, returning its entry if present.
+    pub fn remove(&mut self, id: NodeId) -> Option<ViewEntry> {
+        let idx = self.entries.iter().position(|e| e.id == id)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Increments every entry's age (one shuffle round has passed).
+    pub fn increment_ages(&mut self) {
+        for e in &mut self.entries {
+            e.age = e.age.saturating_add(1);
+        }
+    }
+
+    fn oldest_index(&self) -> Option<usize> {
+        self.entries
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.age)
+            .map(|(i, _)| i)
+    }
+
+    /// The entry with the highest age, if any.
+    pub fn oldest(&self) -> Option<ViewEntry> {
+        self.oldest_index().map(|i| self.entries[i])
+    }
+
+    /// All peer ids, in internal order.
+    pub fn ids(&self) -> Vec<NodeId> {
+        self.entries.iter().map(|e| e.id).collect()
+    }
+
+    /// All entries, in internal order.
+    pub fn entries(&self) -> &[ViewEntry] {
+        &self.entries
+    }
+
+    /// Samples up to `k` distinct peers uniformly from the view.
+    pub fn sample<R: Rng64 + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<NodeId> {
+        let idx = rng.sample_indices(self.entries.len(), k);
+        idx.into_iter().map(|i| self.entries[i].id).collect()
+    }
+
+    /// Samples up to `k` distinct entries uniformly from the view.
+    pub fn sample_entries<R: Rng64 + ?Sized>(&self, rng: &mut R, k: usize) -> Vec<ViewEntry> {
+        let idx = rng.sample_indices(self.entries.len(), k);
+        idx.into_iter().map(|i| self.entries[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_util::rng::Xoshiro256StarStar;
+
+    fn view(cap: usize) -> PartialView {
+        PartialView::new(NodeId::new(0), cap)
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = view(0);
+    }
+
+    #[test]
+    fn insert_rules() {
+        let mut v = view(2);
+        assert!(v.insert(NodeId::new(1)));
+        assert!(!v.insert(NodeId::new(1)), "duplicate");
+        assert!(!v.insert(NodeId::new(0)), "self");
+        assert!(v.insert(NodeId::new(2)));
+        assert!(!v.insert(NodeId::new(3)), "full");
+        assert_eq!(v.len(), 2);
+        assert!(v.is_full());
+    }
+
+    #[test]
+    fn replace_oldest_evicts() {
+        let mut v = view(2);
+        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 5 });
+        v.insert_entry(ViewEntry { id: NodeId::new(2), age: 1 });
+        v.insert_or_replace_oldest(ViewEntry::fresh(NodeId::new(3)));
+        assert_eq!(v.len(), 2);
+        assert!(!v.contains(NodeId::new(1)), "oldest evicted");
+        assert!(v.contains(NodeId::new(2)));
+        assert!(v.contains(NodeId::new(3)));
+    }
+
+    #[test]
+    fn replace_existing_keeps_freshest_age() {
+        let mut v = view(2);
+        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 5 });
+        v.insert_or_replace_oldest(ViewEntry { id: NodeId::new(1), age: 2 });
+        assert_eq!(v.entries()[0].age, 2);
+        v.insert_or_replace_oldest(ViewEntry { id: NodeId::new(1), age: 9 });
+        assert_eq!(v.entries()[0].age, 2, "older descriptor never wins");
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn replace_never_inserts_owner() {
+        let mut v = view(2);
+        v.insert_or_replace_oldest(ViewEntry::fresh(NodeId::new(0)));
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn remove_and_ages() {
+        let mut v = view(3);
+        v.insert(NodeId::new(1));
+        v.insert(NodeId::new(2));
+        v.increment_ages();
+        assert!(v.entries().iter().all(|e| e.age == 1));
+        let removed = v.remove(NodeId::new(1)).unwrap();
+        assert_eq!(removed.age, 1);
+        assert!(v.remove(NodeId::new(9)).is_none());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn oldest_tracks_max_age() {
+        let mut v = view(3);
+        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 3 });
+        v.insert_entry(ViewEntry { id: NodeId::new(2), age: 7 });
+        v.insert_entry(ViewEntry { id: NodeId::new(3), age: 5 });
+        assert_eq!(v.oldest().unwrap().id, NodeId::new(2));
+        assert_eq!(view(1).oldest(), None);
+    }
+
+    #[test]
+    fn sampling_is_from_view_and_distinct() {
+        let mut v = view(8);
+        for i in 1..=8 {
+            v.insert(NodeId::new(i));
+        }
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let s = v.sample(&mut rng, 5);
+        assert_eq!(s.len(), 5);
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+        assert!(s.iter().all(|id| v.contains(*id)));
+        // asking for more than available returns all
+        assert_eq!(v.sample(&mut rng, 99).len(), 8);
+        assert!(view(1).sample(&mut rng, 3).is_empty());
+    }
+
+    #[test]
+    fn age_saturates() {
+        let mut v = view(1);
+        v.insert_entry(ViewEntry { id: NodeId::new(1), age: u32::MAX });
+        v.increment_ages();
+        assert_eq!(v.entries()[0].age, u32::MAX);
+    }
+
+    #[test]
+    fn display() {
+        let e = ViewEntry { id: NodeId::new(3), age: 2 };
+        assert_eq!(format!("{e}"), "n3@2");
+    }
+}

@@ -1,0 +1,86 @@
+//! Fairness summaries over collections of ledgers.
+
+use fed_core::ledger::{FairnessLedger, RatioSpec};
+use fed_util::fairness::FairnessReport;
+
+/// Per-peer ratios under a spec, from any iterator of ledgers.
+pub fn ratios<'a, I>(ledgers: I, spec: &RatioSpec) -> Vec<f64>
+where
+    I: IntoIterator<Item = &'a FairnessLedger>,
+{
+    ledgers.into_iter().map(|l| l.ratio(spec)).collect()
+}
+
+/// Full fairness report over the contribution/benefit ratios of a
+/// population (the paper's Figure 1 summarized in four indices).
+pub fn ratio_report<'a, I>(ledgers: I, spec: &RatioSpec) -> FairnessReport
+where
+    I: IntoIterator<Item = &'a FairnessLedger>,
+{
+    FairnessReport::from_values(&ratios(ledgers, spec))
+}
+
+/// Fairness report over raw contributions — what *load balancing* (the
+/// paper's §3.1) equalizes; contrast with [`ratio_report`].
+pub fn contribution_report<'a, I>(ledgers: I, spec: &RatioSpec) -> FairnessReport
+where
+    I: IntoIterator<Item = &'a FairnessLedger>,
+{
+    let values: Vec<f64> = ledgers.into_iter().map(|l| l.contribution(spec)).collect();
+    FairnessReport::from_values(&values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger(forwards: u64, deliveries: u64) -> FairnessLedger {
+        let mut l = FairnessLedger::new();
+        for _ in 0..forwards {
+            l.record_forward(100);
+        }
+        for _ in 0..deliveries {
+            l.record_delivery();
+        }
+        l
+    }
+
+    #[test]
+    fn equal_ratios_score_fair() {
+        let ledgers = vec![ledger(10, 5), ledger(20, 10), ledger(2, 1)];
+        let spec = RatioSpec::topic_based();
+        let r = ratio_report(&ledgers, &spec);
+        assert!((r.jain - 1.0).abs() < 1e-9, "all ratios are 2: {r}");
+        assert!(r.gini.abs() < 1e-9);
+    }
+
+    #[test]
+    fn unequal_ratios_score_unfair() {
+        let ledgers = vec![ledger(100, 1), ledger(1, 100)];
+        let spec = RatioSpec::topic_based();
+        let r = ratio_report(&ledgers, &spec);
+        assert!(r.jain < 0.6, "{r}");
+        assert!(r.max_min > 100.0);
+    }
+
+    #[test]
+    fn load_balance_vs_fairness_distinction() {
+        // Same contribution everywhere (perfectly load balanced), wildly
+        // different benefit -> contribution report says fair, ratio report
+        // says unfair. This is the paper's §3 distinction.
+        let ledgers = vec![ledger(10, 100), ledger(10, 1)];
+        let spec = RatioSpec::topic_based();
+        let load = contribution_report(&ledgers, &spec);
+        let fair = ratio_report(&ledgers, &spec);
+        assert!((load.jain - 1.0).abs() < 1e-9);
+        assert!(fair.jain < 0.7, "{fair}");
+    }
+
+    #[test]
+    fn ratios_vector_order_preserved() {
+        let ledgers = vec![ledger(4, 2), ledger(9, 3)];
+        let spec = RatioSpec::topic_based();
+        let r = ratios(&ledgers, &spec);
+        assert_eq!(r, vec![2.0, 3.0]);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fed-metrics
+//!
+//! Experiment-facing metrics: fairness summaries over per-node ledgers,
+//! delivery reliability/latency audits against ground truth, and the text
+//! tables every experiment prints.
+//!
+//! ## Examples
+//!
+//! ```
+//! use fed_core::ledger::{FairnessLedger, RatioSpec};
+//! use fed_metrics::fairness::ratio_report;
+//!
+//! let mut a = FairnessLedger::new();
+//! a.record_forward(100);
+//! a.record_delivery();
+//! let mut b = FairnessLedger::new();
+//! b.record_forward(100);
+//! b.record_delivery();
+//! let report = ratio_report([&a, &b], &RatioSpec::topic_based());
+//! assert_eq!(report.jain, 1.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delivery;
+pub mod fairness;
+pub mod table;
+
+pub use delivery::DeliveryAudit;
+pub use fairness::{contribution_report, ratio_report, ratios};
+pub use table::{fmt_f64, Table};

@@ -1,0 +1,360 @@
+//! Content-based filters.
+//!
+//! "A filter allows to specify several attributes and corresponding
+//! conditions under which it evaluates to true. An event … is matched to a
+//! filter if it provides all attributes specified by the filter and
+//! satisfies the corresponding conditions." (paper §2)
+//!
+//! [`Filter`] is the AST; the textual subscription language living in
+//! [`crate::lang`] parses into it. `Display` renders back into the language,
+//! so filters round-trip.
+
+use crate::event::{AttrValue, Event};
+use std::fmt;
+
+/// Comparison operator in an attribute condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn eval_ordering(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A content-based filter over event attributes.
+///
+/// Matching semantics: a comparison on a missing attribute or between
+/// incompatible types is `false` (never an error) — an event that does not
+/// "provide all attributes specified by the filter" does not match.
+///
+/// # Examples
+///
+/// ```
+/// use fed_pubsub::event::{Event, EventId};
+/// use fed_pubsub::filter::{CmpOp, Filter};
+/// use fed_pubsub::topic::TopicId;
+///
+/// let f = Filter::and(vec![
+///     Filter::cmp("price", CmpOp::Lt, 100i64),
+///     Filter::cmp("symbol", CmpOp::Eq, "ABC"),
+/// ]);
+/// let e = Event::builder(EventId::new(0, 0), TopicId::new(0))
+///     .attr("price", 50i64)
+///     .attr("symbol", "ABC")
+///     .build();
+/// assert!(f.matches(&e));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Filter {
+    /// Matches every event.
+    True,
+    /// Matches no event.
+    False,
+    /// `name op value` on one attribute.
+    Cmp {
+        /// Attribute name.
+        name: String,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right-hand constant.
+        value: AttrValue,
+    },
+    /// Matches when the attribute is present, regardless of value.
+    Exists(String),
+    /// Logical negation.
+    Not(Box<Filter>),
+    /// Conjunction (empty = `True`).
+    And(Vec<Filter>),
+    /// Disjunction (empty = `False`).
+    Or(Vec<Filter>),
+}
+
+impl Filter {
+    /// Builds a comparison filter.
+    pub fn cmp(name: impl Into<String>, op: CmpOp, value: impl Into<AttrValue>) -> Self {
+        Filter::Cmp {
+            name: name.into(),
+            op,
+            value: value.into(),
+        }
+    }
+
+    /// Builds an existence filter.
+    pub fn exists(name: impl Into<String>) -> Self {
+        Filter::Exists(name.into())
+    }
+
+    /// Builds a negation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(f: Filter) -> Self {
+        Filter::Not(Box::new(f))
+    }
+
+    /// Builds a conjunction.
+    pub fn and(fs: Vec<Filter>) -> Self {
+        Filter::And(fs)
+    }
+
+    /// Builds a disjunction.
+    pub fn or(fs: Vec<Filter>) -> Self {
+        Filter::Or(fs)
+    }
+
+    /// Evaluates the filter against an event.
+    pub fn matches(&self, event: &Event) -> bool {
+        match self {
+            Filter::True => true,
+            Filter::False => false,
+            Filter::Cmp { name, op, value } => match event.attr(name) {
+                Some(actual) => compare(actual, *op, value),
+                None => false,
+            },
+            Filter::Exists(name) => event.attr(name).is_some(),
+            Filter::Not(inner) => !inner.matches(event),
+            Filter::And(fs) => fs.iter().all(|f| f.matches(event)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches(event)),
+        }
+    }
+
+    /// Number of atomic conditions — the paper charges subscription
+    /// maintenance proportionally to filter complexity ("a process which
+    /// places many filters will have to work … according to the cost it
+    /// takes to match these filters", §2).
+    pub fn complexity(&self) -> usize {
+        match self {
+            Filter::True | Filter::False => 0,
+            Filter::Cmp { .. } | Filter::Exists(_) => 1,
+            Filter::Not(inner) => inner.complexity(),
+            Filter::And(fs) | Filter::Or(fs) => fs.iter().map(Filter::complexity).sum(),
+        }
+    }
+}
+
+/// Compares an event attribute against a filter constant.
+///
+/// Ints and floats are mutually comparable; strings compare
+/// lexicographically; booleans support only equality-style operators
+/// (ordered comparison of booleans is `false`). Cross-type comparisons
+/// never match except through numeric promotion.
+fn compare(actual: &AttrValue, op: CmpOp, expected: &AttrValue) -> bool {
+    use AttrValue::*;
+    match (actual, expected) {
+        (Str(a), Str(b)) => op.eval_ordering(a.as_str().cmp(b.as_str())),
+        (Bool(a), Bool(b)) => match op {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            _ => false,
+        },
+        _ => match (actual.as_f64(), expected.as_f64()) {
+            (Some(a), Some(b)) => match a.partial_cmp(&b) {
+                Some(ord) => op.eval_ordering(ord),
+                None => false,
+            },
+            _ => false,
+        },
+    }
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::True => f.write_str("true"),
+            Filter::False => f.write_str("false"),
+            Filter::Cmp { name, op, value } => write!(f, "{name} {op} {value}"),
+            Filter::Exists(name) => write!(f, "exists({name})"),
+            Filter::Not(inner) => write!(f, "!({inner})"),
+            Filter::And(fs) => write_joined(f, fs, "&&", "true"),
+            Filter::Or(fs) => write_joined(f, fs, "||", "false"),
+        }
+    }
+}
+
+fn write_joined(
+    f: &mut fmt::Formatter<'_>,
+    fs: &[Filter],
+    sep: &str,
+    empty: &str,
+) -> fmt::Result {
+    if fs.is_empty() {
+        return f.write_str(empty);
+    }
+    for (i, sub) in fs.iter().enumerate() {
+        if i > 0 {
+            write!(f, " {sep} ")?;
+        }
+        write!(f, "({sub})")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::topic::TopicId;
+
+    fn stock(price: i64, symbol: &str, urgent: bool) -> Event {
+        Event::builder(EventId::new(0, 0), TopicId::new(0))
+            .attr("price", price)
+            .attr("symbol", symbol)
+            .attr("urgent", urgent)
+            .build()
+    }
+
+    #[test]
+    fn constants() {
+        let e = stock(1, "A", false);
+        assert!(Filter::True.matches(&e));
+        assert!(!Filter::False.matches(&e));
+    }
+
+    #[test]
+    fn numeric_comparisons() {
+        let e = stock(100, "A", false);
+        assert!(Filter::cmp("price", CmpOp::Eq, 100i64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Ne, 99i64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Lt, 101i64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Le, 100i64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Gt, 99i64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Ge, 100i64).matches(&e));
+        assert!(!Filter::cmp("price", CmpOp::Lt, 100i64).matches(&e));
+    }
+
+    #[test]
+    fn int_float_promotion() {
+        let e = stock(100, "A", false);
+        assert!(Filter::cmp("price", CmpOp::Lt, 100.5f64).matches(&e));
+        assert!(Filter::cmp("price", CmpOp::Eq, 100.0f64).matches(&e));
+    }
+
+    #[test]
+    fn string_comparisons() {
+        let e = stock(1, "banana", false);
+        assert!(Filter::cmp("symbol", CmpOp::Eq, "banana").matches(&e));
+        assert!(Filter::cmp("symbol", CmpOp::Gt, "apple").matches(&e));
+        assert!(Filter::cmp("symbol", CmpOp::Lt, "cherry").matches(&e));
+    }
+
+    #[test]
+    fn bool_only_equality() {
+        let e = stock(1, "A", true);
+        assert!(Filter::cmp("urgent", CmpOp::Eq, true).matches(&e));
+        assert!(Filter::cmp("urgent", CmpOp::Ne, false).matches(&e));
+        assert!(!Filter::cmp("urgent", CmpOp::Lt, true).matches(&e));
+    }
+
+    #[test]
+    fn missing_attribute_never_matches() {
+        let e = stock(1, "A", false);
+        assert!(!Filter::cmp("volume", CmpOp::Gt, 0i64).matches(&e));
+        // but its negation does (the filter as a whole can still match)
+        assert!(Filter::not(Filter::cmp("volume", CmpOp::Gt, 0i64)).matches(&e));
+    }
+
+    #[test]
+    fn cross_type_never_matches() {
+        let e = stock(1, "A", false);
+        assert!(!Filter::cmp("symbol", CmpOp::Eq, 5i64).matches(&e));
+        assert!(!Filter::cmp("price", CmpOp::Eq, "1").matches(&e));
+        assert!(!Filter::cmp("urgent", CmpOp::Eq, "false").matches(&e));
+    }
+
+    #[test]
+    fn exists_checks_presence() {
+        let e = stock(1, "A", false);
+        assert!(Filter::exists("price").matches(&e));
+        assert!(!Filter::exists("volume").matches(&e));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let e = stock(50, "ABC", true);
+        let both = Filter::and(vec![
+            Filter::cmp("price", CmpOp::Lt, 100i64),
+            Filter::cmp("symbol", CmpOp::Eq, "ABC"),
+        ]);
+        assert!(both.matches(&e));
+        let either = Filter::or(vec![
+            Filter::cmp("price", CmpOp::Gt, 100i64),
+            Filter::cmp("urgent", CmpOp::Eq, true),
+        ]);
+        assert!(either.matches(&e));
+        assert!(!Filter::and(vec![Filter::True, Filter::False]).matches(&e));
+        // empty combinators
+        assert!(Filter::and(vec![]).matches(&e));
+        assert!(!Filter::or(vec![]).matches(&e));
+    }
+
+    #[test]
+    fn complexity_counts_atoms() {
+        assert_eq!(Filter::True.complexity(), 0);
+        assert_eq!(Filter::cmp("a", CmpOp::Eq, 1i64).complexity(), 1);
+        let f = Filter::and(vec![
+            Filter::cmp("a", CmpOp::Eq, 1i64),
+            Filter::or(vec![Filter::exists("b"), Filter::cmp("c", CmpOp::Lt, 2i64)]),
+            Filter::not(Filter::exists("d")),
+        ]);
+        assert_eq!(f.complexity(), 4);
+    }
+
+    #[test]
+    fn display_renders_language() {
+        let f = Filter::and(vec![
+            Filter::cmp("price", CmpOp::Lt, 100i64),
+            Filter::not(Filter::exists("spam")),
+        ]);
+        assert_eq!(format!("{f}"), "(price < 100) && (!(exists(spam)))");
+        assert_eq!(format!("{}", Filter::And(vec![])), "true");
+        assert_eq!(format!("{}", Filter::Or(vec![])), "false");
+        assert_eq!(
+            format!("{}", Filter::cmp("s", CmpOp::Eq, "x")),
+            "s == \"x\""
+        );
+    }
+
+    #[test]
+    fn nan_comparisons_are_false() {
+        let e = Event::builder(EventId::new(0, 0), TopicId::new(0))
+            .attr("x", f64::NAN)
+            .build();
+        assert!(!Filter::cmp("x", CmpOp::Eq, f64::NAN).matches(&e));
+        assert!(!Filter::cmp("x", CmpOp::Lt, 1.0f64).matches(&e));
+        assert!(!Filter::cmp("x", CmpOp::Ge, 1.0f64).matches(&e));
+    }
+}

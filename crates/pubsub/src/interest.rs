@@ -1,0 +1,240 @@
+//! Interest functions.
+//!
+//! The paper models selectivity as an interest function `I(p, e)` that is
+//! true iff event `e` is interesting to process `p` (§2). [`Interest`] is
+//! the static description of what a peer wants: nothing, everything, a set
+//! of topics, a content filter, or any disjunction of those.
+
+use crate::event::Event;
+use crate::filter::Filter;
+use crate::topic::{TopicId, TopicSpace};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A peer's interest: the paper's `I(p, ·)`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Interest {
+    /// Interested in no events (a pure forwarder / infrastructure node).
+    Nothing,
+    /// Interested in every event (the implicit assumption of classical
+    /// gossip protocols the paper criticises).
+    Everything,
+    /// Topic-based selection: interested in events published on any of
+    /// these topics (descendants included when evaluated against a
+    /// [`TopicSpace`]).
+    Topics(BTreeSet<TopicId>),
+    /// Content-based (expressive) selection.
+    Content(Filter),
+    /// Union of several interests.
+    Any(Vec<Interest>),
+}
+
+impl Interest {
+    /// Builds a topic interest from an iterator of topics.
+    pub fn topics<I: IntoIterator<Item = TopicId>>(topics: I) -> Self {
+        Interest::Topics(topics.into_iter().collect())
+    }
+
+    /// Builds a single-topic interest.
+    pub fn topic(topic: TopicId) -> Self {
+        Interest::Topics(BTreeSet::from([topic]))
+    }
+
+    /// Evaluates `I(p, e)` ignoring topic hierarchy (exact topic match).
+    pub fn is_interested(&self, event: &Event) -> bool {
+        match self {
+            Interest::Nothing => false,
+            Interest::Everything => true,
+            Interest::Topics(set) => set.contains(&event.topic()),
+            Interest::Content(filter) => filter.matches(event),
+            Interest::Any(parts) => parts.iter().any(|p| p.is_interested(event)),
+        }
+    }
+
+    /// Evaluates `I(p, e)` resolving topic subscriptions through a
+    /// hierarchy: subscribing to `sports` matches events on
+    /// `sports/football`.
+    pub fn is_interested_in(&self, event: &Event, space: &TopicSpace) -> bool {
+        match self {
+            Interest::Topics(set) => set
+                .iter()
+                .any(|&t| space.is_descendant(event.topic(), t)),
+            Interest::Any(parts) => parts.iter().any(|p| p.is_interested_in(event, space)),
+            other => other.is_interested(event),
+        }
+    }
+
+    /// Number of "filters placed" — the paper's Figure 2 counts
+    /// subscriptions as part of the *benefit* a peer draws from the system.
+    pub fn subscription_count(&self) -> usize {
+        match self {
+            Interest::Nothing => 0,
+            Interest::Everything => 1,
+            Interest::Topics(set) => set.len(),
+            Interest::Content(_) => 1,
+            Interest::Any(parts) => parts.iter().map(Interest::subscription_count).sum(),
+        }
+    }
+
+    /// Matching cost proxy: total atomic conditions across all filters.
+    pub fn complexity(&self) -> usize {
+        match self {
+            Interest::Nothing => 0,
+            Interest::Everything => 0,
+            Interest::Topics(set) => set.len(),
+            Interest::Content(filter) => filter.complexity(),
+            Interest::Any(parts) => parts.iter().map(Interest::complexity).sum(),
+        }
+    }
+
+    /// The set of topics this interest explicitly names (content filters
+    /// contribute none).
+    pub fn topic_set(&self) -> BTreeSet<TopicId> {
+        match self {
+            Interest::Topics(set) => set.clone(),
+            Interest::Any(parts) => parts.iter().flat_map(|p| p.topic_set()).collect(),
+            _ => BTreeSet::new(),
+        }
+    }
+}
+
+impl Default for Interest {
+    /// The default peer is interested in nothing — interest must be
+    /// expressed explicitly via subscription.
+    fn default() -> Self {
+        Interest::Nothing
+    }
+}
+
+impl fmt::Display for Interest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interest::Nothing => f.write_str("nothing"),
+            Interest::Everything => f.write_str("everything"),
+            Interest::Topics(set) => {
+                f.write_str("topics{")?;
+                for (i, t) in set.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str("}")
+            }
+            Interest::Content(filter) => write!(f, "filter[{filter}]"),
+            Interest::Any(parts) => {
+                f.write_str("any(")?;
+                for (i, p) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" | ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::filter::CmpOp;
+
+    fn ev(topic: u32) -> Event {
+        Event::builder(EventId::new(0, 0), TopicId::new(topic))
+            .attr("price", 10i64)
+            .build()
+    }
+
+    #[test]
+    fn nothing_and_everything() {
+        assert!(!Interest::Nothing.is_interested(&ev(0)));
+        assert!(Interest::Everything.is_interested(&ev(0)));
+        assert_eq!(Interest::default(), Interest::Nothing);
+    }
+
+    #[test]
+    fn topic_membership() {
+        let i = Interest::topics([TopicId::new(1), TopicId::new(3)]);
+        assert!(i.is_interested(&ev(1)));
+        assert!(i.is_interested(&ev(3)));
+        assert!(!i.is_interested(&ev(2)));
+        assert_eq!(i.subscription_count(), 2);
+    }
+
+    #[test]
+    fn single_topic_helper() {
+        let i = Interest::topic(TopicId::new(5));
+        assert!(i.is_interested(&ev(5)));
+        assert_eq!(i.subscription_count(), 1);
+    }
+
+    #[test]
+    fn content_interest() {
+        let i = Interest::Content(Filter::cmp("price", CmpOp::Lt, 100i64));
+        assert!(i.is_interested(&ev(0)));
+        let j = Interest::Content(Filter::cmp("price", CmpOp::Gt, 100i64));
+        assert!(!j.is_interested(&ev(0)));
+        assert_eq!(i.subscription_count(), 1);
+        assert_eq!(i.complexity(), 1);
+    }
+
+    #[test]
+    fn union_interest() {
+        let i = Interest::Any(vec![
+            Interest::topic(TopicId::new(1)),
+            Interest::Content(Filter::cmp("price", CmpOp::Lt, 5i64)),
+        ]);
+        assert!(i.is_interested(&ev(1)), "topic arm");
+        assert!(!i.is_interested(&ev(2)), "neither arm");
+        assert_eq!(i.subscription_count(), 2);
+    }
+
+    #[test]
+    fn hierarchy_resolution() {
+        let mut space = TopicSpace::new();
+        let sports = space.register("sports").unwrap();
+        let foot = space.register_under("sports/football", sports).unwrap();
+        let i = Interest::topic(sports);
+        let e = ev(foot.as_u32());
+        assert!(!i.is_interested(&e), "flat match fails");
+        assert!(i.is_interested_in(&e, &space), "hierarchy match succeeds");
+        // the other direction does not hold
+        let j = Interest::topic(foot);
+        assert!(!j.is_interested_in(&ev(sports.as_u32()), &space));
+    }
+
+    #[test]
+    fn hierarchy_through_union() {
+        let mut space = TopicSpace::new();
+        let root = space.register("root").unwrap();
+        let child = space.register_under("root/c", root).unwrap();
+        let i = Interest::Any(vec![Interest::topic(root)]);
+        assert!(i.is_interested_in(&ev(child.as_u32()), &space));
+    }
+
+    #[test]
+    fn topic_set_collection() {
+        let i = Interest::Any(vec![
+            Interest::topics([TopicId::new(1), TopicId::new(2)]),
+            Interest::Content(Filter::True),
+            Interest::topic(TopicId::new(2)),
+        ]);
+        let set = i.topic_set();
+        assert_eq!(set.len(), 2);
+        assert!(set.contains(&TopicId::new(1)) && set.contains(&TopicId::new(2)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Interest::Nothing), "nothing");
+        assert_eq!(
+            format!("{}", Interest::topics([TopicId::new(1), TopicId::new(2)])),
+            "topics{t1,t2}"
+        );
+        let any = Interest::Any(vec![Interest::Everything, Interest::Nothing]);
+        assert_eq!(format!("{any}"), "any(everything | nothing)");
+    }
+}

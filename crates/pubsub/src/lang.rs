@@ -1,0 +1,558 @@
+//! The textual subscription language.
+//!
+//! The paper assumes interest "is typically expressed using a subscription
+//! language" (§2) without fixing one; this module provides a small,
+//! conventional language that parses into [`Filter`]:
+//!
+//! ```text
+//! expr   := or
+//! or     := and ( "||" and )*
+//! and    := unary ( "&&" unary )*
+//! unary  := "!" unary | "(" expr ")" | atom
+//! atom   := "true" | "false"
+//!         | "exists" "(" ident ")"
+//!         | ident op literal
+//! op     := "==" | "!=" | "<=" | ">=" | "<" | ">"
+//! literal:= integer | float | string | "true" | "false"
+//! ```
+//!
+//! Identifiers match `[A-Za-z_][A-Za-z0-9_.]*`; strings are double-quoted
+//! with `\"` and `\\` escapes. [`Filter`]'s `Display` output is always
+//! re-parseable (round-trip property tested).
+//!
+//! # Examples
+//!
+//! ```
+//! use fed_pubsub::lang::parse_filter;
+//!
+//! let f = parse_filter(r#"price < 100 && symbol == "ABC""#)?;
+//! assert_eq!(f.complexity(), 2);
+//! # Ok::<(), fed_pubsub::lang::ParseError>(())
+//! ```
+
+use crate::event::AttrValue;
+use crate::filter::{CmpOp, Filter};
+use std::fmt;
+
+/// Error produced when parsing a subscription expression fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input where the problem was detected.
+    pub position: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ParseError {
+    fn new(position: usize, message: impl Into<String>) -> Self {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    True,
+    False,
+    Exists,
+    AndAnd,
+    OrOr,
+    Bang,
+    LParen,
+    RParen,
+    Op(CmpOp),
+}
+
+#[derive(Debug, Clone)]
+struct Spanned {
+    token: Token,
+    pos: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, pos: i });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, pos: i });
+                i += 1;
+            }
+            '&' => {
+                if bytes.get(i + 1) == Some(&b'&') {
+                    tokens.push(Spanned { token: Token::AndAnd, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected '&&'"));
+                }
+            }
+            '|' => {
+                if bytes.get(i + 1) == Some(&b'|') {
+                    tokens.push(Spanned { token: Token::OrOr, pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected '||'"));
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Ne), pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Bang, pos: i });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Eq), pos: i });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new(i, "expected '==' (single '=' not allowed)"));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Le), pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Lt), pos: i });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Ge), pos: i });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Op(CmpOp::Gt), pos: i });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch == '\\' {
+                        match bytes.get(i + 1).map(|&b| b as char) {
+                            Some('"') => {
+                                s.push('"');
+                                i += 2;
+                            }
+                            Some('\\') => {
+                                s.push('\\');
+                                i += 2;
+                            }
+                            _ => return Err(ParseError::new(i, "invalid escape sequence")),
+                        }
+                    } else if ch == '"' {
+                        closed = true;
+                        i += 1;
+                        break;
+                    } else {
+                        s.push(ch);
+                        i += ch.len_utf8();
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new(start, "unterminated string literal"));
+                }
+                tokens.push(Spanned { token: Token::Str(s), pos: start });
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if i >= bytes.len() || !(bytes[i] as char).is_ascii_digit() {
+                        return Err(ParseError::new(start, "expected digits after '-'"));
+                    }
+                }
+                let mut is_float = false;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_digit() {
+                        i += 1;
+                    } else if ch == '.' && !is_float {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[start..i];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid float literal {text:?}"))
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        ParseError::new(start, format!("invalid integer literal {text:?}"))
+                    })?)
+                };
+                tokens.push(Spanned { token, pos: start });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '.' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &input[start..i];
+                let token = match word {
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    "exists" => Token::Exists,
+                    _ => Token::Ident(word.to_owned()),
+                };
+                tokens.push(Spanned { token, pos: start });
+            }
+            other => {
+                return Err(ParseError::new(i, format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .map(|s| s.pos)
+            .unwrap_or(self.input_len)
+    }
+
+    fn bump(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParseError> {
+        let here = self.here();
+        match self.bump() {
+            Some(t) if t == *want => Ok(()),
+            _ => Err(ParseError::new(here, format!("expected {what}"))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Filter, ParseError> {
+        let mut parts = vec![self.parse_and()?];
+        while self.peek() == Some(&Token::OrOr) {
+            self.bump();
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Filter::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> Result<Filter, ParseError> {
+        let mut parts = vec![self.parse_unary()?];
+        while self.peek() == Some(&Token::AndAnd) {
+            self.bump();
+            parts.push(self.parse_unary()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Filter::And(parts)
+        })
+    }
+
+    fn parse_unary(&mut self) -> Result<Filter, ParseError> {
+        match self.peek() {
+            Some(Token::Bang) => {
+                self.bump();
+                Ok(Filter::not(self.parse_unary()?))
+            }
+            Some(Token::LParen) => {
+                self.bump();
+                let inner = self.parse_or()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            _ => self.parse_atom(),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Filter, ParseError> {
+        let here = self.here();
+        match self.bump() {
+            Some(Token::True) => Ok(Filter::True),
+            Some(Token::False) => Ok(Filter::False),
+            Some(Token::Exists) => {
+                self.expect(&Token::LParen, "'(' after exists")?;
+                let here = self.here();
+                let name = match self.bump() {
+                    Some(Token::Ident(name)) => name,
+                    _ => return Err(ParseError::new(here, "expected attribute name")),
+                };
+                self.expect(&Token::RParen, "')' after exists(name")?;
+                Ok(Filter::Exists(name))
+            }
+            Some(Token::Ident(name)) => {
+                let here = self.here();
+                let op = match self.bump() {
+                    Some(Token::Op(op)) => op,
+                    _ => {
+                        return Err(ParseError::new(
+                            here,
+                            "expected comparison operator after attribute",
+                        ))
+                    }
+                };
+                let here = self.here();
+                let value = match self.bump() {
+                    Some(Token::Int(v)) => AttrValue::Int(v),
+                    Some(Token::Float(v)) => AttrValue::Float(v),
+                    Some(Token::Str(v)) => AttrValue::Str(v),
+                    Some(Token::True) => AttrValue::Bool(true),
+                    Some(Token::False) => AttrValue::Bool(false),
+                    _ => return Err(ParseError::new(here, "expected literal value")),
+                };
+                Ok(Filter::Cmp { name, op, value })
+            }
+            _ => Err(ParseError::new(here, "expected expression")),
+        }
+    }
+}
+
+/// Parses a subscription expression into a [`Filter`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a byte position on any lexical or syntactic
+/// problem, including trailing input.
+pub fn parse_filter(input: &str) -> Result<Filter, ParseError> {
+    let tokens = tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParseError::new(0, "empty expression"));
+    }
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        input_len: input.len(),
+    };
+    let filter = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError::new(parser.here(), "unexpected trailing input"));
+    }
+    Ok(filter)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Event, EventId};
+    use crate::topic::TopicId;
+
+    fn ev() -> Event {
+        Event::builder(EventId::new(0, 0), TopicId::new(0))
+            .attr("price", 42i64)
+            .attr("symbol", "ABC")
+            .attr("ratio", 0.5f64)
+            .attr("hot", true)
+            .build()
+    }
+
+    #[test]
+    fn parse_simple_comparison() {
+        let f = parse_filter("price < 100").unwrap();
+        assert_eq!(f, Filter::cmp("price", CmpOp::Lt, 100i64));
+        assert!(f.matches(&ev()));
+    }
+
+    #[test]
+    fn parse_all_operators() {
+        for (src, op) in [
+            ("a == 1", CmpOp::Eq),
+            ("a != 1", CmpOp::Ne),
+            ("a < 1", CmpOp::Lt),
+            ("a <= 1", CmpOp::Le),
+            ("a > 1", CmpOp::Gt),
+            ("a >= 1", CmpOp::Ge),
+        ] {
+            assert_eq!(parse_filter(src).unwrap(), Filter::cmp("a", op, 1i64));
+        }
+    }
+
+    #[test]
+    fn parse_literals() {
+        assert_eq!(
+            parse_filter("x == -5").unwrap(),
+            Filter::cmp("x", CmpOp::Eq, -5i64)
+        );
+        assert_eq!(
+            parse_filter("x == 2.5").unwrap(),
+            Filter::cmp("x", CmpOp::Eq, 2.5f64)
+        );
+        assert_eq!(
+            parse_filter(r#"x == "hi""#).unwrap(),
+            Filter::cmp("x", CmpOp::Eq, "hi")
+        );
+        assert_eq!(
+            parse_filter("x == true").unwrap(),
+            Filter::cmp("x", CmpOp::Eq, true)
+        );
+        assert_eq!(
+            parse_filter("x == false").unwrap(),
+            Filter::cmp("x", CmpOp::Eq, false)
+        );
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let f = parse_filter(r#"x == "a\"b\\c""#).unwrap();
+        assert_eq!(f, Filter::cmp("x", CmpOp::Eq, "a\"b\\c"));
+    }
+
+    #[test]
+    fn parse_precedence_and_binds_tighter() {
+        let f = parse_filter("a == 1 || b == 2 && c == 3").unwrap();
+        assert_eq!(
+            f,
+            Filter::Or(vec![
+                Filter::cmp("a", CmpOp::Eq, 1i64),
+                Filter::And(vec![
+                    Filter::cmp("b", CmpOp::Eq, 2i64),
+                    Filter::cmp("c", CmpOp::Eq, 3i64),
+                ]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_parens_override() {
+        let f = parse_filter("(a == 1 || b == 2) && c == 3").unwrap();
+        assert_eq!(
+            f,
+            Filter::And(vec![
+                Filter::Or(vec![
+                    Filter::cmp("a", CmpOp::Eq, 1i64),
+                    Filter::cmp("b", CmpOp::Eq, 2i64),
+                ]),
+                Filter::cmp("c", CmpOp::Eq, 3i64),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_negation_and_exists() {
+        let f = parse_filter("!exists(spam) && hot == true").unwrap();
+        assert!(f.matches(&ev()));
+        let g = parse_filter("!!(exists(price))").unwrap();
+        assert!(g.matches(&ev()));
+    }
+
+    #[test]
+    fn parse_constants() {
+        assert_eq!(parse_filter("true").unwrap(), Filter::True);
+        assert_eq!(parse_filter("false").unwrap(), Filter::False);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let f = parse_filter("order.total >= 10").unwrap();
+        assert_eq!(f, Filter::cmp("order.total", CmpOp::Ge, 10i64));
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_filter("price <").unwrap_err();
+        assert!(err.message.contains("literal"), "{err}");
+        let err = parse_filter("price = 3").unwrap_err();
+        assert!(err.message.contains("=="), "{err}");
+        assert_eq!(err.position, 6);
+        let err = parse_filter("a == 1 b == 2").unwrap_err();
+        assert!(err.message.contains("trailing"), "{err}");
+        let err = parse_filter("").unwrap_err();
+        assert!(err.message.contains("empty"), "{err}");
+        let err = parse_filter("a == \"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"), "{err}");
+        let err = parse_filter("a & b").unwrap_err();
+        assert!(err.message.contains("&&"), "{err}");
+        let err = parse_filter("@").unwrap_err();
+        assert!(err.message.contains("unexpected character"), "{err}");
+        let err = parse_filter("a == -").unwrap_err();
+        assert!(err.message.contains("digits"), "{err}");
+    }
+
+    #[test]
+    fn error_display_includes_position() {
+        let err = parse_filter("price = 3").unwrap_err();
+        let s = format!("{err}");
+        assert!(s.contains("byte 6"), "{s}");
+    }
+
+    #[test]
+    fn display_round_trip() {
+        let sources = [
+            "price < 100",
+            r#"(price < 100) && (symbol == "ABC")"#,
+            "!(exists(spam))",
+            "((a == 1) || (b == 2)) && (!(c > 3.5))",
+            "true",
+            "false",
+            "hot == true",
+        ];
+        for src in sources {
+            let f = parse_filter(src).unwrap();
+            let printed = format!("{f}");
+            let reparsed = parse_filter(&printed)
+                .unwrap_or_else(|e| panic!("reparse of {printed:?} failed: {e}"));
+            assert_eq!(f, reparsed, "round trip failed for {src:?}");
+        }
+    }
+
+    #[test]
+    fn matches_complex_expression() {
+        let f = parse_filter(
+            r#"(price >= 40 && price <= 50 && symbol == "ABC") || ratio > 0.9"#,
+        )
+        .unwrap();
+        assert!(f.matches(&ev()));
+    }
+}

@@ -1,0 +1,334 @@
+//! Dynamic subscription tables.
+//!
+//! The paper's API (§2) is `publish(e)` / `subscribe(f, callback)` /
+//! `unsubscribe(f)`. [`SubscriptionTable`] is the per-node runtime state
+//! behind that API: a mutable set of active subscriptions, each a topic or
+//! a content filter, with stable ids so unsubscribe is unambiguous.
+
+use crate::event::Event;
+use crate::filter::Filter;
+use crate::interest::Interest;
+use crate::topic::{TopicId, TopicSpace};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Stable identifier of one active subscription within a table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SubscriptionId(u64);
+
+impl SubscriptionId {
+    /// Raw value (useful for wire encoding).
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriptionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One active subscription: a topic or a content filter.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Subscription {
+    /// Topic-based subscription.
+    Topic(TopicId),
+    /// Content-based subscription.
+    Content(Filter),
+}
+
+impl Subscription {
+    /// Whether `event` matches this subscription (flat topic semantics).
+    pub fn matches(&self, event: &Event) -> bool {
+        match self {
+            Subscription::Topic(t) => event.topic() == *t,
+            Subscription::Content(f) => f.matches(event),
+        }
+    }
+
+    /// Whether `event` matches, resolving topic hierarchy through `space`.
+    pub fn matches_in(&self, event: &Event, space: &TopicSpace) -> bool {
+        match self {
+            Subscription::Topic(t) => space.is_descendant(event.topic(), *t),
+            Subscription::Content(f) => f.matches(event),
+        }
+    }
+
+    /// Matching-cost proxy (atomic conditions).
+    pub fn complexity(&self) -> usize {
+        match self {
+            Subscription::Topic(_) => 1,
+            Subscription::Content(f) => f.complexity(),
+        }
+    }
+}
+
+impl fmt::Display for Subscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Subscription::Topic(t) => write!(f, "topic({t})"),
+            Subscription::Content(filter) => write!(f, "content({filter})"),
+        }
+    }
+}
+
+/// Error returned by [`SubscriptionTable::unsubscribe`] for unknown ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnknownSubscription(pub SubscriptionId);
+
+impl fmt::Display for UnknownSubscription {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown subscription {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownSubscription {}
+
+/// A node's active subscriptions.
+///
+/// # Examples
+///
+/// ```
+/// use fed_pubsub::subscription::SubscriptionTable;
+/// use fed_pubsub::topic::TopicId;
+/// use fed_pubsub::event::{Event, EventId};
+///
+/// let mut subs = SubscriptionTable::new();
+/// let id = subs.subscribe_topic(TopicId::new(3));
+/// assert!(subs.matches(&Event::bare(EventId::new(0, 0), TopicId::new(3))));
+/// subs.unsubscribe(id)?;
+/// assert!(!subs.matches(&Event::bare(EventId::new(0, 0), TopicId::new(3))));
+/// # Ok::<(), fed_pubsub::subscription::UnknownSubscription>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionTable {
+    subs: BTreeMap<SubscriptionId, Subscription>,
+    next_id: u64,
+    /// Lifetime counters for maintenance-cost accounting.
+    total_subscribes: u64,
+    total_unsubscribes: u64,
+}
+
+impl SubscriptionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SubscriptionTable::default()
+    }
+
+    /// Adds a topic subscription; returns its id.
+    pub fn subscribe_topic(&mut self, topic: TopicId) -> SubscriptionId {
+        self.insert(Subscription::Topic(topic))
+    }
+
+    /// Adds a content subscription; returns its id.
+    pub fn subscribe_content(&mut self, filter: Filter) -> SubscriptionId {
+        self.insert(Subscription::Content(filter))
+    }
+
+    fn insert(&mut self, sub: Subscription) -> SubscriptionId {
+        let id = SubscriptionId(self.next_id);
+        self.next_id += 1;
+        self.total_subscribes += 1;
+        self.subs.insert(id, sub);
+        id
+    }
+
+    /// Removes a subscription.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownSubscription`] if `id` is not active.
+    pub fn unsubscribe(&mut self, id: SubscriptionId) -> Result<Subscription, UnknownSubscription> {
+        match self.subs.remove(&id) {
+            Some(sub) => {
+                self.total_unsubscribes += 1;
+                Ok(sub)
+            }
+            None => Err(UnknownSubscription(id)),
+        }
+    }
+
+    /// Number of active subscriptions (the paper's "#filters").
+    pub fn len(&self) -> usize {
+        self.subs.len()
+    }
+
+    /// Returns `true` with no active subscriptions.
+    pub fn is_empty(&self) -> bool {
+        self.subs.is_empty()
+    }
+
+    /// Lifetime `(subscribes, unsubscribes)` counts.
+    pub fn churn_counts(&self) -> (u64, u64) {
+        (self.total_subscribes, self.total_unsubscribes)
+    }
+
+    /// Whether any active subscription matches `event` (flat topics).
+    pub fn matches(&self, event: &Event) -> bool {
+        self.subs.values().any(|s| s.matches(event))
+    }
+
+    /// Whether any active subscription matches `event`, resolving topic
+    /// hierarchy through `space`.
+    pub fn matches_in(&self, event: &Event, space: &TopicSpace) -> bool {
+        self.subs.values().any(|s| s.matches_in(event, space))
+    }
+
+    /// Ids of subscriptions matching `event` (flat topics).
+    pub fn matching_ids(&self, event: &Event) -> Vec<SubscriptionId> {
+        self.subs
+            .iter()
+            .filter(|(_, s)| s.matches(event))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Iterates over `(id, subscription)`.
+    pub fn iter(&self) -> impl Iterator<Item = (SubscriptionId, &Subscription)> {
+        self.subs.iter().map(|(&id, s)| (id, s))
+    }
+
+    /// The set of topics with at least one topic subscription.
+    pub fn topics(&self) -> Vec<TopicId> {
+        let mut ts: Vec<TopicId> = self
+            .subs
+            .values()
+            .filter_map(|s| match s {
+                Subscription::Topic(t) => Some(*t),
+                Subscription::Content(_) => None,
+            })
+            .collect();
+        ts.sort_unstable();
+        ts.dedup();
+        ts
+    }
+
+    /// Total matching cost across active subscriptions.
+    pub fn complexity(&self) -> usize {
+        self.subs.values().map(Subscription::complexity).sum()
+    }
+
+    /// Snapshot of the table as a static [`Interest`].
+    pub fn as_interest(&self) -> Interest {
+        let mut parts = Vec::new();
+        let topics = self.topics();
+        if !topics.is_empty() {
+            parts.push(Interest::topics(topics));
+        }
+        for sub in self.subs.values() {
+            if let Subscription::Content(f) = sub {
+                parts.push(Interest::Content(f.clone()));
+            }
+        }
+        match parts.len() {
+            0 => Interest::Nothing,
+            1 => parts.pop().expect("one element"),
+            _ => Interest::Any(parts),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventId;
+    use crate::filter::CmpOp;
+
+    fn ev(topic: u32) -> Event {
+        Event::builder(EventId::new(0, 0), TopicId::new(topic))
+            .attr("x", 5i64)
+            .build()
+    }
+
+    #[test]
+    fn subscribe_and_match() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.is_empty());
+        let id = t.subscribe_topic(TopicId::new(2));
+        assert_eq!(t.len(), 1);
+        assert!(t.matches(&ev(2)));
+        assert!(!t.matches(&ev(3)));
+        assert_eq!(t.matching_ids(&ev(2)), vec![id]);
+    }
+
+    #[test]
+    fn unsubscribe_removes() {
+        let mut t = SubscriptionTable::new();
+        let id = t.subscribe_topic(TopicId::new(2));
+        let sub = t.unsubscribe(id).unwrap();
+        assert_eq!(sub, Subscription::Topic(TopicId::new(2)));
+        assert!(!t.matches(&ev(2)));
+        assert_eq!(t.unsubscribe(id), Err(UnknownSubscription(id)));
+        assert_eq!(t.churn_counts(), (1, 1));
+    }
+
+    #[test]
+    fn ids_are_never_reused() {
+        let mut t = SubscriptionTable::new();
+        let a = t.subscribe_topic(TopicId::new(1));
+        t.unsubscribe(a).unwrap();
+        let b = t.subscribe_topic(TopicId::new(1));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn content_subscription_matching() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe_content(Filter::cmp("x", CmpOp::Gt, 3i64));
+        assert!(t.matches(&ev(0)));
+        t.subscribe_content(Filter::cmp("x", CmpOp::Gt, 100i64));
+        assert_eq!(t.matching_ids(&ev(0)).len(), 1);
+        assert_eq!(t.complexity(), 2);
+    }
+
+    #[test]
+    fn hierarchy_matching() {
+        let mut space = TopicSpace::new();
+        let root = space.register("root").unwrap();
+        let child = space.register_under("root/c", root).unwrap();
+        let mut t = SubscriptionTable::new();
+        t.subscribe_topic(root);
+        assert!(!t.matches(&ev(child.as_u32())), "flat misses child");
+        assert!(t.matches_in(&ev(child.as_u32()), &space), "hierarchy hits");
+    }
+
+    #[test]
+    fn topics_deduplicated_and_sorted() {
+        let mut t = SubscriptionTable::new();
+        t.subscribe_topic(TopicId::new(5));
+        t.subscribe_topic(TopicId::new(1));
+        t.subscribe_topic(TopicId::new(5));
+        t.subscribe_content(Filter::True);
+        assert_eq!(t.topics(), vec![TopicId::new(1), TopicId::new(5)]);
+    }
+
+    #[test]
+    fn as_interest_snapshot() {
+        let mut t = SubscriptionTable::new();
+        assert_eq!(t.as_interest(), Interest::Nothing);
+        t.subscribe_topic(TopicId::new(1));
+        let i = t.as_interest();
+        assert!(i.is_interested(&ev(1)));
+        assert!(!i.is_interested(&ev(9)));
+        t.subscribe_content(Filter::cmp("x", CmpOp::Eq, 5i64));
+        let i2 = t.as_interest();
+        assert!(i2.is_interested(&ev(9)), "content arm matches any topic");
+        assert_eq!(i2.subscription_count(), 2);
+    }
+
+    #[test]
+    fn iter_and_display() {
+        let mut t = SubscriptionTable::new();
+        let id = t.subscribe_topic(TopicId::new(3));
+        let items: Vec<_> = t.iter().collect();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].0, id);
+        assert_eq!(format!("{}", items[0].1), "topic(t3)");
+        assert_eq!(format!("{id}"), "s0");
+        assert_eq!(
+            format!("{}", UnknownSubscription(id)),
+            "unknown subscription s0"
+        );
+    }
+}

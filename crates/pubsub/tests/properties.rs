@@ -1,0 +1,151 @@
+//! Property-based tests: filter language round-trips and matching laws.
+
+use fed_pubsub::event::{AttrValue, Event, EventId};
+use fed_pubsub::filter::{CmpOp, Filter};
+use fed_pubsub::lang::parse_filter;
+use fed_pubsub::topic::TopicId;
+use proptest::prelude::*;
+
+/// Strategy for attribute names in the language's identifier grammar.
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_]{0,8}".prop_filter("reserved words", |s| {
+        !matches!(s.as_str(), "true" | "false" | "exists")
+    })
+}
+
+fn attr_value() -> impl Strategy<Value = AttrValue> {
+    prop_oneof![
+        any::<i64>().prop_map(AttrValue::Int),
+        (-1.0e9f64..1.0e9).prop_map(AttrValue::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(AttrValue::Str),
+        any::<bool>().prop_map(AttrValue::Bool),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn filter_strategy() -> impl Strategy<Value = Filter> {
+    let leaf = prop_oneof![
+        Just(Filter::True),
+        Just(Filter::False),
+        (ident(), cmp_op(), attr_value())
+            .prop_map(|(name, op, value)| Filter::Cmp { name, op, value }),
+        ident().prop_map(Filter::Exists),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            inner.clone().prop_map(Filter::not),
+            prop::collection::vec(inner.clone(), 1..4).prop_map(Filter::And),
+            prop::collection::vec(inner, 1..4).prop_map(Filter::Or),
+        ]
+    })
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    (
+        any::<u32>(),
+        any::<u32>(),
+        0u32..16,
+        prop::collection::vec((ident(), attr_value()), 0..6),
+    )
+        .prop_map(|(publisher, seq, topic, attrs)| {
+            let mut b = Event::builder(EventId::new(publisher, seq), TopicId::new(topic));
+            for (k, v) in attrs {
+                b = b.attr(k, v);
+            }
+            b.build()
+        })
+}
+
+proptest! {
+    /// Display output of any filter re-parses to an equal filter.
+    #[test]
+    fn filter_display_round_trips(f in filter_strategy()) {
+        let printed = format!("{f}");
+        let reparsed = parse_filter(&printed);
+        prop_assert!(reparsed.is_ok(), "failed to reparse {printed:?}: {:?}", reparsed.err());
+        // Note: And([x]) prints as "(x)" which reparses as x; compare by
+        // matching behaviour instead of structural equality.
+        let reparsed = reparsed.unwrap();
+        prop_assert_eq!(format!("{reparsed}").replace(['(', ')'], ""),
+                        printed.replace(['(', ')'], ""));
+    }
+
+    /// Round-tripped filters match exactly the same events.
+    #[test]
+    fn round_trip_preserves_semantics(f in filter_strategy(), e in event_strategy()) {
+        let reparsed = parse_filter(&format!("{f}")).expect("display must be parseable");
+        prop_assert_eq!(f.matches(&e), reparsed.matches(&e));
+    }
+
+    /// Double negation is the identity on matching.
+    #[test]
+    fn double_negation(f in filter_strategy(), e in event_strategy()) {
+        let double = Filter::not(Filter::not(f.clone()));
+        prop_assert_eq!(f.matches(&e), double.matches(&e));
+    }
+
+    /// De Morgan: !(a && b) == !a || !b on matching.
+    #[test]
+    fn de_morgan(a in filter_strategy(), b in filter_strategy(), e in event_strategy()) {
+        let lhs = Filter::not(Filter::and(vec![a.clone(), b.clone()]));
+        let rhs = Filter::or(vec![Filter::not(a), Filter::not(b)]);
+        prop_assert_eq!(lhs.matches(&e), rhs.matches(&e));
+    }
+
+    /// And is commutative; Or is commutative.
+    #[test]
+    fn commutativity(a in filter_strategy(), b in filter_strategy(), e in event_strategy()) {
+        prop_assert_eq!(
+            Filter::and(vec![a.clone(), b.clone()]).matches(&e),
+            Filter::and(vec![b.clone(), a.clone()]).matches(&e)
+        );
+        prop_assert_eq!(
+            Filter::or(vec![a.clone(), b.clone()]).matches(&e),
+            Filter::or(vec![b, a]).matches(&e)
+        );
+    }
+
+    /// Parser never panics on arbitrary input.
+    #[test]
+    fn parser_total(input in ".*") {
+        let _ = parse_filter(&input);
+    }
+
+    /// Eq comparison against an attribute the event carries with the same
+    /// value always matches (NaN excluded by strategy range).
+    #[test]
+    fn eq_self_matches(name in ident(), v in attr_value(), topic in 0u32..8) {
+        let e = Event::builder(EventId::new(0, 0), TopicId::new(topic))
+            .attr(name.clone(), v.clone())
+            .build();
+        let f = Filter::Cmp { name, op: CmpOp::Eq, value: v };
+        prop_assert!(f.matches(&e));
+    }
+
+    /// Complexity is invariant under negation and additive under And/Or.
+    #[test]
+    fn complexity_laws(a in filter_strategy(), b in filter_strategy()) {
+        prop_assert_eq!(Filter::not(a.clone()).complexity(), a.complexity());
+        prop_assert_eq!(
+            Filter::and(vec![a.clone(), b.clone()]).complexity(),
+            a.complexity() + b.complexity()
+        );
+    }
+
+    /// Event ids pack/unpack losslessly.
+    #[test]
+    fn event_id_roundtrip(p in any::<u32>(), s in any::<u32>()) {
+        let id = EventId::new(p, s);
+        prop_assert_eq!(EventId::from_u64(id.as_u64()), id);
+    }
+}

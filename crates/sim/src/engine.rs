@@ -1,0 +1,751 @@
+//! The discrete-event simulation engine.
+//!
+//! [`Simulation`] owns all node state machines, the global event queue, the
+//! network model and every random stream. Events are processed in
+//! `(time, insertion-sequence)` order, which makes runs fully deterministic
+//! for a given seed.
+
+use crate::network::NetworkModel;
+use crate::protocol::{Context, NodeId, Outgoing, Protocol};
+use crate::time::{SimDuration, SimTime};
+use fed_util::rng::{Rng64, Xoshiro256StarStar};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Per-node transport accounting maintained by the engine.
+///
+/// "Sent" counts every transmission attempt (a lost message still cost the
+/// sender its bandwidth — contribution accounting must include it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Bytes handed to the network (per [`Protocol::message_size`]).
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Messages this node sent that the network dropped.
+    pub msgs_lost: u64,
+}
+
+/// Result of a [`Simulation::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunReport {
+    /// Events processed during this call.
+    pub events: u64,
+    /// `false` when the event budget was exhausted before the target time.
+    pub completed: bool,
+}
+
+enum EventKind<P: Protocol> {
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: P::Msg,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+        incarnation: u32,
+    },
+    Command {
+        node: NodeId,
+        cmd: P::Cmd,
+    },
+    Crash(NodeId),
+    Join(NodeId),
+}
+
+struct Queued<P: Protocol> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<P>,
+}
+
+impl<P: Protocol> PartialEq for Queued<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<P: Protocol> Eq for Queued<P> {}
+impl<P: Protocol> PartialOrd for Queued<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for Queued<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+#[derive(Debug)]
+struct Slot<P> {
+    state: Option<P>,
+    rng: Xoshiro256StarStar,
+    alive: bool,
+    incarnation: u32,
+}
+
+/// The discrete-event simulator for one protocol.
+///
+/// # Examples
+///
+/// ```
+/// use fed_sim::{Context, NodeId, Protocol, Simulation, SimDuration, SimTime};
+/// use fed_sim::network::NetworkModel;
+///
+/// /// A protocol where node 0 pings everyone once.
+/// struct Ping { got: bool }
+///
+/// impl Protocol for Ping {
+///     type Msg = ();
+///     type Cmd = ();
+///     fn on_init(&mut self, ctx: &mut Context<'_, ()>) {
+///         if ctx.id() == NodeId::new(0) {
+///             for i in 0..ctx.system_size() as u32 {
+///                 ctx.send(NodeId::new(i), ());
+///             }
+///         }
+///     }
+///     fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {
+///         self.got = true;
+///     }
+///     fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+/// }
+///
+/// let mut sim = Simulation::new(8, NetworkModel::default(), 1, |_, _| Ping { got: false });
+/// sim.run_until(SimTime::from_secs(1));
+/// assert!(sim.nodes().all(|(_, p)| p.got));
+/// ```
+pub struct Simulation<P: Protocol> {
+    slots: Vec<Slot<P>>,
+    queue: BinaryHeap<Queued<P>>,
+    now: SimTime,
+    seq: u64,
+    net: NetworkModel,
+    net_rng: Xoshiro256StarStar,
+    stats: Vec<TransportStats>,
+    factory: Box<dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P>,
+    scratch: Vec<Outgoing<P::Msg>>,
+    events_processed: u64,
+    max_events: u64,
+}
+
+impl<P: Protocol> std::fmt::Debug for Simulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("n", &self.slots.len())
+            .field("now", &self.now)
+            .field("queued", &self.queue.len())
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<P: Protocol> Simulation<P> {
+    /// Creates a simulation of `n` nodes and runs every node's `on_init` at
+    /// time zero.
+    ///
+    /// `factory` builds the protocol state for a node; it is also invoked
+    /// when a crashed node rejoins. Each node receives its own random stream
+    /// forked deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`.
+    pub fn new<F>(n: usize, net: NetworkModel, seed: u64, factory: F) -> Self
+    where
+        F: FnMut(NodeId, &mut Xoshiro256StarStar) -> P + 'static,
+    {
+        assert!(n > 0, "simulation requires at least one node");
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        let mut root = Xoshiro256StarStar::seed_from_u64(seed);
+        let net_rng = root.fork();
+        let mut factory = Box::new(factory);
+        let mut slots = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut rng = root.fork();
+            let state = factory(NodeId::new(i as u32), &mut rng);
+            slots.push(Slot {
+                state: Some(state),
+                rng,
+                alive: true,
+                incarnation: 0,
+            });
+        }
+        let mut sim = Simulation {
+            slots,
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            net,
+            net_rng,
+            stats: vec![TransportStats::default(); n],
+            factory,
+            scratch: Vec::new(),
+            events_processed: 0,
+            max_events: 500_000_000,
+        };
+        for i in 0..n {
+            sim.invoke(NodeId::new(i as u32), Invoke::Init);
+        }
+        sim
+    }
+
+    /// Caps the total number of events this simulation will process.
+    ///
+    /// [`Simulation::run_until`] reports `completed == false` when the cap
+    /// is hit; a safety net against protocol bugs that generate unbounded
+    /// message storms.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Always `false`: constructing with zero nodes is rejected.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Total events processed so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Whether `id` is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.slots
+            .get(id.index())
+            .map(|s| s.alive)
+            .unwrap_or(false)
+    }
+
+    /// Ids of all currently alive nodes.
+    pub fn alive_ids(&self) -> Vec<NodeId> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.alive)
+            .map(|(i, _)| NodeId::new(i as u32))
+            .collect()
+    }
+
+    /// Shared access to a node's protocol state (alive or crashed).
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.slots.get(id.index()).and_then(|s| s.state.as_ref())
+    }
+
+    /// Exclusive access to a node's protocol state.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        self.slots
+            .get_mut(id.index())
+            .and_then(|s| s.state.as_mut())
+    }
+
+    /// Iterates over `(id, state)` of every node that has state.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.state.as_ref().map(|p| (NodeId::new(i as u32), p)))
+    }
+
+    /// Transport statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn transport_stats(&self, id: NodeId) -> TransportStats {
+        self.stats[id.index()]
+    }
+
+    /// Transport statistics of every node, indexed by node.
+    pub fn transport_stats_all(&self) -> &[TransportStats] {
+        &self.stats
+    }
+
+    /// Resets all transport statistics to zero (e.g. after a warm-up phase).
+    pub fn reset_transport_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = TransportStats::default();
+        }
+    }
+
+    /// Mutates the network model mid-run (partitions, healing).
+    pub fn network_mut(&mut self) -> &mut NetworkModel {
+        &mut self.net
+    }
+
+    /// Schedules an application command for `node` at absolute time `at`.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Cmd) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Command { node, cmd });
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`.
+    ///
+    /// Crashing an already-crashed node is a no-op at processing time.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a (re)join of `node` at absolute time `at`.
+    ///
+    /// The node gets fresh protocol state from the factory and runs
+    /// `on_init`. Joining an alive node is a no-op at processing time.
+    pub fn schedule_join(&mut self, at: SimTime, node: NodeId) {
+        let at = at.max(self.now);
+        self.push(at, EventKind::Join(node));
+    }
+
+    /// Runs until virtual time reaches `target` (inclusive) or the queue
+    /// drains or the event budget is exhausted.
+    pub fn run_until(&mut self, target: SimTime) -> RunReport {
+        let mut events = 0u64;
+        loop {
+            if self.events_processed >= self.max_events {
+                return RunReport {
+                    events,
+                    completed: false,
+                };
+            }
+            match self.queue.peek() {
+                Some(q) if q.time <= target => {}
+                _ => break,
+            }
+            let q = self.queue.pop().expect("peeked");
+            self.now = q.time;
+            self.events_processed += 1;
+            events += 1;
+            self.dispatch(q);
+        }
+        self.now = self.now.max(target);
+        RunReport {
+            events,
+            completed: true,
+        }
+    }
+
+    /// Runs for a span of virtual time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) -> RunReport {
+        self.run_until(self.now + d)
+    }
+
+    /// Processes exactly one event; returns its time, or `None` if drained.
+    pub fn step(&mut self) -> Option<SimTime> {
+        let q = self.queue.pop()?;
+        self.now = q.time;
+        self.events_processed += 1;
+        let t = q.time;
+        self.dispatch(q);
+        Some(t)
+    }
+
+    fn push(&mut self, time: SimTime, kind: EventKind<P>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Queued { time, seq, kind });
+    }
+
+    fn dispatch(&mut self, q: Queued<P>) {
+        match q.kind {
+            EventKind::Deliver { to, from, msg } => {
+                let idx = to.index();
+                if idx >= self.slots.len() || !self.slots[idx].alive {
+                    return;
+                }
+                let size = P::message_size(&msg) as u64;
+                self.stats[idx].msgs_received += 1;
+                self.stats[idx].bytes_received += size;
+                self.invoke(to, Invoke::Message { from, msg });
+            }
+            EventKind::Timer {
+                node,
+                token,
+                incarnation,
+            } => {
+                let idx = node.index();
+                if idx >= self.slots.len()
+                    || !self.slots[idx].alive
+                    || self.slots[idx].incarnation != incarnation
+                {
+                    return; // stale timer from a previous incarnation
+                }
+                self.invoke(node, Invoke::Timer(token));
+            }
+            EventKind::Command { node, cmd } => {
+                let idx = node.index();
+                if idx >= self.slots.len() || !self.slots[idx].alive {
+                    return;
+                }
+                self.invoke(node, Invoke::Command(cmd));
+            }
+            EventKind::Crash(node) => {
+                let idx = node.index();
+                if idx >= self.slots.len() || !self.slots[idx].alive {
+                    return;
+                }
+                self.slots[idx].alive = false;
+                if let Some(state) = self.slots[idx].state.as_mut() {
+                    state.on_crash(self.now);
+                }
+            }
+            EventKind::Join(node) => {
+                let idx = node.index();
+                if idx >= self.slots.len() || self.slots[idx].alive {
+                    return;
+                }
+                let slot = &mut self.slots[idx];
+                slot.alive = true;
+                slot.incarnation = slot.incarnation.wrapping_add(1);
+                let state = (self.factory)(node, &mut slot.rng);
+                slot.state = Some(state);
+                self.invoke(node, Invoke::Init);
+            }
+        }
+    }
+
+    fn invoke(&mut self, node: NodeId, what: Invoke<P>) {
+        debug_assert!(self.scratch.is_empty());
+        let idx = node.index();
+        let n = self.slots.len();
+        {
+            let slot = &mut self.slots[idx];
+            let Some(state) = slot.state.as_mut() else {
+                return;
+            };
+            let mut ctx = Context {
+                node,
+                now: self.now,
+                n,
+                rng: &mut slot.rng,
+                outbox: &mut self.scratch,
+            };
+            match what {
+                Invoke::Init => state.on_init(&mut ctx),
+                Invoke::Message { from, msg } => state.on_message(&mut ctx, from, msg),
+                Invoke::Timer(token) => state.on_timer(&mut ctx, token),
+                Invoke::Command(cmd) => state.on_command(&mut ctx, cmd),
+            }
+        }
+        let incarnation = self.slots[idx].incarnation;
+        let effects: Vec<Outgoing<P::Msg>> = self.scratch.drain(..).collect();
+        for effect in effects {
+            match effect {
+                Outgoing::Send { to, msg } => {
+                    let size = P::message_size(&msg) as u64;
+                    self.stats[idx].msgs_sent += 1;
+                    self.stats[idx].bytes_sent += size;
+                    match self.net.transmit(&mut self.net_rng, idx, to.index()) {
+                        Some(latency) => {
+                            let at = self.now + latency;
+                            self.push(at, EventKind::Deliver {
+                                to,
+                                from: node,
+                                msg,
+                            });
+                        }
+                        None => {
+                            self.stats[idx].msgs_lost += 1;
+                        }
+                    }
+                }
+                Outgoing::Timer { delay, token } => {
+                    let at = self.now + delay;
+                    self.push(at, EventKind::Timer {
+                        node,
+                        token,
+                        incarnation,
+                    });
+                }
+            }
+        }
+    }
+}
+
+enum Invoke<P: Protocol> {
+    Init,
+    Message { from: NodeId, msg: P::Msg },
+    Timer(u64),
+    Command(P::Cmd),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::LatencyModel;
+
+    /// Test protocol: counts messages/timers, echoes on command.
+    #[derive(Debug, Default)]
+    struct Echo {
+        msgs: Vec<(NodeId, u32)>,
+        timers: Vec<u64>,
+        inits: u32,
+        crashed_at: Option<SimTime>,
+    }
+
+    #[derive(Debug, Clone)]
+    enum EchoCmd {
+        SendTo(NodeId, u32),
+        Arm(u64, u64), // delay ms, token
+    }
+
+    impl Protocol for Echo {
+        type Msg = u32;
+        type Cmd = EchoCmd;
+
+        fn on_init(&mut self, _ctx: &mut Context<'_, u32>) {
+            self.inits += 1;
+        }
+        fn on_message(&mut self, _ctx: &mut Context<'_, u32>, from: NodeId, msg: u32) {
+            self.msgs.push((from, msg));
+        }
+        fn on_timer(&mut self, _ctx: &mut Context<'_, u32>, token: u64) {
+            self.timers.push(token);
+        }
+        fn on_command(&mut self, ctx: &mut Context<'_, u32>, cmd: EchoCmd) {
+            match cmd {
+                EchoCmd::SendTo(to, v) => ctx.send(to, v),
+                EchoCmd::Arm(ms, token) => ctx.set_timer(SimDuration::from_millis(ms), token),
+            }
+        }
+        fn message_size(msg: &u32) -> usize {
+            *msg as usize
+        }
+    }
+
+    fn fixed_net(ms: u64) -> NetworkModel {
+        NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(ms)))
+    }
+
+    fn sim(n: usize) -> Simulation<Echo> {
+        Simulation::new(n, fixed_net(10), 7, |_, _| Echo::default())
+    }
+
+    #[test]
+    fn init_runs_once_per_node() {
+        let s = sim(5);
+        assert_eq!(s.len(), 5);
+        assert!(s.nodes().all(|(_, p)| p.inits == 1));
+    }
+
+    #[test]
+    fn message_delivery_with_latency() {
+        let mut s = sim(3);
+        s.schedule_command(
+            SimTime::from_millis(5),
+            NodeId::new(0),
+            EchoCmd::SendTo(NodeId::new(2), 99),
+        );
+        s.run_until(SimTime::from_millis(14));
+        assert!(s.node(NodeId::new(2)).unwrap().msgs.is_empty(), "not yet");
+        s.run_until(SimTime::from_millis(15));
+        assert_eq!(s.node(NodeId::new(2)).unwrap().msgs, vec![(NodeId::new(0), 99)]);
+    }
+
+    #[test]
+    fn transport_stats_account_bytes() {
+        let mut s = sim(2);
+        s.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(0),
+            EchoCmd::SendTo(NodeId::new(1), 64),
+        );
+        s.run_until(SimTime::from_secs(1));
+        let st0 = s.transport_stats(NodeId::new(0));
+        let st1 = s.transport_stats(NodeId::new(1));
+        assert_eq!(st0.msgs_sent, 1);
+        assert_eq!(st0.bytes_sent, 64);
+        assert_eq!(st1.msgs_received, 1);
+        assert_eq!(st1.bytes_received, 64);
+        s.reset_transport_stats();
+        assert_eq!(s.transport_stats(NodeId::new(0)), TransportStats::default());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut s = sim(1);
+        s.schedule_command(SimTime::ZERO, NodeId::new(0), EchoCmd::Arm(30, 3));
+        s.schedule_command(SimTime::ZERO, NodeId::new(0), EchoCmd::Arm(10, 1));
+        s.schedule_command(SimTime::ZERO, NodeId::new(0), EchoCmd::Arm(20, 2));
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.node(NodeId::new(0)).unwrap().timers, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_timers() {
+        let mut s = sim(2);
+        s.schedule_command(SimTime::ZERO, NodeId::new(1), EchoCmd::Arm(50, 9));
+        s.schedule_crash(SimTime::from_millis(20), NodeId::new(1));
+        s.schedule_command(
+            SimTime::from_millis(30),
+            NodeId::new(0),
+            EchoCmd::SendTo(NodeId::new(1), 5),
+        );
+        s.run_until(SimTime::from_secs(1));
+        let p = s.node(NodeId::new(1)).unwrap();
+        assert!(p.timers.is_empty(), "timer must not fire after crash");
+        assert!(p.msgs.is_empty(), "message must not arrive after crash");
+        assert!(!s.is_alive(NodeId::new(1)));
+        assert_eq!(s.alive_ids(), vec![NodeId::new(0)]);
+    }
+
+    #[test]
+    fn crash_hook_sees_time() {
+        let mut s = sim(1);
+        s.schedule_crash(SimTime::from_millis(25), NodeId::new(0));
+        s.run_until(SimTime::from_secs(1));
+        // state preserved post-crash for inspection
+        assert_eq!(s.node(NodeId::new(0)).unwrap().inits, 1);
+    }
+
+    #[test]
+    fn rejoin_gets_fresh_state_and_reinit() {
+        let mut s = sim(2);
+        s.schedule_command(SimTime::ZERO, NodeId::new(1), EchoCmd::Arm(100, 7));
+        s.schedule_crash(SimTime::from_millis(10), NodeId::new(1));
+        s.schedule_join(SimTime::from_millis(50), NodeId::new(1));
+        s.run_until(SimTime::from_secs(1));
+        let p = s.node(NodeId::new(1)).unwrap();
+        assert_eq!(p.inits, 1, "fresh state from factory");
+        assert!(
+            p.timers.is_empty(),
+            "timer armed before crash must not fire in the new incarnation"
+        );
+        assert!(s.is_alive(NodeId::new(1)));
+    }
+
+    #[test]
+    fn double_crash_and_double_join_are_noops() {
+        let mut s = sim(1);
+        s.schedule_crash(SimTime::from_millis(5), NodeId::new(0));
+        s.schedule_crash(SimTime::from_millis(6), NodeId::new(0));
+        s.schedule_join(SimTime::from_millis(7), NodeId::new(0));
+        s.schedule_join(SimTime::from_millis(8), NodeId::new(0));
+        s.run_until(SimTime::from_secs(1));
+        assert!(s.is_alive(NodeId::new(0)));
+    }
+
+    #[test]
+    fn determinism_same_seed_same_trace() {
+        let run = |seed| {
+            let mut s = Simulation::new(10, fixed_net(5), seed, |_, _| Echo::default());
+            for i in 0..10u32 {
+                s.schedule_command(
+                    SimTime::from_millis(i as u64),
+                    NodeId::new(i % 10),
+                    EchoCmd::SendTo(NodeId::new((i + 1) % 10), i),
+                );
+            }
+            s.run_until(SimTime::from_secs(1));
+            let msgs: Vec<_> = s.nodes().map(|(_, p)| p.msgs.clone()).collect();
+            (msgs, s.events_processed())
+        };
+        assert_eq!(run(11), run(11));
+        assert_eq!(run(11).1, run(11).1);
+    }
+
+    #[test]
+    fn lossy_network_counts_losses() {
+        let net = NetworkModel::lossy(LatencyModel::Constant(SimDuration::from_millis(1)), 0.5);
+        let mut s = Simulation::new(2, net, 3, |_, _| Echo::default());
+        for i in 0..200 {
+            s.schedule_command(
+                SimTime::from_millis(i),
+                NodeId::new(0),
+                EchoCmd::SendTo(NodeId::new(1), 1),
+            );
+        }
+        s.run_until(SimTime::from_secs(2));
+        let st = s.transport_stats(NodeId::new(0));
+        assert_eq!(st.msgs_sent, 200);
+        assert!(st.msgs_lost > 50 && st.msgs_lost < 150, "lost={}", st.msgs_lost);
+        let received = s.transport_stats(NodeId::new(1)).msgs_received;
+        assert_eq!(received + st.msgs_lost, 200);
+    }
+
+    #[test]
+    fn event_budget_stops_run() {
+        let mut s = sim(1);
+        s.set_max_events(2);
+        for i in 0..10 {
+            s.schedule_command(SimTime::from_millis(i), NodeId::new(0), EchoCmd::Arm(1, i));
+        }
+        let report = s.run_until(SimTime::from_secs(1));
+        assert!(!report.completed);
+        assert!(report.events <= 2);
+    }
+
+    #[test]
+    fn step_processes_single_event() {
+        let mut s = sim(1);
+        s.schedule_command(SimTime::from_millis(3), NodeId::new(0), EchoCmd::Arm(1, 1));
+        let t = s.step().unwrap();
+        assert_eq!(t, SimTime::from_millis(3));
+        assert_eq!(s.node(NodeId::new(0)).unwrap().timers.len(), 0);
+        let t2 = s.step().unwrap();
+        assert_eq!(t2, SimTime::from_millis(4));
+        assert_eq!(s.node(NodeId::new(0)).unwrap().timers, vec![1]);
+        assert!(s.step().is_none());
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_when_idle() {
+        let mut s = sim(1);
+        s.run_until(SimTime::from_secs(5));
+        assert_eq!(s.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn commands_to_crashed_nodes_are_dropped() {
+        let mut s = sim(1);
+        s.schedule_crash(SimTime::from_millis(1), NodeId::new(0));
+        s.schedule_command(SimTime::from_millis(2), NodeId::new(0), EchoCmd::Arm(1, 1));
+        s.run_until(SimTime::from_secs(1));
+        assert!(s.node(NodeId::new(0)).unwrap().timers.is_empty());
+    }
+
+    #[test]
+    fn partition_mid_run() {
+        let mut s = sim(2);
+        s.network_mut().partition(vec![0, 1]);
+        s.schedule_command(
+            SimTime::from_millis(1),
+            NodeId::new(0),
+            EchoCmd::SendTo(NodeId::new(1), 1),
+        );
+        s.run_until(SimTime::from_millis(100));
+        assert!(s.node(NodeId::new(1)).unwrap().msgs.is_empty());
+        s.network_mut().heal();
+        s.schedule_command(
+            SimTime::from_millis(101),
+            NodeId::new(0),
+            EchoCmd::SendTo(NodeId::new(1), 2),
+        );
+        s.run_until(SimTime::from_secs(1));
+        assert_eq!(s.node(NodeId::new(1)).unwrap().msgs.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Simulation::new(0, NetworkModel::default(), 1, |_, _| Echo::default());
+    }
+}

@@ -1,0 +1,204 @@
+//! The protocol abstraction every dissemination system implements.
+//!
+//! A protocol is a deterministic state machine per node, driven by four
+//! callbacks: initialization, message receipt, timer expiry and external
+//! commands (e.g. "publish this event"). All side effects go through the
+//! [`Context`]: sending messages and arming timers. The engine owns
+//! delivery, loss, latency and per-node randomness.
+
+use crate::time::{SimDuration, SimTime};
+use fed_util::rng::Xoshiro256StarStar;
+use std::fmt;
+
+/// Identifier of a simulated node (dense indices `0..n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates an id from a dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index of this node.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// A queued side effect produced by a protocol callback.
+#[derive(Debug, Clone)]
+pub(crate) enum Outgoing<M> {
+    /// Send `msg` to `to` over the simulated network.
+    Send {
+        /// Destination node.
+        to: NodeId,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire `on_timer(token)` after `delay`.
+    Timer {
+        /// Delay from now.
+        delay: SimDuration,
+        /// Opaque token returned to the protocol.
+        token: u64,
+    },
+}
+
+/// Handle through which a protocol interacts with the simulated world.
+///
+/// Borrowed mutably for the duration of one callback; everything it exposes
+/// is deterministic given the simulation seed.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) n: usize,
+    pub(crate) rng: &'a mut Xoshiro256StarStar,
+    pub(crate) outbox: &'a mut Vec<Outgoing<M>>,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// This node's id.
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of node slots in the simulation (alive or not).
+    ///
+    /// Protocols that need *membership* should use a membership view rather
+    /// than this raw bound; it exists so uniform peer sampling oracles can be
+    /// built on top.
+    pub fn system_size(&self) -> usize {
+        self.n
+    }
+
+    /// This node's private deterministic random stream.
+    pub fn rng(&mut self) -> &mut Xoshiro256StarStar {
+        self.rng
+    }
+
+    /// Queues `msg` for delivery to `to`.
+    ///
+    /// Delivery is asynchronous: latency and loss are decided by the
+    /// engine's [`crate::network::NetworkModel`]. Sending to self is allowed
+    /// and goes through the network like any other message.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        self.outbox.push(Outgoing::Send { to, msg });
+    }
+
+    /// Arms a one-shot timer; `on_timer(token)` fires after `delay`.
+    ///
+    /// Timers do not survive a crash: a node that crashes and rejoins starts
+    /// with a clean timer set (its `on_init` runs again).
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.outbox.push(Outgoing::Timer { delay, token });
+    }
+}
+
+/// A dissemination protocol: per-node deterministic state machine.
+///
+/// Implementations must not use any randomness outside [`Context::rng`] and
+/// must not read wall-clock time; this is what makes simulations replayable.
+pub trait Protocol: Sized {
+    /// The wire message type.
+    type Msg: Clone;
+    /// External command type (application-level injections such as
+    /// "publish" or "subscribe").
+    type Cmd: Clone;
+
+    /// Called once when the node starts (also after a rejoin).
+    fn on_init(&mut self, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, ctx: &mut Context<'_, Self::Msg>, from: NodeId, msg: Self::Msg);
+
+    /// Called when a timer armed via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Context<'_, Self::Msg>, token: u64);
+
+    /// Called when an external command is injected for this node.
+    fn on_command(&mut self, _ctx: &mut Context<'_, Self::Msg>, _cmd: Self::Cmd) {}
+
+    /// Called when the node crashes (no context: a crashed node cannot act).
+    fn on_crash(&mut self, _at: SimTime) {}
+
+    /// Abstract size of a message in bytes, used for byte-level contribution
+    /// accounting (the paper's Figure 3 modulates contribution by message
+    /// size). The default charges one unit per message.
+    fn message_size(_msg: &Self::Msg) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_basics() {
+        let id = NodeId::new(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.as_u32(), 7);
+        assert_eq!(format!("{id}"), "n7");
+        assert_eq!(NodeId::from(3u32), NodeId::new(3));
+        assert!(NodeId::new(1) < NodeId::new(2));
+    }
+
+    #[test]
+    fn context_queues_effects() {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+        let mut outbox: Vec<Outgoing<&'static str>> = Vec::new();
+        let mut ctx = Context {
+            node: NodeId::new(0),
+            now: SimTime::from_millis(5),
+            n: 10,
+            rng: &mut rng,
+            outbox: &mut outbox,
+        };
+        assert_eq!(ctx.id(), NodeId::new(0));
+        assert_eq!(ctx.now(), SimTime::from_millis(5));
+        assert_eq!(ctx.system_size(), 10);
+        let _ = ctx.rng().next_u64();
+        ctx.send(NodeId::new(3), "hello");
+        ctx.set_timer(SimDuration::from_millis(100), 42);
+        assert_eq!(outbox.len(), 2);
+        match &outbox[0] {
+            Outgoing::Send { to, msg } => {
+                assert_eq!(*to, NodeId::new(3));
+                assert_eq!(*msg, "hello");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &outbox[1] {
+            Outgoing::Timer { delay, token } => {
+                assert_eq!(*delay, SimDuration::from_millis(100));
+                assert_eq!(*token, 42);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    use fed_util::rng::Rng64;
+}

@@ -1,0 +1,216 @@
+//! Fixed-bucket histograms for latency/round distributions.
+
+use std::fmt;
+
+/// A histogram over `[lo, hi)` with equal-width buckets plus underflow and
+/// overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use fed_util::histogram::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// h.record(3.0);
+/// h.record(3.5);
+/// h.record(42.0); // overflow
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.overflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    buckets: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+/// Error returned by [`Histogram::new`] on invalid bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidHistogram;
+
+impl fmt::Display for InvalidHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "histogram requires finite lo < hi and at least one bucket")
+    }
+}
+
+impl std::error::Error for InvalidHistogram {}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `buckets` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidHistogram`] if `lo >= hi`, either bound is
+    /// non-finite, or `buckets == 0`.
+    pub fn new(lo: f64, hi: f64, buckets: usize) -> Result<Self, InvalidHistogram> {
+        if !lo.is_finite() || !hi.is_finite() || lo >= hi || buckets == 0 {
+            return Err(InvalidHistogram);
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        })
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn record(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.buckets.len() as f64;
+            let idx = (((x - self.lo) / w) as usize).min(self.buckets.len() - 1);
+            self.buckets[idx] += 1;
+        }
+    }
+
+    /// Total observations recorded (including under/overflow).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Per-bucket counts, low to high.
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// The `[start, end)` range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bucket_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.buckets.len(), "bucket index out of range");
+        let w = (self.hi - self.lo) / self.buckets.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Approximate quantile from bucket midpoints; `None` when empty or the
+    /// quantile falls in under/overflow.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut acc = self.underflow;
+        if acc >= target {
+            return None; // inside underflow region
+        }
+        for (i, &c) in self.buckets.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let (a, b) = self.bucket_range(i);
+                return Some((a + b) / 2.0);
+            }
+        }
+        None // inside overflow region
+    }
+
+    /// Renders a compact ASCII bar chart (one line per bucket) for reports.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.buckets.iter().enumerate() {
+            let (a, b) = self.bucket_range(i);
+            let bar = "#".repeat((c as usize * width).div_ceil(max as usize).min(width));
+            out.push_str(&format!("[{a:>10.3}, {b:>10.3}) {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validation() {
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 4).is_ok());
+    }
+
+    #[test]
+    fn records_land_in_right_buckets() {
+        let mut h = Histogram::new(0.0, 10.0, 10).unwrap();
+        for i in 0..10 {
+            h.record(i as f64 + 0.5);
+        }
+        assert_eq!(h.bucket_counts(), &[1; 10]);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn under_and_overflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(-0.1);
+        h.record(1.0); // hi is exclusive
+        h.record(5.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 2);
+        assert_eq!(h.count(), 3);
+    }
+
+    #[test]
+    fn ignores_nan() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn bucket_range_math() {
+        let h = Histogram::new(0.0, 100.0, 4).unwrap();
+        assert_eq!(h.bucket_range(0), (0.0, 25.0));
+        assert_eq!(h.bucket_range(3), (75.0, 100.0));
+    }
+
+    #[test]
+    fn quantile_midpoints() {
+        let mut h = Histogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let med = h.quantile(0.5).unwrap();
+        assert!((med - 45.0).abs() <= 10.0, "median~{med}");
+        assert!(h.quantile(1.0).is_some());
+        assert!(Histogram::new(0.0, 1.0, 2).unwrap().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn render_shows_all_buckets() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.record(0.5);
+        h.record(0.6);
+        h.record(3.2);
+        let s = h.render(20);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('#'));
+    }
+}

@@ -1,0 +1,174 @@
+//! Property-based tests for fed-util invariants.
+
+use fed_util::dist::{Exponential, Geometric, WeightedIndex, Zipf};
+use fed_util::fairness::{gini_coefficient, jain_index, max_min_ratio, normalized_entropy};
+use fed_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+use fed_util::stats::{OnlineStats, Summary};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn rng_range_always_below_bound(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.range_u64(bound) < bound);
+        }
+    }
+
+    #[test]
+    fn rng_f64_in_unit_interval(seed in any::<u64>()) {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        for _ in 0..64 {
+            let x = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn rng_same_seed_same_stream(seed in any::<u64>()) {
+        let mut a = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut b = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset(seed in any::<u64>(), mut v in prop::collection::vec(0u32..100, 0..64)) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let mut original = v.clone();
+        rng.shuffle(&mut v);
+        original.sort_unstable();
+        v.sort_unstable();
+        prop_assert_eq!(original, v);
+    }
+
+    #[test]
+    fn sample_indices_distinct(seed in any::<u64>(), n in 0usize..300, k in 0usize..350) {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        let s = rng.sample_indices(n, k);
+        prop_assert_eq!(s.len(), k.min(n));
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), s.len());
+        prop_assert!(s.iter().all(|&i| i < n));
+    }
+
+    #[test]
+    fn zipf_samples_in_range(seed in any::<u64>(), n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..32 {
+            prop_assert!(z.sample(&mut rng) < n);
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_normalized(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s).unwrap();
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exponential_non_negative(seed in any::<u64>(), lambda in 0.001f64..100.0) {
+        let e = Exponential::new(lambda).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..32 {
+            let x = e.sample(&mut rng);
+            prop_assert!(x.is_finite() && x >= 0.0);
+        }
+    }
+
+    #[test]
+    fn geometric_finite(seed in any::<u64>(), p in 0.01f64..1.0) {
+        let g = Geometric::new(p).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..16 {
+            let _ = g.sample(&mut rng); // must terminate and not panic
+        }
+    }
+
+    #[test]
+    fn weighted_index_never_picks_zero_weight(
+        seed in any::<u64>(),
+        weights in prop::collection::vec(0.0f64..10.0, 1..20),
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let w = WeightedIndex::new(&weights).unwrap();
+        let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
+        for _ in 0..64 {
+            let i = w.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "picked zero-weight index {}", i);
+        }
+    }
+
+    #[test]
+    fn jain_in_bounds(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let j = jain_index(&values);
+        let n = values.len() as f64;
+        prop_assert!(j <= 1.0 + 1e-9);
+        prop_assert!(j >= 1.0 / n - 1e-9);
+    }
+
+    #[test]
+    fn gini_in_bounds(values in prop::collection::vec(0.0f64..1e6, 1..100)) {
+        let g = gini_coefficient(&values);
+        prop_assert!((-1e-9..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn entropy_in_bounds(values in prop::collection::vec(0.0f64..1e6, 2..100)) {
+        let h = normalized_entropy(&values);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&h));
+    }
+
+    #[test]
+    fn max_min_at_least_one(values in prop::collection::vec(0.1f64..1e6, 1..100)) {
+        prop_assert!(max_min_ratio(&values) >= 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn indices_perfect_on_constant(x in 0.1f64..1e6, n in 1usize..64) {
+        let v = vec![x; n];
+        prop_assert!((jain_index(&v) - 1.0).abs() < 1e-9);
+        prop_assert!(gini_coefficient(&v).abs() < 1e-9);
+        prop_assert!((max_min_ratio(&v) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_stats_match_naive(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s: OnlineStats = values.iter().copied().collect();
+        let mean = values.iter().sum::<f64>() / values.len() as f64;
+        let var = values.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / values.len() as f64;
+        prop_assert!((s.mean() - mean).abs() < 1e-6);
+        prop_assert!((s.variance() - var).abs() < 1e-4);
+    }
+
+    #[test]
+    fn online_merge_associative(
+        a in prop::collection::vec(-1e4f64..1e4, 0..50),
+        b in prop::collection::vec(-1e4f64..1e4, 0..50),
+    ) {
+        let mut merged: OnlineStats = a.iter().copied().collect();
+        let sb: OnlineStats = b.iter().copied().collect();
+        merged.merge(&sb);
+        let joint: OnlineStats = a.iter().chain(b.iter()).copied().collect();
+        prop_assert_eq!(merged.len(), joint.len());
+        prop_assert!((merged.mean() - joint.mean()).abs() < 1e-6);
+        prop_assert!((merged.variance() - joint.variance()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn summary_percentiles_monotone(values in prop::collection::vec(-1e4f64..1e4, 1..200)) {
+        let s = Summary::from_values(values);
+        let p25 = s.percentile(25.0).unwrap();
+        let p50 = s.percentile(50.0).unwrap();
+        let p75 = s.percentile(75.0).unwrap();
+        prop_assert!(p25 <= p50 && p50 <= p75);
+        prop_assert!(s.min().unwrap() <= p25);
+        prop_assert!(p75 <= s.max().unwrap());
+    }
+}

@@ -1,0 +1,170 @@
+//! Churn traces: scheduled crashes and rejoins.
+
+use fed_sim::SimTime;
+use fed_util::dist::{Exponential, InvalidDistribution};
+use fed_util::rng::Rng64;
+
+/// One churn action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// The node crashes/leaves.
+    Crash,
+    /// The node rejoins with fresh state.
+    Join,
+}
+
+/// A scheduled churn event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// When it happens.
+    pub at: SimTime,
+    /// Which node.
+    pub node: usize,
+    /// Crash or join.
+    pub action: ChurnAction,
+}
+
+/// Parameters of a random churn trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlan {
+    /// Mean node session length in seconds (exponential).
+    pub mean_session_secs: f64,
+    /// Mean downtime before rejoin in seconds (exponential).
+    pub mean_downtime_secs: f64,
+    /// Fraction of the population subject to churn (the rest are stable).
+    pub churning_fraction: f64,
+    /// Trace horizon.
+    pub duration: SimTime,
+    /// No churn before this instant.
+    pub warmup: SimTime,
+}
+
+impl Default for ChurnPlan {
+    fn default() -> Self {
+        ChurnPlan {
+            mean_session_secs: 30.0,
+            mean_downtime_secs: 10.0,
+            churning_fraction: 0.3,
+            duration: SimTime::from_secs(60),
+            warmup: SimTime::from_secs(5),
+        }
+    }
+}
+
+/// Generates an alternating crash/join trace per churning node.
+///
+/// Node indices `0..n*fraction` churn (callers can shuffle identities via
+/// interest assignment instead — keeping the churning set to a prefix makes
+/// experiments easy to stratify).
+///
+/// # Errors
+///
+/// Returns [`InvalidDistribution`] for non-positive means.
+pub fn generate_churn<R: Rng64>(
+    rng: &mut R,
+    n: usize,
+    plan: &ChurnPlan,
+) -> Result<Vec<ChurnEvent>, InvalidDistribution> {
+    let session = Exponential::new(1.0 / plan.mean_session_secs.max(f64::MIN_POSITIVE))?;
+    let downtime = Exponential::new(1.0 / plan.mean_downtime_secs.max(f64::MIN_POSITIVE))?;
+    let churners = ((n as f64) * plan.churning_fraction.clamp(0.0, 1.0)).round() as usize;
+    let horizon = plan.warmup.as_secs_f64() + plan.duration.as_secs_f64();
+    let mut events = Vec::new();
+    for node in 0..churners.min(n) {
+        let mut t = plan.warmup.as_secs_f64() + session.sample(rng);
+        let mut up = true;
+        while t < horizon {
+            events.push(ChurnEvent {
+                at: SimTime::from_micros((t * 1e6) as u64),
+                node,
+                action: if up { ChurnAction::Crash } else { ChurnAction::Join },
+            });
+            t += if up {
+                downtime.sample(rng)
+            } else {
+                session.sample(rng)
+            };
+            up = !up;
+        }
+    }
+    events.sort_by_key(|e| (e.at, e.node));
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_util::rng::Xoshiro256StarStar;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(99)
+    }
+
+    #[test]
+    fn trace_alternates_per_node() {
+        let plan = ChurnPlan::default();
+        let events = generate_churn(&mut rng(), 100, &plan).unwrap();
+        assert!(!events.is_empty());
+        for node in 0..30 {
+            let actions: Vec<ChurnAction> = events
+                .iter()
+                .filter(|e| e.node == node)
+                .map(|e| e.action)
+                .collect();
+            for (i, a) in actions.iter().enumerate() {
+                let expect = if i % 2 == 0 {
+                    ChurnAction::Crash
+                } else {
+                    ChurnAction::Join
+                };
+                assert_eq!(*a, expect, "node {node} step {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_churning_fraction_affected() {
+        let plan = ChurnPlan {
+            churning_fraction: 0.1,
+            ..ChurnPlan::default()
+        };
+        let events = generate_churn(&mut rng(), 100, &plan).unwrap();
+        assert!(events.iter().all(|e| e.node < 10));
+    }
+
+    #[test]
+    fn respects_warmup_and_horizon() {
+        let plan = ChurnPlan {
+            warmup: SimTime::from_secs(10),
+            duration: SimTime::from_secs(20),
+            ..ChurnPlan::default()
+        };
+        let events = generate_churn(&mut rng(), 50, &plan).unwrap();
+        for e in &events {
+            assert!(e.at >= SimTime::from_secs(10));
+            assert!(e.at < SimTime::from_secs(30));
+        }
+    }
+
+    #[test]
+    fn sorted_by_time() {
+        let events = generate_churn(&mut rng(), 60, &ChurnPlan::default()).unwrap();
+        assert!(events.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn zero_fraction_no_churn() {
+        let plan = ChurnPlan {
+            churning_fraction: 0.0,
+            ..ChurnPlan::default()
+        };
+        assert!(generate_churn(&mut rng(), 50, &plan).unwrap().is_empty());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = generate_churn(&mut rng(), 40, &ChurnPlan::default()).unwrap();
+        let b = generate_churn(&mut rng(), 40, &ChurnPlan::default()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # fed-workload
+//!
+//! Scenario generation for the experiments: heterogeneous interest
+//! profiles (Zipf topic popularity × per-node appetite), Poisson/regular
+//! publication schedules and churn traces. All generators are
+//! deterministic under a seeded [`fed_util::rng::Rng64`].
+//!
+//! ## Examples
+//!
+//! ```
+//! use fed_util::rng::Xoshiro256StarStar;
+//! use fed_workload::interest::{Appetite, InterestProfile};
+//! use fed_workload::pubs::{generate_schedule, PubPlan};
+//!
+//! let mut rng = Xoshiro256StarStar::seed_from_u64(1);
+//! let profile = InterestProfile::generate(&mut rng, 100, 20, 1.0, Appetite::Fixed(3))?;
+//! assert_eq!(profile.total_subscriptions(), 300);
+//! let schedule = generate_schedule(&mut rng, 100, 20, &PubPlan::default())?;
+//! assert!(!schedule.is_empty());
+//! # Ok::<(), fed_util::dist::InvalidDistribution>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod interest;
+pub mod pubs;
+
+pub use churn::{generate_churn, ChurnAction, ChurnEvent, ChurnPlan};
+pub use interest::{Appetite, InterestProfile};
+pub use pubs::{generate_schedule, regular_schedule, PubPlan, Publication};

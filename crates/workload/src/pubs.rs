@@ -1,0 +1,226 @@
+//! Publication schedules: when, where and what gets published.
+
+use fed_pubsub::{Event, EventId, TopicId};
+use fed_sim::SimTime;
+use fed_util::dist::{Exponential, InvalidDistribution, Zipf};
+use fed_util::rng::Rng64;
+
+/// One scheduled publication.
+#[derive(Debug, Clone)]
+pub struct Publication {
+    /// When the publish command fires.
+    pub at: SimTime,
+    /// The publishing node index.
+    pub publisher: usize,
+    /// The event (topic, id and payload already set).
+    pub event: Event,
+}
+
+/// Parameters of a publication schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PubPlan {
+    /// Mean publications per simulated second (Poisson process).
+    pub rate_per_sec: f64,
+    /// Total simulated span to fill.
+    pub duration: SimTime,
+    /// Zipf exponent over topics (0 = uniform; same skew convention as
+    /// subscriptions).
+    pub topic_zipf_s: f64,
+    /// Payload bytes attached to each event.
+    pub payload_bytes: usize,
+    /// Warm-up offset: no publication before this instant (gives gossip
+    /// rounds and controllers time to start).
+    pub warmup: SimTime,
+}
+
+impl Default for PubPlan {
+    fn default() -> Self {
+        PubPlan {
+            rate_per_sec: 10.0,
+            duration: SimTime::from_secs(30),
+            topic_zipf_s: 1.0,
+            payload_bytes: 64,
+            warmup: SimTime::from_secs(1),
+        }
+    }
+}
+
+/// Generates the full schedule for `n` publishers over `num_topics` topics.
+///
+/// Publishers are chosen uniformly; inter-arrival times are exponential
+/// (Poisson process); topics follow the plan's Zipf law. Event ids are
+/// `(publisher, per-publisher sequence)` so they are globally unique.
+///
+/// # Errors
+///
+/// Returns [`InvalidDistribution`] for non-positive rate or invalid skew.
+pub fn generate_schedule<R: Rng64>(
+    rng: &mut R,
+    n: usize,
+    num_topics: usize,
+    plan: &PubPlan,
+) -> Result<Vec<Publication>, InvalidDistribution> {
+    let inter = Exponential::new(plan.rate_per_sec)?;
+    let zipf = Zipf::new(num_topics, plan.topic_zipf_s)?;
+    let mut schedule = Vec::new();
+    let mut seqs = vec![0u32; n];
+    let mut t = plan.warmup.as_secs_f64();
+    let end = plan.warmup.as_secs_f64() + plan.duration.as_secs_f64();
+    while t < end {
+        t += inter.sample(rng);
+        if t >= end {
+            break;
+        }
+        let publisher = rng.range_usize(n);
+        let topic = TopicId::new(zipf.sample(rng) as u32);
+        let seq = seqs[publisher];
+        seqs[publisher] += 1;
+        let event = Event::builder(EventId::new(publisher as u32, seq), topic)
+            .payload_bytes(plan.payload_bytes)
+            .build();
+        schedule.push(Publication {
+            at: SimTime::from_micros((t * 1e6) as u64),
+            publisher,
+            event,
+        });
+    }
+    Ok(schedule)
+}
+
+/// A deterministic fixed-interval schedule: one publication every
+/// `interval`, round-robin over publishers, cycling topics `0..num_topics`.
+///
+/// Useful for tests and convergence experiments where Poisson noise would
+/// obscure the signal.
+pub fn regular_schedule(
+    n: usize,
+    num_topics: usize,
+    count: usize,
+    start: SimTime,
+    interval: SimTime,
+    payload_bytes: usize,
+) -> Vec<Publication> {
+    (0..count)
+        .map(|k| {
+            let publisher = k % n.max(1);
+            let topic = TopicId::new((k % num_topics.max(1)) as u32);
+            let event = Event::builder(
+                EventId::new(publisher as u32, (k / n.max(1)) as u32),
+                topic,
+            )
+            .payload_bytes(payload_bytes)
+            .build();
+            Publication {
+                at: SimTime::from_micros(
+                    start.as_micros() + interval.as_micros() * k as u64,
+                ),
+                publisher,
+                event,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_util::rng::Xoshiro256StarStar;
+    use std::collections::HashSet;
+
+    fn rng() -> Xoshiro256StarStar {
+        Xoshiro256StarStar::seed_from_u64(7)
+    }
+
+    #[test]
+    fn poisson_schedule_respects_bounds() {
+        let plan = PubPlan {
+            rate_per_sec: 50.0,
+            duration: SimTime::from_secs(10),
+            warmup: SimTime::from_secs(2),
+            ..PubPlan::default()
+        };
+        let s = generate_schedule(&mut rng(), 20, 10, &plan).unwrap();
+        assert!(!s.is_empty());
+        let count = s.len() as f64;
+        // ~500 expected
+        assert!((350.0..650.0).contains(&count), "count={count}");
+        for p in &s {
+            assert!(p.at >= plan.warmup);
+            assert!(p.at < SimTime::from_secs(12));
+            assert!(p.publisher < 20);
+            assert!(p.event.topic().index() < 10);
+        }
+        // Times are sorted.
+        assert!(s.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn event_ids_globally_unique() {
+        let plan = PubPlan::default();
+        let s = generate_schedule(&mut rng(), 5, 4, &plan).unwrap();
+        let ids: HashSet<_> = s.iter().map(|p| p.event.id()).collect();
+        assert_eq!(ids.len(), s.len());
+    }
+
+    #[test]
+    fn zipf_topics_skewed() {
+        let plan = PubPlan {
+            rate_per_sec: 100.0,
+            duration: SimTime::from_secs(30),
+            topic_zipf_s: 1.5,
+            ..PubPlan::default()
+        };
+        let s = generate_schedule(&mut rng(), 10, 20, &plan).unwrap();
+        let top = s.iter().filter(|p| p.event.topic().index() == 0).count();
+        let tail = s.iter().filter(|p| p.event.topic().index() == 19).count();
+        assert!(top > tail * 3, "top={top} tail={tail}");
+    }
+
+    #[test]
+    fn schedule_is_deterministic() {
+        let plan = PubPlan::default();
+        let a = generate_schedule(&mut rng(), 8, 4, &plan).unwrap();
+        let b = generate_schedule(&mut rng(), 8, 4, &plan).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.publisher, y.publisher);
+            assert_eq!(x.event.id(), y.event.id());
+        }
+    }
+
+    #[test]
+    fn invalid_plan_rejected() {
+        let plan = PubPlan {
+            rate_per_sec: 0.0,
+            ..PubPlan::default()
+        };
+        assert!(generate_schedule(&mut rng(), 4, 4, &plan).is_err());
+    }
+
+    #[test]
+    fn regular_schedule_round_robins() {
+        let s = regular_schedule(
+            3,
+            2,
+            7,
+            SimTime::from_secs(1),
+            SimTime::from_millis(100),
+            32,
+        );
+        assert_eq!(s.len(), 7);
+        assert_eq!(s[0].publisher, 0);
+        assert_eq!(s[1].publisher, 1);
+        assert_eq!(s[2].publisher, 2);
+        assert_eq!(s[3].publisher, 0);
+        assert_eq!(s[0].at, SimTime::from_secs(1));
+        assert_eq!(s[1].at, SimTime::from_millis(1100));
+        // ids unique
+        let ids: HashSet<_> = s.iter().map(|p| p.event.id()).collect();
+        assert_eq!(ids.len(), 7);
+        // topics cycle
+        assert_eq!(s[0].event.topic(), TopicId::new(0));
+        assert_eq!(s[1].event.topic(), TopicId::new(1));
+        assert_eq!(s[2].event.topic(), TopicId::new(0));
+    }
+}

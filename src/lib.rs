@@ -1,0 +1,68 @@
+//! # fed — Fair Event Dissemination
+//!
+//! A reproduction of *"Towards Fair Event Dissemination"* (S. Baehni,
+//! R. Guerraoui, B. Koldehofe, M. Monod — ICDCS 2007) as a working system:
+//! a fairness-adaptive gossip publish/subscribe protocol, every baseline
+//! architecture the paper analyses, a deterministic discrete-event
+//! simulator to run them on, and an experiment suite that regenerates each
+//! of the paper's figures as measured tables.
+//!
+//! This crate is the facade: it re-exports the workspace so applications
+//! can depend on a single crate. The layers, bottom to top:
+//!
+//! | Module | Source crate | Contents |
+//! |---|---|---|
+//! | [`util`] | `fed-util` | deterministic PRNG, distributions, statistics, fairness indices |
+//! | [`sim`] | `fed-sim` | discrete-event simulator: protocols, virtual time, network models, churn |
+//! | [`pubsub`] | `fed-pubsub` | events, topics, filters, the subscription language |
+//! | [`membership`] | `fed-membership` | peer sampling: full oracle and Cyclon views |
+//! | [`dht`] | `fed-dht` | Pastry-like ring for the structured baselines |
+//! | [`core`] | `fed-core` | **the paper's contribution**: fairness ledger, basic + fair gossip, controllers, audits, subscription walks |
+//! | [`baselines`] | `fed-baselines` | broker, Scribe, DKS, data-aware multicast, SplitStream |
+//! | [`metrics`] | `fed-metrics` | delivery audits, fairness reports, result tables |
+//! | [`workload`] | `fed-workload` | interest profiles, publication schedules, churn traces |
+//! | [`experiments`] | `fed-experiments` | one module per paper figure/claim |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fed::core::gossip::{GossipCmd, GossipConfig, GossipNode};
+//! use fed::membership::FullMembership;
+//! use fed::pubsub::{Event, EventId, TopicId};
+//! use fed::sim::network::NetworkModel;
+//! use fed::sim::{NodeId, SimDuration, SimTime, Simulation};
+//!
+//! let n = 16;
+//! let cfg = GossipConfig::fair(4, 16, SimDuration::from_millis(100));
+//! let mut sim = Simulation::new(n, NetworkModel::default(), 1, move |id, _| {
+//!     GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+//! });
+//! let topic = TopicId::new(0);
+//! for i in 0..n as u32 {
+//!     sim.schedule_command(SimTime::ZERO, NodeId::new(i), GossipCmd::SubscribeTopic(topic));
+//! }
+//! sim.schedule_command(
+//!     SimTime::from_millis(100),
+//!     NodeId::new(0),
+//!     GossipCmd::Publish(Event::bare(EventId::new(0, 1), topic)),
+//! );
+//! sim.run_until(SimTime::from_secs(3));
+//! assert!(sim.nodes().all(|(_, node)| node.deliveries().len() == 1));
+//! ```
+//!
+//! Run `cargo run --release -p fed-experiments` to regenerate every paper
+//! table; see EXPERIMENTS.md for the recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use fed_baselines as baselines;
+pub use fed_core as core;
+pub use fed_dht as dht;
+pub use fed_experiments as experiments;
+pub use fed_membership as membership;
+pub use fed_metrics as metrics;
+pub use fed_pubsub as pubsub;
+pub use fed_sim as sim;
+pub use fed_util as util;
+pub use fed_workload as workload;

@@ -1,0 +1,36 @@
+//! Replay guarantees: identical seeds yield bit-identical results across
+//! the whole stack — the property all experiment tables depend on.
+
+use fed::experiments::{arch, fig1, fig4};
+
+#[test]
+fn fig1_tables_replay_exactly() {
+    let a = fig1::run(32, 99);
+    let b = fig1::run(32, 99);
+    assert_eq!(a.table.to_string(), b.table.to_string());
+    assert_eq!(a.classic_jain, b.classic_jain);
+    assert_eq!(a.fair_jain, b.fair_jain);
+}
+
+#[test]
+fn fig1_different_seeds_differ() {
+    let a = fig1::run(32, 1);
+    let b = fig1::run(32, 2);
+    // Astronomically unlikely to coincide exactly.
+    assert_ne!(a.classic_jain, b.classic_jain);
+}
+
+#[test]
+fn fig4_series_replay_exactly() {
+    let a = fig4::run(24, &[16, 24], 7);
+    let b = fig4::run(24, &[16, 24], 7);
+    assert_eq!(a.fanout_series, b.fanout_series);
+    assert_eq!(a.scale_series, b.scale_series);
+}
+
+#[test]
+fn arch_comparison_replays_exactly() {
+    let a = arch::run(32, 11);
+    let b = arch::run(32, 11);
+    assert_eq!(a.table.to_string(), b.table.to_string());
+}
