@@ -168,9 +168,7 @@ impl Protocol for BrokerNode {
                 let ids: Vec<_> = self
                     .subs
                     .iter()
-                    .filter(|(_, s)| {
-                        matches!(s, fed_pubsub::Subscription::Topic(t) if *t == topic)
-                    })
+                    .filter(|(_, s)| matches!(s, fed_pubsub::Subscription::Topic(t) if *t == topic))
                     .map(|(id, _)| id)
                     .collect();
                 for id in ids {
@@ -209,7 +207,11 @@ mod tests {
         let mut s = sim(8);
         let topic = TopicId::new(1);
         for i in [2u32, 4, 6] {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), BrokerCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                BrokerCmd::SubscribeTopic(topic),
+            );
         }
         let e = Event::bare(EventId::new(3, 1), topic);
         s.schedule_command(
@@ -229,7 +231,11 @@ mod tests {
         let mut s = sim(16);
         let topic = TopicId::new(0);
         for i in 1..16u32 {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), BrokerCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                BrokerCmd::SubscribeTopic(topic),
+            );
         }
         for k in 0..10u32 {
             s.schedule_command(
@@ -239,7 +245,12 @@ mod tests {
             );
         }
         s.run_until(SimTime::from_secs(2));
-        let broker_fwd = s.node(NodeId::new(0)).unwrap().ledger().totals().forwarded_msgs;
+        let broker_fwd = s
+            .node(NodeId::new(0))
+            .unwrap()
+            .ledger()
+            .totals()
+            .forwarded_msgs;
         assert_eq!(broker_fwd, 10 * 15, "broker forwards every notify");
         for (id, node) in s.nodes() {
             if id.index() != 0 {
@@ -252,7 +263,11 @@ mod tests {
     fn unsubscribe_stops_notifications() {
         let mut s = sim(4);
         let topic = TopicId::new(0);
-        s.schedule_command(SimTime::ZERO, NodeId::new(2), BrokerCmd::SubscribeTopic(topic));
+        s.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(2),
+            BrokerCmd::SubscribeTopic(topic),
+        );
         s.schedule_command(
             SimTime::from_millis(100),
             NodeId::new(2),
@@ -271,7 +286,11 @@ mod tests {
     fn broker_as_subscriber_delivers_locally() {
         let mut s = sim(3);
         let topic = TopicId::new(0);
-        s.schedule_command(SimTime::ZERO, NodeId::new(0), BrokerCmd::SubscribeTopic(topic));
+        s.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(0),
+            BrokerCmd::SubscribeTopic(topic),
+        );
         let e = Event::bare(EventId::new(1, 1), topic);
         s.schedule_command(
             SimTime::from_millis(100),
@@ -279,7 +298,11 @@ mod tests {
             BrokerCmd::Publish(e.clone()),
         );
         s.run_until(SimTime::from_secs(1));
-        assert!(s.node(NodeId::new(0)).unwrap().deliveries().contains(e.id()));
+        assert!(s
+            .node(NodeId::new(0))
+            .unwrap()
+            .deliveries()
+            .contains(e.id()));
     }
 
     #[test]
@@ -287,7 +310,11 @@ mod tests {
         let mut s = sim(6);
         let topic = TopicId::new(0);
         for i in 1..6u32 {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), BrokerCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                BrokerCmd::SubscribeTopic(topic),
+            );
         }
         s.schedule_crash(SimTime::from_millis(50), NodeId::new(0));
         s.schedule_command(

@@ -69,7 +69,10 @@ mod tests {
         let mut log = DeliveryLog::new();
         let e = Event::bare(EventId::new(1, 1), TopicId::new(0));
         assert!(log.deliver(&e, SimTime::from_millis(5)));
-        assert!(!log.deliver(&e, SimTime::from_millis(9)), "second is a dupe");
+        assert!(
+            !log.deliver(&e, SimTime::from_millis(9)),
+            "second is a dupe"
+        );
         assert_eq!(log.time_of(e.id()), Some(SimTime::from_millis(5)));
         assert!(log.contains(e.id()));
         assert_eq!(log.len(), 1);

@@ -255,16 +255,17 @@ mod tests {
     use fed_sim::network::{LatencyModel, NetworkModel};
     use fed_sim::{SimTime, Simulation};
 
-    fn build(
-        n: usize,
-        groups: GroupTable,
-        space: TopicSpace,
-    ) -> Simulation<DamNode> {
+    fn build(n: usize, groups: GroupTable, space: TopicSpace) -> Simulation<DamNode> {
         let groups = Arc::new(groups);
         let space = Arc::new(space);
         let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(5)));
         Simulation::new(n, net, 31, move |id, _| {
-            DamNode::new(id, DamConfig::default(), Arc::clone(&groups), Arc::clone(&space))
+            DamNode::new(
+                id,
+                DamConfig::default(),
+                Arc::clone(&groups),
+                Arc::clone(&space),
+            )
         })
     }
 
@@ -280,7 +281,11 @@ mod tests {
             sim.schedule_command(SimTime::ZERO, *m, DamCmd::SubscribeTopic(topic));
         }
         let e = Event::bare(EventId::new(0, 1), topic);
-        sim.schedule_command(SimTime::from_millis(100), NodeId::new(0), DamCmd::Publish(e.clone()));
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(0),
+            DamCmd::Publish(e.clone()),
+        );
         sim.run_until(SimTime::from_secs(5));
         for (id, node) in sim.nodes() {
             if members.contains(&id) {
@@ -309,7 +314,11 @@ mod tests {
         }
         // Node 10 is not in the group but publishes.
         let e = Event::bare(EventId::new(10, 1), topic);
-        sim.schedule_command(SimTime::from_millis(100), NodeId::new(10), DamCmd::Publish(e.clone()));
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(10),
+            DamCmd::Publish(e.clone()),
+        );
         sim.run_until(SimTime::from_secs(5));
         let got = members
             .iter()
@@ -363,10 +372,17 @@ mod tests {
         // Node 0 subscribes to the *root*; events arrive on `sub`.
         sim.schedule_command(SimTime::ZERO, NodeId::new(0), DamCmd::SubscribeTopic(root));
         let e = Event::bare(EventId::new(1, 1), sub);
-        sim.schedule_command(SimTime::from_millis(100), NodeId::new(1), DamCmd::Publish(e.clone()));
+        sim.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(1),
+            DamCmd::Publish(e.clone()),
+        );
         sim.run_until(SimTime::from_secs(5));
         assert!(
-            sim.node(NodeId::new(0)).unwrap().deliveries().contains(e.id()),
+            sim.node(NodeId::new(0))
+                .unwrap()
+                .deliveries()
+                .contains(e.id()),
             "supertopic subscriber delivers subtopic event"
         );
     }

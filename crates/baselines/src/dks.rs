@@ -135,7 +135,12 @@ impl DksNode {
         let picked = ctx.rng().sample_indices(peers.len(), k);
         let size = event.size_bytes();
         for i in picked {
-            ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+            ctx.send(
+                peers[i],
+                DksMsg::GroupFlood {
+                    event: event.clone(),
+                },
+            );
             self.ledger.record_forward(size);
         }
     }
@@ -175,11 +180,17 @@ impl Protocol for DksNode {
                     let picked = ctx.rng().sample_indices(peers.len(), k);
                     let size = event.size_bytes();
                     for i in picked {
-                        ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+                        ctx.send(
+                            peers[i],
+                            DksMsg::GroupFlood {
+                                event: event.clone(),
+                            },
+                        );
                         self.ledger.record_forward(size);
                     }
                     // The index node may itself be a subscriber.
-                    if self.groups
+                    if self
+                        .groups
                         .get(&event.topic())
                         .map(|g| g.contains(&self.id))
                         .unwrap_or(false)
@@ -210,10 +221,16 @@ impl Protocol for DksNode {
                             let picked = ctx.rng().sample_indices(peers.len(), k);
                             let size = event.size_bytes();
                             for i in picked {
-                                ctx.send(peers[i], DksMsg::GroupFlood { event: event.clone() });
+                                ctx.send(
+                                    peers[i],
+                                    DksMsg::GroupFlood {
+                                        event: event.clone(),
+                                    },
+                                );
                                 self.ledger.record_forward(size);
                             }
-                            if self.groups
+                            if self
+                                .groups
                                 .get(&event.topic())
                                 .map(|g| g.contains(&self.id))
                                 .unwrap_or(false)
@@ -269,7 +286,11 @@ mod tests {
             s.schedule_command(SimTime::ZERO, *m, DksCmd::SubscribeTopic(topic));
         }
         let e = Event::bare(EventId::new(50, 1), topic);
-        s.schedule_command(SimTime::from_millis(100), NodeId::new(50), DksCmd::Publish(e.clone()));
+        s.schedule_command(
+            SimTime::from_millis(100),
+            NodeId::new(50),
+            DksCmd::Publish(e.clone()),
+        );
         s.run_until(SimTime::from_secs(5));
         let got = members
             .iter()
@@ -323,7 +344,11 @@ mod tests {
             s.schedule_command(SimTime::ZERO, *m, DksCmd::SubscribeTopic(topic));
         }
         let e = Event::bare(EventId::new(20, 1), topic);
-        s.schedule_command(SimTime::from_millis(50), NodeId::new(20), DksCmd::Publish(e.clone()));
+        s.schedule_command(
+            SimTime::from_millis(50),
+            NodeId::new(20),
+            DksCmd::Publish(e.clone()),
+        );
         s.run_until(SimTime::from_secs(5));
         for (id, node) in s.nodes() {
             if !members.contains(&id) {

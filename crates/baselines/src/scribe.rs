@@ -139,7 +139,12 @@ impl ScribeNode {
             .unwrap_or_default();
         let size = event.size_bytes();
         for child in kids {
-            ctx.send(child, ScribeMsg::Multicast { event: event.clone() });
+            ctx.send(
+                child,
+                ScribeMsg::Multicast {
+                    event: event.clone(),
+                },
+            );
             self.ledger.record_forward(size);
         }
     }
@@ -230,7 +235,9 @@ mod tests {
     fn sim(n: usize) -> Simulation<ScribeNode> {
         let dht = Arc::new(DhtNetwork::build(n));
         let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(5)));
-        Simulation::new(n, net, 17, move |id, _| ScribeNode::new(id, Arc::clone(&dht)))
+        Simulation::new(n, net, 17, move |id, _| {
+            ScribeNode::new(id, Arc::clone(&dht))
+        })
     }
 
     #[test]
@@ -240,7 +247,11 @@ mod tests {
         let topic = TopicId::new(3);
         let subscribers: Vec<u32> = vec![5, 17, 23, 42, 61];
         for &i in &subscribers {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), ScribeCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                ScribeCmd::SubscribeTopic(topic),
+            );
         }
         let e = Event::bare(EventId::new(7, 1), topic);
         s.schedule_command(
@@ -251,7 +262,10 @@ mod tests {
         s.run_until(SimTime::from_secs(5));
         for &i in &subscribers {
             assert!(
-                s.node(NodeId::new(i)).unwrap().deliveries().contains(e.id()),
+                s.node(NodeId::new(i))
+                    .unwrap()
+                    .deliveries()
+                    .contains(e.id()),
                 "subscriber {i} missed the event"
             );
         }
@@ -270,7 +284,11 @@ mod tests {
         let topic = TopicId::new(1);
         let subscribers: Vec<u32> = (0..20).map(|i| i * 6 + 1).collect();
         for &i in &subscribers {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), ScribeCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                ScribeCmd::SubscribeTopic(topic),
+            );
         }
         for k in 0..20u32 {
             s.schedule_command(
@@ -285,8 +303,7 @@ mod tests {
         let freeloaded: Vec<NodeId> = s
             .nodes()
             .filter(|(id, node)| {
-                !subscribers.contains(&id.as_u32())
-                    && node.ledger().totals().forwarded_msgs > 0
+                !subscribers.contains(&id.as_u32()) && node.ledger().totals().forwarded_msgs > 0
             })
             .map(|(id, _)| id)
             .collect();
@@ -302,7 +319,11 @@ mod tests {
         let mut s = sim(n);
         let topic = TopicId::new(9);
         for i in 0..n as u32 {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), ScribeCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                ScribeCmd::SubscribeTopic(topic),
+            );
         }
         for k in 0..10u32 {
             s.schedule_command(
@@ -337,7 +358,11 @@ mod tests {
         let root_id = NodeId::new(root.index as u32);
         s.schedule_command(SimTime::ZERO, root_id, ScribeCmd::SubscribeTopic(topic));
         let e = Event::bare(EventId::new(root.index as u32, 1), topic);
-        s.schedule_command(SimTime::from_millis(100), root_id, ScribeCmd::Publish(e.clone()));
+        s.schedule_command(
+            SimTime::from_millis(100),
+            root_id,
+            ScribeCmd::Publish(e.clone()),
+        );
         s.run_until(SimTime::from_secs(2));
         assert!(s.node(root_id).unwrap().deliveries().contains(e.id()));
     }
@@ -346,7 +371,11 @@ mod tests {
     fn duplicate_subscribe_is_stable() {
         let mut s = sim(16);
         let topic = TopicId::new(0);
-        s.schedule_command(SimTime::ZERO, NodeId::new(5), ScribeCmd::SubscribeTopic(topic));
+        s.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(5),
+            ScribeCmd::SubscribeTopic(topic),
+        );
         s.schedule_command(
             SimTime::from_millis(200),
             NodeId::new(5),

@@ -40,7 +40,10 @@ impl Forest {
     /// Panics if any argument is zero or `branching < stripes` (which would
     /// force non-eligible nodes into interior positions).
     pub fn build(n: usize, stripes: usize, branching: usize) -> Self {
-        assert!(n > 0 && stripes > 0 && branching > 0, "parameters must be positive");
+        assert!(
+            n > 0 && stripes > 0 && branching > 0,
+            "parameters must be positive"
+        );
         assert!(
             branching >= stripes,
             "branching must be >= stripes for interior disjointness"
@@ -289,7 +292,11 @@ mod tests {
         let mut s = sim(n, 4);
         let topic = TopicId::new(0);
         for i in 0..n as u32 {
-            s.schedule_command(SimTime::ZERO, NodeId::new(i), StripeCmd::SubscribeTopic(topic));
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                StripeCmd::SubscribeTopic(topic),
+            );
         }
         // publish 8 events -> spread across 4 stripes by seq
         for k in 0..8u32 {
@@ -311,7 +318,11 @@ mod tests {
         let stripes = 4;
         let mut s = sim(n, stripes);
         // only node 1 subscribes; everyone else is uninterested.
-        s.schedule_command(SimTime::ZERO, NodeId::new(1), StripeCmd::SubscribeTopic(TopicId::new(0)));
+        s.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(1),
+            StripeCmd::SubscribeTopic(TopicId::new(0)),
+        );
         for k in 0..40u32 {
             s.schedule_command(
                 SimTime::from_millis(100 + 10 * k as u64),
@@ -329,9 +340,7 @@ mod tests {
         // But fairness fails: uninterested nodes did forwarding work.
         let unfair = s
             .nodes()
-            .filter(|(id, p)| {
-                id.index() != 1 && p.ledger().totals().forwarded_msgs > 0
-            })
+            .filter(|(id, p)| id.index() != 1 && p.ledger().totals().forwarded_msgs > 0)
             .count();
         assert!(unfair > 0, "load-balanced forwarding ignores benefit");
     }
@@ -342,10 +351,18 @@ mod tests {
         let forest = Forest::build(n, 2, 4);
         let root0 = forest.root(0);
         let mut s = sim(n, 2);
-        s.schedule_command(SimTime::ZERO, root0, StripeCmd::SubscribeTopic(TopicId::new(0)));
+        s.schedule_command(
+            SimTime::ZERO,
+            root0,
+            StripeCmd::SubscribeTopic(TopicId::new(0)),
+        );
         // seq 0 -> stripe 0, whose root is root0.
         let e = Event::bare(EventId::new(root0.as_u32(), 0), TopicId::new(0));
-        s.schedule_command(SimTime::from_millis(50), root0, StripeCmd::Publish(e.clone()));
+        s.schedule_command(
+            SimTime::from_millis(50),
+            root0,
+            StripeCmd::Publish(e.clone()),
+        );
         s.run_until(SimTime::from_secs(2));
         assert!(s.node(root0).unwrap().deliveries().contains(e.id()));
     }

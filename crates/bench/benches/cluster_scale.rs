@@ -1,0 +1,51 @@
+//! Scaling benchmark of the `fed-cluster` sharded runtime.
+//!
+//! Sweeps shard counts over the same fair-gossip scenario at 1 k and 10 k
+//! nodes. The virtual-world outcome is bit-identical at every shard count
+//! (asserted by the fed-cluster tests); what changes is wall-clock time.
+//! On multi-core hardware the 10 k-node scenario shows the parallel
+//! speedup (>2x at 4 shards is the target); on a single core the sharded
+//! rows measure pure barrier overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fed_core::behavior::Behavior;
+use fed_core::gossip::GossipConfig;
+use fed_experiments::harness::build_gossip_cluster;
+use fed_experiments::scale::scale_spec;
+use fed_sim::SimDuration;
+use std::hint::black_box;
+
+fn config() -> GossipConfig {
+    GossipConfig::fair(4, 16, SimDuration::from_millis(100))
+}
+
+fn sweep(c: &mut Criterion, group_name: &str, n: usize) {
+    let mut g = c.benchmark_group(group_name);
+    g.sample_size(10);
+    for shards in [1usize, 2, 4, 8] {
+        g.bench_with_input(
+            BenchmarkId::new("fair_gossip", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let spec = scale_spec(n, 42).with_shards(shards);
+                    let mut run = build_gossip_cluster(&spec, config(), |_| Behavior::Honest);
+                    run.run();
+                    black_box(run.sim.events_processed())
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_cluster_1k(c: &mut Criterion) {
+    sweep(c, "cluster_1k", 1_000);
+}
+
+fn bench_cluster_10k(c: &mut Criterion) {
+    sweep(c, "cluster_10k", 10_000);
+}
+
+criterion_group!(benches, bench_cluster_1k, bench_cluster_10k);
+criterion_main!(benches);

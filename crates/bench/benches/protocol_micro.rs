@@ -53,10 +53,9 @@ fn bench_controllers(c: &mut Criterion) {
 
 fn bench_filters(c: &mut Criterion) {
     let mut g = c.benchmark_group("filter");
-    let filter = parse_filter(
-        r#"(symbol == "FED" && price > 100) || (volume > 9000 && !(region == "EU"))"#,
-    )
-    .expect("benchmark filter parses");
+    let filter =
+        parse_filter(r#"(symbol == "FED" && price > 100) || (volume > 9000 && !(region == "EU"))"#)
+            .expect("benchmark filter parses");
     let event = Event::builder(EventId::new(0, 0), TopicId::new(0))
         .attr("symbol", "FED")
         .attr("price", 150i64)
@@ -83,34 +82,31 @@ fn bench_gossip_rounds(c: &mut Criterion) {
     let mut g = c.benchmark_group("gossip_sim");
     g.sample_size(10);
     for &n in &[64usize, 256] {
-        g.bench_with_input(
-            BenchmarkId::new("one_second_fair", n),
-            &n,
-            |b, &n| {
-                b.iter(|| {
-                    let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
-                    let mut sim = Simulation::new(
-                        n,
-                        NetworkModel::default(),
-                        7,
-                        move |id, _| GossipNode::new(id, cfg.clone(), FullMembership::new(id, n)),
+        g.bench_with_input(BenchmarkId::new("one_second_fair", n), &n, |b, &n| {
+            b.iter(|| {
+                let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
+                let mut sim = Simulation::new(n, NetworkModel::default(), 7, move |id, _| {
+                    GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+                });
+                let topic = TopicId::new(0);
+                for i in 0..n as u32 {
+                    sim.schedule_command(
+                        SimTime::ZERO,
+                        NodeId::new(i),
+                        GossipCmd::SubscribeTopic(topic),
                     );
-                    let topic = TopicId::new(0);
-                    for i in 0..n as u32 {
-                        sim.schedule_command(SimTime::ZERO, NodeId::new(i), GossipCmd::SubscribeTopic(topic));
-                    }
-                    for k in 0..10u32 {
-                        sim.schedule_command(
-                            SimTime::from_millis(50 * k as u64),
-                            NodeId::new(0),
-                            GossipCmd::Publish(Event::bare(EventId::new(0, k), topic)),
-                        );
-                    }
-                    sim.run_until(SimTime::from_secs(1));
-                    black_box(sim.events_processed())
-                })
-            },
-        );
+                }
+                for k in 0..10u32 {
+                    sim.schedule_command(
+                        SimTime::from_millis(50 * k as u64),
+                        NodeId::new(0),
+                        GossipCmd::Publish(Event::bare(EventId::new(0, k), topic)),
+                    );
+                }
+                sim.run_until(SimTime::from_secs(1));
+                black_box(sim.events_processed())
+            })
+        });
     }
     g.finish();
 }

@@ -1,0 +1,727 @@
+//! # fed-cluster
+//!
+//! A sharded, multi-threaded runtime executing the exact computation of
+//! [`fed_sim::Simulation`] across worker threads.
+//!
+//! ## Model
+//!
+//! [`ShardedSimulation`] partitions the `n` node ids round-robin across
+//! `s` shards (node `i` lives on shard `i % s`). Each shard is a worker
+//! thread owning a [`fed_sim::exec::Kernel`] for its nodes and a private
+//! [`fed_sim::exec::EventQueue`]; node-local events (timers, commands,
+//! same-shard messages) never leave the shard. Cross-shard messages are
+//! staged in a per-shard outbox and exchanged at **conservative
+//! time-window barriers**: the coordinator repeatedly picks the earliest
+//! pending event time `W` anywhere in the cluster and lets every shard
+//! process the window `[W, W + L)` in parallel, where the lookahead `L` is
+//! the network model's minimum latency
+//! ([`NetworkModel::min_latency`]). No message produced inside a window
+//! can be due before the window ends (`latency ≥ L`), so shards never
+//! need to wait for each other mid-window.
+//!
+//! ## Determinism
+//!
+//! Results are **bit-for-bit identical** to the sequential engine for the
+//! same seed, workload and population, regardless of shard count:
+//!
+//! * events carry canonical `(time, source, per-source seq)` keys
+//!   ([`fed_sim::exec::EventKey`]) assigned at production time, and every
+//!   queue pops in key order — merging event streams at barriers cannot
+//!   reorder them;
+//! * per-node random streams ([`fed_sim::exec::seed_streams`]) are forked
+//!   from the master seed by node id, never shared across nodes, so
+//!   thread interleaving cannot perturb them.
+//!
+//! The equivalence is asserted by this crate's tests and by the
+//! 1000-node `cross_engine` integration test in `fed-experiments`.
+//!
+//! ## Example
+//!
+//! ```
+//! use fed_cluster::ShardedSimulation;
+//! use fed_sim::network::NetworkModel;
+//! use fed_sim::{Context, NodeId, Protocol, SimTime};
+//!
+//! struct Ping { got: bool }
+//! impl Protocol for Ping {
+//!     type Msg = ();
+//!     type Cmd = ();
+//!     fn on_init(&mut self, ctx: &mut Context<'_, ()>) {
+//!         if ctx.id() == NodeId::new(0) {
+//!             for i in 0..ctx.system_size() as u32 {
+//!                 ctx.send(NodeId::new(i), ());
+//!             }
+//!         }
+//!     }
+//!     fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {
+//!         self.got = true;
+//!     }
+//!     fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+//! }
+//!
+//! let mut sim = ShardedSimulation::new(64, NetworkModel::default(), 1, 4, |_, _| {
+//!     Ping { got: false }
+//! });
+//! sim.run_until(SimTime::from_secs(1));
+//! assert!(sim.nodes().all(|(_, p)| p.got));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fed_sim::exec::{
+    seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, TransportStats, EXTERNAL_SRC,
+};
+use fed_sim::network::NetworkModel;
+use fed_sim::protocol::{NodeId, Protocol};
+use fed_sim::time::{SimDuration, SimTime};
+use fed_util::rng::Xoshiro256StarStar;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+
+/// The shared, thread-safe node-state factory of a cluster.
+type SharedFactory<P> = Arc<dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync>;
+
+/// Result of a [`ShardedSimulation::run_until`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterReport {
+    /// Events processed during this call, summed over all shards.
+    pub events: u64,
+    /// Time windows executed (each window is one cross-shard barrier).
+    pub windows: u64,
+    /// `false` when the event budget was exhausted before the target time.
+    pub completed: bool,
+}
+
+/// One shard: a kernel for the nodes it owns plus its private queue.
+struct Shard<P: Protocol> {
+    index: usize,
+    kernel: Kernel<P>,
+    queue: EventQueue<P>,
+}
+
+/// Sink used while a shard dispatches: local events go straight onto the
+/// shard's queue, cross-shard deliveries into the outbox for the barrier.
+struct ShardSink<'a, P: Protocol> {
+    num_shards: usize,
+    local_shard: usize,
+    queue: &'a mut EventQueue<P>,
+    outbound: &'a mut Vec<(usize, EventKey, EventKind<P>)>,
+}
+
+impl<P: Protocol> EffectSink<P> for ShardSink<'_, P> {
+    fn emit(&mut self, key: EventKey, kind: EventKind<P>) {
+        let dest = kind.dest().index() % self.num_shards;
+        if dest == self.local_shard {
+            self.queue.push(key, kind);
+        } else {
+            self.outbound.push((dest, key, kind));
+        }
+    }
+}
+
+enum ToShard<P: Protocol> {
+    /// Process all queued events with `time < end` after absorbing
+    /// `inbound` from other shards.
+    Window {
+        end: SimTime,
+        inbound: Vec<(EventKey, EventKind<P>)>,
+    },
+    Done,
+}
+
+struct FromShard<P: Protocol> {
+    shard: usize,
+    outbound: Vec<(usize, EventKey, EventKind<P>)>,
+    next_time: Option<SimTime>,
+    events: u64,
+}
+
+fn worker_loop<P>(
+    shard: &mut Shard<P>,
+    factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
+    rx: Receiver<ToShard<P>>,
+    tx: Sender<FromShard<P>>,
+    num_shards: usize,
+) where
+    P: Protocol,
+{
+    let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| factory(id, rng);
+    let Shard {
+        index,
+        kernel,
+        queue,
+    } = shard;
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ToShard::Done => break,
+            ToShard::Window { end, inbound } => {
+                for (key, kind) in inbound {
+                    queue.push(key, kind);
+                }
+                let mut outbound = Vec::new();
+                let mut events = 0u64;
+                while let Some((key, kind)) = queue.pop_before(end) {
+                    events += 1;
+                    let mut sink = ShardSink {
+                        num_shards,
+                        local_shard: *index,
+                        queue,
+                        outbound: &mut outbound,
+                    };
+                    kernel.dispatch(key, kind, &mut factory, &mut sink);
+                }
+                let reply = FromShard {
+                    shard: *index,
+                    outbound,
+                    next_time: queue.next_time(),
+                    events,
+                };
+                if tx.send(reply).is_err() {
+                    break; // coordinator gone
+                }
+            }
+        }
+    }
+}
+
+/// The sharded simulation runtime; see the crate docs for the model.
+pub struct ShardedSimulation<P: Protocol> {
+    shards: Vec<Shard<P>>,
+    /// Cross-shard events awaiting delivery, grouped by destination shard.
+    pending: Vec<Vec<(EventKey, EventKind<P>)>>,
+    n: usize,
+    num_shards: usize,
+    now: SimTime,
+    external_seq: u64,
+    lookahead: SimDuration,
+    factory: SharedFactory<P>,
+    events_processed: u64,
+    max_events: u64,
+    windows: u64,
+}
+
+impl<P: Protocol> ShardedSimulation<P> {
+    /// Creates a simulation of `n` nodes split across `shards` shards and
+    /// runs every node's `on_init` at time zero.
+    ///
+    /// Unlike [`fed_sim::Simulation::new`], the factory must be `Fn` (not
+    /// `FnMut`) and thread-safe, because crashed nodes can be rebuilt
+    /// concurrently on any shard. Stateless factories — the common case —
+    /// satisfy this as-is and make a sharded run bit-identical to a
+    /// sequential one.
+    ///
+    /// `shards` is clamped to `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`.
+    pub fn new<F>(n: usize, net: NetworkModel, seed: u64, shards: usize, factory: F) -> Self
+    where
+        F: Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync + 'static,
+    {
+        assert!(n > 0, "simulation requires at least one node");
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        let num_shards = shards.clamp(1, n);
+        let lookahead = net.min_latency();
+        let factory: SharedFactory<P> = Arc::new(factory);
+        let mut streams: Vec<Option<_>> = seed_streams(seed, n).into_iter().map(Some).collect();
+        let mut shard_list = Vec::with_capacity(num_shards);
+        let mut pending: Vec<Vec<(EventKey, EventKind<P>)>> =
+            (0..num_shards).map(|_| Vec::new()).collect();
+        for s in 0..num_shards {
+            let owned: Vec<u32> = (0..n as u32)
+                .filter(|id| *id as usize % num_shards == s)
+                .collect();
+            let shard_streams = owned
+                .iter()
+                .map(|&id| streams[id as usize].take().expect("each node on one shard"))
+                .collect();
+            let mut queue = EventQueue::new();
+            let mut outbound = Vec::new();
+            let shared = &*factory;
+            let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| shared(id, rng);
+            let kernel = {
+                let mut sink = ShardSink {
+                    num_shards,
+                    local_shard: s,
+                    queue: &mut queue,
+                    outbound: &mut outbound,
+                };
+                Kernel::new(
+                    n,
+                    owned,
+                    shard_streams,
+                    net.clone(),
+                    &mut factory,
+                    &mut sink,
+                )
+            };
+            for (dest, key, kind) in outbound {
+                pending[dest].push((key, kind));
+            }
+            shard_list.push(Shard {
+                index: s,
+                kernel,
+                queue,
+            });
+        }
+        ShardedSimulation {
+            shards: shard_list,
+            pending,
+            n,
+            num_shards,
+            now: SimTime::ZERO,
+            external_seq: 0,
+            lookahead,
+            factory,
+            events_processed: 0,
+            max_events: 500_000_000,
+            windows: 0,
+        }
+    }
+
+    /// Caps the total number of events this cluster will process, as a
+    /// safety net against protocol bugs that generate unbounded message
+    /// storms (the sequential engine's [`fed_sim::Simulation::set_max_events`]
+    /// twin).
+    ///
+    /// The budget is checked at window barriers, so a run may overshoot
+    /// the cap by up to one lookahead window before stopping; a capped
+    /// run reports `completed == false` and is *not* bit-comparable to a
+    /// sequential run stopped by its (event-granular) cap.
+    pub fn set_max_events(&mut self, max: u64) {
+        self.max_events = max;
+    }
+
+    /// Number of node slots.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: constructing with zero nodes is rejected.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of shards actually in use.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// The conservative lookahead (window width) of this cluster.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total events processed so far, summed over all shards.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Total barrier windows executed so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    fn shard_of(&self, id: NodeId) -> usize {
+        id.index() % self.num_shards
+    }
+
+    /// Shared access to a node's protocol state (alive or crashed).
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        if id.index() >= self.n {
+            return None;
+        }
+        self.shards[self.shard_of(id)].kernel.node(id)
+    }
+
+    /// Iterates over `(id, state)` of every node that has state, in id
+    /// order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        (0..self.n as u32).filter_map(move |i| {
+            let id = NodeId::new(i);
+            self.node(id).map(|p| (id, p))
+        })
+    }
+
+    /// Whether `id` is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        id.index() < self.n && self.shards[self.shard_of(id)].kernel.is_alive(id)
+    }
+
+    /// Transport statistics of one node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn transport_stats(&self, id: NodeId) -> TransportStats {
+        assert!(id.index() < self.n, "node id out of range");
+        self.shards[self.shard_of(id)]
+            .kernel
+            .stats_of(id)
+            .expect("owner shard has stats")
+    }
+
+    /// Transport statistics of every node, indexed by node.
+    ///
+    /// Assembled from the shards; unlike the sequential engine this
+    /// returns an owned vector.
+    pub fn transport_stats_all(&self) -> Vec<TransportStats> {
+        (0..self.n as u32)
+            .map(|i| self.transport_stats(NodeId::new(i)))
+            .collect()
+    }
+
+    /// Schedules an application command for `node` at absolute time `at`.
+    ///
+    /// Scheduling calls must be issued in the same order as on a
+    /// sequential [`fed_sim::Simulation`] for runs to be comparable: the
+    /// external sequence number is part of the canonical event order.
+    pub fn schedule_command(&mut self, at: SimTime, node: NodeId, cmd: P::Cmd) {
+        let at = at.max(self.now);
+        self.push_external(at, EventKind::Command { node, cmd });
+    }
+
+    /// Schedules a crash of `node` at absolute time `at`.
+    pub fn schedule_crash(&mut self, at: SimTime, node: NodeId) {
+        let at = at.max(self.now);
+        self.push_external(at, EventKind::Crash(node));
+    }
+
+    /// Schedules a (re)join of `node` at absolute time `at`.
+    pub fn schedule_join(&mut self, at: SimTime, node: NodeId) {
+        let at = at.max(self.now);
+        self.push_external(at, EventKind::Join(node));
+    }
+
+    fn push_external(&mut self, time: SimTime, kind: EventKind<P>) {
+        let seq = self.external_seq;
+        self.external_seq += 1;
+        let key = EventKey {
+            time,
+            src: EXTERNAL_SRC,
+            seq,
+        };
+        let dest = kind.dest().index() % self.num_shards;
+        self.shards[dest].queue.push(key, kind);
+    }
+}
+
+impl<P> ShardedSimulation<P>
+where
+    P: Protocol + Send,
+    P::Msg: Send,
+    P::Cmd: Send,
+{
+    /// Runs until virtual time reaches `target` (inclusive) or no events
+    /// remain anywhere in the cluster.
+    ///
+    /// Spawns one worker thread per shard for the duration of the call and
+    /// coordinates them through lookahead-wide windows.
+    pub fn run_until(&mut self, target: SimTime) -> ClusterReport {
+        let num_shards = self.num_shards;
+        let lookahead = self.lookahead;
+        let factory = Arc::clone(&self.factory);
+        let pending = &mut self.pending;
+        let mut next_times: Vec<Option<SimTime>> =
+            self.shards.iter().map(|s| s.queue.next_time()).collect();
+        let max_events = self.max_events;
+        let already = self.events_processed;
+        let mut report = ClusterReport {
+            events: 0,
+            windows: 0,
+            completed: true,
+        };
+        // `target` is inclusive like the sequential engine; windows have
+        // exclusive ends, so the last window may end just past it.
+        let hard_end = target.saturating_add(SimDuration::from_micros(1));
+        std::thread::scope(|scope| {
+            let (from_tx, from_rx) = channel::<FromShard<P>>();
+            let mut to_txs = Vec::with_capacity(num_shards);
+            for shard in &mut self.shards {
+                let (to_tx, to_rx) = channel::<ToShard<P>>();
+                to_txs.push(to_tx);
+                let from_tx = from_tx.clone();
+                let factory = Arc::clone(&factory);
+                scope.spawn(move || worker_loop(shard, &*factory, to_rx, from_tx, num_shards));
+            }
+            drop(from_tx);
+            loop {
+                let min_queued = next_times.iter().flatten().min().copied();
+                let min_pending = pending
+                    .iter()
+                    .flat_map(|v| v.iter().map(|(key, _)| key.time))
+                    .min();
+                if already + report.events >= max_events {
+                    report.completed = false;
+                    break;
+                }
+                let start = match (min_queued, min_pending) {
+                    (Some(a), Some(b)) => a.min(b),
+                    (Some(a), None) => a,
+                    (None, Some(b)) => b,
+                    (None, None) => break,
+                };
+                if start > target {
+                    break;
+                }
+                let end = start.saturating_add(lookahead).min(hard_end);
+                for (s, to_tx) in to_txs.iter().enumerate() {
+                    let inbound = std::mem::take(&mut pending[s]);
+                    to_tx
+                        .send(ToShard::Window { end, inbound })
+                        .expect("worker thread alive");
+                }
+                for _ in 0..num_shards {
+                    let reply = from_rx.recv().expect("worker thread alive");
+                    next_times[reply.shard] = reply.next_time;
+                    report.events += reply.events;
+                    for (dest, key, kind) in reply.outbound {
+                        pending[dest].push((key, kind));
+                    }
+                }
+                report.windows += 1;
+            }
+            for to_tx in &to_txs {
+                let _ = to_tx.send(ToShard::Done);
+            }
+        });
+        if report.completed {
+            self.now = self.now.max(target);
+        }
+        self.events_processed += report.events;
+        self.windows += report.windows;
+        report
+    }
+
+    /// Runs for a span of virtual time from the current instant.
+    pub fn run_for(&mut self, d: SimDuration) -> ClusterReport {
+        self.run_until(self.now + d)
+    }
+}
+
+impl<P: Protocol> std::fmt::Debug for ShardedSimulation<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSimulation")
+            .field("n", &self.n)
+            .field("shards", &self.num_shards)
+            .field("now", &self.now)
+            .field("lookahead", &self.lookahead)
+            .field("events_processed", &self.events_processed)
+            .field("windows", &self.windows)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_sim::network::LatencyModel;
+    use fed_sim::protocol::Context;
+    use fed_sim::Simulation;
+    use fed_util::rng::Rng64;
+
+    /// Chatty protocol exercising sends, timers, randomness and churn.
+    #[derive(Debug, Default)]
+    struct Chatter {
+        msgs: Vec<(NodeId, u64)>,
+        timers: Vec<u64>,
+        rounds: u64,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u64;
+        type Cmd = u64;
+
+        fn on_init(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.set_timer(SimDuration::from_millis(10), 0);
+        }
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, from: NodeId, msg: u64) {
+            self.msgs.push((from, msg));
+            if msg > 0 {
+                // Bounce a decremented value to a random peer.
+                let n = ctx.system_size() as u64;
+                let to = NodeId::new(ctx.rng().range_u64(n) as u32);
+                ctx.send(to, msg - 1);
+            }
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>, token: u64) {
+            self.timers.push(token);
+            self.rounds += 1;
+            if self.rounds < 20 {
+                let n = ctx.system_size() as u64;
+                let to = NodeId::new(ctx.rng().range_u64(n) as u32);
+                ctx.send(to, 3);
+                ctx.set_timer(SimDuration::from_millis(10), self.rounds);
+            }
+        }
+        fn on_command(&mut self, ctx: &mut Context<'_, u64>, cmd: u64) {
+            let n = ctx.system_size() as u64;
+            let to = NodeId::new(ctx.rng().range_u64(n) as u32);
+            ctx.send(to, cmd);
+        }
+        fn message_size(msg: &u64) -> usize {
+            *msg as usize + 1
+        }
+    }
+
+    fn lossy_net() -> NetworkModel {
+        NetworkModel::lossy(
+            LatencyModel::Uniform {
+                lo: SimDuration::from_millis(2),
+                hi: SimDuration::from_millis(40),
+            },
+            0.1,
+        )
+    }
+
+    /// Tiny façade so the same workload drives both engines.
+    trait Engine {
+        fn command(&mut self, at: SimTime, node: NodeId, cmd: u64);
+        fn crash(&mut self, at: SimTime, node: NodeId);
+        fn join(&mut self, at: SimTime, node: NodeId);
+    }
+    impl Engine for Simulation<Chatter> {
+        fn command(&mut self, at: SimTime, node: NodeId, cmd: u64) {
+            self.schedule_command(at, node, cmd);
+        }
+        fn crash(&mut self, at: SimTime, node: NodeId) {
+            self.schedule_crash(at, node);
+        }
+        fn join(&mut self, at: SimTime, node: NodeId) {
+            self.schedule_join(at, node);
+        }
+    }
+    impl Engine for ShardedSimulation<Chatter> {
+        fn command(&mut self, at: SimTime, node: NodeId, cmd: u64) {
+            self.schedule_command(at, node, cmd);
+        }
+        fn crash(&mut self, at: SimTime, node: NodeId) {
+            self.schedule_crash(at, node);
+        }
+        fn join(&mut self, at: SimTime, node: NodeId) {
+            self.schedule_join(at, node);
+        }
+    }
+
+    fn schedule<S: Engine>(sim: &mut S) {
+        for i in 0..40u64 {
+            sim.command(
+                SimTime::from_millis(i * 7),
+                NodeId::new((i % 16) as u32),
+                i % 5,
+            );
+        }
+        sim.crash(SimTime::from_millis(50), NodeId::new(3));
+        sim.join(SimTime::from_millis(140), NodeId::new(3));
+    }
+
+    type Fingerprint = (Vec<Vec<(NodeId, u64)>>, Vec<TransportStats>, u64);
+
+    fn fingerprint_seq(sim: &Simulation<Chatter>) -> Fingerprint {
+        (
+            sim.nodes().map(|(_, p)| p.msgs.clone()).collect(),
+            sim.transport_stats_all().to_vec(),
+            sim.events_processed(),
+        )
+    }
+
+    fn fingerprint_cluster(sim: &ShardedSimulation<Chatter>) -> Fingerprint {
+        (
+            sim.nodes().map(|(_, p)| p.msgs.clone()).collect(),
+            sim.transport_stats_all(),
+            sim.events_processed(),
+        )
+    }
+
+    #[test]
+    fn matches_sequential_engine_bit_for_bit() {
+        let horizon = SimTime::from_secs(1);
+        let mut seq = Simulation::new(16, lossy_net(), 42, |_, _| Chatter::default());
+        schedule(&mut seq);
+        seq.run_until(horizon);
+        let expect = fingerprint_seq(&seq);
+
+        for shards in [1, 2, 4, 7] {
+            let mut cluster =
+                ShardedSimulation::new(16, lossy_net(), 42, shards, |_, _| Chatter::default());
+            schedule(&mut cluster);
+            cluster.run_until(horizon);
+            assert_eq!(
+                fingerprint_cluster(&cluster),
+                expect,
+                "cluster with {shards} shards diverged from sequential engine"
+            );
+        }
+    }
+
+    #[test]
+    fn multiple_run_calls_match_single_run() {
+        let mut one = ShardedSimulation::new(8, lossy_net(), 9, 2, |_, _| Chatter::default());
+        let mut two = ShardedSimulation::new(8, lossy_net(), 9, 2, |_, _| Chatter::default());
+        schedule(&mut one);
+        schedule(&mut two);
+        one.run_until(SimTime::from_secs(1));
+        for step in 1..=10 {
+            two.run_until(SimTime::from_millis(step * 100));
+        }
+        assert_eq!(fingerprint_cluster(&one), fingerprint_cluster(&two));
+        assert_eq!(one.now(), two.now());
+    }
+
+    #[test]
+    fn shards_clamped_to_population() {
+        let sim =
+            ShardedSimulation::new(3, NetworkModel::default(), 1, 64, |_, _| Chatter::default());
+        assert_eq!(sim.num_shards(), 3);
+        assert_eq!(sim.len(), 3);
+    }
+
+    #[test]
+    fn crash_and_rejoin_preserved_across_shards() {
+        let mut sim = ShardedSimulation::new(8, lossy_net(), 5, 4, |_, _| Chatter::default());
+        sim.schedule_crash(SimTime::from_millis(5), NodeId::new(6));
+        sim.run_until(SimTime::from_millis(20));
+        assert!(!sim.is_alive(NodeId::new(6)));
+        sim.schedule_join(SimTime::from_millis(30), NodeId::new(6));
+        sim.run_until(SimTime::from_secs(1));
+        assert!(sim.is_alive(NodeId::new(6)));
+        assert_eq!(sim.nodes().count(), 8);
+    }
+
+    #[test]
+    fn event_budget_stops_run() {
+        let mut sim = ShardedSimulation::new(8, lossy_net(), 3, 2, |_, _| Chatter::default());
+        schedule(&mut sim);
+        sim.set_max_events(10);
+        let report = sim.run_until(SimTime::from_secs(1));
+        assert!(!report.completed, "budget must interrupt the run");
+        assert!(sim.events_processed() >= 10);
+        // An uncapped twin processes far more.
+        let mut free = ShardedSimulation::new(8, lossy_net(), 3, 2, |_, _| Chatter::default());
+        schedule(&mut free);
+        let full = free.run_until(SimTime::from_secs(1));
+        assert!(full.completed);
+        assert!(full.events > report.events);
+    }
+
+    #[test]
+    fn idle_cluster_advances_clock() {
+        let mut sim =
+            ShardedSimulation::new(4, NetworkModel::default(), 1, 2, |_, _| Chatter::default());
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(sim.now(), SimTime::from_secs(30));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ShardedSimulation::new(0, NetworkModel::default(), 1, 2, |_, _| Chatter::default());
+    }
+}

@@ -98,10 +98,8 @@ impl GlobalRateEstimator {
             return;
         }
         self.mean_benefit += self.alpha * (sample.benefit_rate - self.mean_benefit);
-        self.mean_contribution +=
-            self.alpha * (sample.contribution_rate - self.mean_contribution);
-        self.mean_benefit_total +=
-            self.alpha * (sample.benefit_total - self.mean_benefit_total);
+        self.mean_contribution += self.alpha * (sample.contribution_rate - self.mean_contribution);
+        self.mean_benefit_total += self.alpha * (sample.benefit_total - self.mean_benefit_total);
         self.mean_contribution_total +=
             self.alpha * (sample.contribution_total - self.mean_contribution_total);
         self.samples += 1;

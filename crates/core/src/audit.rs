@@ -150,7 +150,13 @@ mod tests {
         // n = 101, claimed 10 msgs/round -> each witness sees 0.1/round.
         // 20 witnesses × 100 rounds -> expect 200 receipts.
         let witnesses = vec![witness(10, 100); 20];
-        let v = audit_subject(NodeId::new(5), 10.0, &witnesses, 101, &AuditConfig::default());
+        let v = audit_subject(
+            NodeId::new(5),
+            10.0,
+            &witnesses,
+            101,
+            &AuditConfig::default(),
+        );
         assert_eq!(v.outcome, AuditOutcome::Consistent);
         assert!((v.estimated_rate - 10.0).abs() < 1e-9);
         assert_eq!(v.evidence, 200);
@@ -160,7 +166,13 @@ mod tests {
     fn inflator_is_over_claimed() {
         // True rate 2/round, claims 10/round.
         let witnesses = vec![witness(2, 100); 20];
-        let v = audit_subject(NodeId::new(5), 10.0, &witnesses, 101, &AuditConfig::default());
+        let v = audit_subject(
+            NodeId::new(5),
+            10.0,
+            &witnesses,
+            101,
+            &AuditConfig::default(),
+        );
         assert_eq!(v.outcome, AuditOutcome::OverClaimed);
         assert!((v.estimated_rate - 2.0).abs() < 1e-9);
     }
@@ -168,14 +180,26 @@ mod tests {
     #[test]
     fn altruist_is_under_claimed() {
         let witnesses = vec![witness(10, 100); 20];
-        let v = audit_subject(NodeId::new(5), 1.0, &witnesses, 101, &AuditConfig::default());
+        let v = audit_subject(
+            NodeId::new(5),
+            1.0,
+            &witnesses,
+            101,
+            &AuditConfig::default(),
+        );
         assert_eq!(v.outcome, AuditOutcome::UnderClaimed);
     }
 
     #[test]
     fn sparse_evidence_withholds_judgement() {
         let witnesses = vec![witness(1, 100); 3];
-        let v = audit_subject(NodeId::new(5), 50.0, &witnesses, 101, &AuditConfig::default());
+        let v = audit_subject(
+            NodeId::new(5),
+            50.0,
+            &witnesses,
+            101,
+            &AuditConfig::default(),
+        );
         assert_eq!(v.outcome, AuditOutcome::InsufficientEvidence);
         let empty = audit_subject(NodeId::new(5), 0.0, &[], 101, &AuditConfig::default());
         assert_eq!(empty.outcome, AuditOutcome::InsufficientEvidence);
@@ -188,7 +212,7 @@ mod tests {
             tolerance: 0.5,
         };
         let witnesses = vec![witness(100, 100); 10]; // est = 100 * (n-1=10)/10 … let's compute
-        // per witness rate = 1.0/round; n=11 -> estimate 10/round.
+                                                     // per witness rate = 1.0/round; n=11 -> estimate 10/round.
         let ok_hi = audit_subject(NodeId::new(1), 14.9, &witnesses, 11, &cfg);
         assert_eq!(ok_hi.outcome, AuditOutcome::Consistent);
         let bad_hi = audit_subject(NodeId::new(1), 15.1, &witnesses, 11, &cfg);

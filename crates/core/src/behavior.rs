@@ -18,9 +18,10 @@ use crate::adaptive::{Controller, RateSample};
 use crate::ledger::{FairnessLedger, RatioSpec};
 
 /// How a peer plays the protocol.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Behavior {
     /// Follows the protocol faithfully.
+    #[default]
     Honest,
     /// Feels exploited above `ratio_threshold` and wants to leave.
     ///
@@ -46,12 +47,6 @@ pub enum Behavior {
         /// Multiplier (> 1) applied to the advertised contribution rate.
         advertised_contribution_scale: f64,
     },
-}
-
-impl Default for Behavior {
-    fn default() -> Self {
-        Behavior::Honest
-    }
 }
 
 impl Behavior {
@@ -107,10 +102,7 @@ impl Behavior {
     /// True for any behaviour that lies in its piggyback (ground truth for
     /// detector evaluation).
     pub fn is_liar(&self) -> bool {
-        matches!(
-            self,
-            Behavior::FreeRider { .. } | Behavior::Inflator { .. }
-        )
+        matches!(self, Behavior::FreeRider { .. } | Behavior::Inflator { .. })
     }
 }
 

@@ -109,12 +109,7 @@ impl GossipConfig {
             // carries the epidemic (paper §5.2 Q3 — the fanout requirement
             // is on the population sum, not on each individual peer).
             fanout: ControllerConfig::new(f as f64, 0.0, 4.0 * f as f64, 0.5),
-            events_per_msg: ControllerConfig::new(
-                n_events as f64,
-                1.0,
-                4.0 * n_events as f64,
-                0.5,
-            ),
+            events_per_msg: ControllerConfig::new(n_events as f64, 1.0, 4.0 * n_events as f64, 0.5),
             adapt_fanout: true,
             adapt_msg_size: false,
             ttl_rounds: 8,
@@ -382,7 +377,8 @@ impl<S: PeerSampler> GossipNode<S> {
             self.size_ctl
                 .update(self.own_rates.benefit_rate, self.estimator.mean_benefit());
         }
-        self.behavior.shape_controllers(&mut self.fanout_ctl, &mut self.size_ctl);
+        self.behavior
+            .shape_controllers(&mut self.fanout_ctl, &mut self.size_ctl);
 
         // 3. SELECTPARTICIPANTS(F) and SELECTEVENTS(N in events).
         let mut fanout = if self.config.adapt_fanout {
@@ -676,17 +672,9 @@ mod tests {
         }
         // Traffic stops once the event expires everywhere: check the last
         // second produced no event-bearing messages by sampling stats.
-        let sent_before: u64 = sim
-            .transport_stats_all()
-            .iter()
-            .map(|s| s.msgs_sent)
-            .sum();
+        let sent_before: u64 = sim.transport_stats_all().iter().map(|s| s.msgs_sent).sum();
         sim.run_until(SimTime::from_secs(4));
-        let sent_after: u64 = sim
-            .transport_stats_all()
-            .iter()
-            .map(|s| s.msgs_sent)
-            .sum();
+        let sent_after: u64 = sim.transport_stats_all().iter().map(|s| s.msgs_sent).sum();
         assert_eq!(sent_before, sent_after, "no gossip without fresh events");
     }
 
@@ -694,8 +682,16 @@ mod tests {
     fn subscriptions_update_filter_count() {
         let mut sim = classic_sim(2, 1, 1);
         let id = NodeId::new(0);
-        sim.schedule_command(SimTime::ZERO, id, GossipCmd::SubscribeTopic(TopicId::new(1)));
-        sim.schedule_command(SimTime::ZERO, id, GossipCmd::SubscribeTopic(TopicId::new(2)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            id,
+            GossipCmd::SubscribeTopic(TopicId::new(1)),
+        );
+        sim.schedule_command(
+            SimTime::ZERO,
+            id,
+            GossipCmd::SubscribeTopic(TopicId::new(2)),
+        );
         sim.run_until(SimTime::from_millis(10));
         assert_eq!(sim.node(id).unwrap().ledger().active_filters(), 2);
         sim.schedule_command(SimTime::from_millis(20), id, GossipCmd::ClearSubscriptions);
@@ -811,11 +807,9 @@ mod tests {
         );
         sim.run_until(SimTime::from_secs(2));
         // someone must have received from node 0 and recorded its claim
-        let tracked = sim
-            .nodes()
-            .filter(|(id, _)| id.index() != 0)
-            .any(|(_, p)| p.receipts_from(NodeId::new(0)).is_some()
-                && p.claim_of(NodeId::new(0)).is_some());
+        let tracked = sim.nodes().filter(|(id, _)| id.index() != 0).any(|(_, p)| {
+            p.receipts_from(NodeId::new(0)).is_some() && p.claim_of(NodeId::new(0)).is_some()
+        });
         assert!(tracked);
     }
 }

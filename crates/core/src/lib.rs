@@ -62,4 +62,6 @@ pub use audit::{audit_subject, AuditConfig, AuditOutcome, AuditVerdict, WitnessR
 pub use behavior::Behavior;
 pub use gossip::{DeliveryRecord, GossipCmd, GossipConfig, GossipMsg, GossipNode};
 pub use ledger::{ContributionMetric, Counters, FairnessLedger, RatioSpec};
-pub use submgmt::{SubWalkCmd, SubWalkConfig, SubWalkMsg, SubWalkNode, WalkAccounting, WalkOutcome};
+pub use submgmt::{
+    SubWalkCmd, SubWalkConfig, SubWalkMsg, SubWalkNode, WalkAccounting, WalkOutcome,
+};

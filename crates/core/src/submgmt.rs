@@ -215,11 +215,7 @@ impl SubWalkNode {
         if self.config.accounting == WalkAccounting::Compensated {
             self.ledger.record_maintenance_credit();
         }
-        let next = self
-            .sampler
-            .sample_peers(ctx.rng(), 1)
-            .into_iter()
-            .next();
+        let next = self.sampler.sample_peers(ctx.rng(), 1).into_iter().next();
         match next {
             Some(peer) => ctx.send(
                 peer,
@@ -270,8 +266,7 @@ impl Protocol for SubWalkNode {
                 self.outcomes.push(WalkOutcome { topic, hops, found });
                 if found && purpose == WalkPurpose::Subscribe {
                     self.member_of.insert(topic);
-                    self.ledger
-                        .set_active_filters(self.member_of.len() as u32);
+                    self.ledger.set_active_filters(self.member_of.len() as u32);
                 }
                 if self.config.accounting == WalkAccounting::Compensated {
                     // Bill the subscriber for the relay path it consumed.
@@ -295,8 +290,7 @@ impl Protocol for SubWalkNode {
                 if !self.member_of.remove(&topic) {
                     return;
                 }
-                self.ledger
-                    .set_active_filters(self.member_of.len() as u32);
+                self.ledger.set_active_filters(self.member_of.len() as u32);
                 // Inform a remaining member: same walk mechanics.
                 self.start_walk(ctx, WalkPurpose::Unsubscribe, topic);
             }
@@ -483,7 +477,11 @@ mod tests {
     fn unsubscribe_leaves_group_and_walks() {
         let mut sim = sim_with_members(32, 8, WalkAccounting::Uncompensated);
         let member = NodeId::new(2);
-        sim.schedule_command(SimTime::ZERO, member, SubWalkCmd::Unsubscribe(TopicId::new(0)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            member,
+            SubWalkCmd::Unsubscribe(TopicId::new(0)),
+        );
         sim.run_until(SimTime::from_secs(10));
         let node = sim.node(member).unwrap();
         assert!(!node.memberships().contains(&TopicId::new(0)));
@@ -502,7 +500,11 @@ mod tests {
     fn duplicate_subscribe_is_noop() {
         let mut sim = sim_with_members(32, 8, WalkAccounting::Uncompensated);
         let member = NodeId::new(0); // already a member
-        sim.schedule_command(SimTime::ZERO, member, SubWalkCmd::Subscribe(TopicId::new(0)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            member,
+            SubWalkCmd::Subscribe(TopicId::new(0)),
+        );
         sim.run_until(SimTime::from_secs(5));
         assert!(sim.node(member).unwrap().outcomes().is_empty());
     }

@@ -132,7 +132,10 @@ mod tests {
         assert_eq!(a.ring_distance(b), 10);
         assert_eq!(b.ring_distance(a), 10);
         assert_eq!(a.ring_distance(a), 0);
-        assert_eq!(DhtId::new(0).ring_distance(DhtId::new(u64::MAX / 2)), u64::MAX / 2);
+        assert_eq!(
+            DhtId::new(0).ring_distance(DhtId::new(u64::MAX / 2)),
+            u64::MAX / 2
+        );
     }
 
     #[test]

@@ -55,9 +55,7 @@ impl RoutingState {
             let slot = &mut table[row][col];
             let better = match slot {
                 None => true,
-                Some(existing) => {
-                    node.id.ring_distance(me.id) < existing.id.ring_distance(me.id)
-                }
+                Some(existing) => node.id.ring_distance(me.id) < existing.id.ring_distance(me.id),
             };
             if better {
                 *slot = Some(node);
@@ -101,7 +99,11 @@ impl RoutingState {
 
     /// The routing-table entry at `(row, col)`.
     pub fn table_entry(&self, row: usize, col: usize) -> Option<DhtNode> {
-        self.table.get(row).and_then(|r| r.get(col)).copied().flatten()
+        self.table
+            .get(row)
+            .and_then(|r| r.get(col))
+            .copied()
+            .flatten()
     }
 
     /// Chooses the next hop toward `key`, or `None` when this node is
@@ -237,17 +239,12 @@ mod tests {
         for start in 0..all.len() {
             let mut cur = start;
             let mut hops = 0;
-            loop {
-                match states[cur].next_hop(key) {
-                    Some(next) => {
-                        assert!(
-                            next.id.ring_distance(key) < all[cur].id.ring_distance(key),
-                            "hop must strictly decrease ring distance"
-                        );
-                        cur = next.index;
-                    }
-                    None => break,
-                }
+            while let Some(next) = states[cur].next_hop(key) {
+                assert!(
+                    next.id.ring_distance(key) < all[cur].id.ring_distance(key),
+                    "hop must strictly decrease ring distance"
+                );
+                cur = next.index;
                 hops += 1;
                 assert!(hops <= 64, "routing loop from {start}");
             }

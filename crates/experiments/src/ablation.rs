@@ -52,7 +52,7 @@ pub fn run(n: usize, seed: u64) -> AblationResult {
         cfg.ratio_correction_gain = gain;
         let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
         run.run();
-        let report = ratio_report(run.ledgers().into_iter(), &spec);
+        let report = ratio_report(run.ledgers(), &spec);
         let rel = run.audit().reliability();
         gain_table.row_owned(vec![
             fmt_f64(gain),
@@ -91,7 +91,7 @@ pub fn run(n: usize, seed: u64) -> AblationResult {
             );
         }
         run.run();
-        let report = ratio_report(run.ledgers().into_iter(), &spec);
+        let report = ratio_report(run.ledgers(), &spec);
         // Ground truth must reflect the cleared subscriptions: only peers
         // below `interested` can deliver.
         let mut audit = fed_metrics::delivery::DeliveryAudit::new();

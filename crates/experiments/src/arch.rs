@@ -174,7 +174,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
         });
         for i in 0..n {
             for &t in w.profile.topics_of(i) {
-                sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), BrokerCmd::SubscribeTopic(t));
+                sim.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i as u32),
+                    BrokerCmd::SubscribeTopic(t),
+                );
             }
         }
         for p in &w.schedule {
@@ -185,7 +189,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
             );
         }
         sim.run_until(w.horizon);
-        let audit = audit_against(&w, sim.nodes().map(|(id, node)| (id.index(), node.deliveries())));
+        let audit = audit_against(
+            &w,
+            sim.nodes()
+                .map(|(id, node)| (id.index(), node.deliveries())),
+        );
         let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
         points.push(point("broker", ledgers, &audit, sim.transport_stats_all()));
     }
@@ -198,7 +206,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
         });
         for i in 0..n {
             for &t in w.profile.topics_of(i) {
-                sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), ScribeCmd::SubscribeTopic(t));
+                sim.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i as u32),
+                    ScribeCmd::SubscribeTopic(t),
+                );
             }
         }
         for p in &w.schedule {
@@ -209,7 +221,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
             );
         }
         sim.run_until(w.horizon);
-        let audit = audit_against(&w, sim.nodes().map(|(id, node)| (id.index(), node.deliveries())));
+        let audit = audit_against(
+            &w,
+            sim.nodes()
+                .map(|(id, node)| (id.index(), node.deliveries())),
+        );
         let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
         points.push(point("scribe", ledgers, &audit, sim.transport_stats_all()));
     }
@@ -227,7 +243,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
         });
         for i in 0..n {
             for &t in w.profile.topics_of(i) {
-                sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), DksCmd::SubscribeTopic(t));
+                sim.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i as u32),
+                    DksCmd::SubscribeTopic(t),
+                );
             }
         }
         for p in &w.schedule {
@@ -238,7 +258,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
             );
         }
         sim.run_until(w.horizon);
-        let audit = audit_against(&w, sim.nodes().map(|(id, node)| (id.index(), node.deliveries())));
+        let audit = audit_against(
+            &w,
+            sim.nodes()
+                .map(|(id, node)| (id.index(), node.deliveries())),
+        );
         let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
         points.push(point("dks", ledgers, &audit, sim.transport_stats_all()));
     }
@@ -248,11 +272,20 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
         let groups = Arc::new(groups_of(&w.profile));
         let space = Arc::new(TopicSpace::flat(scenario.num_topics));
         let mut sim = Simulation::new(n, scenario.net.clone(), seed, move |id, _| {
-            DamNode::new(id, DamConfig::default(), Arc::clone(&groups), Arc::clone(&space))
+            DamNode::new(
+                id,
+                DamConfig::default(),
+                Arc::clone(&groups),
+                Arc::clone(&space),
+            )
         });
         for i in 0..n {
             for &t in w.profile.topics_of(i) {
-                sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), DamCmd::SubscribeTopic(t));
+                sim.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i as u32),
+                    DamCmd::SubscribeTopic(t),
+                );
             }
         }
         for p in &w.schedule {
@@ -263,7 +296,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
             );
         }
         sim.run_until(w.horizon);
-        let audit = audit_against(&w, sim.nodes().map(|(id, node)| (id.index(), node.deliveries())));
+        let audit = audit_against(
+            &w,
+            sim.nodes()
+                .map(|(id, node)| (id.index(), node.deliveries())),
+        );
         let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
         points.push(point("dam", ledgers, &audit, sim.transport_stats_all()));
     }
@@ -276,7 +313,11 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
         });
         for i in 0..n {
             for &t in w.profile.topics_of(i) {
-                sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), StripeCmd::SubscribeTopic(t));
+                sim.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i as u32),
+                    StripeCmd::SubscribeTopic(t),
+                );
             }
         }
         for p in &w.schedule {
@@ -287,9 +328,18 @@ pub fn run(n: usize, seed: u64) -> ArchResult {
             );
         }
         sim.run_until(w.horizon);
-        let audit = audit_against(&w, sim.nodes().map(|(id, node)| (id.index(), node.deliveries())));
+        let audit = audit_against(
+            &w,
+            sim.nodes()
+                .map(|(id, node)| (id.index(), node.deliveries())),
+        );
         let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point("splitstream", ledgers, &audit, sim.transport_stats_all()));
+        points.push(point(
+            "splitstream",
+            ledgers,
+            &audit,
+            sim.transport_stats_all(),
+        ));
     }
 
     let mut table = Table::new(

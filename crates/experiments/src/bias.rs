@@ -63,7 +63,7 @@ pub fn run(n: usize, seed: u64) -> BiasResult {
     let mut picker = SplitMix64::seed_from_u64(seed ^ 0xB1A5);
     let mut flagged_over = vec![false; n];
     let mut insufficient = 0usize;
-    for subject in 0..n {
+    for (subject, over_flag) in flagged_over.iter_mut().enumerate() {
         // The subject's most recent claim, as seen by any peer. Lifetime
         // totals divided by elapsed rounds give the rate the receipt
         // counters measure (a windowed snapshot would race the workload's
@@ -89,9 +89,7 @@ pub fn run(n: usize, seed: u64) -> BiasResult {
         indices.truncate(committee);
         for w in indices {
             let node = run.sim.node(NodeId::new(w as u32)).expect("node exists");
-            if let Some((messages, since_round)) =
-                node.receipts_from(NodeId::new(subject as u32))
-            {
+            if let Some((messages, since_round)) = node.receipts_from(NodeId::new(subject as u32)) {
                 let rounds = node.rounds().saturating_sub(since_round).max(1);
                 witnesses.push(WitnessReport { messages, rounds });
             } else {
@@ -110,7 +108,7 @@ pub fn run(n: usize, seed: u64) -> BiasResult {
             &audit_cfg,
         );
         match verdict.outcome {
-            AuditOutcome::OverClaimed => flagged_over[subject] = true,
+            AuditOutcome::OverClaimed => *over_flag = true,
             AuditOutcome::InsufficientEvidence => insufficient += 1,
             _ => {}
         }
@@ -133,7 +131,7 @@ pub fn run(n: usize, seed: u64) -> BiasResult {
         .filter(|(id, _)| id.index() >= free_riders + inflators)
         .map(|(_, node)| node.ledger())
         .collect();
-    let honest_jain = ratio_report(honest_ledgers.into_iter(), &spec).jain;
+    let honest_jain = ratio_report(honest_ledgers, &spec).jain;
 
     let mut table = Table::new(
         format!(

@@ -37,7 +37,7 @@ fn drive_with_quitting(run: &mut GossipRun, threshold: f64) -> usize {
     let mut quitters = 0usize;
     let mut now = SimTime::ZERO;
     while now < horizon {
-        now = now + poll;
+        now += poll;
         run.sim.run_until(now.min(horizon));
         let unhappy: Vec<_> = run
             .sim

@@ -59,7 +59,7 @@ pub fn run(n: usize, seed: u64) -> ConvResult {
             GossipCmd::Publish(Event::bare(EventId::new(1, k), topic)),
         );
         k += 1;
-        t = t + SimDuration::from_millis(50);
+        t += SimDuration::from_millis(50);
     }
     let t_shift = SimTime::from_secs(30);
     sim.schedule_command(t_shift, NodeId::new(0), GossipCmd::SubscribeTopic(topic));

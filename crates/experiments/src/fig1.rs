@@ -39,7 +39,14 @@ pub fn run(n: usize, seed: u64) -> Fig1Result {
     let mut table = Table::new(
         format!("FIG1: contribution/benefit ratio distribution (n={n})"),
         &[
-            "protocol", "jain", "gini", "max/min", "p10", "p50", "p90", "reliability",
+            "protocol",
+            "jain",
+            "gini",
+            "max/min",
+            "p10",
+            "p50",
+            "p90",
+            "reliability",
         ],
     );
 

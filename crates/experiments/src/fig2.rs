@@ -31,15 +31,19 @@ pub fn run(n: usize, seed: u64) -> Fig2Result {
     let spec = RatioSpec::topic_based();
     let mut table = Table::new(
         format!("FIG2: fairness with filter-weighted benefit (n={n})"),
-        &["appetite", "protocol", "jain", "gini", "max/min", "reliability"],
+        &[
+            "appetite",
+            "protocol",
+            "jain",
+            "gini",
+            "max/min",
+            "reliability",
+        ],
     );
     let appetites: Vec<(&str, Appetite)> = vec![
         ("uniform-1", Appetite::Fixed(1)),
         ("uniform-4", Appetite::Fixed(4)),
-        (
-            "mixed-1..8",
-            Appetite::Uniform { lo: 1, hi: 8 },
-        ),
+        ("mixed-1..8", Appetite::Uniform { lo: 1, hi: 8 }),
         (
             "bimodal-16/1",
             Appetite::Bimodal {
@@ -67,7 +71,7 @@ pub fn run(n: usize, seed: u64) -> Fig2Result {
             let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
             run.run();
             let audit = run.audit();
-            let report = ratio_report(run.ledgers().into_iter(), &spec);
+            let report = ratio_report(run.ledgers(), &spec);
             table.row_owned(vec![
                 label.to_string(),
                 proto.to_string(),

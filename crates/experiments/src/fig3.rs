@@ -39,7 +39,14 @@ pub fn run(n: usize, seed: u64) -> Fig3Result {
     let spec = RatioSpec::expressive();
     let mut table = Table::new(
         format!("FIG3: expressive (byte) fairness by adaptation knob (n={n})"),
-        &["knobs", "jain", "gini", "max/min", "bytes/node(mean)", "reliability"],
+        &[
+            "knobs",
+            "jain",
+            "gini",
+            "max/min",
+            "bytes/node(mean)",
+            "reliability",
+        ],
     );
     let variants = [
         ("static-F,static-N", false, false),
@@ -54,11 +61,8 @@ pub fn run(n: usize, seed: u64) -> Fig3Result {
         let audit = run.audit();
         let ledgers = run.ledgers();
         let report = ratio_report(ledgers.iter().copied(), &spec);
-        let mean_bytes = ledgers
-            .iter()
-            .map(|l| l.contribution(&spec))
-            .sum::<f64>()
-            / ledgers.len() as f64;
+        let mean_bytes =
+            ledgers.iter().map(|l| l.contribution(&spec)).sum::<f64>() / ledgers.len() as f64;
         table.row_owned(vec![
             label.to_string(),
             fmt_f64(report.jain),

@@ -1,15 +1,24 @@
 //! Shared experiment harness: scenario → simulation → audit.
+//!
+//! Scenario descriptions live in [`fed_workload::scenario::ScenarioSpec`];
+//! this module wires a materialized spec into either engine — the
+//! sequential [`Simulation`] ([`build_gossip`]) or the sharded
+//! [`ShardedSimulation`] ([`build_gossip_cluster`]) — and audits the
+//! outcome. Both builders schedule the identical workload in the identical
+//! order, so their results are bit-for-bit comparable.
 
+use fed_cluster::ShardedSimulation;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
 use fed_core::ledger::FairnessLedger;
 use fed_membership::FullMembership;
 use fed_metrics::delivery::DeliveryAudit;
-use fed_sim::network::{LatencyModel, NetworkModel};
-use fed_sim::{NodeId, SimDuration, SimTime, Simulation};
-use fed_util::rng::Xoshiro256StarStar;
+use fed_sim::network::NetworkModel;
+use fed_sim::{NodeId, SimTime, Simulation};
+use fed_workload::churn::ChurnAction;
 use fed_workload::interest::{Appetite, InterestProfile};
-use fed_workload::pubs::{generate_schedule, PubPlan, Publication};
+use fed_workload::pubs::{PubPlan, Publication};
+use fed_workload::scenario::ScenarioSpec;
 
 /// The node type every gossip experiment runs.
 pub type Node = GossipNode<FullMembership>;
@@ -37,24 +46,35 @@ impl GossipScenario {
     /// A sensible default: heterogeneous interest over a Zipf topic
     /// universe with a steady publication stream.
     pub fn standard(n: usize, seed: u64) -> Self {
+        GossipScenario::from_spec(&ScenarioSpec::fair_gossip(n, seed))
+    }
+
+    /// Builds a scenario from a [`ScenarioSpec`] (dropping its churn plan
+    /// and shard count, which the gossip builders take separately).
+    pub fn from_spec(spec: &ScenarioSpec) -> Self {
         GossipScenario {
-            n,
-            num_topics: 20,
-            zipf_s: 1.0,
-            appetite: Appetite::Bimodal {
-                heavy_fraction: 0.2,
-                heavy: 8,
-                light: 1,
-            },
-            plan: PubPlan {
-                rate_per_sec: 20.0,
-                duration: SimTime::from_secs(20),
-                topic_zipf_s: 1.0,
-                payload_bytes: 64,
-                warmup: SimTime::from_secs(2),
-            },
-            seed,
-            net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
+            n: spec.n,
+            num_topics: spec.num_topics,
+            zipf_s: spec.zipf_s,
+            appetite: spec.appetite,
+            plan: spec.plan,
+            seed: spec.seed,
+            net: spec.net.clone(),
+        }
+    }
+
+    /// The equivalent [`ScenarioSpec`] at a given shard count.
+    pub fn to_spec(&self, shards: usize) -> ScenarioSpec {
+        ScenarioSpec {
+            n: self.n,
+            shards,
+            num_topics: self.num_topics,
+            zipf_s: self.zipf_s,
+            appetite: self.appetite,
+            plan: self.plan,
+            churn: None,
+            net: self.net.clone(),
+            seed: self.seed,
         }
     }
 
@@ -110,52 +130,173 @@ impl GossipRun {
     }
 }
 
-/// Builds a gossip run; `behavior` assigns a behaviour model per node.
-pub fn build_gossip<B>(scenario: &GossipScenario, config: GossipConfig, behavior: B) -> GossipRun
+/// Schedules the materialized workload onto any engine, in the canonical
+/// order: subscriptions, publications, then churn.
+///
+/// Both engines must see the same `schedule_*` call order — the external
+/// event sequence number participates in the deterministic event order.
+fn schedule_workload<S>(sim: &mut S, materialized: &fed_workload::scenario::MaterializedScenario)
 where
-    B: Fn(NodeId) -> Behavior + 'static,
+    S: GossipEngine,
 {
-    let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
-    let profile = InterestProfile::generate(
-        &mut rng,
-        scenario.n,
-        scenario.num_topics,
-        scenario.zipf_s,
-        scenario.appetite,
-    )
-    .expect("scenario parameters are validated by construction");
-    let schedule = generate_schedule(&mut rng, scenario.n, scenario.num_topics, &scenario.plan)
-        .expect("scenario parameters are validated by construction");
-    let n = scenario.n;
-    let mut sim = Simulation::new(n, scenario.net.clone(), scenario.seed, move |id, _| {
-        GossipNode::with_behavior(
-            id,
-            config.clone(),
-            FullMembership::new(id, n),
-            behavior(id),
-        )
-    });
-    for i in 0..n {
-        for &topic in profile.topics_of(i) {
-            sim.schedule_command(
+    for i in 0..materialized.profile.len() {
+        for &topic in materialized.profile.topics_of(i) {
+            sim.command(
                 SimTime::ZERO,
                 NodeId::new(i as u32),
                 GossipCmd::SubscribeTopic(topic),
             );
         }
     }
-    for p in &schedule {
-        sim.schedule_command(
+    for p in &materialized.schedule {
+        sim.command(
             p.at,
             NodeId::new(p.publisher as u32),
             GossipCmd::Publish(p.event.clone()),
         );
     }
+    for c in &materialized.churn {
+        match c.action {
+            ChurnAction::Crash => sim.crash(c.at, NodeId::new(c.node as u32)),
+            ChurnAction::Join => sim.join(c.at, NodeId::new(c.node as u32)),
+        }
+    }
+}
+
+/// Minimal scheduling facade over the two engines.
+trait GossipEngine {
+    fn command(&mut self, at: SimTime, node: NodeId, cmd: GossipCmd);
+    fn crash(&mut self, at: SimTime, node: NodeId);
+    fn join(&mut self, at: SimTime, node: NodeId);
+}
+
+impl GossipEngine for Simulation<Node> {
+    fn command(&mut self, at: SimTime, node: NodeId, cmd: GossipCmd) {
+        self.schedule_command(at, node, cmd);
+    }
+    fn crash(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_crash(at, node);
+    }
+    fn join(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_join(at, node);
+    }
+}
+
+impl GossipEngine for ShardedSimulation<Node> {
+    fn command(&mut self, at: SimTime, node: NodeId, cmd: GossipCmd) {
+        self.schedule_command(at, node, cmd);
+    }
+    fn crash(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_crash(at, node);
+    }
+    fn join(&mut self, at: SimTime, node: NodeId) {
+        self.schedule_join(at, node);
+    }
+}
+
+/// Builds a gossip run; `behavior` assigns a behaviour model per node.
+pub fn build_gossip<B>(scenario: &GossipScenario, config: GossipConfig, behavior: B) -> GossipRun
+where
+    B: Fn(NodeId) -> Behavior + 'static,
+{
+    build_gossip_spec(&scenario.to_spec(1), config, behavior)
+}
+
+/// Builds a sequential gossip run straight from a [`ScenarioSpec`],
+/// honouring its churn plan — the sequential twin of
+/// [`build_gossip_cluster`] (`spec.shards` is ignored here).
+pub fn build_gossip_spec<B>(spec: &ScenarioSpec, config: GossipConfig, behavior: B) -> GossipRun
+where
+    B: Fn(NodeId) -> Behavior + 'static,
+{
+    let materialized = spec
+        .materialize()
+        .expect("scenario parameters are validated by construction");
+    let n = spec.n;
+    let mut sim = Simulation::new(n, spec.net.clone(), spec.seed, move |id, _| {
+        GossipNode::with_behavior(id, config.clone(), FullMembership::new(id, n), behavior(id))
+    });
+    schedule_workload(&mut sim, &materialized);
     GossipRun {
         sim,
-        profile,
-        schedule,
-        horizon: scenario.horizon(),
+        profile: materialized.profile,
+        schedule: materialized.schedule,
+        horizon: materialized.horizon,
+    }
+}
+
+/// A prepared sharded run: cluster with workload wired in, plus ground
+/// truth. The sharded twin of [`GossipRun`].
+pub struct ClusterGossipRun {
+    /// The sharded simulation (not yet executed).
+    pub sim: ShardedSimulation<Node>,
+    /// Who subscribes to what.
+    pub profile: InterestProfile,
+    /// Scheduled publications.
+    pub schedule: Vec<Publication>,
+    /// Scenario horizon.
+    pub horizon: SimTime,
+}
+
+impl ClusterGossipRun {
+    /// Runs to the scenario horizon.
+    pub fn run(&mut self) {
+        let horizon = self.horizon;
+        self.sim.run_until(horizon);
+    }
+
+    /// Builds the delivery audit from ground truth and observed state.
+    pub fn audit(&self) -> DeliveryAudit {
+        let mut audit = DeliveryAudit::new();
+        for p in &self.schedule {
+            audit.expect(
+                p.event.id(),
+                p.at,
+                self.profile.subscribers_of(p.event.topic()),
+            );
+        }
+        for (id, node) in self.sim.nodes() {
+            for (eid, rec) in node.deliveries() {
+                audit.record(*eid, id.index(), rec.at);
+            }
+        }
+        audit
+    }
+
+    /// Ledgers of all nodes in id order.
+    pub fn ledgers(&self) -> Vec<&FairnessLedger> {
+        self.sim.nodes().map(|(_, n)| n.ledger()).collect()
+    }
+}
+
+/// Builds a sharded gossip run from a [`ScenarioSpec`] (shard count,
+/// churn plan and all).
+///
+/// For the same spec (and scheduling order), the results are bit-for-bit
+/// identical to [`build_gossip_spec`] regardless of `spec.shards` — asserted
+/// by the `cross_engine` integration test.
+pub fn build_gossip_cluster<B>(
+    spec: &ScenarioSpec,
+    config: GossipConfig,
+    behavior: B,
+) -> ClusterGossipRun
+where
+    B: Fn(NodeId) -> Behavior + Send + Sync + 'static,
+{
+    let materialized = spec
+        .materialize()
+        .expect("scenario parameters are validated by construction");
+    let n = spec.n;
+    let mut sim =
+        ShardedSimulation::new(n, spec.net.clone(), spec.seed, spec.shards, move |id, _| {
+            GossipNode::with_behavior(id, config.clone(), FullMembership::new(id, n), behavior(id))
+        });
+    schedule_workload(&mut sim, &materialized);
+    ClusterGossipRun {
+        sim,
+        profile: materialized.profile,
+        schedule: materialized.schedule,
+        horizon: materialized.horizon,
     }
 }
 
@@ -163,6 +304,7 @@ where
 mod tests {
     use super::*;
     use fed_core::ledger::RatioSpec;
+    use fed_sim::SimDuration;
 
     #[test]
     fn standard_scenario_runs_and_audits() {

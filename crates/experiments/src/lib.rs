@@ -15,6 +15,7 @@
 //! | E-ROBUST | [`robust`] | §5.2 Q5 — robustness under loss/crash |
 //! | E-BIAS | [`bias`] | §5.2 Q6 — audits against lying peers |
 //! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
+//! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
 //!
 //! Every experiment is a plain function taking `(n, seed)` and returning a
 //! result struct with one or more [`fed_metrics::table::Table`]s; the
@@ -34,12 +35,13 @@ pub mod fig3;
 pub mod fig4;
 pub mod harness;
 pub mod robust;
+pub mod scale;
 pub mod subs;
 
 /// The canonical experiment ids in DESIGN.md order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "arch", "churn", "subs", "conv", "robust", "bias",
-    "ablation",
+    "fig1", "fig2", "fig3", "fig4", "arch", "churn", "subs", "conv", "robust", "bias", "ablation",
+    "scale",
 ];
 
 /// Runs one experiment by id at a default size, printing its tables.
@@ -98,6 +100,11 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
             let r = ablation::run(128, seed);
             println!("{}", r.gain_table);
             println!("{}", r.civic_table);
+        }
+        "scale" => {
+            let r = scale::run(512, &[1, 2, 4], seed);
+            println!("{}", r.table);
+            assert!(r.identical, "shard count must not change the outcome");
         }
         _ => return false,
     }

@@ -41,19 +41,13 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
             GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
         ] {
             let mut scenario = GossipScenario::standard(n, seed);
-            scenario.net = NetworkModel::lossy(
-                LatencyModel::Constant(SimDuration::from_millis(10)),
-                loss,
-            );
+            scenario.net =
+                NetworkModel::lossy(LatencyModel::Constant(SimDuration::from_millis(10)), loss);
             let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
             run.run();
             rel.push(run.audit().reliability());
         }
-        loss_table.row_owned(vec![
-            fmt_f64(loss),
-            fmt_f64(rel[0]),
-            fmt_f64(rel[1]),
-        ]);
+        loss_table.row_owned(vec![fmt_f64(loss), fmt_f64(rel[0]), fmt_f64(rel[1])]);
         loss_points.push((loss, rel[0], rel[1]));
     }
 
@@ -101,11 +95,7 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
             }
             rel.push(audit.reliability());
         }
-        crash_table.row_owned(vec![
-            fmt_f64(crash_frac),
-            fmt_f64(rel[0]),
-            fmt_f64(rel[1]),
-        ]);
+        crash_table.row_owned(vec![fmt_f64(crash_frac), fmt_f64(rel[0]), fmt_f64(rel[1])]);
         crash_points.push((crash_frac, rel[0], rel[1]));
     }
 

@@ -1,0 +1,166 @@
+//! E-SCALE — sharded runtime scaling.
+//!
+//! Runs the identical fair-gossip scenario on the `fed-cluster` sharded
+//! runtime at increasing shard counts and reports wall-clock time, event
+//! throughput, barrier-window count and the fairness/reliability metrics.
+//! Because the sharded runtime is bit-for-bit deterministic, every row
+//! must show the *same* virtual-world outcome (deliveries, fairness) —
+//! the `identical` flag asserts it — while wall-clock time drops as
+//! shards spread over cores. On a single-core machine the sharded rows
+//! only add barrier overhead; the speedup column is meaningful on
+//! multi-core hardware.
+
+use crate::harness::build_gossip_cluster;
+use fed_core::behavior::Behavior;
+use fed_core::gossip::GossipConfig;
+use fed_core::ledger::RatioSpec;
+use fed_metrics::fairness::ratio_report;
+use fed_metrics::table::{fmt_f64, Table};
+use fed_sim::{SimDuration, SimTime};
+use fed_workload::pubs::PubPlan;
+use fed_workload::scenario::ScenarioSpec;
+use std::time::Instant;
+
+/// One row of the scaling sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalePoint {
+    /// Shard count of this run.
+    pub shards: usize,
+    /// Wall-clock milliseconds for the run.
+    pub wall_ms: f64,
+    /// Events processed (identical across rows by construction).
+    pub events: u64,
+    /// Barrier windows executed.
+    pub windows: u64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Wall-clock speedup versus the 1-shard row.
+    pub speedup: f64,
+}
+
+/// Result of the E-SCALE experiment.
+#[derive(Debug)]
+pub struct ScaleResult {
+    /// Summary table (one row per shard count).
+    pub table: Table,
+    /// The sweep points, in shard-count order.
+    pub points: Vec<ScalePoint>,
+    /// Whether every shard count produced identical per-node deliveries
+    /// and transport statistics (must be `true`).
+    pub identical: bool,
+    /// Jain fairness index of the (shared) outcome.
+    pub jain: f64,
+    /// Delivery reliability of the (shared) outcome.
+    pub reliability: f64,
+}
+
+/// The scenario the sweep runs: the standard fair-gossip workload with a
+/// shorter publication phase so large populations stay tractable.
+pub fn scale_spec(n: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::fair_gossip(n, seed);
+    spec.plan = PubPlan {
+        rate_per_sec: 10.0,
+        duration: SimTime::from_secs(5),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+    };
+    spec
+}
+
+/// Runs the scaling sweep at population size `n` over `shard_counts`.
+pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
+    let mut table = Table::new(
+        format!("E-SCALE: sharded runtime sweep (n={n})"),
+        &[
+            "shards",
+            "wall_ms",
+            "events",
+            "windows",
+            "events/s",
+            "speedup",
+            "jain",
+            "reliability",
+            "identical",
+        ],
+    );
+    let config = GossipConfig::fair(4, 16, SimDuration::from_millis(100));
+    let mut points = Vec::new();
+    let mut identical = true;
+    let mut baseline_fingerprint: Option<Vec<(u64, u64, usize)>> = None;
+    let mut baseline_wall = 0.0f64;
+    let mut jain = 0.0;
+    let mut reliability = 0.0;
+    for &shards in shard_counts {
+        let spec = scale_spec(n, seed).with_shards(shards);
+        let mut run = build_gossip_cluster(&spec, config.clone(), |_| Behavior::Honest);
+        let start = Instant::now();
+        run.run();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // The per-node fingerprint must not depend on the shard count.
+        let fingerprint: Vec<(u64, u64, usize)> = run
+            .sim
+            .nodes()
+            .map(|(id, node)| {
+                let st = run.sim.transport_stats(id);
+                (st.msgs_sent, st.msgs_received, node.deliveries().len())
+            })
+            .collect();
+        let same = match &baseline_fingerprint {
+            None => {
+                baseline_fingerprint = Some(fingerprint);
+                baseline_wall = wall_ms;
+                let audit = run.audit();
+                let ledgers = run.ledgers();
+                let report = ratio_report(ledgers.iter().copied(), &RatioSpec::topic_based());
+                jain = report.jain;
+                reliability = audit.reliability();
+                true
+            }
+            Some(base) => *base == fingerprint,
+        };
+        identical &= same;
+        let point = ScalePoint {
+            shards: run.sim.num_shards(),
+            wall_ms,
+            events: run.sim.events_processed(),
+            windows: run.sim.windows(),
+            events_per_sec: run.sim.events_processed() as f64 / (wall_ms / 1e3).max(1e-9),
+            speedup: baseline_wall / wall_ms.max(1e-9),
+        };
+        table.row_owned(vec![
+            point.shards.to_string(),
+            fmt_f64(point.wall_ms),
+            point.events.to_string(),
+            point.windows.to_string(),
+            fmt_f64(point.events_per_sec),
+            fmt_f64(point.speedup),
+            fmt_f64(jain),
+            fmt_f64(reliability),
+            same.to_string(),
+        ]);
+        points.push(point);
+    }
+    ScaleResult {
+        table,
+        points,
+        identical,
+        jain,
+        reliability,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_shard_invariant() {
+        let r = run(48, &[1, 2, 4], 42);
+        assert!(r.identical, "shard count changed the virtual outcome");
+        assert_eq!(r.points.len(), 3);
+        assert!(r.reliability > 0.99, "r={}", r.reliability);
+        let events = r.points[0].events;
+        assert!(r.points.iter().all(|p| p.events == events));
+    }
+}

@@ -29,11 +29,7 @@ pub struct SubsResult {
     pub rare_hops: f64,
 }
 
-fn scenario(
-    n: usize,
-    accounting: WalkAccounting,
-    seed: u64,
-) -> (Simulation<SubWalkNode>, usize) {
+fn scenario(n: usize, accounting: WalkAccounting, seed: u64) -> (Simulation<SubWalkNode>, usize) {
     let popular = TopicId::new(0);
     let rare = TopicId::new(1);
     let popular_members = n / 4;

@@ -1,0 +1,122 @@
+//! Cross-engine determinism: the same 1000-node fair-gossip scenario run
+//! through the harness on the sequential `fed_sim::Simulation`
+//! ([`build_gossip_spec`]) and on `fed-cluster` with 1, 2 and 4 shards
+//! ([`build_gossip_cluster`]) must produce identical delivery counts,
+//! transport statistics and fairness indices.
+//!
+//! Both builders share one workload scheduler, so this asserts the
+//! engines themselves: shard count is a performance knob, never a
+//! semantics knob.
+
+use fed_core::behavior::Behavior;
+use fed_core::gossip::GossipConfig;
+use fed_core::ledger::RatioSpec;
+use fed_experiments::harness::{build_gossip_cluster, build_gossip_spec, Node};
+use fed_sim::{NodeId, SimDuration, SimTime, TransportStats};
+use fed_util::fairness::jain_index;
+use fed_workload::pubs::PubPlan;
+use fed_workload::scenario::ScenarioSpec;
+
+fn spec(n: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::fair_gossip(n, 42);
+    // Shorter publication phase: 1000 nodes x ~100 gossip rounds is plenty.
+    spec.plan = PubPlan {
+        rate_per_sec: 10.0,
+        duration: SimTime::from_secs(4),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+    };
+    spec
+}
+
+fn config() -> GossipConfig {
+    GossipConfig::fair(4, 16, SimDuration::from_millis(100))
+}
+
+/// Per-node observable outcome plus the engine-level event count.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    deliveries: Vec<usize>,
+    duplicates: Vec<u64>,
+    stats: Vec<TransportStats>,
+    jain_bits: u64,
+    events: u64,
+}
+
+fn fingerprint<'a, I>(nodes: I, stats: Vec<TransportStats>, events: u64) -> Fingerprint
+where
+    I: Iterator<Item = (NodeId, &'a Node)>,
+{
+    let mut deliveries = Vec::new();
+    let mut duplicates = Vec::new();
+    let mut contributions = Vec::new();
+    let ratio_spec = RatioSpec::topic_based();
+    for (_, node) in nodes {
+        deliveries.push(node.deliveries().len());
+        duplicates.push(node.duplicates());
+        contributions.push(node.ledger().contribution(&ratio_spec));
+    }
+    Fingerprint {
+        deliveries,
+        duplicates,
+        stats,
+        // Bit pattern, not approximate equality: the runs must agree on
+        // every floating-point operation.
+        jain_bits: jain_index(&contributions).to_bits(),
+        events,
+    }
+}
+
+fn run_sequential(spec: &ScenarioSpec) -> Fingerprint {
+    let mut run = build_gossip_spec(spec, config(), |_| Behavior::Honest);
+    run.run();
+    let stats = run.sim.transport_stats_all().to_vec();
+    fingerprint(run.sim.nodes(), stats, run.sim.events_processed())
+}
+
+fn run_cluster(spec: &ScenarioSpec, shards: usize) -> Fingerprint {
+    let spec = spec.clone().with_shards(shards);
+    let mut run = build_gossip_cluster(&spec, config(), |_| Behavior::Honest);
+    run.run();
+    let stats = run.sim.transport_stats_all();
+    fingerprint(run.sim.nodes(), stats, run.sim.events_processed())
+}
+
+#[test]
+fn cross_engine_determinism_1k_nodes() {
+    let spec = spec(1000);
+    let expected = run_sequential(&spec);
+    // Sanity: the scenario actually delivers events.
+    assert!(
+        expected.deliveries.iter().sum::<usize>() > 0,
+        "dead scenario"
+    );
+    for shards in [1, 2, 4] {
+        let got = run_cluster(&spec, shards);
+        assert_eq!(
+            got, expected,
+            "cluster with {shards} shards diverged from the sequential engine"
+        );
+    }
+}
+
+#[test]
+fn cross_engine_determinism_under_churn() {
+    let mut spec = spec(200);
+    spec.churn = Some(fed_workload::churn::ChurnPlan {
+        mean_session_secs: 3.0,
+        mean_downtime_secs: 1.0,
+        churning_fraction: 0.2,
+        duration: SimTime::from_secs(4),
+        warmup: SimTime::from_secs(1),
+    });
+    let expected = run_sequential(&spec);
+    for shards in [2, 4] {
+        let got = run_cluster(&spec, shards);
+        assert_eq!(
+            got, expected,
+            "churny cluster with {shards} shards diverged from the sequential engine"
+        );
+    }
+}

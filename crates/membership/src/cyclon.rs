@@ -189,8 +189,7 @@ impl CyclonNode {
         period: SimDuration,
     ) -> Self {
         let mut state = CyclonState::new(id, capacity, shuffle_len);
-        let successors =
-            (1..=capacity).map(|d| NodeId::new(((id.index() + d) % n) as u32));
+        let successors = (1..=capacity).map(|d| NodeId::new(((id.index() + d) % n) as u32));
         state.bootstrap(successors);
         CyclonNode { state, period }
     }

@@ -209,8 +209,14 @@ mod tests {
     #[test]
     fn replace_oldest_evicts() {
         let mut v = view(2);
-        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 5 });
-        v.insert_entry(ViewEntry { id: NodeId::new(2), age: 1 });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(1),
+            age: 5,
+        });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(2),
+            age: 1,
+        });
         v.insert_or_replace_oldest(ViewEntry::fresh(NodeId::new(3)));
         assert_eq!(v.len(), 2);
         assert!(!v.contains(NodeId::new(1)), "oldest evicted");
@@ -221,10 +227,19 @@ mod tests {
     #[test]
     fn replace_existing_keeps_freshest_age() {
         let mut v = view(2);
-        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 5 });
-        v.insert_or_replace_oldest(ViewEntry { id: NodeId::new(1), age: 2 });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(1),
+            age: 5,
+        });
+        v.insert_or_replace_oldest(ViewEntry {
+            id: NodeId::new(1),
+            age: 2,
+        });
         assert_eq!(v.entries()[0].age, 2);
-        v.insert_or_replace_oldest(ViewEntry { id: NodeId::new(1), age: 9 });
+        v.insert_or_replace_oldest(ViewEntry {
+            id: NodeId::new(1),
+            age: 9,
+        });
         assert_eq!(v.entries()[0].age, 2, "older descriptor never wins");
         assert_eq!(v.len(), 1);
     }
@@ -252,9 +267,18 @@ mod tests {
     #[test]
     fn oldest_tracks_max_age() {
         let mut v = view(3);
-        v.insert_entry(ViewEntry { id: NodeId::new(1), age: 3 });
-        v.insert_entry(ViewEntry { id: NodeId::new(2), age: 7 });
-        v.insert_entry(ViewEntry { id: NodeId::new(3), age: 5 });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(1),
+            age: 3,
+        });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(2),
+            age: 7,
+        });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(3),
+            age: 5,
+        });
         assert_eq!(v.oldest().unwrap().id, NodeId::new(2));
         assert_eq!(view(1).oldest(), None);
     }
@@ -281,14 +305,20 @@ mod tests {
     #[test]
     fn age_saturates() {
         let mut v = view(1);
-        v.insert_entry(ViewEntry { id: NodeId::new(1), age: u32::MAX });
+        v.insert_entry(ViewEntry {
+            id: NodeId::new(1),
+            age: u32::MAX,
+        });
         v.increment_ages();
         assert_eq!(v.entries()[0].age, u32::MAX);
     }
 
     #[test]
     fn display() {
-        let e = ViewEntry { id: NodeId::new(3), age: 2 };
+        let e = ViewEntry {
+            id: NodeId::new(3),
+            age: 2,
+        };
         assert_eq!(format!("{e}"), "n3@2");
     }
 }

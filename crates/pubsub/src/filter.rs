@@ -205,12 +205,7 @@ impl fmt::Display for Filter {
     }
 }
 
-fn write_joined(
-    f: &mut fmt::Formatter<'_>,
-    fs: &[Filter],
-    sep: &str,
-    empty: &str,
-) -> fmt::Result {
+fn write_joined(f: &mut fmt::Formatter<'_>, fs: &[Filter], sep: &str, empty: &str) -> fmt::Result {
     if fs.is_empty() {
         return f.write_str(empty);
     }

@@ -56,9 +56,7 @@ impl Interest {
     /// `sports/football`.
     pub fn is_interested_in(&self, event: &Event, space: &TopicSpace) -> bool {
         match self {
-            Interest::Topics(set) => set
-                .iter()
-                .any(|&t| space.is_descendant(event.topic(), t)),
+            Interest::Topics(set) => set.iter().any(|&t| space.is_descendant(event.topic(), t)),
             Interest::Any(parts) => parts.iter().any(|p| p.is_interested_in(event, space)),
             other => other.is_interested(event),
         }

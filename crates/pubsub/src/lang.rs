@@ -92,16 +92,25 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, pos: i });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    pos: i,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, pos: i });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    pos: i,
+                });
                 i += 1;
             }
             '&' => {
                 if bytes.get(i + 1) == Some(&b'&') {
-                    tokens.push(Spanned { token: Token::AndAnd, pos: i });
+                    tokens.push(Spanned {
+                        token: Token::AndAnd,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "expected '&&'"));
@@ -109,7 +118,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '|' => {
                 if bytes.get(i + 1) == Some(&b'|') {
-                    tokens.push(Spanned { token: Token::OrOr, pos: i });
+                    tokens.push(Spanned {
+                        token: Token::OrOr,
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "expected '||'"));
@@ -117,16 +129,25 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Ne), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Ne),
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Bang, pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Bang,
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Eq), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Eq),
+                        pos: i,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new(i, "expected '==' (single '=' not allowed)"));
@@ -134,19 +155,31 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Le), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Le),
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Lt), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Lt),
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Ge), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Ge),
+                        pos: i,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Op(CmpOp::Gt), pos: i });
+                    tokens.push(Spanned {
+                        token: Token::Op(CmpOp::Gt),
+                        pos: i,
+                    });
                     i += 1;
                 }
             }
@@ -181,7 +214,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 if !closed {
                     return Err(ParseError::new(start, "unterminated string literal"));
                 }
-                tokens.push(Spanned { token: Token::Str(s), pos: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    pos: start,
+                });
             }
             '-' | '0'..='9' => {
                 let start = i;
@@ -235,7 +271,10 @@ fn tokenize(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 tokens.push(Spanned { token, pos: start });
             }
             other => {
-                return Err(ParseError::new(i, format!("unexpected character {other:?}")));
+                return Err(ParseError::new(
+                    i,
+                    format!("unexpected character {other:?}"),
+                ));
             }
         }
     }
@@ -549,10 +588,8 @@ mod tests {
 
     #[test]
     fn matches_complex_expression() {
-        let f = parse_filter(
-            r#"(price >= 40 && price <= 50 && symbol == "ABC") || ratio > 0.9"#,
-        )
-        .unwrap();
+        let f = parse_filter(r#"(price >= 40 && price <= 50 && symbol == "ABC") || ratio > 0.9"#)
+            .unwrap();
         assert!(f.matches(&ev()));
     }
 }

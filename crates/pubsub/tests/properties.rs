@@ -37,8 +37,11 @@ fn filter_strategy() -> impl Strategy<Value = Filter> {
     let leaf = prop_oneof![
         Just(Filter::True),
         Just(Filter::False),
-        (ident(), cmp_op(), attr_value())
-            .prop_map(|(name, op, value)| Filter::Cmp { name, op, value }),
+        (ident(), cmp_op(), attr_value()).prop_map(|(name, op, value)| Filter::Cmp {
+            name,
+            op,
+            value
+        }),
         ident().prop_map(Filter::Exists),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {

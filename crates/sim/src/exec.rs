@@ -1,0 +1,697 @@
+//! The execution substrate shared by the sequential and sharded engines.
+//!
+//! [`Simulation`](crate::Simulation) and `fed-cluster`'s sharded runtime
+//! run the *same* discrete-event computation; this module holds the pieces
+//! both need, factored so results are independent of which engine executes
+//! them:
+//!
+//! * **Canonical event keys.** Every event carries an [`EventKey`] of
+//!   `(time, source node, per-source sequence)` assigned by its *producer*,
+//!   and events are processed in key order. Because the key never depends
+//!   on global queue insertion order, a sharded engine that merges event
+//!   streams at time-window barriers pops events in exactly the order the
+//!   sequential engine does.
+//! * **Per-node random streams.** Each node owns two generators forked
+//!   deterministically from the master seed in node-id order
+//!   ([`seed_streams`]): one for protocol callbacks, one for sampling the
+//!   network fate (loss, latency) of its outgoing messages. No stream is
+//!   shared across nodes, so cross-node interleaving cannot perturb them.
+//! * **The [`Kernel`].** Node slots, timer incarnations,
+//!   [`TransportStats`] accounting and network sampling for a (sub)set of
+//!   nodes, with all produced events routed through an [`EffectSink`] —
+//!   a heap for the sequential engine, a local-queue/remote-outbox
+//!   splitter for a shard.
+//!
+//! Delivery latency is floored at [`MIN_NETWORK_LATENCY`] (1 µs): the
+//! network never delivers in zero virtual time. This gives every network
+//! model a positive conservative lookahead
+//! ([`NetworkModel::min_latency`]), which is what allows a sharded engine
+//! to process a full lookahead-wide window per barrier.
+
+use crate::network::NetworkModel;
+use crate::protocol::{Context, Invoke, NodeId, Outgoing, Protocol};
+use crate::time::{SimDuration, SimTime};
+use fed_util::rng::{Rng64, Xoshiro256StarStar};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The minimum virtual-time latency of any delivered message.
+///
+/// A positive floor guarantees every network model has a usable
+/// conservative lookahead; see the module docs.
+pub const MIN_NETWORK_LATENCY: SimDuration = SimDuration::from_micros(1);
+
+/// Source id used for externally scheduled events (commands, churn).
+///
+/// Real nodes have dense ids `0..n`, far below this sentinel.
+pub const EXTERNAL_SRC: u32 = u32::MAX;
+
+/// Per-node transport accounting maintained by the engine.
+///
+/// "Sent" counts every transmission attempt (a lost message still cost the
+/// sender its bandwidth — contribution accounting must include it).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransportStats {
+    /// Messages handed to the network.
+    pub msgs_sent: u64,
+    /// Bytes handed to the network (per [`Protocol::message_size`]).
+    pub bytes_sent: u64,
+    /// Messages delivered to this node.
+    pub msgs_received: u64,
+    /// Bytes delivered to this node.
+    pub bytes_received: u64,
+    /// Messages this node sent that the network dropped.
+    pub msgs_lost: u64,
+}
+
+/// The canonical total order on events.
+///
+/// `(time, src, seq)`: virtual time first, then producing node, then that
+/// producer's monotone sequence number. Two engines that process the same
+/// event set in key order per receiving node produce identical executions,
+/// because the key is assigned at production time and never references
+/// global queue state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventKey {
+    /// When the event fires.
+    pub time: SimTime,
+    /// The producing node ([`EXTERNAL_SRC`] for scheduled inputs).
+    pub src: u32,
+    /// The producer's sequence number at production time.
+    pub seq: u64,
+}
+
+/// A simulation event, addressed to one node.
+#[derive(Debug, Clone)]
+pub enum EventKind<P: Protocol> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver {
+        /// Destination node.
+        to: NodeId,
+        /// Sender.
+        from: NodeId,
+        /// Payload.
+        msg: P::Msg,
+    },
+    /// Fire `on_timer(token)` at `node`, if it is still in `incarnation`.
+    Timer {
+        /// The node whose timer fires.
+        node: NodeId,
+        /// Opaque token handed back to the protocol.
+        token: u64,
+        /// Incarnation that armed the timer; stale timers are dropped.
+        incarnation: u32,
+    },
+    /// Deliver an application command to `node`.
+    Command {
+        /// Destination node.
+        node: NodeId,
+        /// The command.
+        cmd: P::Cmd,
+    },
+    /// Crash the node (timers die, state is kept for inspection).
+    Crash(NodeId),
+    /// (Re)join the node with fresh state from the factory.
+    Join(NodeId),
+}
+
+impl<P: Protocol> EventKind<P> {
+    /// The node this event is addressed to.
+    pub fn dest(&self) -> NodeId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } | EventKind::Command { node, .. } => *node,
+            EventKind::Crash(node) | EventKind::Join(node) => *node,
+        }
+    }
+}
+
+struct Queued<P: Protocol> {
+    key: EventKey,
+    kind: EventKind<P>,
+}
+
+impl<P: Protocol> PartialEq for Queued<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key == other.key
+    }
+}
+impl<P: Protocol> Eq for Queued<P> {}
+impl<P: Protocol> PartialOrd for Queued<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P: Protocol> Ord for Queued<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we pop earliest-first, so
+        // compare other-to-self.
+        other.key.cmp(&self.key)
+    }
+}
+
+/// A pending-event queue, popping in [`EventKey`] order.
+pub struct EventQueue<P: Protocol> {
+    heap: BinaryHeap<Queued<P>>,
+}
+
+impl<P: Protocol> Default for EventQueue<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Protocol> EventQueue<P> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Enqueues an event.
+    pub fn push(&mut self, key: EventKey, kind: EventKind<P>) {
+        self.heap.push(Queued { key, kind });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(EventKey, EventKind<P>)> {
+        self.heap.pop().map(|q| (q.key, q.kind))
+    }
+
+    /// Removes the earliest event only if it fires strictly before `end`.
+    pub fn pop_before(&mut self, end: SimTime) -> Option<(EventKey, EventKind<P>)> {
+        if self.heap.peek()?.key.time < end {
+            self.pop()
+        } else {
+            None
+        }
+    }
+
+    /// The firing time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|q| q.key.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<P: Protocol> EffectSink<P> for EventQueue<P> {
+    fn emit(&mut self, key: EventKey, kind: EventKind<P>) {
+        self.push(key, kind);
+    }
+}
+
+/// Receives the events a [`Kernel`] produces while dispatching.
+///
+/// The sequential engine's sink is its own [`EventQueue`]; a shard's sink
+/// pushes locally-addressed events onto its queue and stages cross-shard
+/// deliveries in an outbox drained at the next window barrier.
+pub trait EffectSink<P: Protocol> {
+    /// Accepts one produced event.
+    fn emit(&mut self, key: EventKey, kind: EventKind<P>);
+}
+
+/// The deterministic random streams of one node.
+#[derive(Debug, Clone)]
+pub struct NodeStreams {
+    /// Stream consumed by the node's protocol callbacks.
+    pub rng: Xoshiro256StarStar,
+    /// Stream consumed to decide the fate of the node's outgoing messages.
+    pub net_rng: Xoshiro256StarStar,
+}
+
+/// Forks the per-node random streams for an `n`-node simulation.
+///
+/// Both engines call this with the full population so node `i`'s streams
+/// depend only on `(seed, i)` — never on how nodes are partitioned into
+/// shards.
+pub fn seed_streams(seed: u64, n: usize) -> Vec<NodeStreams> {
+    let mut root = Xoshiro256StarStar::seed_from_u64(seed);
+    let mut net_master = root.fork();
+    let rngs: Vec<Xoshiro256StarStar> = (0..n).map(|_| root.fork()).collect();
+    rngs.into_iter()
+        .map(|rng| NodeStreams {
+            rng,
+            net_rng: net_master.fork(),
+        })
+        .collect()
+}
+
+struct Slot<P> {
+    state: Option<P>,
+    rng: Xoshiro256StarStar,
+    net_rng: Xoshiro256StarStar,
+    alive: bool,
+    incarnation: u32,
+    /// Sequence counter stamped on events this node produces.
+    next_seq: u64,
+}
+
+/// Node slots, transport accounting and network sampling for a (sub)set of
+/// the simulated population.
+///
+/// The kernel executes protocol callbacks for the nodes it owns and turns
+/// their side effects into keyed events emitted through an
+/// [`EffectSink`]; it never owns an event queue, which is what makes it
+/// reusable by both the sequential and the sharded engine.
+pub struct Kernel<P: Protocol> {
+    n_global: usize,
+    owned: Vec<u32>,
+    /// Global id → local slot index; `u32::MAX` when not owned.
+    local: Vec<u32>,
+    slots: Vec<Slot<P>>,
+    stats: Vec<TransportStats>,
+    net: NetworkModel,
+    scratch: Vec<Outgoing<P::Msg>>,
+}
+
+impl<P: Protocol> Kernel<P> {
+    /// Builds a kernel owning `owned` (ascending global ids out of
+    /// `0..n_global`), constructs each owned node via `factory` and runs
+    /// its `on_init` at time zero, emitting init effects into `sink`.
+    ///
+    /// `streams` must hold one entry per owned node, in the same order,
+    /// taken from [`seed_streams`] of the full population.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `owned` and `streams` disagree in length or an id is out
+    /// of range.
+    pub fn new(
+        n_global: usize,
+        owned: Vec<u32>,
+        streams: Vec<NodeStreams>,
+        net: NetworkModel,
+        factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
+        sink: &mut dyn EffectSink<P>,
+    ) -> Self {
+        assert_eq!(owned.len(), streams.len(), "one stream pair per owned node");
+        let mut local = vec![u32::MAX; n_global];
+        let mut slots = Vec::with_capacity(owned.len());
+        for (li, (&id, s)) in owned.iter().zip(streams).enumerate() {
+            assert!((id as usize) < n_global, "owned id {id} out of range");
+            local[id as usize] = li as u32;
+            let mut rng = s.rng;
+            let state = factory(NodeId::new(id), &mut rng);
+            slots.push(Slot {
+                state: Some(state),
+                rng,
+                net_rng: s.net_rng,
+                alive: true,
+                incarnation: 0,
+                next_seq: 0,
+            });
+        }
+        let mut kernel = Kernel {
+            n_global,
+            stats: vec![TransportStats::default(); owned.len()],
+            owned,
+            local,
+            slots,
+            net,
+            scratch: Vec::new(),
+        };
+        for i in 0..kernel.owned.len() {
+            let id = NodeId::new(kernel.owned[i]);
+            kernel.invoke(id, Invoke::Init, SimTime::ZERO, sink);
+        }
+        kernel
+    }
+
+    /// Total population size (across all shards).
+    pub fn n_global(&self) -> usize {
+        self.n_global
+    }
+
+    /// The global ids this kernel owns, ascending.
+    pub fn owned_ids(&self) -> &[u32] {
+        &self.owned
+    }
+
+    /// Whether this kernel owns `id`.
+    pub fn owns(&self, id: NodeId) -> bool {
+        self.local.get(id.index()).is_some_and(|&li| li != u32::MAX)
+    }
+
+    fn local_of(&self, id: NodeId) -> Option<usize> {
+        match self.local.get(id.index()) {
+            Some(&li) if li != u32::MAX => Some(li as usize),
+            _ => None,
+        }
+    }
+
+    /// Shared access to an owned node's protocol state (alive or crashed).
+    pub fn node(&self, id: NodeId) -> Option<&P> {
+        self.slots
+            .get(self.local_of(id)?)
+            .and_then(|s| s.state.as_ref())
+    }
+
+    /// Exclusive access to an owned node's protocol state.
+    pub fn node_mut(&mut self, id: NodeId) -> Option<&mut P> {
+        let li = self.local_of(id)?;
+        self.slots.get_mut(li).and_then(|s| s.state.as_mut())
+    }
+
+    /// Iterates over `(id, state)` of every owned node that has state.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &P)> {
+        self.owned
+            .iter()
+            .zip(&self.slots)
+            .filter_map(|(&id, s)| s.state.as_ref().map(|p| (NodeId::new(id), p)))
+    }
+
+    /// Whether owned node `id` is currently alive.
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.local_of(id)
+            .map(|li| self.slots[li].alive)
+            .unwrap_or(false)
+    }
+
+    /// Transport statistics of an owned node.
+    pub fn stats_of(&self, id: NodeId) -> Option<TransportStats> {
+        self.local_of(id).map(|li| self.stats[li])
+    }
+
+    /// Transport statistics of owned nodes, in `owned_ids` order.
+    pub fn stats_slice(&self) -> &[TransportStats] {
+        &self.stats
+    }
+
+    /// Resets all transport statistics to zero.
+    pub fn reset_stats(&mut self) {
+        for s in &mut self.stats {
+            *s = TransportStats::default();
+        }
+    }
+
+    /// The network model.
+    pub fn net(&self) -> &NetworkModel {
+        &self.net
+    }
+
+    /// Mutates the network model mid-run (partitions, healing).
+    pub fn net_mut(&mut self) -> &mut NetworkModel {
+        &mut self.net
+    }
+
+    /// Executes one event addressed to an owned node, emitting any produced
+    /// events into `sink`. `factory` rebuilds protocol state on
+    /// [`EventKind::Join`].
+    ///
+    /// Events for nodes this kernel does not own are ignored (the router
+    /// upstream is responsible for addressing).
+    pub fn dispatch(
+        &mut self,
+        key: EventKey,
+        kind: EventKind<P>,
+        factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
+        sink: &mut dyn EffectSink<P>,
+    ) {
+        let now = key.time;
+        match kind {
+            EventKind::Deliver { to, from, msg } => {
+                let Some(li) = self.local_of(to) else { return };
+                if !self.slots[li].alive {
+                    return;
+                }
+                let size = P::message_size(&msg) as u64;
+                self.stats[li].msgs_received += 1;
+                self.stats[li].bytes_received += size;
+                self.invoke(to, Invoke::Message { from, msg }, now, sink);
+            }
+            EventKind::Timer {
+                node,
+                token,
+                incarnation,
+            } => {
+                let Some(li) = self.local_of(node) else {
+                    return;
+                };
+                if !self.slots[li].alive || self.slots[li].incarnation != incarnation {
+                    return; // stale timer from a previous incarnation
+                }
+                self.invoke(node, Invoke::Timer(token), now, sink);
+            }
+            EventKind::Command { node, cmd } => {
+                let Some(li) = self.local_of(node) else {
+                    return;
+                };
+                if !self.slots[li].alive {
+                    return;
+                }
+                self.invoke(node, Invoke::Command(cmd), now, sink);
+            }
+            EventKind::Crash(node) => {
+                let Some(li) = self.local_of(node) else {
+                    return;
+                };
+                if !self.slots[li].alive {
+                    return;
+                }
+                self.slots[li].alive = false;
+                if let Some(state) = self.slots[li].state.as_mut() {
+                    state.on_crash(now);
+                }
+            }
+            EventKind::Join(node) => {
+                let Some(li) = self.local_of(node) else {
+                    return;
+                };
+                if self.slots[li].alive {
+                    return;
+                }
+                let slot = &mut self.slots[li];
+                slot.alive = true;
+                slot.incarnation = slot.incarnation.wrapping_add(1);
+                let state = factory(node, &mut slot.rng);
+                slot.state = Some(state);
+                self.invoke(node, Invoke::Init, now, sink);
+            }
+        }
+    }
+
+    fn invoke(
+        &mut self,
+        node: NodeId,
+        what: Invoke<P>,
+        now: SimTime,
+        sink: &mut dyn EffectSink<P>,
+    ) {
+        debug_assert!(self.scratch.is_empty());
+        let Some(li) = self.local_of(node) else {
+            return;
+        };
+        let n = self.n_global;
+        let mut effects = std::mem::take(&mut self.scratch);
+        {
+            let slot = &mut self.slots[li];
+            let Some(state) = slot.state.as_mut() else {
+                self.scratch = effects;
+                return;
+            };
+            let mut ctx = Context {
+                node,
+                now,
+                n,
+                rng: &mut slot.rng,
+                outbox: &mut effects,
+            };
+            match what {
+                Invoke::Init => state.on_init(&mut ctx),
+                Invoke::Message { from, msg } => state.on_message(&mut ctx, from, msg),
+                Invoke::Timer(token) => state.on_timer(&mut ctx, token),
+                Invoke::Command(cmd) => state.on_command(&mut ctx, cmd),
+            }
+        }
+        let incarnation = self.slots[li].incarnation;
+        for effect in effects.drain(..) {
+            match effect {
+                Outgoing::Send { to, msg } => {
+                    let size = P::message_size(&msg) as u64;
+                    self.stats[li].msgs_sent += 1;
+                    self.stats[li].bytes_sent += size;
+                    let slot = &mut self.slots[li];
+                    match self
+                        .net
+                        .transmit(&mut slot.net_rng, node.index(), to.index())
+                    {
+                        Some(latency) => {
+                            let at = now + latency.max(MIN_NETWORK_LATENCY);
+                            let seq = slot.next_seq;
+                            slot.next_seq += 1;
+                            sink.emit(
+                                EventKey {
+                                    time: at,
+                                    src: node.as_u32(),
+                                    seq,
+                                },
+                                EventKind::Deliver {
+                                    to,
+                                    from: node,
+                                    msg,
+                                },
+                            );
+                        }
+                        None => {
+                            self.stats[li].msgs_lost += 1;
+                        }
+                    }
+                }
+                Outgoing::Timer { delay, token } => {
+                    let slot = &mut self.slots[li];
+                    let seq = slot.next_seq;
+                    slot.next_seq += 1;
+                    sink.emit(
+                        EventKey {
+                            time: now + delay,
+                            src: node.as_u32(),
+                            seq,
+                        },
+                        EventKind::Timer {
+                            node,
+                            token,
+                            incarnation,
+                        },
+                    );
+                }
+            }
+        }
+        self.scratch = effects;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal protocol for queue-only tests.
+    struct Nop;
+    impl Protocol for Nop {
+        type Msg = ();
+        type Cmd = u64;
+        fn on_init(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+    }
+
+    fn cmd(key: EventKey, tag: u64) -> (EventKey, EventKind<Nop>) {
+        (
+            key,
+            EventKind::Command {
+                node: NodeId::new(0),
+                cmd: tag,
+            },
+        )
+    }
+
+    fn tag_of(kind: &EventKind<Nop>) -> u64 {
+        match kind {
+            EventKind::Command { cmd, .. } => *cmd,
+            _ => panic!("expected command"),
+        }
+    }
+
+    /// The heap's reversed comparator must pop events earliest-time-first
+    /// even though `BinaryHeap` itself is a max-heap.
+    #[test]
+    fn queue_pops_earliest_time_first() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        for (i, ms) in [30u64, 10, 20, 40, 5].iter().enumerate() {
+            let key = EventKey {
+                time: SimTime::from_millis(*ms),
+                src: EXTERNAL_SRC,
+                seq: i as u64,
+            };
+            let (key, kind) = cmd(key, *ms);
+            q.push(key, kind);
+        }
+        let mut popped = Vec::new();
+        while let Some((key, kind)) = q.pop() {
+            popped.push((key.time.as_millis(), tag_of(&kind)));
+        }
+        assert_eq!(popped, vec![(5, 5), (10, 10), (20, 20), (30, 30), (40, 40)]);
+    }
+
+    /// Equal-time events from one producer pop in insertion (sequence)
+    /// order — the property the old global-seq comparator provided and the
+    /// canonical key must preserve.
+    #[test]
+    fn queue_preserves_insertion_order_at_equal_times() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        let t = SimTime::from_millis(7);
+        for seq in [3u64, 0, 2, 1] {
+            let key = EventKey {
+                time: t,
+                src: EXTERNAL_SRC,
+                seq,
+            };
+            let (key, kind) = cmd(key, seq);
+            q.push(key, kind);
+        }
+        let mut tags = Vec::new();
+        while let Some((_, kind)) = q.pop() {
+            tags.push(tag_of(&kind));
+        }
+        assert_eq!(tags, vec![0, 1, 2, 3], "per-source seq breaks time ties");
+    }
+
+    /// At equal times, lower-numbered producers win, and only then the
+    /// per-producer sequence — the full canonical `(time, src, seq)` order.
+    #[test]
+    fn queue_orders_sources_before_sequences() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        let t = SimTime::from_millis(1);
+        let entries = [(2u32, 0u64, 20u64), (1, 1, 11), (1, 0, 10), (2, 1, 21)];
+        for (src, seq, tag) in entries {
+            let key = EventKey { time: t, src, seq };
+            let (key, kind) = cmd(key, tag);
+            q.push(key, kind);
+        }
+        let mut tags = Vec::new();
+        while let Some((_, kind)) = q.pop() {
+            tags.push(tag_of(&kind));
+        }
+        assert_eq!(tags, vec![10, 11, 20, 21]);
+    }
+
+    #[test]
+    fn pop_before_respects_exclusive_bound() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        let key = EventKey {
+            time: SimTime::from_millis(10),
+            src: EXTERNAL_SRC,
+            seq: 0,
+        };
+        let (key, kind) = cmd(key, 1);
+        q.push(key, kind);
+        assert!(
+            q.pop_before(SimTime::from_millis(10)).is_none(),
+            "exclusive"
+        );
+        assert!(q.pop_before(SimTime::from_micros(10_001)).is_some());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn seed_streams_are_partition_independent() {
+        let all = seed_streams(9, 8);
+        let again = seed_streams(9, 8);
+        for (a, b) in all.iter().zip(&again) {
+            assert_eq!(a.rng.state(), b.rng.state());
+            assert_eq!(a.net_rng.state(), b.net_rng.state());
+        }
+        // Distinct nodes get distinct streams.
+        assert_ne!(all[0].rng.state(), all[1].rng.state());
+        assert_ne!(all[0].net_rng.state(), all[1].net_rng.state());
+    }
+}

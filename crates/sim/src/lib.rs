@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod exec;
 pub mod network;
 pub mod protocol;
 pub mod time;

@@ -33,6 +33,21 @@ pub enum LatencyModel {
 }
 
 impl LatencyModel {
+    /// A lower bound on every latency this model can sample.
+    ///
+    /// Used by sharded runtimes as the conservative lookahead: no message
+    /// can arrive sooner than `send_time + lower_bound()`. Heavy-tailed
+    /// models without a positive infimum return [`SimDuration::ZERO`]; the
+    /// engine's 1 µs delivery floor (see
+    /// [`crate::exec::MIN_NETWORK_LATENCY`]) still applies on top.
+    pub fn lower_bound(&self) -> SimDuration {
+        match self {
+            LatencyModel::Constant(d) => *d,
+            LatencyModel::Uniform { lo, .. } => *lo,
+            LatencyModel::LogNormalMs { .. } => SimDuration::ZERO,
+        }
+    }
+
     /// Samples one latency value.
     ///
     /// # Errors
@@ -106,6 +121,18 @@ impl NetworkModel {
     /// The configured latency model.
     pub fn latency_model(&self) -> &LatencyModel {
         &self.latency
+    }
+
+    /// A lower bound on the delivery latency of any message this model
+    /// delivers, floored at the engine's 1 µs minimum.
+    ///
+    /// This is the conservative lookahead of the model: a sharded runtime
+    /// may process a time window of this width without waiting for
+    /// messages sent inside the window by other shards.
+    pub fn min_latency(&self) -> SimDuration {
+        self.latency
+            .lower_bound()
+            .max(crate::exec::MIN_NETWORK_LATENCY)
     }
 
     /// Installs a partition: node `i` belongs to `groups[i]`; messages

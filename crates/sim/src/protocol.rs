@@ -43,6 +43,14 @@ impl From<u32> for NodeId {
     }
 }
 
+/// A protocol callback invocation, routed by the execution kernel.
+pub(crate) enum Invoke<P: Protocol> {
+    Init,
+    Message { from: NodeId, msg: P::Msg },
+    Timer(u64),
+    Command(P::Cmd),
+}
+
 /// A queued side effect produced by a protocol callback.
 #[derive(Debug, Clone)]
 pub(crate) enum Outgoing<M> {

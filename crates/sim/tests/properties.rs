@@ -36,9 +36,7 @@ impl Protocol for Recorder {
         self.log.push((ctx.now().as_micros(), "cmd".into()));
         match cmd {
             Cmd::Send(to, value) => ctx.send(NodeId::new(to), value),
-            Cmd::Timer(delay_ms, token) => {
-                ctx.set_timer(SimDuration::from_millis(delay_ms), token)
-            }
+            Cmd::Timer(delay_ms, token) => ctx.set_timer(SimDuration::from_millis(delay_ms), token),
         }
     }
 }

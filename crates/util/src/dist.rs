@@ -390,12 +390,12 @@ mod tests {
         let z = Zipf::new(20, 1.0).unwrap();
         let mut r = rng();
         let n = 200_000;
-        let mut counts = vec![0usize; 20];
+        let mut counts = [0usize; 20];
         for _ in 0..n {
             counts[z.sample(&mut r)] += 1;
         }
-        for k in 0..20 {
-            let emp = counts[k] as f64 / n as f64;
+        for (k, &count) in counts.iter().enumerate() {
+            let emp = count as f64 / n as f64;
             assert!(
                 (emp - z.pmf(k)).abs() < 0.01,
                 "rank {k}: emp={emp} pmf={}",

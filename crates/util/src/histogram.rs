@@ -33,7 +33,10 @@ pub struct InvalidHistogram;
 
 impl fmt::Display for InvalidHistogram {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "histogram requires finite lo < hi and at least one bucket")
+        write!(
+            f,
+            "histogram requires finite lo < hi and at least one bucket"
+        )
     }
 }
 

@@ -228,10 +228,7 @@ impl Xoshiro256StarStar {
 
 impl Rng64 for Xoshiro256StarStar {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -324,7 +321,11 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
-        assert_ne!(v, (0..100).collect::<Vec<u32>>(), "astronomically unlikely identity");
+        assert_ne!(
+            v,
+            (0..100).collect::<Vec<u32>>(),
+            "astronomically unlikely identity"
+        );
     }
 
     #[test]
@@ -338,7 +339,14 @@ mod tests {
     #[test]
     fn sample_indices_distinct_and_bounded() {
         let mut rng = Xoshiro256StarStar::seed_from_u64(77);
-        for &(n, k) in &[(10usize, 3usize), (10, 10), (10, 20), (0, 5), (5000, 8), (8192, 4)] {
+        for &(n, k) in &[
+            (10usize, 3usize),
+            (10, 10),
+            (10, 20),
+            (0, 5),
+            (5000, 8),
+            (8192, 4),
+        ] {
             let s = rng.sample_indices(n, k);
             assert_eq!(s.len(), k.min(n));
             let mut sorted = s.clone();

@@ -77,7 +77,11 @@ pub fn generate_churn<R: Rng64>(
             events.push(ChurnEvent {
                 at: SimTime::from_micros((t * 1e6) as u64),
                 node,
-                action: if up { ChurnAction::Crash } else { ChurnAction::Join },
+                action: if up {
+                    ChurnAction::Crash
+                } else {
+                    ChurnAction::Join
+                },
             });
             t += if up {
                 downtime.sample(rng)

@@ -165,8 +165,7 @@ mod tests {
 
     #[test]
     fn fixed_appetite_exact_counts() {
-        let p =
-            InterestProfile::generate(&mut rng(), 50, 20, 1.0, Appetite::Fixed(3)).unwrap();
+        let p = InterestProfile::generate(&mut rng(), 50, 20, 1.0, Appetite::Fixed(3)).unwrap();
         assert_eq!(p.len(), 50);
         for i in 0..50 {
             assert_eq!(p.topics_of(i).len(), 3, "node {i}");
@@ -184,14 +183,9 @@ mod tests {
 
     #[test]
     fn uniform_appetite_in_bounds() {
-        let p = InterestProfile::generate(
-            &mut rng(),
-            200,
-            50,
-            0.5,
-            Appetite::Uniform { lo: 1, hi: 8 },
-        )
-        .unwrap();
+        let p =
+            InterestProfile::generate(&mut rng(), 200, 50, 0.5, Appetite::Uniform { lo: 1, hi: 8 })
+                .unwrap();
         for i in 0..200 {
             let k = p.topics_of(i).len();
             assert!((1..=8).contains(&k), "node {i} has {k}");
@@ -225,10 +219,7 @@ mod tests {
         let p = InterestProfile::generate(&mut rng(), 500, 100, 1.5, Appetite::Fixed(2)).unwrap();
         let top = p.subscribers_of(TopicId::new(0)).len();
         let tail = p.subscribers_of(TopicId::new(99)).len();
-        assert!(
-            top > tail * 3,
-            "rank 0 ({top}) must dwarf rank 99 ({tail})"
-        );
+        assert!(top > tail * 3, "rank 0 ({top}) must dwarf rank 99 ({tail})");
     }
 
     #[test]
@@ -252,11 +243,7 @@ mod tests {
 
     #[test]
     fn invalid_params_rejected() {
-        assert!(
-            InterestProfile::generate(&mut rng(), 10, 0, 1.0, Appetite::Fixed(1)).is_err()
-        );
-        assert!(
-            InterestProfile::generate(&mut rng(), 10, 5, -1.0, Appetite::Fixed(1)).is_err()
-        );
+        assert!(InterestProfile::generate(&mut rng(), 10, 0, 1.0, Appetite::Fixed(1)).is_err());
+        assert!(InterestProfile::generate(&mut rng(), 10, 5, -1.0, Appetite::Fixed(1)).is_err());
     }
 }

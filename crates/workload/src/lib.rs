@@ -26,7 +26,9 @@
 pub mod churn;
 pub mod interest;
 pub mod pubs;
+pub mod scenario;
 
 pub use churn::{generate_churn, ChurnAction, ChurnEvent, ChurnPlan};
 pub use interest::{Appetite, InterestProfile};
 pub use pubs::{generate_schedule, regular_schedule, PubPlan, Publication};
+pub use scenario::{MaterializedScenario, ScenarioSpec};

@@ -104,16 +104,12 @@ pub fn regular_schedule(
         .map(|k| {
             let publisher = k % n.max(1);
             let topic = TopicId::new((k % num_topics.max(1)) as u32);
-            let event = Event::builder(
-                EventId::new(publisher as u32, (k / n.max(1)) as u32),
-                topic,
-            )
-            .payload_bytes(payload_bytes)
-            .build();
+            let event =
+                Event::builder(EventId::new(publisher as u32, (k / n.max(1)) as u32), topic)
+                    .payload_bytes(payload_bytes)
+                    .build();
             Publication {
-                at: SimTime::from_micros(
-                    start.as_micros() + interval.as_micros() * k as u64,
-                ),
+                at: SimTime::from_micros(start.as_micros() + interval.as_micros() * k as u64),
                 publisher,
                 event,
             }

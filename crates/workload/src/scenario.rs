@@ -1,0 +1,200 @@
+//! A complete scenario description, shared by every engine.
+//!
+//! [`ScenarioSpec`] bundles everything needed to reproduce an experiment
+//! run — population size, shard count, interest profile parameters,
+//! publication plan, optional churn and the network model — behind a
+//! single seeded value. The experiment harness materializes the spec into
+//! ground truth ([`ScenarioSpec::materialize`]) and wires the same
+//! workload into either the sequential `fed_sim::Simulation` or the
+//! sharded `fed-cluster` runtime; because materialization is a pure
+//! function of the spec, both engines see identical inputs.
+
+use crate::churn::{generate_churn, ChurnEvent, ChurnPlan};
+use crate::interest::{Appetite, InterestProfile};
+use crate::pubs::{generate_schedule, PubPlan, Publication};
+use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::{SimDuration, SimTime};
+use fed_util::dist::InvalidDistribution;
+use fed_util::rng::{Rng64, Xoshiro256StarStar};
+
+/// A self-contained, seeded description of one experiment scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Population size.
+    pub n: usize,
+    /// Number of shards when run on the sharded engine (`1` = sequential
+    /// semantics; the result is identical either way).
+    pub shards: usize,
+    /// Topic universe size.
+    pub num_topics: usize,
+    /// Topic popularity skew for subscriptions.
+    pub zipf_s: f64,
+    /// Per-node subscription appetite.
+    pub appetite: Appetite,
+    /// Publication plan.
+    pub plan: PubPlan,
+    /// Optional churn trace parameters.
+    pub churn: Option<ChurnPlan>,
+    /// Network model.
+    pub net: NetworkModel,
+    /// Master seed fixing the interest profile, the publication schedule,
+    /// the churn trace and the simulation itself.
+    pub seed: u64,
+}
+
+/// Ground truth generated from a [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct MaterializedScenario {
+    /// Who subscribes to what.
+    pub profile: InterestProfile,
+    /// Scheduled publications.
+    pub schedule: Vec<Publication>,
+    /// Crash/join trace (empty without a churn plan).
+    pub churn: Vec<ChurnEvent>,
+    /// End of the scenario including the drain margin.
+    pub horizon: SimTime,
+}
+
+impl ScenarioSpec {
+    /// The standard fair-gossip scenario: heterogeneous bimodal interest
+    /// over a Zipf topic universe with a steady publication stream on a
+    /// reliable 10 ms network.
+    pub fn fair_gossip(n: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            n,
+            shards: 1,
+            num_topics: 20,
+            zipf_s: 1.0,
+            appetite: Appetite::Bimodal {
+                heavy_fraction: 0.2,
+                heavy: 8,
+                light: 1,
+            },
+            plan: PubPlan {
+                rate_per_sec: 20.0,
+                duration: SimTime::from_secs(20),
+                topic_zipf_s: 1.0,
+                payload_bytes: 64,
+                warmup: SimTime::from_secs(2),
+            },
+            churn: None,
+            net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
+            seed,
+        }
+    }
+
+    /// Returns the spec with a different shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Returns the spec with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// End of the publication phase plus a drain margin (TTL rounds plus
+    /// latency slack).
+    pub fn horizon(&self) -> SimTime {
+        SimTime::from_micros(
+            self.plan.warmup.as_micros() + self.plan.duration.as_micros() + 4_000_000,
+        )
+    }
+
+    /// Generates the scenario's ground truth.
+    ///
+    /// The generator stream order is fixed — interest profile, then
+    /// publication schedule, then churn — so adding a churn plan never
+    /// perturbs the interest profile or the schedule of an otherwise
+    /// identical spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidDistribution`] when the spec's distribution
+    /// parameters are invalid (e.g. non-positive publication rate).
+    pub fn materialize(&self) -> Result<MaterializedScenario, InvalidDistribution> {
+        let mut rng = Xoshiro256StarStar::seed_from_u64(self.seed);
+        let profile = InterestProfile::generate(
+            &mut rng,
+            self.n,
+            self.num_topics,
+            self.zipf_s,
+            self.appetite,
+        )?;
+        let schedule = generate_schedule(&mut rng, self.n, self.num_topics, &self.plan)?;
+        let churn = match &self.churn {
+            Some(plan) => {
+                let mut churn_rng = rng.fork();
+                generate_churn(&mut churn_rng, self.n, plan)?
+            }
+            None => Vec::new(),
+        };
+        Ok(MaterializedScenario {
+            profile,
+            schedule,
+            churn,
+            horizon: self.horizon(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let spec = ScenarioSpec::fair_gossip(64, 7);
+        let a = spec.materialize().unwrap();
+        let b = spec.materialize().unwrap();
+        assert_eq!(a.schedule.len(), b.schedule.len());
+        for (x, y) in a.schedule.iter().zip(&b.schedule) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.publisher, y.publisher);
+            assert_eq!(x.event.id(), y.event.id());
+        }
+        assert_eq!(
+            a.profile.total_subscriptions(),
+            b.profile.total_subscriptions()
+        );
+        assert_eq!(a.horizon, b.horizon);
+    }
+
+    #[test]
+    fn churn_does_not_perturb_profile_or_schedule() {
+        let quiet = ScenarioSpec::fair_gossip(64, 7);
+        let churny = ScenarioSpec {
+            churn: Some(ChurnPlan::default()),
+            ..quiet.clone()
+        };
+        let a = quiet.materialize().unwrap();
+        let b = churny.materialize().unwrap();
+        assert!(a.churn.is_empty());
+        assert!(!b.churn.is_empty());
+        assert_eq!(a.schedule.len(), b.schedule.len());
+        for (x, y) in a.schedule.iter().zip(&b.schedule) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.event.id(), y.event.id());
+        }
+        for i in 0..64 {
+            assert_eq!(a.profile.topics_of(i), b.profile.topics_of(i));
+        }
+    }
+
+    #[test]
+    fn with_shards_clamps_to_one() {
+        assert_eq!(ScenarioSpec::fair_gossip(8, 1).with_shards(0).shards, 1);
+        assert_eq!(ScenarioSpec::fair_gossip(8, 1).with_shards(4).shards, 4);
+    }
+
+    #[test]
+    fn horizon_covers_plan_plus_drain() {
+        let spec = ScenarioSpec::fair_gossip(8, 1);
+        assert_eq!(
+            spec.horizon().as_micros(),
+            spec.plan.warmup.as_micros() + spec.plan.duration.as_micros() + 4_000_000
+        );
+    }
+}

@@ -36,7 +36,11 @@ fn run_swarm(config: GossipConfig, label: &str) -> Vec<(u64, usize)> {
     let niche = TopicId::new(1);
     for i in 0..n {
         let t = if i % 5 == 0 { topic } else { niche };
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(t));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(t),
+        );
     }
     // The busy topic gets all the traffic; the publishers are themselves
     // busy-topic consumers (multiples of 5), so publishing cost lands on

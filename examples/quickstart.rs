@@ -71,10 +71,6 @@ fn main() {
     let ledgers: Vec<_> = sim.nodes().map(|(_, node)| node.ledger()).collect();
     println!("fairness over contribution/benefit ratios:");
     println!("  {}", ratio_report(ledgers.into_iter(), &spec));
-    let total_msgs: u64 = sim
-        .transport_stats_all()
-        .iter()
-        .map(|s| s.msgs_sent)
-        .sum();
+    let total_msgs: u64 = sim.transport_stats_all().iter().map(|s| s.msgs_sent).sum();
     println!("total messages on the wire     : {total_msgs}");
 }

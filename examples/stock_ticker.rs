@@ -79,7 +79,7 @@ fn run_market(config: GossipConfig, label: &str) {
 
     let spec = RatioSpec::expressive();
     let ledgers: Vec<_> = sim.nodes().map(|(_, node)| node.ledger()).collect();
-    let report = ratio_report(ledgers.into_iter(), &spec);
+    let report = ratio_report(ledgers, &spec);
     let deliveries: u64 = sim
         .nodes()
         .map(|(_, node)| node.deliveries().len() as u64)

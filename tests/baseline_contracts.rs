@@ -85,14 +85,21 @@ where
 fn broker_contract() {
     let mut sim = Simulation::new(N, net(), 1, |id, _| BrokerNode::new(id, NodeId::new(0)));
     for i in 0..N {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), BrokerCmd::SubscribeTopic(topic_of(i)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            BrokerCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
         sim.schedule_command(at, NodeId::new(publisher as u32), BrokerCmd::Publish(e));
     }
     sim.run_until(SimTime::from_secs(10));
     let (delivered, expected) = check_contract(|i, id| {
-        sim.node(NodeId::new(i as u32)).expect("exists").deliveries().contains(id)
+        sim.node(NodeId::new(i as u32))
+            .expect("exists")
+            .deliveries()
+            .contains(id)
     });
     assert_eq!(delivered, expected, "broker is fully reliable when alive");
 }
@@ -100,16 +107,25 @@ fn broker_contract() {
 #[test]
 fn scribe_contract() {
     let dht = Arc::new(DhtNetwork::build(N));
-    let mut sim = Simulation::new(N, net(), 2, move |id, _| ScribeNode::new(id, Arc::clone(&dht)));
+    let mut sim = Simulation::new(N, net(), 2, move |id, _| {
+        ScribeNode::new(id, Arc::clone(&dht))
+    });
     for i in 0..N {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), ScribeCmd::SubscribeTopic(topic_of(i)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            ScribeCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
         sim.schedule_command(at, NodeId::new(publisher as u32), ScribeCmd::Publish(e));
     }
     sim.run_until(SimTime::from_secs(10));
     let (delivered, expected) = check_contract(|i, id| {
-        sim.node(NodeId::new(i as u32)).expect("exists").deliveries().contains(id)
+        sim.node(NodeId::new(i as u32))
+            .expect("exists")
+            .deliveries()
+            .contains(id)
     });
     assert_eq!(delivered, expected, "trees deliver deterministically");
 }
@@ -126,14 +142,21 @@ fn dks_contract() {
         DksNode::new(id, cfg, Arc::clone(&dht), Arc::clone(&groups))
     });
     for i in 0..N {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), DksCmd::SubscribeTopic(topic_of(i)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            DksCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
         sim.schedule_command(at, NodeId::new(publisher as u32), DksCmd::Publish(e));
     }
     sim.run_until(SimTime::from_secs(10));
     let (delivered, expected) = check_contract(|i, id| {
-        sim.node(NodeId::new(i as u32)).expect("exists").deliveries().contains(id)
+        sim.node(NodeId::new(i as u32))
+            .expect("exists")
+            .deliveries()
+            .contains(id)
     });
     let reliability = delivered as f64 / expected as f64;
     assert!(
@@ -155,14 +178,21 @@ fn dam_contract() {
         )
     });
     for i in 0..N {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), DamCmd::SubscribeTopic(topic_of(i)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            DamCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
         sim.schedule_command(at, NodeId::new(publisher as u32), DamCmd::Publish(e));
     }
     sim.run_until(SimTime::from_secs(12));
     let (delivered, expected) = check_contract(|i, id| {
-        sim.node(NodeId::new(i as u32)).expect("exists").deliveries().contains(id)
+        sim.node(NodeId::new(i as u32))
+            .expect("exists")
+            .deliveries()
+            .contains(id)
     });
     let reliability = delivered as f64 / expected as f64;
     assert!(reliability > 0.99, "per-topic gossip: {reliability}");
@@ -175,14 +205,21 @@ fn splitstream_contract() {
         SplitStreamNode::new(id, Arc::clone(&forest))
     });
     for i in 0..N {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), StripeCmd::SubscribeTopic(topic_of(i)));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            StripeCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
         sim.schedule_command(at, NodeId::new(publisher as u32), StripeCmd::Publish(e));
     }
     sim.run_until(SimTime::from_secs(10));
     let (delivered, expected) = check_contract(|i, id| {
-        sim.node(NodeId::new(i as u32)).expect("exists").deliveries().contains(id)
+        sim.node(NodeId::new(i as u32))
+            .expect("exists")
+            .deliveries()
+            .contains(id)
     });
     assert_eq!(delivered, expected, "forest broadcast reaches everyone");
 }
@@ -193,8 +230,9 @@ fn baselines_disagree_on_fairness_but_agree_on_delivery() {
     // (verified above), while their per-node work distributions differ
     // wildly. Here: Scribe concentrates forwarding far more than DAM.
     let dht = Arc::new(DhtNetwork::build(N));
-    let mut scribe_sim =
-        Simulation::new(N, net(), 6, move |id, _| ScribeNode::new(id, Arc::clone(&dht)));
+    let mut scribe_sim = Simulation::new(N, net(), 6, move |id, _| {
+        ScribeNode::new(id, Arc::clone(&dht))
+    });
     let groups = groups();
     let space = Arc::new(TopicSpace::flat(TOPICS as usize));
     let mut dam_sim = Simulation::new(N, net(), 6, move |id, _| {
@@ -206,22 +244,35 @@ fn baselines_disagree_on_fairness_but_agree_on_delivery() {
         )
     });
     for i in 0..N {
-        scribe_sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), ScribeCmd::SubscribeTopic(topic_of(i)));
-        dam_sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), DamCmd::SubscribeTopic(topic_of(i)));
+        scribe_sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            ScribeCmd::SubscribeTopic(topic_of(i)),
+        );
+        dam_sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            DamCmd::SubscribeTopic(topic_of(i)),
+        );
     }
     for (at, publisher, e) in events() {
-        scribe_sim.schedule_command(at, NodeId::new(publisher as u32), ScribeCmd::Publish(e.clone()));
+        scribe_sim.schedule_command(
+            at,
+            NodeId::new(publisher as u32),
+            ScribeCmd::Publish(e.clone()),
+        );
         dam_sim.schedule_command(at, NodeId::new(publisher as u32), DamCmd::Publish(e));
     }
     scribe_sim.run_until(SimTime::from_secs(12));
     dam_sim.run_until(SimTime::from_secs(12));
 
-    // In Scribe, someone forwards without any subscription benefit.
-    let scribe_unfair = scribe_sim.nodes().any(|(id, node)| {
-        node.ledger().totals().forwarded_msgs > 0
-            && !node.is_subscriber(topic_of(id.index()))
+    // Scribe *can* route traffic through non-subscribers (rendezvous
+    // routing); whether it does depends on the topology draw, so this is
+    // an observation rather than an assertion. The structural fairness
+    // contract checked here is DAM's, below.
+    let _scribe_unfair = scribe_sim.nodes().any(|(id, node)| {
+        node.ledger().totals().forwarded_msgs > 0 && !node.is_subscriber(topic_of(id.index()))
     });
-    assert!(scribe_unfair || true, "structural check below");
     // In ideal DAM, only group members (subscribers) forward dissemination
     // traffic.
     for (id, node) in dam_sim.nodes() {

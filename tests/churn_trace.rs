@@ -16,15 +16,17 @@ fn stable_majority_survives_generated_churn() {
     let n = 72;
     let churners = n / 3; // plan default: 1/3 of the population
     let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
-    let mut sim: Simulation<GossipNode<FullMembership>> = Simulation::new(
-        n,
-        NetworkModel::default(),
-        91,
-        move |id, _| GossipNode::new(id, cfg.clone(), FullMembership::new(id, n)),
-    );
+    let mut sim: Simulation<GossipNode<FullMembership>> =
+        Simulation::new(n, NetworkModel::default(), 91, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+        });
     let topic = TopicId::new(0);
     for i in 0..n {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
 
     // Generated churn trace over nodes 0..churners.

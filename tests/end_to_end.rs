@@ -24,14 +24,9 @@ struct Setup {
 
 fn build(n: usize, cfg: GossipConfig, seed: u64) -> Setup {
     let mut rng = Xoshiro256StarStar::seed_from_u64(seed);
-    let profile = InterestProfile::generate(
-        &mut rng,
-        n,
-        12,
-        1.0,
-        Appetite::Uniform { lo: 1, hi: 6 },
-    )
-    .expect("valid parameters");
+    let profile =
+        InterestProfile::generate(&mut rng, n, 12, 1.0, Appetite::Uniform { lo: 1, hi: 6 })
+            .expect("valid parameters");
     let plan = PubPlan {
         rate_per_sec: 15.0,
         duration: SimTime::from_secs(12),
@@ -49,7 +44,11 @@ fn build(n: usize, cfg: GossipConfig, seed: u64) -> Setup {
     });
     for i in 0..n {
         for &t in profile.topics_of(i) {
-            sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(t));
+            sim.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i as u32),
+                GossipCmd::SubscribeTopic(t),
+            );
         }
     }
     for p in &schedule {
@@ -157,7 +156,11 @@ fn free_riders_cannot_crash_reliability() {
     });
     for i in 0..n {
         for &t in profile.topics_of(i) {
-            sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(t));
+            sim.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i as u32),
+                GossipCmd::SubscribeTopic(t),
+            );
         }
     }
     for p in &schedule {
@@ -193,8 +196,12 @@ fn churned_nodes_recover_and_catch_new_events() {
     );
     // Crash a third of the population mid-run, rejoin them later.
     for i in 0..20u32 {
-        setup.sim.schedule_crash(SimTime::from_secs(4), NodeId::new(i));
-        setup.sim.schedule_join(SimTime::from_secs(8), NodeId::new(i));
+        setup
+            .sim
+            .schedule_crash(SimTime::from_secs(4), NodeId::new(i));
+        setup
+            .sim
+            .schedule_join(SimTime::from_secs(8), NodeId::new(i));
         // Rejoined nodes need their subscriptions re-issued (fresh state).
         for &t in setup.profile.topics_of(i as usize) {
             setup.sim.schedule_command(
@@ -258,15 +265,17 @@ fn topic_isolation_holds_across_the_stack() {
     // Publish on one topic only; subscribers of other topics stay silent.
     let n = 30;
     let cfg = GossipConfig::classic(5, 8, SimDuration::from_millis(100));
-    let mut sim: Simulation<Node> = Simulation::new(
-        n,
-        NetworkModel::default(),
-        6006,
-        move |id, _| GossipNode::new(id, cfg.clone(), FullMembership::new(id, n)),
-    );
+    let mut sim: Simulation<Node> =
+        Simulation::new(n, NetworkModel::default(), 6006, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+        });
     for i in 0..n {
         let topic = TopicId::new((i % 3) as u32);
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
     for k in 0..20u32 {
         sim.schedule_command(

@@ -37,12 +37,16 @@ fn dissemination_works_over_bounded_views() {
     );
     let topic = TopicId::new(0);
     for i in 0..n {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
     for k in 0..15u32 {
         sim.schedule_command(
             SimTime::from_millis(500 + 200 * k as u64),
-            NodeId::new((k * 11 % n as u32) as u32),
+            NodeId::new(k * 11 % n as u32),
             GossipCmd::Publish(Event::bare(EventId::new(k * 11 % n as u32, k), topic)),
         );
     }
@@ -69,7 +73,11 @@ fn fair_adaptation_works_over_bounded_views() {
     // Only a quarter of peers are interested.
     let topic = TopicId::new(0);
     for i in 0..n / 4 {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
     for k in 0..120u32 {
         sim.schedule_command(
@@ -129,7 +137,11 @@ fn views_learn_senders() {
     );
     let topic = TopicId::new(0);
     for i in 0..n {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
     for k in 0..30u32 {
         sim.schedule_command(

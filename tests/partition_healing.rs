@@ -25,7 +25,11 @@ fn run_partition_scenario(cfg: GossipConfig, seed: u64) -> (usize, usize) {
     let mut sim = build(n, cfg, seed);
     let topic = TopicId::new(0);
     for i in 0..n {
-        sim.schedule_command(SimTime::ZERO, NodeId::new(i as u32), GossipCmd::SubscribeTopic(topic));
+        sim.schedule_command(
+            SimTime::ZERO,
+            NodeId::new(i as u32),
+            GossipCmd::SubscribeTopic(topic),
+        );
     }
     // Partition into two halves at t = 1 s.
     sim.run_until(SimTime::from_secs(1));
@@ -80,10 +84,8 @@ fn classic_gossip_heals_partitions() {
 
 #[test]
 fn fair_gossip_heals_partitions() {
-    let (l, r) = run_partition_scenario(
-        GossipConfig::fair(6, 16, SimDuration::from_millis(100)),
-        82,
-    );
+    let (l, r) =
+        run_partition_scenario(GossipConfig::fair(6, 16, SimDuration::from_millis(100)), 82);
     assert_eq!(l, 48, "left event reaches everyone after heal");
     assert_eq!(r, 48, "right event reaches everyone after heal");
 }

@@ -1,0 +1,726 @@
+//! Offline shim of the [proptest](https://crates.io/crates/proptest) API.
+//!
+//! The workspace builds in environments without a crates.io registry, so
+//! this crate re-implements exactly the subset of proptest the test suites
+//! use: seeded random case generation for the `proptest!` macro, strategy
+//! combinators (`prop_map`, `prop_filter`, `prop_oneof!`, `prop_recursive`,
+//! tuples, `collection::vec`, character-class string patterns) and the
+//! `prop_assert*` / `prop_assume!` control-flow macros.
+//!
+//! Differences from the real crate: no shrinking (failures report the
+//! generated inputs but are not minimised), no persisted failure corpus,
+//! and string strategies support only character-class patterns like
+//! `"[a-z0-9_]{0,8}"` and `".*"`. Seeds derive from the test's module path,
+//! so runs are deterministic.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+/// Error type threaded through a proptest case body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The case's inputs were rejected by `prop_assume!`; try another case.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure error.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Builds a rejection error.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+/// Result type of a proptest case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Per-`proptest!` block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real crate defaults to 256; 64 keeps CI fast while still
+        // exercising the properties broadly.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod test_runner {
+    //! The deterministic case generator driving `proptest!`.
+
+    /// SplitMix64-based generator; seeded from the test's name so every run
+    /// of a given test explores the same case sequence.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds a generator from an arbitrary string (the test path).
+        pub fn for_test(name: &str) -> Self {
+            // FNV-1a over the name gives a stable per-test seed.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng { state: h }
+        }
+
+        /// Next raw 64-bit value (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, bound)`; `bound` must be positive.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            debug_assert!(bound > 0);
+            (((self.next_u64() as u128) * (bound as u128)) >> 64) as u64
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            const SCALE: f64 = 1.0 / ((1u64 << 53) as f64);
+            ((self.next_u64() >> 11) as f64) * SCALE
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A generator of random values of type `Value`.
+///
+/// Unlike the real crate there is no value tree or shrinking: a strategy is
+/// just a cloneable object that can produce one value per call.
+pub trait Strategy: Clone {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> O + Clone,
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `pred`, retrying on rejection.
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Value) -> bool + Clone,
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+
+    /// Type-erases the strategy behind an `Arc`.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            inner: Arc::new(self),
+        }
+    }
+
+    /// Builds recursive values: at each of `depth` levels, either stays at
+    /// the already-built strategy or wraps it via `recurse`. The extra size
+    /// parameters of the real API are accepted and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut cur = leaf.clone();
+        for _ in 0..depth.max(1) {
+            let wrapped = recurse(cur).boxed();
+            cur = BoxedStrategy::union(vec![leaf.clone(), wrapped]);
+        }
+        cur
+    }
+}
+
+/// The `prop_map` combinator.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O + Clone,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// The `prop_filter` combinator.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool + Clone,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1_000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter rejected 1000 candidates in a row: {}",
+            self.reason
+        );
+    }
+}
+
+trait DynStrategy<T> {
+    fn generate_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased, cheaply cloneable strategy.
+pub struct BoxedStrategy<T> {
+    inner: Arc<dyn DynStrategy<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: 'static> BoxedStrategy<T> {
+    /// Chooses uniformly among `arms` each time a value is generated.
+    pub fn union(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "union of zero strategies");
+        Union { arms }.boxed()
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.inner.generate_dyn(rng)
+    }
+}
+
+/// Uniform choice among boxed strategies; what `prop_oneof!` builds.
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            arms: self.arms.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Strategy producing `value.clone()` every time.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical full-range strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite values only, matching the real crate's default.
+        rng.unit_f64() * 2e9 - 1e9
+    }
+}
+
+/// Strategy for any value of `T` (`any::<u64>()`, ...).
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The full-range strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                (lo + rng.below((hi - lo + 1) as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (self.end - self.start) * rng.unit_f64()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_pattern(self, rng)
+    }
+}
+
+pub mod string {
+    //! Character-class pattern strings (`"[a-z_]{0,8}"`, `".*"`).
+
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Class(Vec<char>),
+        AnyChar,
+        Literal(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pieces = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '[' => {
+                    let mut set = Vec::new();
+                    i += 1;
+                    while i < chars.len() && chars[i] != ']' {
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let (lo, hi) = (chars[i], chars[i + 2]);
+                            for c in lo..=hi {
+                                set.push(c);
+                            }
+                            i += 3;
+                        } else {
+                            set.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    i += 1; // closing ']'
+                    Atom::Class(set)
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyChar
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars.get(i).copied().unwrap_or('\\');
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .expect("unterminated {} quantifier")
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let k = body.trim().parse().expect("bad quantifier");
+                            (k, k)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    /// Generates one string matching the (subset) pattern.
+    pub fn generate_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for piece in parse(pattern) {
+            let count = piece.min + rng.below((piece.max - piece.min + 1) as u64) as usize;
+            for _ in 0..count {
+                match &piece.atom {
+                    Atom::Literal(c) => out.push(*c),
+                    Atom::AnyChar => out.push((0x20u8 + rng.below(0x5f) as u8) as char),
+                    Atom::Class(set) => {
+                        assert!(!set.is_empty(), "empty character class");
+                        out.push(set[rng.below(set.len() as u64) as usize]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec`s with lengths drawn from `size`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = Strategy::generate(&self.size, rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A vector strategy of `element` values with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet`s with target sizes drawn from `size`.
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = std::collections::BTreeSet<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = Strategy::generate(&self.size, rng);
+            let mut set = std::collections::BTreeSet::new();
+            // Duplicates shrink the set below target, as in the real crate;
+            // bound the attempts so narrow element domains terminate.
+            for _ in 0..target.saturating_mul(8).max(8) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+
+    /// A set strategy of `element` values with a target size in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: std::ops::Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+}
+
+/// Chooses uniformly among the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::BoxedStrategy::union(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a proptest case, failing the case (not
+/// panicking directly) so enclosing `Result` plumbing keeps working.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l == r, "{} ({:?} != {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Asserts two expressions are unequal inside a proptest case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(l != r, "{} ({:?} == {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Declares property-based tests; see the crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { (<$crate::ProptestConfig as ::std::default::Default>::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let __strategies = ($($strat,)+);
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __case: u32 = 0;
+                let mut __rejects: u32 = 0;
+                while __case < __config.cases {
+                    let ($($pat,)+) =
+                        $crate::Strategy::generate(&__strategies, &mut __rng);
+                    let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        Ok(()) => __case += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects < __config.cases.saturating_mul(20).max(1_000),
+                                "too many prop_assume! rejections in {}",
+                                stringify!($name),
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!("proptest case {} of {} failed: {}", __case, stringify!($name), msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Any,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+
+    /// Mirror of the `prop` module alias from the real prelude.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::string;
+    }
+}
