@@ -1,40 +1,40 @@
 //! Scaling benchmark of the `fed-cluster` sharded runtime.
 //!
-//! Sweeps shard counts over the same fair-gossip scenario at 1 k and 10 k
-//! nodes. The virtual-world outcome is bit-identical at every shard count
-//! (asserted by the fed-cluster tests); what changes is wall-clock time.
-//! On multi-core hardware the 10 k-node scenario shows the parallel
-//! speedup (>2x at 4 shards is the target); on a single core the sharded
-//! rows measure pure barrier overhead.
+//! Sweeps shard counts over the same scenario for all five sweep
+//! architectures — fair gossip, broker, Scribe, DKS, SplitStream — at
+//! 1 k and 10 k nodes, plus a 100 k-node group on a deliberately light
+//! publication plan. The virtual-world outcome is bit-identical at every
+//! shard count (asserted by the cross-engine tests); what changes is
+//! wall-clock time. On multi-core hardware the larger populations show
+//! the parallel speedup (>2x at 4 shards is the target); on a single
+//! core the sharded rows measure pure barrier overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use fed_core::behavior::Behavior;
-use fed_core::gossip::GossipConfig;
-use fed_experiments::harness::build_gossip_cluster;
+use fed_experiments::harness::{run_architecture, EngineKind};
 use fed_experiments::scale::scale_spec;
-use fed_sim::SimDuration;
+use fed_sim::SimTime;
+use fed_workload::pubs::PubPlan;
+use fed_workload::scenario::{Architecture, ScenarioSpec};
 use std::hint::black_box;
-
-fn config() -> GossipConfig {
-    GossipConfig::fair(4, 16, SimDuration::from_millis(100))
-}
+use std::time::Duration;
 
 fn sweep(c: &mut Criterion, group_name: &str, n: usize) {
     let mut g = c.benchmark_group(group_name);
     g.sample_size(10);
-    for shards in [1usize, 2, 4, 8] {
-        g.bench_with_input(
-            BenchmarkId::new("fair_gossip", shards),
-            &shards,
-            |b, &shards| {
-                b.iter(|| {
-                    let spec = scale_spec(n, 42).with_shards(shards);
-                    let mut run = build_gossip_cluster(&spec, config(), |_| Behavior::Honest);
-                    run.run();
-                    black_box(run.sim.events_processed())
-                })
-            },
-        );
+    for arch in Architecture::SWEEP {
+        for shards in [1usize, 2, 4, 8] {
+            g.bench_with_input(
+                BenchmarkId::new(arch.name(), shards),
+                &shards,
+                |b, &shards| {
+                    b.iter(|| {
+                        let spec = scale_spec(n, 42).with_arch(arch).with_shards(shards);
+                        let outcome = run_architecture(&spec, EngineKind::Cluster);
+                        black_box(outcome.events)
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }
@@ -47,5 +47,38 @@ fn bench_cluster_10k(c: &mut Criterion) {
     sweep(c, "cluster_10k", 10_000);
 }
 
-criterion_group!(benches, bench_cluster_1k, bench_cluster_10k);
+/// 100 k nodes: a handful of publications, one shard count per
+/// architecture, tight time budget — a liveness-at-scale measurement,
+/// not a statistics run.
+fn bench_cluster_100k(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_100k");
+    g.sample_size(10);
+    // One 100 k iteration runs ~0.5-1 s in release; a couple of
+    // iterations per architecture is plenty for a liveness measurement.
+    g.measurement_time(Duration::from_secs(2));
+    for arch in Architecture::SWEEP {
+        g.bench_with_input(BenchmarkId::new(arch.name(), 8), &8usize, |b, &shards| {
+            b.iter(|| {
+                let mut spec = ScenarioSpec::standard(arch, 100_000, 42).with_shards(shards);
+                spec.plan = PubPlan {
+                    rate_per_sec: 5.0,
+                    duration: SimTime::from_secs(2),
+                    topic_zipf_s: 1.0,
+                    payload_bytes: 64,
+                    warmup: SimTime::from_secs(1),
+                };
+                let outcome = run_architecture(&spec, EngineKind::Cluster);
+                black_box(outcome.events)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_1k,
+    bench_cluster_10k,
+    bench_cluster_100k
+);
 criterion_main!(benches);

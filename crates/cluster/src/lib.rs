@@ -724,4 +724,75 @@ mod tests {
     fn zero_nodes_rejected() {
         let _ = ShardedSimulation::new(0, NetworkModel::default(), 1, 2, |_, _| Chatter::default());
     }
+
+    /// A zero-latency network model must not stall the barrier loop: the
+    /// 1 µs delivery floor gives a positive lookahead, every window makes
+    /// progress, and the outcome still matches the sequential engine.
+    #[test]
+    fn zero_latency_network_terminates_and_matches_sequential() {
+        let net = || NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
+        let horizon = SimTime::from_millis(500);
+        let mut seq = Simulation::new(8, net(), 11, |_, _| Chatter::default());
+        schedule(&mut seq);
+        seq.run_until(horizon);
+        let expect = fingerprint_seq(&seq);
+        for shards in [1, 2, 4] {
+            let mut cluster =
+                ShardedSimulation::new(8, net(), 11, shards, |_, _| Chatter::default());
+            assert_eq!(
+                cluster.lookahead(),
+                fed_sim::exec::MIN_NETWORK_LATENCY,
+                "zero-latency lookahead must be floored"
+            );
+            schedule(&mut cluster);
+            let report = cluster.run_until(horizon);
+            assert!(report.completed, "{shards} shards: run must terminate");
+            assert_eq!(
+                fingerprint_cluster(&cluster),
+                expect,
+                "zero-latency cluster with {shards} shards diverged"
+            );
+        }
+    }
+
+    /// Messages due exactly at a window's end boundary are exchanged at
+    /// the barrier and processed in the next window — with a constant
+    /// latency equal to the lookahead, every delivery lands precisely on
+    /// a boundary, and nothing is lost, duplicated or reordered.
+    #[test]
+    fn boundary_aligned_deliveries_match_sequential() {
+        let lat = SimDuration::from_millis(10);
+        let net = || NetworkModel::reliable(LatencyModel::Constant(lat));
+        let horizon = SimTime::from_secs(1);
+        let mut seq = Simulation::new(16, net(), 23, |_, _| Chatter::default());
+        // Commands on exact multiples of the latency keep every event in
+        // the run aligned with window boundaries.
+        for i in 0..20u64 {
+            seq.schedule_command(
+                SimTime::from_millis(i * 10),
+                NodeId::new((i % 16) as u32),
+                2,
+            );
+        }
+        seq.run_until(horizon);
+        let expect = fingerprint_seq(&seq);
+        for shards in [2, 4, 7] {
+            let mut cluster =
+                ShardedSimulation::new(16, net(), 23, shards, |_, _| Chatter::default());
+            assert_eq!(cluster.lookahead(), lat);
+            for i in 0..20u64 {
+                cluster.schedule_command(
+                    SimTime::from_millis(i * 10),
+                    NodeId::new((i % 16) as u32),
+                    2,
+                );
+            }
+            cluster.run_until(horizon);
+            assert_eq!(
+                fingerprint_cluster(&cluster),
+                expect,
+                "boundary-aligned cluster with {shards} shards diverged"
+            );
+        }
+    }
 }

@@ -87,6 +87,22 @@ impl RoutingState {
         }
     }
 
+    /// Assembles a routing state from precomputed parts — used by the
+    /// bulk builder in [`crate::network`], which derives the identical
+    /// table and leaf set from one shared ring-sorted index instead of
+    /// rescanning the full node list per node.
+    pub(crate) fn from_parts(
+        me: DhtNode,
+        table: Vec<Vec<Option<DhtNode>>>,
+        leaf_set: Vec<DhtNode>,
+    ) -> Self {
+        RoutingState {
+            me,
+            table,
+            leaf_set,
+        }
+    }
+
     /// This node.
     pub fn me(&self) -> DhtNode {
         self.me

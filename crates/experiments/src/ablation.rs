@@ -14,7 +14,7 @@
 //! quarters of the population hold *no subscriptions at all*, so
 //! fully-throttled peers actually exist and event launches are at risk.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_core::ledger::RatioSpec;
@@ -22,6 +22,7 @@ use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::{NodeId, SimDuration, SimTime};
 use fed_workload::interest::Appetite;
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the ablation experiment.
 #[derive(Debug)]
@@ -47,10 +48,10 @@ pub fn run(n: usize, seed: u64) -> AblationResult {
     );
     let mut gain_points = Vec::new();
     for gain in [0.0, 0.01, 0.05, 0.2] {
-        let scenario = GossipScenario::standard(n, seed);
+        let scenario = ScenarioSpec::fair_gossip(n, seed);
         let mut cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
         cfg.ratio_correction_gain = gain;
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
         run.run();
         let report = ratio_report(run.ledgers(), &spec);
         let rel = run.audit().reliability();
@@ -74,14 +75,14 @@ pub fn run(n: usize, seed: u64) -> AblationResult {
     );
     let mut civic_points = Vec::new();
     for (rate, allowance) in [(0.0, 0.0), (0.25, 16.0), (0.25, f64::MAX), (1.0, 16.0)] {
-        let mut scenario = GossipScenario::standard(n, seed ^ 0xC1F1C);
+        let mut scenario = ScenarioSpec::fair_gossip(n, seed ^ 0xC1F1C);
         scenario.appetite = Appetite::Fixed(1);
         scenario.num_topics = 8;
         scenario.plan.rate_per_sec = 10.0;
         let mut cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
         cfg.min_relay_rate = rate;
         cfg.civic_allowance = allowance;
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
         // Strip subscriptions from the last three quarters.
         for i in interested..n {
             run.sim.schedule_command(

@@ -6,26 +6,15 @@
 //! gossip. For each: fairness over contribution/benefit ratios, fairness
 //! over raw contributions (load balance — the §3 distinction), delivery
 //! reliability, total traffic, and the hottest node's share.
+//!
+//! Every system runs through [`run_architecture`] on the identical
+//! [`ScenarioSpec`] workload, so the rows differ only in architecture.
 
-use crate::harness::{build_gossip, GossipScenario};
-use fed_baselines::broker::{BrokerCmd, BrokerNode};
-use fed_baselines::dam::{DamCmd, DamConfig, DamNode, GroupTable};
-use fed_baselines::dks::{DksCmd, DksConfig, DksNode};
-use fed_baselines::scribe::{ScribeCmd, ScribeNode};
-use fed_baselines::splitstream::{Forest, SplitStreamNode, StripeCmd};
-use fed_core::behavior::Behavior;
-use fed_core::gossip::GossipConfig;
+use crate::harness::{run_architecture, ArchOutcome, EngineKind};
 use fed_core::ledger::{FairnessLedger, RatioSpec};
-use fed_dht::DhtNetwork;
-use fed_metrics::delivery::DeliveryAudit;
 use fed_metrics::fairness::{contribution_report, ratio_report};
 use fed_metrics::table::{fmt_f64, Table};
-use fed_pubsub::{TopicId, TopicSpace};
-use fed_sim::{NodeId, SimDuration, SimTime, Simulation};
-use fed_util::rng::Xoshiro256StarStar;
-use fed_workload::interest::InterestProfile;
-use fed_workload::pubs::{generate_schedule, Publication};
-use std::sync::Arc;
+use fed_workload::scenario::{Architecture, ScenarioSpec};
 
 /// One system's measured row.
 #[derive(Debug, Clone)]
@@ -53,68 +42,16 @@ pub struct ArchResult {
     pub points: Vec<ArchPoint>,
 }
 
-struct Workload {
-    profile: InterestProfile,
-    schedule: Vec<Publication>,
-    horizon: SimTime,
-}
-
-fn workload(scenario: &GossipScenario) -> Workload {
-    let mut rng = Xoshiro256StarStar::seed_from_u64(scenario.seed);
-    let profile = InterestProfile::generate(
-        &mut rng,
-        scenario.n,
-        scenario.num_topics,
-        scenario.zipf_s,
-        scenario.appetite,
-    )
-    .expect("validated scenario");
-    let schedule = generate_schedule(&mut rng, scenario.n, scenario.num_topics, &scenario.plan)
-        .expect("validated scenario");
-    Workload {
-        profile,
-        schedule,
-        horizon: scenario.horizon(),
-    }
-}
-
-fn audit_against<'a, I>(w: &Workload, deliveries: I) -> DeliveryAudit
-where
-    I: IntoIterator<Item = (usize, &'a fed_baselines::common::DeliveryLog)>,
-{
-    let mut audit = DeliveryAudit::new();
-    for p in &w.schedule {
-        audit.expect(
-            p.event.id(),
-            p.at,
-            w.profile.subscribers_of(p.event.topic()),
-        );
-    }
-    for (node, log) in deliveries {
-        for (eid, at) in log.iter() {
-            audit.record(eid, node, at);
-        }
-    }
-    audit
-}
-
-fn point<'a, L>(
-    system: &str,
-    ledgers: L,
-    audit: &DeliveryAudit,
-    stats: &[fed_sim::TransportStats],
-) -> ArchPoint
-where
-    L: IntoIterator<Item = &'a FairnessLedger>,
-{
+fn point(outcome: &ArchOutcome) -> ArchPoint {
     let spec = RatioSpec::topic_based();
-    let ledgers: Vec<&FairnessLedger> = ledgers.into_iter().collect();
+    let ledgers: Vec<&FairnessLedger> = outcome.ledgers.iter().collect();
     let ratio = ratio_report(ledgers.iter().copied(), &spec);
     let load = contribution_report(ledgers.iter().copied(), &spec);
-    let total: u64 = stats.iter().map(|s| s.msgs_sent).sum();
-    let hottest = stats.iter().map(|s| s.msgs_sent).max().unwrap_or(0);
+    let audit = outcome.audit();
+    let total: u64 = outcome.stats.iter().map(|s| s.msgs_sent).sum();
+    let hottest = outcome.stats.iter().map(|s| s.msgs_sent).max().unwrap_or(0);
     ArchPoint {
-        system: system.to_string(),
+        system: outcome.arch.name().to_string(),
         ratio_jain: ratio.jain,
         load_jain: load.jain,
         reliability: audit.reliability(),
@@ -127,219 +64,13 @@ where
     }
 }
 
-fn groups_of(profile: &InterestProfile) -> GroupTable {
-    let mut groups = GroupTable::new();
-    for t in 0..profile.num_topics() {
-        let topic = TopicId::new(t as u32);
-        let members: Vec<NodeId> = profile
-            .subscribers_of(topic)
-            .into_iter()
-            .map(|i| NodeId::new(i as u32))
-            .collect();
-        if !members.is_empty() {
-            groups.insert(topic, members);
-        }
-    }
-    groups
-}
-
 /// Runs the full architecture comparison.
 pub fn run(n: usize, seed: u64) -> ArchResult {
-    let scenario = GossipScenario::standard(n, seed);
-    let w = workload(&scenario);
     let mut points = Vec::new();
-
-    // --- classic & fair gossip reuse the shared harness ---
-    for (name, cfg) in [
-        (
-            "static-gossip",
-            GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
-        ),
-        (
-            "fair-gossip",
-            GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
-        ),
-    ] {
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
-        run.run();
-        let audit = run.audit();
-        let stats = run.sim.transport_stats_all().to_vec();
-        points.push(point(name, run.ledgers(), &audit, &stats));
-    }
-
-    // --- broker ---
-    {
-        let mut sim = Simulation::new(n, scenario.net.clone(), seed, |id, _| {
-            BrokerNode::new(id, NodeId::new(0))
-        });
-        for i in 0..n {
-            for &t in w.profile.topics_of(i) {
-                sim.schedule_command(
-                    SimTime::ZERO,
-                    NodeId::new(i as u32),
-                    BrokerCmd::SubscribeTopic(t),
-                );
-            }
-        }
-        for p in &w.schedule {
-            sim.schedule_command(
-                p.at,
-                NodeId::new(p.publisher as u32),
-                BrokerCmd::Publish(p.event.clone()),
-            );
-        }
-        sim.run_until(w.horizon);
-        let audit = audit_against(
-            &w,
-            sim.nodes()
-                .map(|(id, node)| (id.index(), node.deliveries())),
-        );
-        let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point("broker", ledgers, &audit, sim.transport_stats_all()));
-    }
-
-    // --- scribe ---
-    {
-        let dht = Arc::new(DhtNetwork::build(n));
-        let mut sim = Simulation::new(n, scenario.net.clone(), seed, move |id, _| {
-            ScribeNode::new(id, Arc::clone(&dht))
-        });
-        for i in 0..n {
-            for &t in w.profile.topics_of(i) {
-                sim.schedule_command(
-                    SimTime::ZERO,
-                    NodeId::new(i as u32),
-                    ScribeCmd::SubscribeTopic(t),
-                );
-            }
-        }
-        for p in &w.schedule {
-            sim.schedule_command(
-                p.at,
-                NodeId::new(p.publisher as u32),
-                ScribeCmd::Publish(p.event.clone()),
-            );
-        }
-        sim.run_until(w.horizon);
-        let audit = audit_against(
-            &w,
-            sim.nodes()
-                .map(|(id, node)| (id.index(), node.deliveries())),
-        );
-        let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point("scribe", ledgers, &audit, sim.transport_stats_all()));
-    }
-
-    // --- dks ---
-    {
-        let dht = Arc::new(DhtNetwork::build(n));
-        let groups = Arc::new(groups_of(&w.profile));
-        let cfg = DksConfig {
-            group_fanout: 5,
-            seeds: 3,
-        };
-        let mut sim = Simulation::new(n, scenario.net.clone(), seed, move |id, _| {
-            DksNode::new(id, cfg, Arc::clone(&dht), Arc::clone(&groups))
-        });
-        for i in 0..n {
-            for &t in w.profile.topics_of(i) {
-                sim.schedule_command(
-                    SimTime::ZERO,
-                    NodeId::new(i as u32),
-                    DksCmd::SubscribeTopic(t),
-                );
-            }
-        }
-        for p in &w.schedule {
-            sim.schedule_command(
-                p.at,
-                NodeId::new(p.publisher as u32),
-                DksCmd::Publish(p.event.clone()),
-            );
-        }
-        sim.run_until(w.horizon);
-        let audit = audit_against(
-            &w,
-            sim.nodes()
-                .map(|(id, node)| (id.index(), node.deliveries())),
-        );
-        let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point("dks", ledgers, &audit, sim.transport_stats_all()));
-    }
-
-    // --- data-aware multicast ---
-    {
-        let groups = Arc::new(groups_of(&w.profile));
-        let space = Arc::new(TopicSpace::flat(scenario.num_topics));
-        let mut sim = Simulation::new(n, scenario.net.clone(), seed, move |id, _| {
-            DamNode::new(
-                id,
-                DamConfig::default(),
-                Arc::clone(&groups),
-                Arc::clone(&space),
-            )
-        });
-        for i in 0..n {
-            for &t in w.profile.topics_of(i) {
-                sim.schedule_command(
-                    SimTime::ZERO,
-                    NodeId::new(i as u32),
-                    DamCmd::SubscribeTopic(t),
-                );
-            }
-        }
-        for p in &w.schedule {
-            sim.schedule_command(
-                p.at,
-                NodeId::new(p.publisher as u32),
-                DamCmd::Publish(p.event.clone()),
-            );
-        }
-        sim.run_until(w.horizon);
-        let audit = audit_against(
-            &w,
-            sim.nodes()
-                .map(|(id, node)| (id.index(), node.deliveries())),
-        );
-        let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point("dam", ledgers, &audit, sim.transport_stats_all()));
-    }
-
-    // --- splitstream ---
-    {
-        let forest = Arc::new(Forest::build(n, 8, 8));
-        let mut sim = Simulation::new(n, scenario.net.clone(), seed, move |id, _| {
-            SplitStreamNode::new(id, Arc::clone(&forest))
-        });
-        for i in 0..n {
-            for &t in w.profile.topics_of(i) {
-                sim.schedule_command(
-                    SimTime::ZERO,
-                    NodeId::new(i as u32),
-                    StripeCmd::SubscribeTopic(t),
-                );
-            }
-        }
-        for p in &w.schedule {
-            sim.schedule_command(
-                p.at,
-                NodeId::new(p.publisher as u32),
-                StripeCmd::Publish(p.event.clone()),
-            );
-        }
-        sim.run_until(w.horizon);
-        let audit = audit_against(
-            &w,
-            sim.nodes()
-                .map(|(id, node)| (id.index(), node.deliveries())),
-        );
-        let ledgers: Vec<&FairnessLedger> = sim.nodes().map(|(_, p)| p.ledger()).collect();
-        points.push(point(
-            "splitstream",
-            ledgers,
-            &audit,
-            sim.transport_stats_all(),
-        ));
+    for arch in Architecture::ALL {
+        let spec = ScenarioSpec::standard(arch, n, seed);
+        let outcome = run_architecture(&spec, EngineKind::Sequential);
+        points.push(point(&outcome));
     }
 
     let mut table = Table::new(
@@ -386,6 +117,8 @@ mod tests {
         let scribe = by_name("scribe");
         let split = by_name("splitstream");
 
+        // Every architecture produced a row.
+        assert_eq!(r.points.len(), Architecture::ALL.len());
         // Broker: one node does nearly everything.
         assert!(broker.hottest_share > 0.5, "{}", r.table);
         // Fair gossip beats static gossip on ratio fairness.

@@ -9,7 +9,7 @@
 //! Reported: detection recall per behaviour class, false-positive rate on
 //! honest peers, and the residual unfairness the cheats caused.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::audit::{audit_subject, AuditConfig, AuditOutcome, WitnessReport};
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
@@ -18,6 +18,7 @@ use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::{NodeId, SimDuration};
 use fed_util::rng::{Rng64, SplitMix64};
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the E-BIAS experiment.
 #[derive(Debug)]
@@ -36,7 +37,7 @@ pub struct BiasResult {
 pub fn run(n: usize, seed: u64) -> BiasResult {
     let free_riders = n / 10;
     let inflators = n / 10;
-    let scenario = GossipScenario::standard(n, seed);
+    let scenario = ScenarioSpec::fair_gossip(n, seed);
     let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
     let behavior = move |id: NodeId| {
         let i = id.index();
@@ -53,7 +54,7 @@ pub fn run(n: usize, seed: u64) -> BiasResult {
             Behavior::Honest
         }
     };
-    let mut run = build_gossip(&scenario, cfg, behavior);
+    let mut run = build_gossip_spec(&scenario, cfg, behavior);
     run.run();
 
     // Committee audit of every node: sample 16 witnesses, gather receipt

@@ -10,11 +10,12 @@
 //! classic and the fair protocol lose — and what that does to delivery
 //! reliability for the remaining population.
 
-use crate::harness::{build_gossip, GossipRun, GossipScenario};
+use crate::harness::{build_gossip_spec, GossipRun};
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::{SimDuration, SimTime};
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the E-CHURN experiment.
 #[derive(Debug)]
@@ -63,7 +64,7 @@ fn drive_with_quitting(run: &mut GossipRun, threshold: f64) -> usize {
 
 /// Runs E-CHURN at population size `n` with the given tolerance threshold.
 pub fn run(n: usize, threshold: f64, seed: u64) -> ChurnResult {
-    let scenario = GossipScenario::standard(n, seed);
+    let scenario = ScenarioSpec::fair_gossip(n, seed);
     let behavior = move |_| Behavior::Aggrieved {
         ratio_threshold: threshold,
         patience_rounds: 50,
@@ -74,7 +75,7 @@ pub fn run(n: usize, threshold: f64, seed: u64) -> ChurnResult {
         GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
         GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
     ] {
-        let mut run = build_gossip(&scenario, cfg, behavior);
+        let mut run = build_gossip_spec(&scenario, cfg, behavior);
         let quitters = drive_with_quitting(&mut run, threshold);
         let audit = run.audit();
         results.push((quitters, audit.reliability()));

@@ -8,7 +8,7 @@
 //! as much as heavy consumers); the fair protocol compresses the ratio
 //! distribution (Jain → 1, Gini → 0) at equal delivery reliability.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_core::ledger::RatioSpec;
@@ -16,6 +16,7 @@ use fed_metrics::fairness::{ratio_report, ratios};
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::SimDuration;
 use fed_util::stats::Summary;
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the FIG1 experiment.
 #[derive(Debug)]
@@ -34,7 +35,7 @@ pub struct Fig1Result {
 
 /// Runs FIG1 at population size `n`.
 pub fn run(n: usize, seed: u64) -> Fig1Result {
-    let scenario = GossipScenario::standard(n, seed);
+    let scenario = ScenarioSpec::fair_gossip(n, seed);
     let spec = RatioSpec::topic_based();
     let mut table = Table::new(
         format!("FIG1: contribution/benefit ratio distribution (n={n})"),
@@ -61,7 +62,7 @@ pub fn run(n: usize, seed: u64) -> Fig1Result {
             GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
         ),
     ] {
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
         run.run();
         let audit = run.audit();
         let ledgers = run.ledgers();

@@ -8,7 +8,7 @@
 //! "although it will subject the system to a higher load"; the fair
 //! protocol makes contribution follow the filter-weighted benefit.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_core::ledger::RatioSpec;
@@ -16,6 +16,7 @@ use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::SimDuration;
 use fed_workload::interest::Appetite;
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the FIG2 experiment.
 #[derive(Debug)]
@@ -55,7 +56,7 @@ pub fn run(n: usize, seed: u64) -> Fig2Result {
     ];
     let mut points = Vec::new();
     for (label, appetite) in appetites {
-        let mut scenario = GossipScenario::standard(n, seed);
+        let mut scenario = ScenarioSpec::fair_gossip(n, seed);
         scenario.appetite = appetite;
         let mut jains = Vec::new();
         for (proto, cfg) in [
@@ -68,7 +69,7 @@ pub fn run(n: usize, seed: u64) -> Fig2Result {
                 GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
             ),
         ] {
-            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
             run.run();
             let audit = run.audit();
             let report = ratio_report(run.ledgers(), &spec);

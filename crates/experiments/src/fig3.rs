@@ -6,13 +6,14 @@
 //! `{static F, static N}`, `{adaptive F}`, `{adaptive N}` and
 //! `{adaptive both}` under byte-denominated accounting.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_core::ledger::RatioSpec;
 use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::SimDuration;
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the FIG3 experiment.
 #[derive(Debug)]
@@ -35,7 +36,7 @@ fn config_variant(adapt_fanout: bool, adapt_size: bool) -> GossipConfig {
 
 /// Runs FIG3 at population size `n`.
 pub fn run(n: usize, seed: u64) -> Fig3Result {
-    let scenario = GossipScenario::standard(n, seed);
+    let scenario = ScenarioSpec::fair_gossip(n, seed);
     let spec = RatioSpec::expressive();
     let mut table = Table::new(
         format!("FIG3: expressive (byte) fairness by adaptation knob (n={n})"),
@@ -56,7 +57,7 @@ pub fn run(n: usize, seed: u64) -> Fig3Result {
     ];
     let mut points = Vec::new();
     for (label, af, an) in variants {
-        let mut run = build_gossip(&scenario, config_variant(af, an), |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, config_variant(af, an), |_| Behavior::Honest);
         run.run();
         let audit = run.audit();
         let ledgers = run.ledgers();

@@ -12,12 +12,13 @@
 //! Plus the correctness invariant of the algorithm's `ISINTERESTED` line:
 //! zero spurious deliveries in every cell.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::SimDuration;
 use fed_workload::interest::Appetite;
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the FIG4 experiment.
 #[derive(Debug)]
@@ -44,7 +45,7 @@ pub fn run(n: usize, sizes: &[usize], seed: u64) -> Fig4Result {
     );
     let mut fanout_series = Vec::new();
     for fanout in [1usize, 2, 3, 4, 6, 8] {
-        let mut scenario = GossipScenario::standard(n, seed);
+        let mut scenario = ScenarioSpec::fair_gossip(n, seed);
         // Single topic, universal interest: the pure epidemic setting the
         // basic algorithm was designed for.
         scenario.num_topics = 1;
@@ -52,7 +53,7 @@ pub fn run(n: usize, sizes: &[usize], seed: u64) -> Fig4Result {
         scenario.plan.rate_per_sec = 5.0;
         scenario.plan.duration = fed_sim::SimTime::from_secs(10);
         let cfg = GossipConfig::classic(fanout, 16, SimDuration::from_millis(100));
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
         run.run();
         let audit = run.audit();
         spurious += audit.spurious();
@@ -72,13 +73,13 @@ pub fn run(n: usize, sizes: &[usize], seed: u64) -> Fig4Result {
     );
     let mut scale_series = Vec::new();
     for &size in sizes {
-        let mut scenario = GossipScenario::standard(size, seed ^ 0xABCD);
+        let mut scenario = ScenarioSpec::fair_gossip(size, seed ^ 0xABCD);
         scenario.num_topics = 1;
         scenario.appetite = Appetite::Fixed(1);
         scenario.plan.rate_per_sec = 5.0;
         scenario.plan.duration = fed_sim::SimTime::from_secs(10);
         let cfg = GossipConfig::classic(8, 16, SimDuration::from_millis(100));
-        let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+        let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
         run.run();
         let audit = run.audit();
         spurious += audit.spurious();

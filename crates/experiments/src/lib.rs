@@ -106,7 +106,52 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
             println!("{}", r.table);
             assert!(r.identical, "shard count must not change the outcome");
         }
-        _ => return false,
+        other => return run_smoke(other, seed),
     }
+    true
+}
+
+/// Handles the `smoke[:arch[:n[:shards]]]` pseudo-id: one large-population
+/// cluster run of a single architecture (default: splitstream at 100 000
+/// nodes on 8 shards), printing a one-line liveness report. Not part of
+/// [`EXPERIMENT_IDS`], so it never runs in the default all-experiments
+/// sweep — CI invokes it explicitly, time-boxed.
+fn run_smoke(id: &str, seed: u64) -> bool {
+    let mut parts = id.split(':');
+    if parts.next() != Some("smoke") {
+        return false;
+    }
+    let arch = match parts.next() {
+        None => fed_workload::Architecture::SplitStream,
+        Some(name) => match fed_workload::Architecture::parse(name) {
+            Some(a) => a,
+            None => return false,
+        },
+    };
+    let n: usize = match parts.next() {
+        None => 100_000,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    let shards: usize = match parts.next() {
+        None => 8,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    if parts.next().is_some() {
+        return false;
+    }
+    let p = scale::smoke(arch, n, shards, seed);
+    println!(
+        "SMOKE {} n={} shards={}: {} events, {} windows, {} deliveries, \
+         reliability {:.4}, {:.0} ms wall",
+        p.arch, p.n, p.shards, p.events, p.windows, p.deliveries, p.reliability, p.wall_ms
+    );
+    assert!(p.events > 0, "smoke run processed no events");
+    assert!(p.deliveries > 0, "smoke run delivered nothing");
     true
 }

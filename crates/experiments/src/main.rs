@@ -23,7 +23,9 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: fed-experiments [--seed N] [ids...]\navailable ids: {}",
+                    "usage: fed-experiments [--seed N] [ids...]\navailable ids: {}\n\
+                     plus smoke[:arch[:n[:shards]]] — large-population cluster \
+                     smoke run (default splitstream:100000:8)",
                     fed_experiments::EXPERIMENT_IDS.join(", ")
                 );
                 return ExitCode::SUCCESS;

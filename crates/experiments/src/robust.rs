@@ -6,13 +6,14 @@
 //! epidemic. We sweep message-loss rates and crash fractions and compare
 //! delivery reliability of the classic and fair protocols.
 
-use crate::harness::{build_gossip, GossipScenario};
+use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{NodeId, SimDuration, SimTime};
 use fed_util::rng::{Rng64, SplitMix64};
+use fed_workload::scenario::ScenarioSpec;
 
 /// Result of the E-ROBUST experiment.
 #[derive(Debug)]
@@ -40,10 +41,10 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
             GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
             GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
         ] {
-            let mut scenario = GossipScenario::standard(n, seed);
+            let mut scenario = ScenarioSpec::fair_gossip(n, seed);
             scenario.net =
                 NetworkModel::lossy(LatencyModel::Constant(SimDuration::from_millis(10)), loss);
-            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
             run.run();
             rel.push(run.audit().reliability());
         }
@@ -62,8 +63,8 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
             GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
             GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
         ] {
-            let scenario = GossipScenario::standard(n, seed ^ 0x5A5A);
-            let mut run = build_gossip(&scenario, cfg, |_| Behavior::Honest);
+            let scenario = ScenarioSpec::fair_gossip(n, seed ^ 0x5A5A);
+            let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
             // Crash a random fraction mid-stream.
             let mut pick = SplitMix64::seed_from_u64(seed);
             let to_crash = (n as f64 * crash_frac) as usize;

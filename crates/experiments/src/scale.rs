@@ -1,61 +1,78 @@
-//! E-SCALE — sharded runtime scaling.
+//! E-SCALE — sharded runtime scaling, across architectures.
 //!
-//! Runs the identical fair-gossip scenario on the `fed-cluster` sharded
-//! runtime at increasing shard counts and reports wall-clock time, event
-//! throughput, barrier-window count and the fairness/reliability metrics.
-//! Because the sharded runtime is bit-for-bit deterministic, every row
-//! must show the *same* virtual-world outcome (deliveries, fairness) —
-//! the `identical` flag asserts it — while wall-clock time drops as
-//! shards spread over cores. On a single-core machine the sharded rows
-//! only add barrier overhead; the speedup column is meaningful on
-//! multi-core hardware.
+//! Runs the identical scenario on the `fed-cluster` sharded runtime at
+//! increasing shard counts — for fair gossip *and* the four structured
+//! baselines (broker, Scribe, DKS, SplitStream) — and reports wall-clock
+//! time, event throughput, barrier-window count and the
+//! fairness/reliability metrics. Because the sharded runtime is
+//! bit-for-bit deterministic, every row of one architecture must show the
+//! *same* virtual-world outcome (deliveries, fairness) — the `identical`
+//! flag asserts it — while wall-clock time drops as shards spread over
+//! cores. On a single-core machine the sharded rows only add barrier
+//! overhead; the speedup column is meaningful on multi-core hardware.
+//!
+//! [`smoke`] is the large-population entry point (100 k+ nodes): one
+//! architecture, one shard count, a deliberately light publication plan,
+//! returning enough to assert liveness — used by the CI smoke job.
 
-use crate::harness::build_gossip_cluster;
-use fed_core::behavior::Behavior;
-use fed_core::gossip::GossipConfig;
+use crate::harness::{run_architecture, EngineKind};
 use fed_core::ledger::RatioSpec;
 use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
-use fed_sim::{SimDuration, SimTime};
+use fed_sim::SimTime;
 use fed_workload::pubs::PubPlan;
-use fed_workload::scenario::ScenarioSpec;
+use fed_workload::scenario::{Architecture, ScenarioSpec};
 use std::time::Instant;
 
 /// One row of the scaling sweep.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ScalePoint {
+    /// Architecture of this run.
+    pub arch: Architecture,
     /// Shard count of this run.
     pub shards: usize,
     /// Wall-clock milliseconds for the run.
     pub wall_ms: f64,
-    /// Events processed (identical across rows by construction).
+    /// Events processed (identical across one architecture's rows by
+    /// construction).
     pub events: u64,
     /// Barrier windows executed.
     pub windows: u64,
     /// Events per wall-clock second.
     pub events_per_sec: f64,
-    /// Wall-clock speedup versus the 1-shard row.
+    /// Wall-clock speedup versus the architecture's 1-shard row.
     pub speedup: f64,
+}
+
+/// One architecture's shard-invariant outcome summary.
+#[derive(Debug, Clone)]
+pub struct ArchScale {
+    /// The architecture.
+    pub arch: Architecture,
+    /// Jain fairness index of the (shared) outcome.
+    pub jain: f64,
+    /// Delivery reliability of the (shared) outcome.
+    pub reliability: f64,
+    /// The sweep points, in shard-count order.
+    pub points: Vec<ScalePoint>,
+    /// Whether every shard count produced identical per-node deliveries,
+    /// ledgers and transport statistics (must be `true`).
+    pub identical: bool,
 }
 
 /// Result of the E-SCALE experiment.
 #[derive(Debug)]
 pub struct ScaleResult {
-    /// Summary table (one row per shard count).
+    /// Summary table (one row per architecture × shard count).
     pub table: Table,
-    /// The sweep points, in shard-count order.
-    pub points: Vec<ScalePoint>,
-    /// Whether every shard count produced identical per-node deliveries
-    /// and transport statistics (must be `true`).
+    /// Per-architecture sweeps, in [`Architecture::SWEEP`] order.
+    pub archs: Vec<ArchScale>,
+    /// Whether *every* architecture was shard-invariant.
     pub identical: bool,
-    /// Jain fairness index of the (shared) outcome.
-    pub jain: f64,
-    /// Delivery reliability of the (shared) outcome.
-    pub reliability: f64,
 }
 
-/// The scenario the sweep runs: the standard fair-gossip workload with a
-/// shorter publication phase so large populations stay tractable.
+/// The scenario the sweep runs: the standard workload with a shorter
+/// publication phase so large populations stay tractable.
 pub fn scale_spec(n: usize, seed: u64) -> ScenarioSpec {
     let mut spec = ScenarioSpec::fair_gossip(n, seed);
     spec.plan = PubPlan {
@@ -68,11 +85,67 @@ pub fn scale_spec(n: usize, seed: u64) -> ScenarioSpec {
     spec
 }
 
-/// Runs the scaling sweep at population size `n` over `shard_counts`.
+/// Per-node observable fingerprint used for the shard-invariance check.
+type Fingerprint = Vec<(u64, u64, usize)>;
+
+/// Runs one architecture's sweep at population size `n` over
+/// `shard_counts`.
+pub fn run_arch(arch: Architecture, n: usize, shard_counts: &[usize], seed: u64) -> ArchScale {
+    let mut points = Vec::new();
+    let mut identical = true;
+    let mut baseline_fingerprint: Option<Fingerprint> = None;
+    let mut baseline_wall = 0.0f64;
+    let mut jain = 0.0;
+    let mut reliability = 0.0;
+    for &shards in shard_counts {
+        let spec = scale_spec(n, seed).with_arch(arch).with_shards(shards);
+        let start = Instant::now();
+        let outcome = run_architecture(&spec, EngineKind::Cluster);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        // The per-node fingerprint must not depend on the shard count.
+        let fingerprint: Fingerprint = outcome
+            .stats
+            .iter()
+            .zip(&outcome.deliveries)
+            .map(|(st, log)| (st.msgs_sent, st.msgs_received, log.len()))
+            .collect();
+        match &baseline_fingerprint {
+            None => {
+                baseline_fingerprint = Some(fingerprint);
+                baseline_wall = wall_ms;
+                let audit = outcome.audit();
+                let report = ratio_report(outcome.ledgers.iter(), &RatioSpec::topic_based());
+                jain = report.jain;
+                reliability = audit.reliability();
+            }
+            Some(base) => identical &= *base == fingerprint,
+        }
+        points.push(ScalePoint {
+            arch,
+            shards: outcome.shards,
+            wall_ms,
+            events: outcome.events,
+            windows: outcome.windows,
+            events_per_sec: outcome.events as f64 / (wall_ms / 1e3).max(1e-9),
+            speedup: baseline_wall / wall_ms.max(1e-9),
+        });
+    }
+    ArchScale {
+        arch,
+        jain,
+        reliability,
+        points,
+        identical,
+    }
+}
+
+/// Runs the scaling sweep for all five sweep architectures at population
+/// size `n` over `shard_counts`.
 pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
     let mut table = Table::new(
         format!("E-SCALE: sharded runtime sweep (n={n})"),
         &[
+            "arch",
             "shards",
             "wall_ms",
             "events",
@@ -84,69 +157,80 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
             "identical",
         ],
     );
-    let config = GossipConfig::fair(4, 16, SimDuration::from_millis(100));
-    let mut points = Vec::new();
+    let mut archs = Vec::new();
     let mut identical = true;
-    let mut baseline_fingerprint: Option<Vec<(u64, u64, usize)>> = None;
-    let mut baseline_wall = 0.0f64;
-    let mut jain = 0.0;
-    let mut reliability = 0.0;
-    for &shards in shard_counts {
-        let spec = scale_spec(n, seed).with_shards(shards);
-        let mut run = build_gossip_cluster(&spec, config.clone(), |_| Behavior::Honest);
-        let start = Instant::now();
-        run.run();
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        // The per-node fingerprint must not depend on the shard count.
-        let fingerprint: Vec<(u64, u64, usize)> = run
-            .sim
-            .nodes()
-            .map(|(id, node)| {
-                let st = run.sim.transport_stats(id);
-                (st.msgs_sent, st.msgs_received, node.deliveries().len())
-            })
-            .collect();
-        let same = match &baseline_fingerprint {
-            None => {
-                baseline_fingerprint = Some(fingerprint);
-                baseline_wall = wall_ms;
-                let audit = run.audit();
-                let ledgers = run.ledgers();
-                let report = ratio_report(ledgers.iter().copied(), &RatioSpec::topic_based());
-                jain = report.jain;
-                reliability = audit.reliability();
-                true
-            }
-            Some(base) => *base == fingerprint,
-        };
-        identical &= same;
-        let point = ScalePoint {
-            shards: run.sim.num_shards(),
-            wall_ms,
-            events: run.sim.events_processed(),
-            windows: run.sim.windows(),
-            events_per_sec: run.sim.events_processed() as f64 / (wall_ms / 1e3).max(1e-9),
-            speedup: baseline_wall / wall_ms.max(1e-9),
-        };
-        table.row_owned(vec![
-            point.shards.to_string(),
-            fmt_f64(point.wall_ms),
-            point.events.to_string(),
-            point.windows.to_string(),
-            fmt_f64(point.events_per_sec),
-            fmt_f64(point.speedup),
-            fmt_f64(jain),
-            fmt_f64(reliability),
-            same.to_string(),
-        ]);
-        points.push(point);
+    for arch in Architecture::SWEEP {
+        let sweep = run_arch(arch, n, shard_counts, seed);
+        identical &= sweep.identical;
+        for p in &sweep.points {
+            table.row_owned(vec![
+                p.arch.name().to_string(),
+                p.shards.to_string(),
+                fmt_f64(p.wall_ms),
+                p.events.to_string(),
+                p.windows.to_string(),
+                fmt_f64(p.events_per_sec),
+                fmt_f64(p.speedup),
+                fmt_f64(sweep.jain),
+                fmt_f64(sweep.reliability),
+                sweep.identical.to_string(),
+            ]);
+        }
+        archs.push(sweep);
     }
     ScaleResult {
         table,
-        points,
+        archs,
         identical,
-        jain,
-        reliability,
+    }
+}
+
+/// Outcome of a large-population smoke run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmokePoint {
+    /// Architecture of the run.
+    pub arch: Architecture,
+    /// Population size.
+    pub n: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Events processed.
+    pub events: u64,
+    /// Barrier windows executed.
+    pub windows: u64,
+    /// Total deliveries across all nodes.
+    pub deliveries: usize,
+    /// Delivery reliability.
+    pub reliability: f64,
+}
+
+/// Runs one architecture once at a large population with a deliberately
+/// light publication plan (a handful of events), asserting liveness
+/// rather than statistics. This is the 100 k-node CI smoke entry point.
+pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> SmokePoint {
+    let mut spec = ScenarioSpec::standard(arch, n, seed).with_shards(shards);
+    spec.plan = PubPlan {
+        rate_per_sec: 5.0,
+        duration: SimTime::from_secs(2),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+    };
+    let start = Instant::now();
+    let outcome = run_architecture(&spec, EngineKind::Cluster);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let audit = outcome.audit();
+    SmokePoint {
+        arch,
+        n,
+        shards: outcome.shards,
+        wall_ms,
+        events: outcome.events,
+        windows: outcome.windows,
+        deliveries: outcome.total_deliveries(),
+        reliability: audit.reliability(),
     }
 }
 
@@ -155,12 +239,34 @@ mod tests {
     use super::*;
 
     #[test]
-    fn sweep_is_shard_invariant() {
+    fn sweep_is_shard_invariant_for_every_architecture() {
         let r = run(48, &[1, 2, 4], 42);
-        assert!(r.identical, "shard count changed the virtual outcome");
-        assert_eq!(r.points.len(), 3);
-        assert!(r.reliability > 0.99, "r={}", r.reliability);
-        let events = r.points[0].events;
-        assert!(r.points.iter().all(|p| p.events == events));
+        assert!(r.identical, "shard count changed a virtual outcome");
+        assert_eq!(r.archs.len(), Architecture::SWEEP.len());
+        for sweep in &r.archs {
+            assert!(sweep.identical, "{} diverged across shards", sweep.arch);
+            assert_eq!(sweep.points.len(), 3);
+            let events = sweep.points[0].events;
+            assert!(
+                sweep.points.iter().all(|p| p.events == events),
+                "{} event counts differ across shard counts",
+                sweep.arch
+            );
+            assert!(
+                sweep.reliability > 0.95,
+                "{} r={}",
+                sweep.arch,
+                sweep.reliability
+            );
+        }
+    }
+
+    #[test]
+    fn smoke_runs_a_baseline() {
+        let p = smoke(Architecture::SplitStream, 256, 4, 7);
+        assert!(p.events > 0);
+        assert!(p.deliveries > 0);
+        assert!(p.windows > 0, "cluster path must be exercised");
+        assert!(p.reliability > 0.95, "r={}", p.reliability);
     }
 }

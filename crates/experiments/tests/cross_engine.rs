@@ -1,21 +1,31 @@
-//! Cross-engine determinism: the same 1000-node fair-gossip scenario run
-//! through the harness on the sequential `fed_sim::Simulation`
-//! ([`build_gossip_spec`]) and on `fed-cluster` with 1, 2 and 4 shards
-//! ([`build_gossip_cluster`]) must produce identical delivery counts,
-//! transport statistics and fairness indices.
+//! Cross-engine determinism: the same scenario run through the harness on
+//! the sequential `fed_sim::Simulation` and on `fed-cluster` must produce
+//! identical delivery logs, fairness ledgers and transport statistics at
+//! any shard count.
 //!
-//! Both builders share one workload scheduler, so this asserts the
-//! engines themselves: shard count is a performance knob, never a
-//! semantics knob.
+//! Two layers of assertion:
+//!
+//! * the original 1000-node fair-gossip scenario through the dedicated
+//!   gossip builders ([`build_gossip_spec`]/[`build_gossip_cluster`]);
+//! * every baseline architecture (broker, Scribe, DKS, SplitStream — and
+//!   DAM for good measure) through the architecture-generic
+//!   [`run_architecture`], at shard counts {1, 2, 4, 7}, with and without
+//!   churn.
+//!
+//! All runs share one workload scheduler, so this asserts the engines
+//! themselves: shard count is a performance knob, never a semantics knob.
 
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
 use fed_core::ledger::RatioSpec;
-use fed_experiments::harness::{build_gossip_cluster, build_gossip_spec, Node};
+use fed_experiments::harness::{
+    build_gossip_cluster, build_gossip_spec, run_architecture, EngineKind, Node,
+};
 use fed_sim::{NodeId, SimDuration, SimTime, TransportStats};
 use fed_util::fairness::jain_index;
+use fed_workload::churn::ChurnPlan;
 use fed_workload::pubs::PubPlan;
-use fed_workload::scenario::ScenarioSpec;
+use fed_workload::scenario::{Architecture, ScenarioSpec};
 
 fn spec(n: usize) -> ScenarioSpec {
     let mut spec = ScenarioSpec::fair_gossip(n, 42);
@@ -98,6 +108,107 @@ fn cross_engine_determinism_1k_nodes() {
             got, expected,
             "cluster with {shards} shards diverged from the sequential engine"
         );
+    }
+}
+
+/// A baseline-architecture scenario small enough for debug-mode test
+/// runs but busy enough to exercise routing, group floods and trees.
+fn baseline_spec(arch: Architecture, n: usize) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::standard(arch, n, 42);
+    spec.plan = PubPlan {
+        rate_per_sec: 10.0,
+        duration: SimTime::from_secs(3),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+    };
+    spec
+}
+
+/// Runs `spec` sequentially and on the cluster at shard counts
+/// {1, 2, 4, 7}, asserting bit-identical delivery logs, fairness-ledger
+/// totals, transport statistics and event counts.
+fn assert_arch_parity(spec: &ScenarioSpec) {
+    let expected = run_architecture(spec, EngineKind::Sequential);
+    assert!(
+        expected.total_deliveries() > 0,
+        "{}: dead scenario proves nothing",
+        spec.arch
+    );
+    for shards in [1usize, 2, 4, 7] {
+        let got = run_architecture(&spec.clone().with_shards(shards), EngineKind::Cluster);
+        assert_eq!(
+            got.deliveries, expected.deliveries,
+            "{} with {shards} shards: delivery logs diverged",
+            spec.arch
+        );
+        assert_eq!(
+            got.ledgers, expected.ledgers,
+            "{} with {shards} shards: fairness ledgers diverged",
+            spec.arch
+        );
+        assert_eq!(
+            got.stats, expected.stats,
+            "{} with {shards} shards: transport stats diverged",
+            spec.arch
+        );
+        assert_eq!(
+            got.events, expected.events,
+            "{} with {shards} shards: event counts diverged",
+            spec.arch
+        );
+    }
+}
+
+#[test]
+fn broker_parity_across_shard_counts() {
+    assert_arch_parity(&baseline_spec(Architecture::Broker, 192));
+}
+
+#[test]
+fn scribe_parity_across_shard_counts() {
+    assert_arch_parity(&baseline_spec(Architecture::Scribe, 192));
+}
+
+#[test]
+fn dks_parity_across_shard_counts() {
+    assert_arch_parity(&baseline_spec(Architecture::Dks, 192));
+}
+
+#[test]
+fn splitstream_parity_across_shard_counts() {
+    assert_arch_parity(&baseline_spec(Architecture::SplitStream, 192));
+}
+
+#[test]
+fn dam_parity_across_shard_counts() {
+    assert_arch_parity(&baseline_spec(Architecture::Dam, 128));
+}
+
+fn churn_plan() -> ChurnPlan {
+    ChurnPlan {
+        mean_session_secs: 2.0,
+        mean_downtime_secs: 1.0,
+        churning_fraction: 0.25,
+        duration: SimTime::from_secs(3),
+        warmup: SimTime::from_secs(1),
+    }
+}
+
+/// Every baseline stays engine-agnostic under churn: crashes drop nodes
+/// mid-dissemination and rejoins rebuild state from the per-node stream,
+/// identically on both engines.
+#[test]
+fn baseline_parity_under_churn() {
+    for arch in [
+        Architecture::Broker,
+        Architecture::Scribe,
+        Architecture::Dks,
+        Architecture::SplitStream,
+    ] {
+        let mut spec = baseline_spec(arch, 128);
+        spec.churn = Some(churn_plan());
+        assert_arch_parity(&spec);
     }
 }
 

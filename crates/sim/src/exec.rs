@@ -682,6 +682,114 @@ mod tests {
         assert!(q.is_empty());
     }
 
+    /// An event exactly at a window's (exclusive) end boundary belongs to
+    /// the *next* window: popping `[5, 10)` then `[10, 15)` partitions
+    /// events at 9, 10 and 11 ms with no loss and no duplication.
+    #[test]
+    fn window_boundary_event_lands_in_next_window() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        for (seq, ms) in [9u64, 10, 11].iter().enumerate() {
+            let key = EventKey {
+                time: SimTime::from_millis(*ms),
+                src: EXTERNAL_SRC,
+                seq: seq as u64,
+            };
+            let (key, kind) = cmd(key, *ms);
+            q.push(key, kind);
+        }
+        let mut first = Vec::new();
+        while let Some((key, _)) = q.pop_before(SimTime::from_millis(10)) {
+            first.push(key.time.as_millis());
+        }
+        assert_eq!(first, vec![9], "boundary event must not leak backwards");
+        let mut second = Vec::new();
+        while let Some((key, _)) = q.pop_before(SimTime::from_millis(15)) {
+            second.push(key.time.as_millis());
+        }
+        assert_eq!(second, vec![10, 11]);
+        assert!(q.is_empty(), "windows cover the event set exactly once");
+    }
+
+    /// `pop_before` at or below the head's time repeatedly returns `None`
+    /// without consuming anything — a stalled window makes no progress
+    /// but also loses no events.
+    #[test]
+    fn pop_before_never_consumes_on_refusal() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        let key = EventKey {
+            time: SimTime::from_millis(5),
+            src: 3,
+            seq: 0,
+        };
+        let (key, kind) = cmd(key, 1);
+        q.push(key, kind);
+        for _ in 0..3 {
+            assert!(q.pop_before(SimTime::from_millis(5)).is_none());
+            assert_eq!(q.len(), 1, "refused pop must not consume");
+        }
+        assert_eq!(q.next_time(), Some(SimTime::from_millis(5)));
+    }
+
+    /// A zero-latency network still yields a positive conservative
+    /// lookahead: `min_latency` floors at [`MIN_NETWORK_LATENCY`], so a
+    /// window `[W, W + lookahead)` always has positive width and a
+    /// sharded engine can always make progress.
+    #[test]
+    fn zero_latency_model_has_positive_lookahead() {
+        use crate::network::LatencyModel;
+        let zero = NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
+        assert_eq!(zero.min_latency(), MIN_NETWORK_LATENCY);
+        assert!(zero.min_latency() > SimDuration::ZERO);
+        // Heavy-tailed models with no positive infimum get the same floor.
+        let heavy = NetworkModel::reliable(LatencyModel::LogNormalMs {
+            median_ms: 10.0,
+            sigma: 1.0,
+        });
+        assert_eq!(heavy.min_latency(), MIN_NETWORK_LATENCY);
+    }
+
+    /// The kernel floors zero-sampled delivery latencies at
+    /// [`MIN_NETWORK_LATENCY`]: nothing is delivered in zero virtual
+    /// time, so an in-window send can never be due inside its own window.
+    #[test]
+    fn kernel_floors_zero_latency_deliveries() {
+        use crate::network::LatencyModel;
+
+        /// Sends one message to node 1 on init.
+        struct SendOnce;
+        impl Protocol for SendOnce {
+            type Msg = ();
+            type Cmd = ();
+            fn on_init(&mut self, ctx: &mut Context<'_, ()>) {
+                if ctx.id() == NodeId::new(0) {
+                    ctx.send(NodeId::new(1), ());
+                }
+            }
+            fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+            fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+        }
+
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
+        let mut queue: EventQueue<SendOnce> = EventQueue::new();
+        let mut factory = |_: NodeId, _: &mut Xoshiro256StarStar| SendOnce;
+        let _kernel = Kernel::new(
+            2,
+            vec![0, 1],
+            seed_streams(1, 2),
+            net,
+            &mut factory,
+            &mut queue,
+        );
+        let (key, kind) = queue.pop().expect("init produced one send");
+        assert!(matches!(kind, EventKind::Deliver { .. }));
+        assert_eq!(
+            key.time,
+            SimTime::ZERO + MIN_NETWORK_LATENCY,
+            "zero-latency delivery must be floored, not instantaneous"
+        );
+        assert!(queue.is_empty());
+    }
+
     #[test]
     fn seed_streams_are_partition_independent() {
         let all = seed_streams(9, 8);

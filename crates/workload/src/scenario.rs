@@ -17,9 +17,83 @@ use fed_sim::{SimDuration, SimTime};
 use fed_util::dist::InvalidDistribution;
 use fed_util::rng::{Rng64, Xoshiro256StarStar};
 
+/// The dissemination architecture a scenario runs.
+///
+/// The spec names the architecture; the experiment harness maps each
+/// variant to its node type and shared infrastructure (DHT routing
+/// tables, group tables, the SplitStream forest). Keeping the selection
+/// here means one seeded value fully describes a run on either engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Fairness-adaptive gossip — the paper's protocol.
+    FairGossip,
+    /// Classic static-fanout gossip (the fair protocol with adaptation
+    /// switched off).
+    StaticGossip,
+    /// Central broker: one node matches and forwards everything.
+    Broker,
+    /// Scribe-style multicast trees over a Pastry DHT (paper §4.1).
+    Scribe,
+    /// DKS-style per-topic groups behind an index DHT (paper §4.1).
+    Dks,
+    /// Data-aware multicast: per-topic gossip groups (paper §4.2).
+    Dam,
+    /// SplitStream-style interior-node-disjoint forest (paper §3.1).
+    SplitStream,
+}
+
+impl Architecture {
+    /// Every architecture, in the paper's presentation order.
+    pub const ALL: [Architecture; 7] = [
+        Architecture::FairGossip,
+        Architecture::StaticGossip,
+        Architecture::Broker,
+        Architecture::Scribe,
+        Architecture::Dks,
+        Architecture::Dam,
+        Architecture::SplitStream,
+    ];
+
+    /// The five-system scaling sweep: fair gossip plus the four
+    /// structured baselines the paper compares against.
+    pub const SWEEP: [Architecture; 5] = [
+        Architecture::FairGossip,
+        Architecture::Broker,
+        Architecture::Scribe,
+        Architecture::Dks,
+        Architecture::SplitStream,
+    ];
+
+    /// Stable lowercase name (table rows, CLI arguments).
+    pub fn name(self) -> &'static str {
+        match self {
+            Architecture::FairGossip => "fair-gossip",
+            Architecture::StaticGossip => "static-gossip",
+            Architecture::Broker => "broker",
+            Architecture::Scribe => "scribe",
+            Architecture::Dks => "dks",
+            Architecture::Dam => "dam",
+            Architecture::SplitStream => "splitstream",
+        }
+    }
+
+    /// Parses a [`Architecture::name`] back into the variant.
+    pub fn parse(s: &str) -> Option<Architecture> {
+        Architecture::ALL.into_iter().find(|a| a.name() == s)
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A self-contained, seeded description of one experiment scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
+    /// The dissemination architecture under test.
+    pub arch: Architecture,
     /// Population size.
     pub n: usize,
     /// Number of shards when run on the sharded engine (`1` = sequential
@@ -61,6 +135,7 @@ impl ScenarioSpec {
     /// reliable 10 ms network.
     pub fn fair_gossip(n: usize, seed: u64) -> Self {
         ScenarioSpec {
+            arch: Architecture::FairGossip,
             n,
             shards: 1,
             num_topics: 20,
@@ -83,9 +158,26 @@ impl ScenarioSpec {
         }
     }
 
+    /// The standard scenario for an arbitrary architecture: the
+    /// [`ScenarioSpec::fair_gossip`] workload with the architecture
+    /// swapped — every system faces the identical population, interest
+    /// profile, publication schedule and network.
+    pub fn standard(arch: Architecture, n: usize, seed: u64) -> Self {
+        ScenarioSpec {
+            arch,
+            ..ScenarioSpec::fair_gossip(n, seed)
+        }
+    }
+
     /// Returns the spec with a different shard count.
     pub fn with_shards(mut self, shards: usize) -> Self {
         self.shards = shards.max(1);
+        self
+    }
+
+    /// Returns the spec with a different architecture.
+    pub fn with_arch(mut self, arch: Architecture) -> Self {
+        self.arch = arch;
         self
     }
 
@@ -187,6 +279,35 @@ mod tests {
     fn with_shards_clamps_to_one() {
         assert_eq!(ScenarioSpec::fair_gossip(8, 1).with_shards(0).shards, 1);
         assert_eq!(ScenarioSpec::fair_gossip(8, 1).with_shards(4).shards, 4);
+    }
+
+    #[test]
+    fn architecture_names_round_trip() {
+        for arch in Architecture::ALL {
+            assert_eq!(Architecture::parse(arch.name()), Some(arch));
+            assert_eq!(format!("{arch}"), arch.name());
+        }
+        assert_eq!(Architecture::parse("no-such-system"), None);
+        // The sweep is a subset of ALL.
+        for arch in Architecture::SWEEP {
+            assert!(Architecture::ALL.contains(&arch));
+        }
+    }
+
+    #[test]
+    fn standard_only_changes_the_architecture() {
+        let fair = ScenarioSpec::fair_gossip(32, 9);
+        let broker = ScenarioSpec::standard(Architecture::Broker, 32, 9);
+        assert_eq!(broker.arch, Architecture::Broker);
+        assert_eq!(broker.n, fair.n);
+        assert_eq!(broker.seed, fair.seed);
+        assert_eq!(broker.num_topics, fair.num_topics);
+        let a = fair.materialize().unwrap();
+        let b = broker.materialize().unwrap();
+        assert_eq!(a.schedule.len(), b.schedule.len());
+        for i in 0..32 {
+            assert_eq!(a.profile.topics_of(i), b.profile.topics_of(i));
+        }
     }
 
     #[test]
