@@ -10,13 +10,14 @@
 //! core the sharded rows measure pure barrier overhead.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fed_experiments::bench_json::{append_bench_json, BenchRecord};
 use fed_experiments::harness::{run_architecture, EngineKind};
 use fed_experiments::scale::scale_spec;
 use fed_sim::SimTime;
 use fed_workload::pubs::PubPlan;
-use fed_workload::scenario::{Architecture, ScenarioSpec};
+use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
 use std::hint::black_box;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn sweep(c: &mut Criterion, group_name: &str, n: usize) {
     let mut g = c.benchmark_group(group_name);
@@ -75,10 +76,118 @@ fn bench_cluster_100k(c: &mut Criterion) {
     g.finish();
 }
 
+/// The 100 k-node smoke scenario shared by the bench group and the
+/// record pass.
+fn smoke_spec_100k(arch: Architecture) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::standard(arch, 100_000, 42).with_shards(8);
+    spec.plan = PubPlan {
+        rate_per_sec: 5.0,
+        duration: SimTime::from_secs(2),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+    };
+    spec
+}
+
+/// Scheduler-knob sweep: placement × window policy at 10 k nodes on
+/// 8 shards, for a uniform-load architecture (fair gossip) and the
+/// id-hotspot one (broker, where placement matters most).
+fn bench_sched_knobs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sched_10k");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for arch in [Architecture::FairGossip, Architecture::Broker] {
+        for placement in Placement::ALL {
+            for adaptive in [false, true] {
+                let label = format!(
+                    "{}/{}/{}",
+                    arch.name(),
+                    placement.name(),
+                    if adaptive { "adaptive" } else { "fixed" }
+                );
+                g.bench_with_input(
+                    BenchmarkId::new(label, 8),
+                    &(placement, adaptive),
+                    |b, &(placement, adaptive)| {
+                        b.iter(|| {
+                            let spec = scale_spec(10_000, 42)
+                                .with_arch(arch)
+                                .with_shards(8)
+                                .with_placement(placement)
+                                .with_adaptive_window(adaptive);
+                            let outcome = run_architecture(&spec, EngineKind::Cluster);
+                            black_box(outcome.events)
+                        })
+                    },
+                );
+            }
+        }
+    }
+    g.finish();
+}
+
+/// One timed run per configuration, appended to the repo-root
+/// `BENCH_cluster.json` so the scheduler's events/sec trajectory is
+/// tracked across PRs: the 10 k knob sweep plus the 100 k-node smoke
+/// scenario for every sweep architecture at the default knobs.
+///
+/// This pass runs ~17 full simulations (minutes at 100 k); set
+/// `FED_BENCH_SKIP_JSON=1` to skip it when iterating on the timed
+/// groups above.
+fn write_bench_records(_c: &mut Criterion) {
+    if std::env::var_os("FED_BENCH_SKIP_JSON").is_some() {
+        println!("FED_BENCH_SKIP_JSON set: skipping the BENCH_cluster.json record pass");
+        return;
+    }
+    // Cargo runs bench executables from the owning package directory;
+    // anchor the output at the repo root where the file is committed.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../", "BENCH_cluster.json");
+    let mut records = Vec::new();
+    let mut measure = |spec: &ScenarioSpec| {
+        let start = Instant::now();
+        let outcome = run_architecture(spec, EngineKind::Cluster);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        records.push(BenchRecord {
+            suite: "cluster_scale".into(),
+            arch: spec.arch.name().into(),
+            n: spec.n,
+            shards: outcome.shards,
+            placement: spec.placement.name().into(),
+            adaptive_window: spec.adaptive_window,
+            events: outcome.events,
+            windows: outcome.windows,
+            wall_ms,
+            events_per_sec: outcome.events as f64 / (wall_ms / 1e3).max(1e-9),
+        });
+    };
+    for arch in [Architecture::FairGossip, Architecture::Broker] {
+        for placement in Placement::ALL {
+            for adaptive in [false, true] {
+                let spec = scale_spec(10_000, 42)
+                    .with_arch(arch)
+                    .with_shards(8)
+                    .with_placement(placement)
+                    .with_adaptive_window(adaptive);
+                measure(&spec);
+            }
+        }
+    }
+    for arch in Architecture::SWEEP {
+        measure(&smoke_spec_100k(arch));
+    }
+    match append_bench_json(path, &records) {
+        Ok(()) => println!("appended {} records to {path}", records.len()),
+        Err(e) => eprintln!("could not append to {path}: {e}"),
+    }
+}
+
 criterion_group!(
     benches,
     bench_cluster_1k,
     bench_cluster_10k,
-    bench_cluster_100k
+    bench_cluster_100k,
+    bench_sched_knobs,
+    write_bench_records
 );
 criterion_main!(benches);

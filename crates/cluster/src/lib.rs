@@ -5,24 +5,58 @@
 //!
 //! ## Model
 //!
-//! [`ShardedSimulation`] partitions the `n` node ids round-robin across
-//! `s` shards (node `i` lives on shard `i % s`). Each shard is a worker
-//! thread owning a [`fed_sim::exec::Kernel`] for its nodes and a private
-//! [`fed_sim::exec::EventQueue`]; node-local events (timers, commands,
-//! same-shard messages) never leave the shard. Cross-shard messages are
-//! staged in a per-shard outbox and exchanged at **conservative
-//! time-window barriers**: the coordinator repeatedly picks the earliest
-//! pending event time `W` anywhere in the cluster and lets every shard
-//! process the window `[W, W + L)` in parallel, where the lookahead `L` is
-//! the network model's minimum latency
-//! ([`NetworkModel::min_latency`]). No message produced inside a window
-//! can be due before the window ends (`latency ≥ L`), so shards never
-//! need to wait for each other mid-window.
+//! [`ShardedSimulation`] partitions the `n` node ids across `s` shards
+//! through a [`ShardMap`] — round-robin by default, with block and
+//! load-balanced (weight-profile-guided) placements available. Each shard
+//! is a worker thread owning a [`fed_sim::exec::Kernel`] for its nodes
+//! and a private [`fed_sim::exec::EventQueue`] (a calendar queue; see
+//! `fed_sim::exec`); node-local events (timers, commands, same-shard
+//! messages) never leave the shard.
+//!
+//! Cross-shard messages flow through **per-destination outbound
+//! mailboxes**: during a window each shard batches the events it produces
+//! for every other shard, and at the window barrier the batches are
+//! exchanged **directly shard-to-shard** over dedicated channels — the
+//! coordinator never touches event payloads. What the coordinator *does*
+//! see is one compact summary per shard per window (events processed,
+//! local queue head, per-destination outbound minimum times, all tracked
+//! incrementally), from which it computes the next window in O(shards):
+//! no scan of pending events anywhere.
+//!
+//! ## Windows
+//!
+//! Windows are **conservative**: the lookahead `L` is the network model's
+//! minimum latency ([`NetworkModel::min_latency`]), so a message produced
+//! at time `t` is never due before `t + L`. From the per-shard head times
+//! `next_s` the coordinator derives, for every shard `d`, the bound
+//!
+//! ```text
+//! end_d  ≤  min over s ≠ d of (next_s + L)
+//! ```
+//!
+//! — no other shard's *pending* work can emit an event due earlier. One
+//! more hazard remains inside a wide window: shard `d`'s own cross-shard
+//! sends can bounce off a peer and come back due as early as `α + L`,
+//! where `α` is the send's due time. The worker therefore tightens a
+//! **dynamic end** to `α + L` the moment it emits a cross-shard delivery
+//! (see `ShardSink`), which is deterministic — it depends only on the
+//! shard's own event stream — and never invalidates an event already
+//! processed (`α ≥ t + L` for an event processed at `t`).
+//!
+//! With the default **adaptive window policy** the target window width
+//! grows when windows run near-empty and shrinks when they are dense
+//! (always floored at `L`), letting sparse phases and shards with mostly
+//! node-local traffic batch far more virtual time per barrier; the two
+//! bounds above clamp every window, so adaptivity is a pure performance
+//! knob. The fixed policy ([`WindowPolicy::fixed`]) pins the width to
+//! `L`, reproducing the uniform `[W, W + L)` windows of the seed-era
+//! scheduler.
 //!
 //! ## Determinism
 //!
 //! Results are **bit-for-bit identical** to the sequential engine for the
-//! same seed, workload and population, regardless of shard count:
+//! same seed, workload and population, regardless of shard count,
+//! placement policy or window policy:
 //!
 //! * events carry canonical `(time, source, per-source seq)` keys
 //!   ([`fed_sim::exec::EventKey`]) assigned at production time, and every
@@ -30,10 +64,15 @@
 //!   reorder them;
 //! * per-node random streams ([`fed_sim::exec::seed_streams`]) are forked
 //!   from the master seed by node id, never shared across nodes, so
-//!   thread interleaving cannot perturb them.
+//!   thread interleaving cannot perturb them;
+//! * window ends are computed from deterministic summaries, and the
+//!   conservative bound guarantees every event is processed after
+//!   everything that could causally precede it.
 //!
 //! The equivalence is asserted by this crate's tests and by the
-//! 1000-node `cross_engine` integration test in `fed-experiments`.
+//! `cross_engine` integration suite in `fed-experiments` (all five
+//! architectures, shard counts {1, 2, 4, 7}, every placement policy,
+//! both window policies, with and without churn).
 //!
 //! ## Example
 //!
@@ -69,6 +108,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod shard_map;
+
+pub use shard_map::ShardMap;
+
 use fed_sim::exec::{
     seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, TransportStats, EXTERNAL_SRC,
 };
@@ -81,6 +124,46 @@ use std::sync::Arc;
 
 /// The shared, thread-safe node-state factory of a cluster.
 type SharedFactory<P> = Arc<dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync>;
+
+/// A batch of events exchanged shard-to-shard at a window barrier.
+type Batch<P> = Vec<(EventKey, EventKind<P>)>;
+
+/// How the coordinator sizes barrier windows; see the crate docs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowPolicy {
+    /// Grow the target window width when windows run near-empty and
+    /// shrink it when they are dense. The conservative bound clamps
+    /// every window either way, so this cannot affect results.
+    pub adaptive: bool,
+    /// Cap on the target width as a multiple of the lookahead.
+    pub max_factor: u32,
+}
+
+impl WindowPolicy {
+    /// Fixed lookahead-wide windows — the seed-era scheduler's behavior.
+    pub fn fixed() -> Self {
+        WindowPolicy {
+            adaptive: false,
+            max_factor: 1,
+        }
+    }
+
+    /// Adaptive window sizing (the default): target width doubles on
+    /// near-empty windows and halves on dense ones, within
+    /// `[lookahead, lookahead × 4096]`.
+    pub fn adaptive() -> Self {
+        WindowPolicy {
+            adaptive: true,
+            max_factor: 4096,
+        }
+    }
+}
+
+impl Default for WindowPolicy {
+    fn default() -> Self {
+        WindowPolicy::adaptive()
+    }
+}
 
 /// Result of a [`ShardedSimulation::run_until`] call.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,18 +183,60 @@ struct Shard<P: Protocol> {
     queue: EventQueue<P>,
 }
 
-/// Sink used while a shard dispatches: local events go straight onto the
-/// shard's queue, cross-shard deliveries into the outbox for the barrier.
+/// Sink used while a shard dispatches mid-window: local events go straight
+/// onto the shard's queue, cross-shard deliveries into the
+/// per-destination outbound mailbox, with the per-destination minimum
+/// time tracked incrementally (no scan at the barrier).
+///
+/// Emitting a cross-shard delivery due at `α` also tightens the window's
+/// **dynamic end** to `α + L`: a peer could process that delivery next
+/// window and answer with something due as early as `α + L`, so this
+/// shard must not run past that point. The clamp is what makes windows
+/// wider than one lookahead safe — it binds exactly when cross-shard
+/// feedback is possible, and (because any `α ≥ t + L` for an event
+/// processed at `t`) never retroactively invalidates an event already
+/// processed.
 struct ShardSink<'a, P: Protocol> {
-    num_shards: usize,
+    map: &'a ShardMap,
+    local_shard: usize,
+    lookahead: SimDuration,
+    dyn_end: &'a mut SimTime,
+    queue: &'a mut EventQueue<P>,
+    out: &'a mut Vec<Batch<P>>,
+    out_min: &'a mut Vec<Option<SimTime>>,
+}
+
+impl<P: Protocol> EffectSink<P> for ShardSink<'_, P> {
+    fn emit(&mut self, key: EventKey, kind: EventKind<P>) {
+        let dest = self.map.shard_of(kind.dest());
+        if dest == self.local_shard {
+            self.queue.push(key, kind);
+        } else {
+            let t = key.time;
+            *self.dyn_end = (*self.dyn_end).min(t.saturating_add(self.lookahead));
+            self.out_min[dest] = Some(match self.out_min[dest] {
+                Some(m) => m.min(t),
+                None => t,
+            });
+            self.out[dest].push((key, kind));
+        }
+    }
+}
+
+/// Sink used during construction, before worker threads exist: local
+/// events onto the shard's queue, cross-shard init effects into a staging
+/// vector delivered straight into the destination queues once every
+/// shard is built.
+struct InitSink<'a, P: Protocol> {
+    map: &'a ShardMap,
     local_shard: usize,
     queue: &'a mut EventQueue<P>,
     outbound: &'a mut Vec<(usize, EventKey, EventKind<P>)>,
 }
 
-impl<P: Protocol> EffectSink<P> for ShardSink<'_, P> {
+impl<P: Protocol> EffectSink<P> for InitSink<'_, P> {
     fn emit(&mut self, key: EventKey, kind: EventKind<P>) {
-        let dest = kind.dest().index() % self.num_shards;
+        let dest = self.map.shard_of(kind.dest());
         if dest == self.local_shard {
             self.queue.push(key, kind);
         } else {
@@ -120,64 +245,110 @@ impl<P: Protocol> EffectSink<P> for ShardSink<'_, P> {
     }
 }
 
-enum ToShard<P: Protocol> {
-    /// Process all queued events with `time < end` after absorbing
-    /// `inbound` from other shards.
-    Window {
-        end: SimTime,
-        inbound: Vec<(EventKey, EventKind<P>)>,
-    },
-    Done,
+/// Coordinator → shard control messages. Event payloads never travel this
+/// channel; they go shard-to-shard through the mailbox channels.
+enum ToShard {
+    /// Process all queued events with `time < end`, after absorbing one
+    /// inbound batch per peer when `drain` is set (false only for the
+    /// first window of a `run_until` call, when no batches are in
+    /// flight).
+    Window { end: SimTime, drain: bool },
+    /// Absorb the final in-flight batches (when `drain`) into the local
+    /// queue and exit.
+    Done { drain: bool },
 }
 
-struct FromShard<P: Protocol> {
+/// Shard → coordinator per-window summary: everything the coordinator
+/// needs to size the next window, in O(shards) space.
+struct Summary {
     shard: usize,
-    outbound: Vec<(usize, EventKey, EventKind<P>)>,
-    next_time: Option<SimTime>,
     events: u64,
+    /// Head of the shard's queue after the window.
+    local_next: Option<SimTime>,
+    /// Minimum event time sent to each destination shard this window,
+    /// tracked incrementally during dispatch.
+    outbound_min: Vec<Option<SimTime>>,
 }
 
 fn worker_loop<P>(
     shard: &mut Shard<P>,
     factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
-    rx: Receiver<ToShard<P>>,
-    tx: Sender<FromShard<P>>,
-    num_shards: usize,
+    map: &ShardMap,
+    ctl_rx: Receiver<ToShard>,
+    sum_tx: Sender<Summary>,
+    mail_txs: Vec<Option<Sender<Batch<P>>>>,
+    mail_rxs: Vec<Option<Receiver<Batch<P>>>>,
 ) where
     P: Protocol,
 {
+    let num_shards = map.num_shards();
     let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| factory(id, rng);
     let Shard {
         index,
         kernel,
         queue,
     } = shard;
-    while let Ok(msg) = rx.recv() {
+    let mut out: Vec<Batch<P>> = (0..num_shards).map(|_| Vec::new()).collect();
+    let mut out_min: Vec<Option<SimTime>> = vec![None; num_shards];
+    while let Ok(msg) = ctl_rx.recv() {
         match msg {
-            ToShard::Done => break,
-            ToShard::Window { end, inbound } => {
-                for (key, kind) in inbound {
-                    queue.push(key, kind);
+            ToShard::Done { drain } => {
+                // Batches sent during the final window are still in our
+                // mailboxes; they are addressed to us, so they persist in
+                // our queue for the next `run_until` call.
+                if drain {
+                    for rx in mail_rxs.iter().flatten() {
+                        for (key, kind) in rx.recv().expect("peer batch") {
+                            queue.push(key, kind);
+                        }
+                    }
                 }
-                let mut outbound = Vec::new();
+                break;
+            }
+            ToShard::Window { end, drain } => {
+                if drain {
+                    for rx in mail_rxs.iter().flatten() {
+                        for (key, kind) in rx.recv().expect("peer batch") {
+                            queue.push(key, kind);
+                        }
+                    }
+                }
+                let lookahead = kernel.net().min_latency();
                 let mut events = 0u64;
-                while let Some((key, kind)) = queue.pop_before(end) {
+                // `dyn_end` starts at the coordinator's conservative end
+                // and tightens as cross-shard sends occur (see
+                // [`ShardSink`]); unprocessed events simply wait for the
+                // next window.
+                let mut dyn_end = end;
+                while let Some((key, kind)) = queue.pop_before(dyn_end) {
                     events += 1;
                     let mut sink = ShardSink {
-                        num_shards,
+                        map,
                         local_shard: *index,
+                        lookahead,
+                        dyn_end: &mut dyn_end,
                         queue,
-                        outbound: &mut outbound,
+                        out: &mut out,
+                        out_min: &mut out_min,
                     };
                     kernel.dispatch(key, kind, &mut factory, &mut sink);
                 }
-                let reply = FromShard {
+                // Exchange: exactly one batch (possibly empty) to every
+                // peer, every window — receivers rely on the count.
+                for (dest, tx) in mail_txs.iter().enumerate() {
+                    if let Some(tx) = tx {
+                        if tx.send(std::mem::take(&mut out[dest])).is_err() {
+                            return; // peer gone, coordinator shutting down
+                        }
+                    }
+                }
+                let summary = Summary {
                     shard: *index,
-                    outbound,
-                    next_time: queue.next_time(),
                     events,
+                    local_next: queue.next_time(),
+                    outbound_min: std::mem::replace(&mut out_min, vec![None; num_shards]),
                 };
-                if tx.send(reply).is_err() {
+                if sum_tx.send(summary).is_err() {
                     break; // coordinator gone
                 }
             }
@@ -188,13 +359,14 @@ fn worker_loop<P>(
 /// The sharded simulation runtime; see the crate docs for the model.
 pub struct ShardedSimulation<P: Protocol> {
     shards: Vec<Shard<P>>,
-    /// Cross-shard events awaiting delivery, grouped by destination shard.
-    pending: Vec<Vec<(EventKey, EventKind<P>)>>,
+    map: Arc<ShardMap>,
     n: usize,
-    num_shards: usize,
     now: SimTime,
     external_seq: u64,
     lookahead: SimDuration,
+    window: WindowPolicy,
+    /// Current adaptive target width; persists across `run_until` calls.
+    window_width: SimDuration,
     factory: SharedFactory<P>,
     events_processed: u64,
     max_events: u64,
@@ -202,7 +374,8 @@ pub struct ShardedSimulation<P: Protocol> {
 }
 
 impl<P: Protocol> ShardedSimulation<P> {
-    /// Creates a simulation of `n` nodes split across `shards` shards and
+    /// Creates a simulation of `n` nodes split round-robin across
+    /// `shards` shards with the default (adaptive) window policy, and
     /// runs every node's `on_init` at time zero.
     ///
     /// Unlike [`fed_sim::Simulation::new`], the factory must be `Fn` (not
@@ -220,33 +393,57 @@ impl<P: Protocol> ShardedSimulation<P> {
     where
         F: Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync + 'static,
     {
+        Self::with_scheduler(
+            n,
+            net,
+            seed,
+            ShardMap::round_robin(n, shards),
+            WindowPolicy::default(),
+            factory,
+        )
+    }
+
+    /// Creates a simulation with an explicit placement ([`ShardMap`]) and
+    /// [`WindowPolicy`] — the fully-specified scheduler constructor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` does not cover exactly `n` nodes.
+    pub fn with_scheduler<F>(
+        n: usize,
+        net: NetworkModel,
+        seed: u64,
+        map: ShardMap,
+        window: WindowPolicy,
+        factory: F,
+    ) -> Self
+    where
+        F: Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync + 'static,
+    {
         assert!(n > 0, "simulation requires at least one node");
-        assert!(n <= u32::MAX as usize, "too many nodes");
-        let num_shards = shards.clamp(1, n);
+        assert_eq!(map.len(), n, "shard map must cover the population");
+        let map = Arc::new(map);
+        let num_shards = map.num_shards();
         let lookahead = net.min_latency();
         let factory: SharedFactory<P> = Arc::new(factory);
         let mut streams: Vec<Option<_>> = seed_streams(seed, n).into_iter().map(Some).collect();
         let mut shard_list = Vec::with_capacity(num_shards);
-        let mut pending: Vec<Vec<(EventKey, EventKind<P>)>> =
-            (0..num_shards).map(|_| Vec::new()).collect();
+        let mut staged: Vec<(usize, EventKey, EventKind<P>)> = Vec::new();
         for s in 0..num_shards {
-            let owned: Vec<u32> = (0..n as u32)
-                .filter(|id| *id as usize % num_shards == s)
-                .collect();
+            let owned: Vec<u32> = map.owned(s).to_vec();
             let shard_streams = owned
                 .iter()
                 .map(|&id| streams[id as usize].take().expect("each node on one shard"))
                 .collect();
             let mut queue = EventQueue::new();
-            let mut outbound = Vec::new();
             let shared = &*factory;
             let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| shared(id, rng);
             let kernel = {
-                let mut sink = ShardSink {
-                    num_shards,
+                let mut sink = InitSink {
+                    map: &map,
                     local_shard: s,
                     queue: &mut queue,
-                    outbound: &mut outbound,
+                    outbound: &mut staged,
                 };
                 Kernel::new(
                     n,
@@ -257,23 +454,26 @@ impl<P: Protocol> ShardedSimulation<P> {
                     &mut sink,
                 )
             };
-            for (dest, key, kind) in outbound {
-                pending[dest].push((key, kind));
-            }
             shard_list.push(Shard {
                 index: s,
                 kernel,
                 queue,
             });
         }
+        // Deliver cross-shard init effects now that every queue exists;
+        // canonical keys make the insertion order irrelevant.
+        for (dest, key, kind) in staged {
+            shard_list[dest].queue.push(key, kind);
+        }
         ShardedSimulation {
             shards: shard_list,
-            pending,
+            map,
             n,
-            num_shards,
             now: SimTime::ZERO,
             external_seq: 0,
             lookahead,
+            window,
+            window_width: lookahead,
             factory,
             events_processed: 0,
             max_events: 500_000_000,
@@ -287,11 +487,31 @@ impl<P: Protocol> ShardedSimulation<P> {
     /// twin).
     ///
     /// The budget is checked at window barriers, so a run may overshoot
-    /// the cap by up to one lookahead window before stopping; a capped
-    /// run reports `completed == false` and is *not* bit-comparable to a
-    /// sequential run stopped by its (event-granular) cap.
+    /// the cap by up to one window before stopping; a capped run reports
+    /// `completed == false` and is *not* bit-comparable to a sequential
+    /// run stopped by its (event-granular) cap.
     pub fn set_max_events(&mut self, max: u64) {
         self.max_events = max;
+    }
+
+    /// Replaces the window policy; takes effect at the next `run_until`
+    /// call (the adaptive target width resets to the lookahead).
+    ///
+    /// Window sizing cannot affect results — only barrier counts and
+    /// wall-clock time.
+    pub fn set_window_policy(&mut self, window: WindowPolicy) {
+        self.window = window;
+        self.window_width = self.lookahead;
+    }
+
+    /// The active window policy.
+    pub fn window_policy(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// The node→shard placement in use.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// Number of node slots.
@@ -306,10 +526,10 @@ impl<P: Protocol> ShardedSimulation<P> {
 
     /// Number of shards actually in use.
     pub fn num_shards(&self) -> usize {
-        self.num_shards
+        self.map.num_shards()
     }
 
-    /// The conservative lookahead (window width) of this cluster.
+    /// The conservative lookahead (minimum window width) of this cluster.
     pub fn lookahead(&self) -> SimDuration {
         self.lookahead
     }
@@ -330,7 +550,7 @@ impl<P: Protocol> ShardedSimulation<P> {
     }
 
     fn shard_of(&self, id: NodeId) -> usize {
-        id.index() % self.num_shards
+        self.map.shard_of(id)
     }
 
     /// Shared access to a node's protocol state (alive or crashed).
@@ -408,7 +628,7 @@ impl<P: Protocol> ShardedSimulation<P> {
             src: EXTERNAL_SRC,
             seq,
         };
-        let dest = kind.dest().index() % self.num_shards;
+        let dest = self.map.shard_of(kind.dest());
         self.shards[dest].queue.push(key, kind);
     }
 }
@@ -423,16 +643,18 @@ where
     /// remain anywhere in the cluster.
     ///
     /// Spawns one worker thread per shard for the duration of the call and
-    /// coordinates them through lookahead-wide windows.
+    /// coordinates them through conservative windows (see the crate docs).
     pub fn run_until(&mut self, target: SimTime) -> ClusterReport {
-        let num_shards = self.num_shards;
+        let num_shards = self.map.num_shards();
         let lookahead = self.lookahead;
+        let policy = self.window;
         let factory = Arc::clone(&self.factory);
-        let pending = &mut self.pending;
-        let mut next_times: Vec<Option<SimTime>> =
+        let map = Arc::clone(&self.map);
+        let mut next: Vec<Option<SimTime>> =
             self.shards.iter().map(|s| s.queue.next_time()).collect();
         let max_events = self.max_events;
         let already = self.events_processed;
+        let mut width = self.window_width.max(lookahead);
         let mut report = ClusterReport {
             events: 0,
             windows: 0,
@@ -441,57 +663,146 @@ where
         // `target` is inclusive like the sequential engine; windows have
         // exclusive ends, so the last window may end just past it.
         let hard_end = target.saturating_add(SimDuration::from_micros(1));
+        // Set FED_TRACE_WINDOWS=1 to log per-window scheduling decisions.
+        let trace = std::env::var_os("FED_TRACE_WINDOWS").is_some();
         std::thread::scope(|scope| {
-            let (from_tx, from_rx) = channel::<FromShard<P>>();
-            let mut to_txs = Vec::with_capacity(num_shards);
-            for shard in &mut self.shards {
-                let (to_tx, to_rx) = channel::<ToShard<P>>();
-                to_txs.push(to_tx);
-                let from_tx = from_tx.clone();
-                let factory = Arc::clone(&factory);
-                scope.spawn(move || worker_loop(shard, &*factory, to_rx, from_tx, num_shards));
+            let (sum_tx, sum_rx) = channel::<Summary>();
+            // Direct shard-to-shard mailboxes: mail[src][dest].
+            let mut mail_txs: Vec<Vec<Option<Sender<Batch<P>>>>> =
+                (0..num_shards).map(|_| Vec::new()).collect();
+            let mut mail_rxs: Vec<Vec<Option<Receiver<Batch<P>>>>> = (0..num_shards)
+                .map(|_| (0..num_shards).map(|_| None).collect())
+                .collect();
+            for src in 0..num_shards {
+                for (dest, dest_rxs) in mail_rxs.iter_mut().enumerate() {
+                    if src == dest {
+                        mail_txs[src].push(None);
+                    } else {
+                        let (tx, rx) = channel::<Batch<P>>();
+                        mail_txs[src].push(Some(tx));
+                        dest_rxs[src] = Some(rx);
+                    }
+                }
             }
-            drop(from_tx);
+            let mut ctl_txs = Vec::with_capacity(num_shards);
+            let mut mail_rxs = mail_rxs.into_iter();
+            let mut mail_txs = mail_txs.into_iter();
+            for shard in &mut self.shards {
+                let (ctl_tx, ctl_rx) = channel::<ToShard>();
+                ctl_txs.push(ctl_tx);
+                let sum_tx = sum_tx.clone();
+                let factory = Arc::clone(&factory);
+                let map = Arc::clone(&map);
+                let txs = mail_txs.next().expect("one row per shard");
+                let rxs = mail_rxs.next().expect("one row per shard");
+                scope.spawn(move || worker_loop(shard, &*factory, &map, ctl_rx, sum_tx, txs, rxs));
+            }
+            drop(sum_tx);
+            let mut summaries: Vec<Option<Summary>> = (0..num_shards).map(|_| None).collect();
             loop {
-                let min_queued = next_times.iter().flatten().min().copied();
-                let min_pending = pending
-                    .iter()
-                    .flat_map(|v| v.iter().map(|(key, _)| key.time))
-                    .min();
                 if already + report.events >= max_events {
                     report.completed = false;
                     break;
                 }
-                let start = match (min_queued, min_pending) {
-                    (Some(a), Some(b)) => a.min(b),
-                    (Some(a), None) => a,
-                    (None, Some(b)) => b,
-                    (None, None) => break,
-                };
+                // Global minimum pending time (the window start), its
+                // holder, and the runner-up — all from the O(shards)
+                // summary state, never from scanning events.
+                let mut m1: Option<(SimTime, usize)> = None;
+                let mut m2: Option<SimTime> = None;
+                for (s, t) in next.iter().enumerate() {
+                    let Some(t) = *t else { continue };
+                    match m1 {
+                        None => m1 = Some((t, s)),
+                        Some((best, _)) if t < best => {
+                            m2 = Some(best);
+                            m1 = Some((t, s));
+                        }
+                        Some(_) => {
+                            m2 = Some(match m2 {
+                                Some(m) => m.min(t),
+                                None => t,
+                            });
+                        }
+                    }
+                }
+                let Some((start, holder)) = m1 else { break };
                 if start > target {
                     break;
                 }
-                let end = start.saturating_add(lookahead).min(hard_end);
-                for (s, to_tx) in to_txs.iter().enumerate() {
-                    let inbound = std::mem::take(&mut pending[s]);
-                    to_tx
-                        .send(ToShard::Window { end, inbound })
+                let window_t0 = trace.then(std::time::Instant::now);
+                let drain = report.windows > 0;
+                for (d, ctl) in ctl_txs.iter().enumerate() {
+                    // Conservative per-shard bound: shard s cannot emit
+                    // anything due before `next_s + L`, so `d` may run to
+                    // the minimum of that over all other shards. For the
+                    // holder of the global minimum that bound is the
+                    // runner-up head; for everyone else it is the global
+                    // minimum itself.
+                    let allowance = if d == holder { m2 } else { Some(start) };
+                    let mut end = start.saturating_add(width);
+                    if let Some(a) = allowance {
+                        end = end.min(a.saturating_add(lookahead));
+                    }
+                    let end = end.min(hard_end);
+                    ctl.send(ToShard::Window { end, drain })
                         .expect("worker thread alive");
                 }
+                let mut window_events = 0u64;
                 for _ in 0..num_shards {
-                    let reply = from_rx.recv().expect("worker thread alive");
-                    next_times[reply.shard] = reply.next_time;
-                    report.events += reply.events;
-                    for (dest, key, kind) in reply.outbound {
-                        pending[dest].push((key, kind));
+                    let s = sum_rx.recv().expect("worker thread alive");
+                    window_events += s.events;
+                    let slot = s.shard;
+                    summaries[slot] = Some(s);
+                }
+                // Fold the summaries into the per-shard head times: a
+                // shard's next event is its local head or the earliest
+                // batch in flight to it.
+                for d in 0..num_shards {
+                    let mut t = summaries[d].as_ref().expect("summary per shard").local_next;
+                    for (s, summary) in summaries.iter().enumerate() {
+                        if s == d {
+                            continue;
+                        }
+                        let inbound = summary.as_ref().expect("summary per shard");
+                        if let Some(m) = inbound.outbound_min[d] {
+                            t = Some(match t {
+                                Some(x) => x.min(m),
+                                None => m,
+                            });
+                        }
+                    }
+                    next[d] = t;
+                }
+                report.events += window_events;
+                report.windows += 1;
+                if let Some(t0) = window_t0 {
+                    eprintln!(
+                        "window {} start={start} width={width} events={window_events} wall_us={}",
+                        report.windows,
+                        t0.elapsed().as_micros()
+                    );
+                }
+                if policy.adaptive {
+                    // Deterministic grow/shrink from the observed events
+                    // per window, floored at the lookahead.
+                    let sparse = 8 * num_shards as u64;
+                    let dense = 128 * num_shards as u64;
+                    let cap = lookahead.saturating_mul(policy.max_factor.max(1) as u64);
+                    if window_events < sparse {
+                        width = width.saturating_mul(2).min(cap);
+                    } else if window_events > dense {
+                        width = SimDuration::from_micros(
+                            (width.as_micros() / 2).max(lookahead.as_micros()),
+                        );
                     }
                 }
-                report.windows += 1;
             }
-            for to_tx in &to_txs {
-                let _ = to_tx.send(ToShard::Done);
+            let drain = report.windows > 0;
+            for ctl in &ctl_txs {
+                let _ = ctl.send(ToShard::Done { drain });
             }
         });
+        self.window_width = width;
         if report.completed {
             self.now = self.now.max(target);
         }
@@ -510,9 +821,10 @@ impl<P: Protocol> std::fmt::Debug for ShardedSimulation<P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ShardedSimulation")
             .field("n", &self.n)
-            .field("shards", &self.num_shards)
+            .field("shards", &self.map.num_shards())
             .field("now", &self.now)
             .field("lookahead", &self.lookahead)
+            .field("window", &self.window)
             .field("events_processed", &self.events_processed)
             .field("windows", &self.windows)
             .finish()
@@ -622,11 +934,24 @@ mod tests {
         sim.join(SimTime::from_millis(140), NodeId::new(3));
     }
 
-    type Fingerprint = (Vec<Vec<(NodeId, u64)>>, Vec<TransportStats>, u64);
+    /// Order-sensitive digest of a node's message log — strict enough for
+    /// bit-identity checks without cloning every log (FNV-1a fold).
+    fn digest_msgs(msgs: &[(NodeId, u64)]) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (from, msg) in msgs {
+            for v in [u64::from(from.as_u32()), *msg] {
+                h ^= v;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        h
+    }
+
+    type Fingerprint = (Vec<u64>, Vec<TransportStats>, u64);
 
     fn fingerprint_seq(sim: &Simulation<Chatter>) -> Fingerprint {
         (
-            sim.nodes().map(|(_, p)| p.msgs.clone()).collect(),
+            sim.nodes().map(|(_, p)| digest_msgs(&p.msgs)).collect(),
             sim.transport_stats_all().to_vec(),
             sim.events_processed(),
         )
@@ -634,7 +959,7 @@ mod tests {
 
     fn fingerprint_cluster(sim: &ShardedSimulation<Chatter>) -> Fingerprint {
         (
-            sim.nodes().map(|(_, p)| p.msgs.clone()).collect(),
+            sim.nodes().map(|(_, p)| digest_msgs(&p.msgs)).collect(),
             sim.transport_stats_all(),
             sim.events_processed(),
         )
@@ -659,6 +984,72 @@ mod tests {
                 "cluster with {shards} shards diverged from sequential engine"
             );
         }
+    }
+
+    /// Every placement policy is bit-identical to the sequential engine:
+    /// placement decides which thread runs a node, never what the node
+    /// computes.
+    #[test]
+    fn placement_policies_match_sequential_engine() {
+        let horizon = SimTime::from_secs(1);
+        let mut seq = Simulation::new(16, lossy_net(), 42, |_, _| Chatter::default());
+        schedule(&mut seq);
+        seq.run_until(horizon);
+        let expect = fingerprint_seq(&seq);
+
+        // An arbitrary deterministic non-uniform weight profile.
+        let weights: Vec<u64> = (0..16u64).map(|i| (i * i) % 7 + 1).collect();
+        for shards in [2usize, 4, 7] {
+            let maps = [
+                ("round-robin", ShardMap::round_robin(16, shards)),
+                ("block", ShardMap::block(16, shards)),
+                ("balanced", ShardMap::balanced(&weights, shards)),
+            ];
+            for (name, map) in maps {
+                let mut cluster = ShardedSimulation::with_scheduler(
+                    16,
+                    lossy_net(),
+                    42,
+                    map,
+                    WindowPolicy::default(),
+                    |_, _| Chatter::default(),
+                );
+                schedule(&mut cluster);
+                cluster.run_until(horizon);
+                assert_eq!(
+                    fingerprint_cluster(&cluster),
+                    expect,
+                    "{name} placement with {shards} shards diverged"
+                );
+            }
+        }
+    }
+
+    /// Adaptive windows are a pure performance knob: identical results,
+    /// never more barriers than the fixed policy.
+    #[test]
+    fn adaptive_windows_match_fixed_with_fewer_barriers() {
+        let horizon = SimTime::from_secs(1);
+        let run = |window: WindowPolicy| {
+            let mut cluster = ShardedSimulation::with_scheduler(
+                16,
+                lossy_net(),
+                42,
+                ShardMap::round_robin(16, 4),
+                window,
+                |_, _| Chatter::default(),
+            );
+            schedule(&mut cluster);
+            cluster.run_until(horizon);
+            (fingerprint_cluster(&cluster), cluster.windows())
+        };
+        let (fixed, fixed_windows) = run(WindowPolicy::fixed());
+        let (adaptive, adaptive_windows) = run(WindowPolicy::adaptive());
+        assert_eq!(adaptive, fixed, "window policy changed the outcome");
+        assert!(
+            adaptive_windows <= fixed_windows,
+            "adaptive ({adaptive_windows}) ran more barriers than fixed ({fixed_windows})"
+        );
     }
 
     #[test]
@@ -727,7 +1118,9 @@ mod tests {
 
     /// A zero-latency network model must not stall the barrier loop: the
     /// 1 µs delivery floor gives a positive lookahead, every window makes
-    /// progress, and the outcome still matches the sequential engine.
+    /// progress, and the outcome still matches the sequential engine —
+    /// under both window policies (the adaptive clamp gets a hard workout
+    /// at a 1 µs lookahead).
     #[test]
     fn zero_latency_network_terminates_and_matches_sequential() {
         let net = || NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
@@ -737,21 +1130,29 @@ mod tests {
         seq.run_until(horizon);
         let expect = fingerprint_seq(&seq);
         for shards in [1, 2, 4] {
-            let mut cluster =
-                ShardedSimulation::new(8, net(), 11, shards, |_, _| Chatter::default());
-            assert_eq!(
-                cluster.lookahead(),
-                fed_sim::exec::MIN_NETWORK_LATENCY,
-                "zero-latency lookahead must be floored"
-            );
-            schedule(&mut cluster);
-            let report = cluster.run_until(horizon);
-            assert!(report.completed, "{shards} shards: run must terminate");
-            assert_eq!(
-                fingerprint_cluster(&cluster),
-                expect,
-                "zero-latency cluster with {shards} shards diverged"
-            );
+            for window in [WindowPolicy::fixed(), WindowPolicy::adaptive()] {
+                let mut cluster = ShardedSimulation::with_scheduler(
+                    8,
+                    net(),
+                    11,
+                    ShardMap::round_robin(8, shards),
+                    window,
+                    |_, _| Chatter::default(),
+                );
+                assert_eq!(
+                    cluster.lookahead(),
+                    fed_sim::exec::MIN_NETWORK_LATENCY,
+                    "zero-latency lookahead must be floored"
+                );
+                schedule(&mut cluster);
+                let report = cluster.run_until(horizon);
+                assert!(report.completed, "{shards} shards: run must terminate");
+                assert_eq!(
+                    fingerprint_cluster(&cluster),
+                    expect,
+                    "zero-latency cluster with {shards} shards ({window:?}) diverged"
+                );
+            }
         }
     }
 

@@ -1,0 +1,236 @@
+//! Node→shard placement for the sharded runtime.
+//!
+//! [`ShardMap`] is the single source of truth for which shard owns which
+//! node: the shard sinks route cross-shard events through it, the
+//! coordinator uses it to address external commands, and the constructor
+//! builds each shard's kernel from its owned-id lists. Placement is a
+//! pure performance knob — per-node random streams depend only on
+//! `(seed, node id)` ([`fed_sim::exec::seed_streams`]) and events carry
+//! canonical keys, so *any* placement produces the same bit-identical
+//! execution; what changes is how evenly the event-processing load
+//! spreads across worker threads.
+
+use fed_sim::protocol::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An immutable assignment of `n` node ids to shards.
+///
+/// Built by one of the placement policies ([`ShardMap::round_robin`],
+/// [`ShardMap::block`], [`ShardMap::balanced`]); all of them clamp the
+/// shard count to `1..=n` and give every shard at least one node.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    /// Node id → shard index.
+    shard_of: Vec<u32>,
+    /// Shard index → ascending owned node ids.
+    owned: Vec<Vec<u32>>,
+}
+
+impl ShardMap {
+    /// Round-robin placement: node `i` lives on shard `i % shards` — the
+    /// seed-era default, statistically balanced for uniform workloads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`.
+    pub fn round_robin(n: usize, shards: usize) -> Self {
+        let shards = Self::clamp(n, shards);
+        Self::from_fn(n, shards, |i| i % shards)
+    }
+
+    /// Block placement: shard `k` owns the contiguous id range
+    /// `[k·n/s, (k+1)·n/s)`. Keeps id-adjacent nodes co-located, which
+    /// helps protocols whose traffic is id-local (ring DHTs) and is the
+    /// worst case for id-hotspot protocols (the broker).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > u32::MAX as usize`.
+    pub fn block(n: usize, shards: usize) -> Self {
+        let shards = Self::clamp(n, shards);
+        Self::from_fn(n, shards, |i| i * shards / n)
+    }
+
+    /// Load-balanced placement guided by a per-node weight profile
+    /// (expected event counts): nodes are assigned greedily in
+    /// descending-weight order to the least-loaded shard (LPT
+    /// scheduling), with deterministic tie-breaking — equal weights by
+    /// ascending node id, equal loads by ascending shard index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() == 0`, `weights.len() > u32::MAX as
+    /// usize`.
+    pub fn balanced(weights: &[u64], shards: usize) -> Self {
+        let n = weights.len();
+        let shards = Self::clamp(n, shards);
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (Reverse(weights[i as usize]), i));
+        // Min-heap of (load, shard): ties pop the smallest shard index.
+        let mut loads: BinaryHeap<Reverse<(u64, usize)>> =
+            (0..shards).map(|s| Reverse((0u64, s))).collect();
+        let mut shard_of = vec![0u32; n];
+        for &id in &order {
+            let Reverse((load, s)) = loads.pop().expect("one entry per shard");
+            shard_of[id as usize] = s as u32;
+            // A zero-weight node still occupies a pop/dispatch slot; the
+            // floor of one also keeps all-zero profiles spreading across
+            // shards instead of piling onto shard 0.
+            let w = weights[id as usize].max(1);
+            loads.push(Reverse((load.saturating_add(w), s)));
+        }
+        Self::from_assignment(shard_of, shards)
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Total number of nodes.
+    pub fn len(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// Whether the map covers zero nodes (never: constructors reject it).
+    pub fn is_empty(&self) -> bool {
+        self.shard_of.is_empty()
+    }
+
+    /// The shard owning `id`.
+    ///
+    /// Total over all ids: an out-of-range id maps round-robin so the
+    /// event still routes to *a* shard, whose kernel then drops it — the
+    /// same tolerance the engines have always had for events addressed
+    /// past the population.
+    #[inline]
+    pub fn shard_of(&self, id: NodeId) -> usize {
+        match self.shard_of.get(id.index()) {
+            Some(&s) => s as usize,
+            None => id.index() % self.num_shards(),
+        }
+    }
+
+    /// The node ids shard `s` owns, ascending.
+    pub fn owned(&self, s: usize) -> &[u32] {
+        &self.owned[s]
+    }
+
+    fn clamp(n: usize, shards: usize) -> usize {
+        assert!(n > 0, "simulation requires at least one node");
+        assert!(n <= u32::MAX as usize, "too many nodes");
+        shards.clamp(1, n)
+    }
+
+    fn from_fn(n: usize, shards: usize, f: impl Fn(usize) -> usize) -> Self {
+        let mut shard_of = vec![0u32; n];
+        for (i, slot) in shard_of.iter_mut().enumerate() {
+            let s = f(i);
+            debug_assert!(s < shards);
+            *slot = s as u32;
+        }
+        Self::from_assignment(shard_of, shards)
+    }
+
+    fn from_assignment(shard_of: Vec<u32>, shards: usize) -> Self {
+        let mut owned: Vec<Vec<u32>> = vec![Vec::new(); shards];
+        for (i, &s) in shard_of.iter().enumerate() {
+            owned[s as usize].push(i as u32);
+        }
+        // Ascending by construction (ids assigned in order), but make the
+        // kernel's precondition explicit.
+        debug_assert!(owned.iter().all(|ids| ids.windows(2).all(|w| w[0] < w[1])));
+        ShardMap { shard_of, owned }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_all(map: &ShardMap, n: usize) {
+        let mut seen = vec![false; n];
+        for s in 0..map.num_shards() {
+            for &id in map.owned(s) {
+                assert_eq!(map.shard_of(NodeId::new(id)), s);
+                assert!(!seen[id as usize], "node {id} owned twice");
+                seen[id as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b), "some node is unowned");
+    }
+
+    #[test]
+    fn round_robin_matches_modulo() {
+        let map = ShardMap::round_robin(10, 3);
+        for i in 0..10u32 {
+            assert_eq!(map.shard_of(NodeId::new(i)), i as usize % 3);
+        }
+        covers_all(&map, 10);
+    }
+
+    #[test]
+    fn block_is_contiguous_and_covers() {
+        let map = ShardMap::block(10, 3);
+        covers_all(&map, 10);
+        for s in 0..3 {
+            let ids = map.owned(s);
+            assert!(!ids.is_empty(), "shard {s} empty");
+            assert!(
+                ids.windows(2).all(|w| w[1] == w[0] + 1),
+                "shard {s} not contiguous: {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn balanced_spreads_heavy_nodes() {
+        // Two very heavy nodes must land on different shards.
+        let weights = [1000u64, 1000, 1, 1, 1, 1];
+        let map = ShardMap::balanced(&weights, 2);
+        covers_all(&map, 6);
+        assert_ne!(
+            map.shard_of(NodeId::new(0)),
+            map.shard_of(NodeId::new(1)),
+            "both heavy nodes on one shard"
+        );
+        // Loads within a factor of ~2 of each other.
+        let load = |s: usize| -> u64 { map.owned(s).iter().map(|&i| weights[i as usize]).sum() };
+        let (a, b) = (load(0), load(1));
+        assert!(a.abs_diff(b) <= 1000, "loads {a} vs {b}");
+    }
+
+    #[test]
+    fn balanced_is_deterministic() {
+        let weights: Vec<u64> = (0..50).map(|i| (i * 7919) % 13).collect();
+        let a = ShardMap::balanced(&weights, 4);
+        let b = ShardMap::balanced(&weights, 4);
+        for i in 0..50u32 {
+            assert_eq!(a.shard_of(NodeId::new(i)), b.shard_of(NodeId::new(i)));
+        }
+        covers_all(&a, 50);
+    }
+
+    #[test]
+    fn balanced_zero_weights_still_cover_every_shard() {
+        let map = ShardMap::balanced(&[0u64; 8], 4);
+        covers_all(&map, 8);
+        for s in 0..4 {
+            assert!(!map.owned(s).is_empty(), "shard {s} empty");
+        }
+    }
+
+    #[test]
+    fn shards_clamped_to_population() {
+        assert_eq!(ShardMap::round_robin(3, 64).num_shards(), 3);
+        assert_eq!(ShardMap::block(3, 0).num_shards(), 1);
+        assert_eq!(ShardMap::balanced(&[1, 2, 3], 7).num_shards(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = ShardMap::round_robin(0, 2);
+    }
+}

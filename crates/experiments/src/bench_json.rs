@@ -1,0 +1,205 @@
+//! Machine-readable benchmark output: `BENCH_cluster.json`.
+//!
+//! The `scale` experiment, the `smoke:<arch>` runner and the
+//! `cluster_scale` bench all append [`BenchRecord`]s to one JSON array on
+//! disk, so the events-per-second trajectory of the sharded scheduler is
+//! tracked across PRs by diffing a single file. The writer is hand-rolled
+//! (the build environment is offline — no serde): records are flat
+//! string/number/bool objects, appended by splicing before the closing
+//! bracket, so no JSON parser is needed either.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Default output path, relative to the invocation directory.
+pub const BENCH_PATH: &str = "BENCH_cluster.json";
+
+/// One benchmark measurement of the sharded runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Which harness produced the record (`scale`, `smoke`,
+    /// `cluster_scale`).
+    pub suite: String,
+    /// Architecture name ([`fed_workload::Architecture::name`]).
+    pub arch: String,
+    /// Population size.
+    pub n: usize,
+    /// Shard count in use.
+    pub shards: usize,
+    /// Placement policy name ([`fed_workload::Placement::name`]).
+    pub placement: String,
+    /// Whether adaptive window sizing was on.
+    pub adaptive_window: bool,
+    /// Events processed.
+    pub events: u64,
+    /// Barrier windows executed.
+    pub windows: u64,
+    /// Wall-clock milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+}
+
+/// Minimal JSON string escaping (the names we write are plain ASCII, but
+/// stay correct for anything).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl BenchRecord {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
+             \"placement\":\"{}\",\"adaptive_window\":{},\"events\":{},\
+             \"windows\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.1}}}",
+            escape(&self.suite),
+            escape(&self.arch),
+            self.n,
+            self.shards,
+            escape(&self.placement),
+            self.adaptive_window,
+            self.events,
+            self.windows,
+            self.wall_ms,
+            self.events_per_sec,
+        )
+    }
+}
+
+fn render(records: &[BenchRecord]) -> String {
+    let mut body = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        body.push_str("  ");
+        body.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            body.push(',');
+        }
+        body.push('\n');
+    }
+    body.push_str("]\n");
+    body
+}
+
+/// Writes `records` to `path` as a JSON array, replacing the file.
+pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    fs::write(path, render(records))
+}
+
+/// Appends `records` to the JSON array at `path`, creating the file if it
+/// is missing. An existing file is spliced before its closing bracket; a
+/// file that does not look like a JSON array is replaced.
+pub fn append_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    if records.is_empty() {
+        return Ok(());
+    }
+    let path = path.as_ref();
+    let existing = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let trimmed = existing.trim_end();
+    let Some(head) = trimmed.strip_suffix(']') else {
+        return write_bench_json(path, records);
+    };
+    let head = head.trim_end();
+    let mut out = String::from(head);
+    // An empty array has only "[" left once the bracket is stripped.
+    if !head.trim_start().eq("[") {
+        out.push(',');
+    }
+    out.push('\n');
+    for (i, r) in records.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&r.to_json());
+        if i + 1 < records.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(suite: &str, events: u64) -> BenchRecord {
+        BenchRecord {
+            suite: suite.into(),
+            arch: "fair-gossip".into(),
+            n: 1000,
+            shards: 8,
+            placement: "round-robin".into(),
+            adaptive_window: true,
+            events,
+            windows: 42,
+            wall_ms: 12.5,
+            events_per_sec: 80_000.0,
+        }
+    }
+
+    #[test]
+    fn record_renders_flat_json() {
+        let json = record("scale", 7).to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"suite\":\"scale\""));
+        assert!(json.contains("\"events\":7"));
+        assert!(json.contains("\"adaptive_window\":true"));
+        assert!(json.contains("\"wall_ms\":12.500"));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape("x\u{1}"), "x\\u0001");
+    }
+
+    #[test]
+    fn write_then_append_splices_the_array() {
+        let dir = std::env::temp_dir().join(format!("bench_json_test_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_cluster.json");
+        write_bench_json(&path, &[record("scale", 1)]).unwrap();
+        append_bench_json(&path, &[record("smoke", 2), record("smoke", 3)]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"suite\"").count(), 3);
+        assert_eq!(text.matches("[").count(), 1);
+        assert_eq!(text.matches("]").count(), 1);
+        // Well-formed: every record line but the last ends with a comma.
+        let commas = text.matches("},").count();
+        assert_eq!(commas, 2);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn append_creates_missing_file() {
+        let dir = std::env::temp_dir().join(format!("bench_json_new_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_cluster.json");
+        append_bench_json(&path, &[record("smoke", 9)]).unwrap();
+        let text = fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        assert_eq!(text.matches("\"suite\"").count(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -28,7 +28,7 @@ use fed_baselines::dam::{DamCmd, DamConfig, DamNode, GroupTable};
 use fed_baselines::dks::{DksCmd, DksConfig, DksNode};
 use fed_baselines::scribe::{ScribeCmd, ScribeNode};
 use fed_baselines::splitstream::{Forest, SplitStreamNode, StripeCmd};
-use fed_cluster::ShardedSimulation;
+use fed_cluster::{ShardMap, ShardedSimulation, WindowPolicy};
 use fed_core::behavior::Behavior;
 use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
 use fed_core::ledger::FairnessLedger;
@@ -41,8 +41,42 @@ use fed_util::rng::Xoshiro256StarStar;
 use fed_workload::churn::ChurnAction;
 use fed_workload::interest::InterestProfile;
 use fed_workload::pubs::Publication;
-use fed_workload::scenario::{Architecture, MaterializedScenario, ScenarioSpec};
+use fed_workload::scenario::{Architecture, MaterializedScenario, Placement, ScenarioSpec};
 use std::sync::Arc;
+
+/// Expected per-node event-count profile of a materialized scenario:
+/// subscription counts proxy deliveries and forwarding work, scheduled
+/// publications proxy sends. This is the weight profile behind the
+/// [`Placement::Balanced`] shard assignment.
+pub fn event_weights(materialized: &MaterializedScenario) -> Vec<u64> {
+    let mut weights: Vec<u64> = (0..materialized.profile.len())
+        .map(|i| 1 + 4 * materialized.profile.topics_of(i).len() as u64)
+        .collect();
+    for p in &materialized.schedule {
+        if let Some(w) = weights.get_mut(p.publisher) {
+            *w += 8;
+        }
+    }
+    weights
+}
+
+/// Maps a spec's scheduler knobs onto the cluster's [`ShardMap`].
+fn shard_map_for(spec: &ScenarioSpec, materialized: &MaterializedScenario) -> ShardMap {
+    match spec.placement {
+        Placement::RoundRobin => ShardMap::round_robin(spec.n, spec.shards),
+        Placement::Block => ShardMap::block(spec.n, spec.shards),
+        Placement::Balanced => ShardMap::balanced(&event_weights(materialized), spec.shards),
+    }
+}
+
+/// Maps a spec's window knob onto the cluster's [`WindowPolicy`].
+fn window_policy_for(spec: &ScenarioSpec) -> WindowPolicy {
+    if spec.adaptive_window {
+        WindowPolicy::adaptive()
+    } else {
+        WindowPolicy::fixed()
+    }
+}
 
 /// The node type every gossip experiment runs.
 pub type Node = GossipNode<FullMembership>;
@@ -364,10 +398,16 @@ where
         .materialize()
         .expect("scenario parameters are validated by construction");
     let n = spec.n;
-    let mut sim =
-        ShardedSimulation::new(n, spec.net.clone(), spec.seed, spec.shards, move |id, _| {
+    let mut sim = ShardedSimulation::with_scheduler(
+        n,
+        spec.net.clone(),
+        spec.seed,
+        shard_map_for(spec, &materialized),
+        window_policy_for(spec),
+        move |id, _| {
             GossipNode::with_behavior(id, config.clone(), FullMembership::new(id, n), behavior(id))
-        });
+        },
+    );
     schedule_workload(&mut sim, &materialized);
     ClusterGossipRun {
         sim,
@@ -567,8 +607,14 @@ where
             collect(spec, materialized, sim.nodes(), stats, events, 0, 1)
         }
         EngineKind::Cluster => {
-            let mut sim =
-                ShardedSimulation::new(spec.n, spec.net.clone(), spec.seed, spec.shards, factory);
+            let mut sim = ShardedSimulation::with_scheduler(
+                spec.n,
+                spec.net.clone(),
+                spec.seed,
+                shard_map_for(spec, &materialized),
+                window_policy_for(spec),
+                factory,
+            );
             schedule_workload(&mut sim, &materialized);
             sim.run_until(horizon);
             let stats = sim.transport_stats_all();

@@ -26,6 +26,7 @@
 
 pub mod ablation;
 pub mod arch;
+pub mod bench_json;
 pub mod bias;
 pub mod churn;
 pub mod conv;
@@ -105,17 +106,28 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
             let r = scale::run(512, &[1, 2, 4], seed);
             println!("{}", r.table);
             assert!(r.identical, "shard count must not change the outcome");
+            match bench_json::append_bench_json(bench_json::BENCH_PATH, &r.records) {
+                Ok(()) => eprintln!(
+                    "appended {} records to {}",
+                    r.records.len(),
+                    bench_json::BENCH_PATH
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", bench_json::BENCH_PATH),
+            }
         }
         other => return run_smoke(other, seed),
     }
     true
 }
 
-/// Handles the `smoke[:arch[:n[:shards]]]` pseudo-id: one large-population
-/// cluster run of a single architecture (default: splitstream at 100 000
-/// nodes on 8 shards), printing a one-line liveness report. Not part of
-/// [`EXPERIMENT_IDS`], so it never runs in the default all-experiments
-/// sweep — CI invokes it explicitly, time-boxed.
+/// Handles the `smoke[:arch[:n[:shards[:placement[:window]]]]]`
+/// pseudo-id: one large-population cluster run of a single architecture
+/// (default: splitstream at 100 000 nodes on 8 shards, round-robin
+/// placement, adaptive windows), printing a one-line liveness report and
+/// appending a record to `BENCH_cluster.json`. `placement` is a
+/// [`fed_workload::Placement`] name; `window` is `adaptive` or `fixed`.
+/// Not part of [`EXPERIMENT_IDS`], so it never runs in the default
+/// all-experiments sweep — CI invokes it explicitly, time-boxed.
 fn run_smoke(id: &str, seed: u64) -> bool {
     let mut parts = id.split(':');
     if parts.next() != Some("smoke") {
@@ -142,15 +154,45 @@ fn run_smoke(id: &str, seed: u64) -> bool {
             _ => return false,
         },
     };
+    let placement = match parts.next() {
+        None => fed_workload::Placement::RoundRobin,
+        Some(name) => match fed_workload::Placement::parse(name) {
+            Some(p) => p,
+            None => return false,
+        },
+    };
+    let adaptive = match parts.next() {
+        None => true,
+        Some("adaptive") => true,
+        Some("fixed") => false,
+        Some(_) => return false,
+    };
     if parts.next().is_some() {
         return false;
     }
-    let p = scale::smoke(arch, n, shards, seed);
+    let p = scale::smoke_configured(arch, n, shards, placement, adaptive, seed);
     println!(
-        "SMOKE {} n={} shards={}: {} events, {} windows, {} deliveries, \
-         reliability {:.4}, {:.0} ms wall",
-        p.arch, p.n, p.shards, p.events, p.windows, p.deliveries, p.reliability, p.wall_ms
+        "SMOKE {} n={} shards={} placement={} window={}: {} events, {} windows, \
+         {} deliveries, reliability {:.4}, {:.0} ms wall ({:.0} events/s)",
+        p.arch,
+        p.n,
+        p.shards,
+        p.placement,
+        if p.adaptive_window {
+            "adaptive"
+        } else {
+            "fixed"
+        },
+        p.events,
+        p.windows,
+        p.deliveries,
+        p.reliability,
+        p.wall_ms,
+        p.events as f64 / (p.wall_ms / 1e3).max(1e-9),
     );
+    if let Err(e) = bench_json::append_bench_json(bench_json::BENCH_PATH, &[p.record()]) {
+        eprintln!("could not append to {}: {e}", bench_json::BENCH_PATH);
+    }
     assert!(p.events > 0, "smoke run processed no events");
     assert!(p.deliveries > 0, "smoke run delivered nothing");
     true

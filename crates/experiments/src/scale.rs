@@ -15,13 +15,14 @@
 //! architecture, one shard count, a deliberately light publication plan,
 //! returning enough to assert liveness — used by the CI smoke job.
 
+use crate::bench_json::BenchRecord;
 use crate::harness::{run_architecture, EngineKind};
 use fed_core::ledger::RatioSpec;
 use fed_metrics::fairness::ratio_report;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::SimTime;
 use fed_workload::pubs::PubPlan;
-use fed_workload::scenario::{Architecture, ScenarioSpec};
+use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
 use std::time::Instant;
 
 /// One row of the scaling sweep.
@@ -69,6 +70,8 @@ pub struct ScaleResult {
     pub archs: Vec<ArchScale>,
     /// Whether *every* architecture was shard-invariant.
     pub identical: bool,
+    /// Machine-readable records of every point, for `BENCH_cluster.json`.
+    pub records: Vec<BenchRecord>,
 }
 
 /// The scenario the sweep runs: the standard workload with a shorter
@@ -159,6 +162,8 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
     );
     let mut archs = Vec::new();
     let mut identical = true;
+    let mut records = Vec::new();
+    let spec_defaults = scale_spec(n, seed);
     for arch in Architecture::SWEEP {
         let sweep = run_arch(arch, n, shard_counts, seed);
         identical &= sweep.identical;
@@ -175,6 +180,18 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
                 fmt_f64(sweep.reliability),
                 sweep.identical.to_string(),
             ]);
+            records.push(BenchRecord {
+                suite: "scale".into(),
+                arch: p.arch.name().into(),
+                n,
+                shards: p.shards,
+                placement: spec_defaults.placement.name().into(),
+                adaptive_window: spec_defaults.adaptive_window,
+                events: p.events,
+                windows: p.windows,
+                wall_ms: p.wall_ms,
+                events_per_sec: p.events_per_sec,
+            });
         }
         archs.push(sweep);
     }
@@ -182,6 +199,7 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
         table,
         archs,
         identical,
+        records,
     }
 }
 
@@ -194,6 +212,10 @@ pub struct SmokePoint {
     pub n: usize,
     /// Shard count.
     pub shards: usize,
+    /// Placement policy of the run.
+    pub placement: Placement,
+    /// Whether adaptive window sizing was on.
+    pub adaptive_window: bool,
     /// Wall-clock milliseconds.
     pub wall_ms: f64,
     /// Events processed.
@@ -206,11 +228,47 @@ pub struct SmokePoint {
     pub reliability: f64,
 }
 
+impl SmokePoint {
+    /// The point as a `BENCH_cluster.json` record.
+    pub fn record(&self) -> BenchRecord {
+        BenchRecord {
+            suite: "smoke".into(),
+            arch: self.arch.name().into(),
+            n: self.n,
+            shards: self.shards,
+            placement: self.placement.name().into(),
+            adaptive_window: self.adaptive_window,
+            events: self.events,
+            windows: self.windows,
+            wall_ms: self.wall_ms,
+            events_per_sec: self.events as f64 / (self.wall_ms / 1e3).max(1e-9),
+        }
+    }
+}
+
 /// Runs one architecture once at a large population with a deliberately
 /// light publication plan (a handful of events), asserting liveness
-/// rather than statistics. This is the 100 k-node CI smoke entry point.
+/// rather than statistics. This is the 100 k-node CI smoke entry point,
+/// using the default scheduler knobs (round-robin placement, adaptive
+/// windows).
 pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> SmokePoint {
-    let mut spec = ScenarioSpec::standard(arch, n, seed).with_shards(shards);
+    smoke_configured(arch, n, shards, Placement::RoundRobin, true, seed)
+}
+
+/// [`smoke`] with explicit scheduler knobs, for sweeping placement and
+/// window policies at scale.
+pub fn smoke_configured(
+    arch: Architecture,
+    n: usize,
+    shards: usize,
+    placement: Placement,
+    adaptive_window: bool,
+    seed: u64,
+) -> SmokePoint {
+    let mut spec = ScenarioSpec::standard(arch, n, seed)
+        .with_shards(shards)
+        .with_placement(placement)
+        .with_adaptive_window(adaptive_window);
     spec.plan = PubPlan {
         rate_per_sec: 5.0,
         duration: SimTime::from_secs(2),
@@ -226,6 +284,8 @@ pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> SmokePoi
         arch,
         n,
         shards: outcome.shards,
+        placement,
+        adaptive_window,
         wall_ms,
         events: outcome.events,
         windows: outcome.windows,

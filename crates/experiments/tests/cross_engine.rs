@@ -25,7 +25,7 @@ use fed_sim::{NodeId, SimDuration, SimTime, TransportStats};
 use fed_util::fairness::jain_index;
 use fed_workload::churn::ChurnPlan;
 use fed_workload::pubs::PubPlan;
-use fed_workload::scenario::{Architecture, ScenarioSpec};
+use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
 
 fn spec(n: usize) -> ScenarioSpec {
     let mut spec = ScenarioSpec::fair_gossip(n, 42);
@@ -126,8 +126,11 @@ fn baseline_spec(arch: Architecture, n: usize) -> ScenarioSpec {
 }
 
 /// Runs `spec` sequentially and on the cluster at shard counts
-/// {1, 2, 4, 7}, asserting bit-identical delivery logs, fairness-ledger
-/// totals, transport statistics and event counts.
+/// {1, 2, 4, 7} plus a scheduler-knob matrix covering every placement
+/// policy and both window policies, asserting bit-identical delivery
+/// logs, fairness-ledger totals, transport statistics and event counts
+/// throughout: shard count, placement and window sizing are performance
+/// knobs, never semantics knobs.
 fn assert_arch_parity(spec: &ScenarioSpec) {
     let expected = run_architecture(spec, EngineKind::Sequential);
     assert!(
@@ -135,27 +138,50 @@ fn assert_arch_parity(spec: &ScenarioSpec) {
         "{}: dead scenario proves nothing",
         spec.arch
     );
-    for shards in [1usize, 2, 4, 7] {
-        let got = run_architecture(&spec.clone().with_shards(shards), EngineKind::Cluster);
+    let check = |cluster_spec: ScenarioSpec, what: &str| {
+        let got = run_architecture(&cluster_spec, EngineKind::Cluster);
         assert_eq!(
             got.deliveries, expected.deliveries,
-            "{} with {shards} shards: delivery logs diverged",
+            "{} {what}: delivery logs diverged",
             spec.arch
         );
         assert_eq!(
             got.ledgers, expected.ledgers,
-            "{} with {shards} shards: fairness ledgers diverged",
+            "{} {what}: fairness ledgers diverged",
             spec.arch
         );
         assert_eq!(
             got.stats, expected.stats,
-            "{} with {shards} shards: transport stats diverged",
+            "{} {what}: transport stats diverged",
             spec.arch
         );
         assert_eq!(
             got.events, expected.events,
-            "{} with {shards} shards: event counts diverged",
+            "{} {what}: event counts diverged",
             spec.arch
+        );
+    };
+    for shards in [1usize, 2, 4, 7] {
+        check(
+            spec.clone().with_shards(shards),
+            &format!("with {shards} shards"),
+        );
+    }
+    for (shards, placement, adaptive) in [
+        (4, Placement::Block, true),
+        (7, Placement::Balanced, true),
+        (2, Placement::RoundRobin, false),
+        (4, Placement::Balanced, false),
+    ] {
+        check(
+            spec.clone()
+                .with_shards(shards)
+                .with_placement(placement)
+                .with_adaptive_window(adaptive),
+            &format!(
+                "with {shards} shards, {placement} placement, {} windows",
+                if adaptive { "adaptive" } else { "fixed" }
+            ),
         );
     }
 }

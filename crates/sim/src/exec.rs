@@ -32,8 +32,6 @@ use crate::network::NetworkModel;
 use crate::protocol::{Context, Invoke, NodeId, Outgoing, Protocol};
 use crate::time::{SimDuration, SimTime};
 use fed_util::rng::{Rng64, Xoshiro256StarStar};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// The minimum virtual-time latency of any delivered message.
 ///
@@ -126,33 +124,75 @@ impl<P: Protocol> EventKind<P> {
     }
 }
 
-struct Queued<P: Protocol> {
-    key: EventKey,
-    kind: EventKind<P>,
-}
-
-impl<P: Protocol> PartialEq for Queued<P> {
-    fn eq(&self, other: &Self) -> bool {
-        self.key == other.key
-    }
-}
-impl<P: Protocol> Eq for Queued<P> {}
-impl<P: Protocol> PartialOrd for Queued<P> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<P: Protocol> Ord for Queued<P> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we pop earliest-first, so
-        // compare other-to-self.
-        other.key.cmp(&self.key)
-    }
-}
+/// Number of calendar buckets (a power of two; the occupancy bitmap below
+/// assumes a multiple of 64).
+const CAL_BUCKETS: usize = 512;
+/// Words in the bucket-occupancy bitmap.
+const CAL_WORDS: usize = CAL_BUCKETS / 64;
+/// Largest permitted bucket-width exponent: buckets never exceed
+/// 2^44 µs (~200 days of virtual time), keeping all index arithmetic
+/// comfortably inside `u64`.
+const MAX_BUCKET_SHIFT: u32 = 44;
+/// Initial bucket-width exponent: 2^12 µs ≈ 4 ms buckets, so the first
+/// calendar epoch spans ~2 s — sized for the millisecond-scale latency
+/// models the scenarios use. Later epochs re-derive the width from the
+/// observed event density.
+const INITIAL_BUCKET_SHIFT: u32 = 12;
 
 /// A pending-event queue, popping in [`EventKey`] order.
+///
+/// Implemented as a two-level calendar ("ladder") queue bucketed by
+/// [`SimTime`] instead of a comparison-based heap:
+///
+/// * **Front rung.** A vector sorted descending by key (pop takes the
+///   back) holding every pending event with `time < front_end`. The
+///   common pops are O(1); a push landing inside the front range does a
+///   binary-search insert.
+/// * **Calendar.** [`CAL_BUCKETS`] unsorted buckets of `2^shift` µs each
+///   covering `[base, base + CAL_BUCKETS·2^shift)`. A push into the
+///   future appends to its bucket in O(1); when the front drains, the
+///   next non-empty bucket (found through an occupancy bitmap) is sorted
+///   once and becomes the new front, so each event is sorted exactly once
+///   against its near neighbours instead of paying O(log n) full-key
+///   comparisons on every heap rotation.
+/// * **Overflow.** Events beyond the calendar horizon collect unsorted;
+///   when the calendar drains the queue re-bases around the overflow's
+///   minimum, re-deriving the bucket width from the observed density
+///   (span / bucket count), which keeps push/pop amortized O(1) for any
+///   event-time distribution.
+///
+/// The pop order is exactly the total [`EventKey`] order — identical to
+/// the former binary heap — for *any* push pattern, including pushes
+/// earlier than events already popped (they land in the front rung and
+/// pop next). Internal bucket geometry never affects pop order, so the
+/// queue stays bit-compatible across engines and shard counts.
 pub struct EventQueue<P: Protocol> {
-    heap: BinaryHeap<Queued<P>>,
+    /// Sorted descending by key; the back is the earliest pending event.
+    /// Holds every pending event with `time < front_end`.
+    front: Vec<(EventKey, EventKind<P>)>,
+    /// Exclusive upper bound (µs) of the front rung's time range.
+    front_end: u64,
+    /// Unsorted buckets; bucket `i` spans
+    /// `[base + i·2^shift, base + (i+1)·2^shift)`.
+    buckets: Vec<Vec<(EventKey, EventKind<P>)>>,
+    /// One bit per bucket: set iff the bucket is non-empty.
+    occupied: [u64; CAL_WORDS],
+    /// Start (µs) of bucket 0's range.
+    base: u64,
+    /// Bucket width exponent: each bucket spans `2^shift` µs.
+    shift: u32,
+    /// Buckets below `cursor` are drained (folded into the front range).
+    cursor: usize,
+    /// Events at or beyond the calendar horizon, unsorted.
+    overflow: Vec<(EventKey, EventKind<P>)>,
+    /// Minimum event time (µs) in `overflow`; `u64::MAX` when empty.
+    overflow_min: u64,
+    /// Cached `(bucket, min time)` of the last bucket probed by a bounded
+    /// settle; kept fresh by pushes, so repeated `pop_before` calls that
+    /// stop short of the same bucket scan it once, not once per window.
+    probed: Option<(usize, u64)>,
+    /// Total pending events across front, buckets and overflow.
+    len: usize,
 }
 
 impl<P: Protocol> Default for EventQueue<P> {
@@ -165,24 +205,88 @@ impl<P: Protocol> EventQueue<P> {
     /// An empty queue.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            front: Vec::new(),
+            front_end: 0,
+            buckets: (0..CAL_BUCKETS).map(|_| Vec::new()).collect(),
+            occupied: [0; CAL_WORDS],
+            base: 0,
+            shift: INITIAL_BUCKET_SHIFT,
+            cursor: 0,
+            overflow: Vec::new(),
+            overflow_min: u64::MAX,
+            probed: None,
+            len: 0,
         }
     }
 
     /// Enqueues an event.
     pub fn push(&mut self, key: EventKey, kind: EventKind<P>) {
-        self.heap.push(Queued { key, kind });
+        self.len += 1;
+        let t = key.time.as_micros();
+        if t < self.front_end {
+            // An empty front lets us retract the front boundary to the
+            // event's own bucket instead of paying a sorted insert: this
+            // is the hot path for barrier-exchanged batches, which land
+            // after the previous window drained the front clean. Bulk
+            // bursts then collect in a bucket (O(1) per push) and are
+            // sorted once, instead of insertion-sorting into the front
+            // one memmove at a time.
+            if self.front.is_empty() && t >= self.base {
+                let idx = ((t - self.base) >> self.shift) as usize;
+                debug_assert!(idx < CAL_BUCKETS, "t < front_end stays inside the calendar");
+                self.cursor = idx;
+                self.front_end = self.base.saturating_add((idx as u64) << self.shift);
+            } else {
+                // Descending order: find the first entry not greater
+                // than the new key. Conservative windows make these
+                // pushes land near the back (the pop point), so the
+                // memmove is short.
+                let at = self.front.partition_point(|e| e.0 > key);
+                self.front.insert(at, (key, kind));
+                return;
+            }
+        }
+        let idx = (t - self.base) >> self.shift;
+        if idx < CAL_BUCKETS as u64 {
+            let idx = idx as usize;
+            if let Some((b, m)) = &mut self.probed {
+                if *b == idx {
+                    *m = (*m).min(t);
+                }
+            }
+            self.buckets[idx].push((key, kind));
+            self.occupied[idx / 64] |= 1 << (idx % 64);
+        } else {
+            self.overflow_min = self.overflow_min.min(t);
+            self.overflow.push((key, kind));
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(EventKey, EventKind<P>)> {
-        self.heap.pop().map(|q| (q.key, q.kind))
+        if self.len == 0 {
+            return None;
+        }
+        self.settle();
+        self.len -= 1;
+        self.front.pop()
     }
 
     /// Removes the earliest event only if it fires strictly before `end`.
+    ///
+    /// One key comparison against the (already sorted) front rung, then an
+    /// O(1) pop — no second peek. Settling is bounded by `end`: buckets
+    /// that start at or past the cutoff are left untouched, so the front
+    /// boundary never runs ahead of the caller's window (which would turn
+    /// the next batch of pushes into sorted front inserts).
     pub fn pop_before(&mut self, end: SimTime) -> Option<(EventKey, EventKind<P>)> {
-        if self.heap.peek()?.key.time < end {
-            self.pop()
+        if self.len == 0 {
+            return None;
+        }
+        self.settle_before(end.as_micros());
+        if self.front.last()?.0.time < end {
+            self.len -= 1;
+            self.front.pop()
         } else {
             None
         }
@@ -190,17 +294,155 @@ impl<P: Protocol> EventQueue<P> {
 
     /// The firing time of the earliest pending event.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|q| q.key.time)
+        if let Some(e) = self.front.last() {
+            return Some(e.0.time);
+        }
+        if let Some(i) = self.next_occupied(self.cursor) {
+            // Buckets before `i` are empty and overflow lies beyond the
+            // calendar horizon, so the earliest event is in bucket `i` —
+            // whose minimum a bounded settle usually just probed.
+            if let Some((b, m)) = self.probed {
+                if b == i {
+                    return Some(SimTime::from_micros(m));
+                }
+            }
+            return self.buckets[i].iter().map(|e| e.0.time).min();
+        }
+        if !self.overflow.is_empty() {
+            return Some(SimTime::from_micros(self.overflow_min));
+        }
+        None
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Index of the first non-empty bucket at or after `from`, if any.
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        if from >= CAL_BUCKETS {
+            return None;
+        }
+        let mut w = from / 64;
+        let mut bits = self.occupied[w] & (!0u64 << (from % 64));
+        loop {
+            if bits != 0 {
+                return Some(w * 64 + bits.trailing_zeros() as usize);
+            }
+            w += 1;
+            if w >= CAL_WORDS {
+                return None;
+            }
+            bits = self.occupied[w];
+        }
+    }
+
+    /// Refills the front rung from the calendar (re-basing around the
+    /// overflow when the calendar is drained) until it holds the earliest
+    /// pending event. No-op when the front is non-empty or the queue is
+    /// empty.
+    fn settle(&mut self) {
+        while self.front.is_empty() && self.len > 0 {
+            match self.next_occupied(self.cursor) {
+                Some(i) => self.drain_bucket(i),
+                None => self.rebase(),
+            }
+        }
+    }
+
+    /// [`EventQueue::settle`], but never touches a bucket (or the
+    /// overflow) whose time range starts at or past `cutoff` µs — their
+    /// entries cannot fire before the cutoff, so leaving them unsorted
+    /// keeps later pushes below the front boundary O(1).
+    fn settle_before(&mut self, cutoff: u64) {
+        while self.front.is_empty() && self.len > 0 {
+            match self.next_occupied(self.cursor) {
+                Some(i) => {
+                    let bucket_start = self.base.saturating_add((i as u64) << self.shift);
+                    if bucket_start >= cutoff {
+                        return;
+                    }
+                    // The bucket's range straddles the cutoff; drain it
+                    // only if something in it actually fires this early.
+                    // Pre-sorting a next-window burst into the front
+                    // would turn that window's inbound pushes into
+                    // quadratic sorted inserts.
+                    let min = match self.probed {
+                        Some((b, m)) if b == i => m,
+                        _ => {
+                            let m = self.buckets[i]
+                                .iter()
+                                .map(|e| e.0.time.as_micros())
+                                .min()
+                                .expect("occupied bucket is non-empty");
+                            self.probed = Some((i, m));
+                            m
+                        }
+                    };
+                    if min >= cutoff {
+                        return;
+                    }
+                    self.drain_bucket(i);
+                }
+                // Everything left is in the overflow; it cannot hold
+                // anything firing before the cutoff, so skip the re-base.
+                None if self.overflow_min >= cutoff => return,
+                None => self.rebase(),
+            }
+        }
+    }
+
+    /// Moves bucket `i`'s entries into the front rung, sorted descending.
+    fn drain_bucket(&mut self, i: usize) {
+        self.probed = None;
+        let mut entries = std::mem::take(&mut self.buckets[i]);
+        self.occupied[i / 64] &= !(1 << (i % 64));
+        entries.sort_unstable_by_key(|e| std::cmp::Reverse(e.0));
+        self.front = entries;
+        self.cursor = i + 1;
+        self.front_end = self.base.saturating_add((i as u64 + 1) << self.shift);
+    }
+
+    /// Rebuilds the calendar around the overflow's minimum, re-deriving
+    /// the bucket width from the overflow's observed time span.
+    fn rebase(&mut self) {
+        assert!(
+            !self.overflow.is_empty(),
+            "pending events unaccounted for: len says {} remain",
+            self.len
+        );
+        self.probed = None; // bucket geometry changes below
+        let entries = std::mem::take(&mut self.overflow);
+        let min = self.overflow_min;
+        let max = entries
+            .iter()
+            .map(|e| e.0.time.as_micros())
+            .max()
+            .expect("non-empty overflow");
+        // Width ≈ span / buckets, rounded up to a power of two so every
+        // entry fits the new horizon (entries of a span wider than the
+        // largest bucket geometry simply re-overflow; the minimum always
+        // lands in bucket 0, so each rebase makes progress).
+        let width = (max - min) / CAL_BUCKETS as u64 + 1;
+        self.shift = if width > 1 << MAX_BUCKET_SHIFT {
+            MAX_BUCKET_SHIFT
+        } else {
+            width.next_power_of_two().trailing_zeros()
+        };
+        self.base = min;
+        self.cursor = 0;
+        self.front_end = min;
+        self.overflow_min = u64::MAX;
+        self.len -= entries.len(); // re-pushed below
+        for (key, kind) in entries {
+            self.push(key, kind);
+        }
     }
 }
 
@@ -662,6 +904,73 @@ mod tests {
             tags.push(tag_of(&kind));
         }
         assert_eq!(tags, vec![10, 11, 20, 21]);
+    }
+
+    /// Far-future events overflow the initial calendar epoch and force a
+    /// re-base (possibly several); pop order must remain the exact key
+    /// order across every epoch boundary.
+    #[test]
+    fn far_future_rollover_preserves_order() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        // Times spanning twelve orders of magnitude: same epoch,
+        // next-epoch, and far beyond the widest bucket geometry.
+        let times: [u64; 9] = [
+            0,
+            1,
+            4_095,
+            4_096,
+            3_000_000,
+            2_200_000_000,
+            2_200_000_001,
+            10_u64.pow(13),
+            u64::MAX - 1,
+        ];
+        for (seq, us) in times.iter().rev().enumerate() {
+            let key = EventKey {
+                time: SimTime::from_micros(*us),
+                src: EXTERNAL_SRC,
+                seq: seq as u64,
+            };
+            let (key, kind) = cmd(key, *us);
+            q.push(key, kind);
+        }
+        let mut popped = Vec::new();
+        while let Some((key, _)) = q.pop() {
+            popped.push(key.time.as_micros());
+        }
+        assert_eq!(popped, times.to_vec());
+    }
+
+    /// A push earlier than the queue's current front range (allowed by the
+    /// API, like the old heap) still pops first.
+    #[test]
+    fn push_into_the_past_pops_first() {
+        let mut q: EventQueue<Nop> = EventQueue::new();
+        for (seq, us) in [50_000u64, 60_000].iter().enumerate() {
+            let key = EventKey {
+                time: SimTime::from_micros(*us),
+                src: EXTERNAL_SRC,
+                seq: seq as u64,
+            };
+            let (key, kind) = cmd(key, *us);
+            q.push(key, kind);
+        }
+        // Advance the front past 50ms...
+        let (key, _) = q.pop().expect("first event");
+        assert_eq!(key.time.as_micros(), 50_000);
+        // ...then push an event behind the pop point.
+        let key = EventKey {
+            time: SimTime::from_micros(10),
+            src: EXTERNAL_SRC,
+            seq: 9,
+        };
+        let (key, kind) = cmd(key, 10);
+        q.push(key, kind);
+        let (key, _) = q.pop().expect("past event");
+        assert_eq!(key.time.as_micros(), 10, "past push must pop next");
+        let (key, _) = q.pop().expect("last event");
+        assert_eq!(key.time.as_micros(), 60_000);
+        assert!(q.is_empty());
     }
 
     #[test]

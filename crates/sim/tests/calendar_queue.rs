@@ -1,0 +1,243 @@
+//! Property-based equivalence of the calendar [`EventQueue`] with a
+//! reference binary heap.
+//!
+//! The calendar queue replaces the seed-era `BinaryHeap` on the
+//! simulation hot path; these tests pin down that the replacement is
+//! observationally identical: for any interleaving of pushes and pops —
+//! including same-time and same-`(time, src)` key collisions, pushes
+//! behind the pop point, and far-future times that force calendar
+//! re-bases — the pop sequence is exactly the reference key order.
+
+use fed_sim::exec::{EventKey, EventKind, EventQueue};
+use fed_sim::{Context, NodeId, Protocol, SimTime};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Inert protocol: the queues are exercised directly.
+struct Nop;
+impl Protocol for Nop {
+    type Msg = ();
+    type Cmd = u64;
+    fn on_init(&mut self, _ctx: &mut Context<'_, ()>) {}
+    fn on_message(&mut self, _ctx: &mut Context<'_, ()>, _from: NodeId, _msg: ()) {}
+    fn on_timer(&mut self, _ctx: &mut Context<'_, ()>, _token: u64) {}
+}
+
+fn tagged(key: EventKey, tag: u64) -> (EventKey, EventKind<Nop>) {
+    (
+        key,
+        EventKind::Command {
+            node: NodeId::new(0),
+            cmd: tag,
+        },
+    )
+}
+
+fn tag_of(kind: &EventKind<Nop>) -> u64 {
+    match kind {
+        EventKind::Command { cmd, .. } => *cmd,
+        _ => panic!("only commands are pushed"),
+    }
+}
+
+/// Key strategy engineered for collisions: tiny time/src/seq ranges make
+/// same-time and same-`(time, src)` keys frequent.
+fn colliding_key() -> impl Strategy<Value = EventKey> {
+    (0u64..300, 0u32..4, 0u64..4).prop_map(|(us, src, seq)| EventKey {
+        time: SimTime::from_micros(us),
+        src,
+        seq,
+    })
+}
+
+/// Key strategy spanning every calendar regime: the initial epoch, the
+/// first few re-bases, and times far past the widest bucket geometry
+/// (2^44 µs), including the saturation edge near `u64::MAX`.
+fn far_future_key() -> impl Strategy<Value = EventKey> {
+    let time = prop_oneof![
+        0u64..5_000,                        // initial epoch
+        2_000_000u64..3_000_000,            // epoch boundary region
+        1u64 << 32..(1u64 << 32) + 100_000, // after several re-bases
+        1u64 << 50..(1u64 << 50) + 1_000,   // beyond MAX_BUCKET_SHIFT
+        (u64::MAX - 1_000)..u64::MAX,       // saturation edge
+    ];
+    (time, 0u32..16, 0u64..8).prop_map(|(us, src, seq)| EventKey {
+        time: SimTime::from_micros(us),
+        src,
+        seq,
+    })
+}
+
+/// One step of an interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    Push(EventKey),
+    Pop,
+    /// `pop_before(bound)` with a bound in µs.
+    PopBefore(u64),
+}
+
+fn ops(key: impl Strategy<Value = EventKey> + 'static) -> impl Strategy<Value = Vec<Op>> {
+    // The vendored proptest shim has no weighted arms; repetition skews
+    // the mix toward pushes so queues actually fill up.
+    prop::collection::vec(
+        prop_oneof![
+            key.clone().prop_map(Op::Push),
+            key.clone().prop_map(Op::Push),
+            key.clone().prop_map(Op::Push),
+            key.prop_map(Op::Push),
+            Just(Op::Pop),
+            Just(Op::Pop),
+            (0u64..4_000).prop_map(Op::PopBefore),
+        ],
+        1..200,
+    )
+}
+
+/// Reference queue: the seed-era `BinaryHeap` with the reversed
+/// comparator, popping `(key, tag)` min-first. Ties on the full key pop
+/// in unspecified tag order there too, so comparisons below only demand
+/// equal *keys* plus an equal multiset of tags per key.
+#[derive(Default)]
+struct RefQueue {
+    heap: BinaryHeap<Reverse<(EventKey, u64)>>,
+}
+
+impl RefQueue {
+    fn push(&mut self, key: EventKey, tag: u64) {
+        self.heap.push(Reverse((key, tag)));
+    }
+    fn pop(&mut self) -> Option<(EventKey, u64)> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+    fn pop_before(&mut self, end: SimTime) -> Option<(EventKey, u64)> {
+        if self.heap.peek()?.0 .0.time < end {
+            self.pop()
+        } else {
+            None
+        }
+    }
+    fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((key, _))| key.time)
+    }
+}
+
+/// Drives both queues through the same op sequence and asserts every
+/// observable agrees: pop keys, `next_time`, `len`, and — because equal
+/// keys may legally pop in different tag orders — the multiset of tags
+/// within each run of equal keys.
+fn assert_equivalent(ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut cal: EventQueue<Nop> = EventQueue::new();
+    let mut reference = RefQueue::default();
+    let mut cal_log: Vec<(EventKey, u64)> = Vec::new();
+    let mut ref_log: Vec<(EventKey, u64)> = Vec::new();
+    let mut tag = 0u64;
+    for op in ops {
+        match op {
+            Op::Push(key) => {
+                let (key, kind) = tagged(key, tag);
+                cal.push(key, kind);
+                reference.push(key, tag);
+                tag += 1;
+            }
+            Op::Pop => {
+                let got = cal.pop().map(|(key, kind)| (key, tag_of(&kind)));
+                let want = reference.pop();
+                prop_assert_eq!(got.is_some(), want.is_some(), "pop presence diverged");
+                if let (Some(g), Some(w)) = (got, want) {
+                    prop_assert_eq!(g.0, w.0, "pop key diverged");
+                    cal_log.push(g);
+                    ref_log.push(w);
+                }
+            }
+            Op::PopBefore(us) => {
+                let end = SimTime::from_micros(us);
+                let got = cal.pop_before(end).map(|(key, kind)| (key, tag_of(&kind)));
+                let want = reference.pop_before(end);
+                prop_assert_eq!(
+                    got.is_some(),
+                    want.is_some(),
+                    "pop_before presence diverged"
+                );
+                if let (Some(g), Some(w)) = (got, want) {
+                    prop_assert_eq!(g.0, w.0, "pop_before key diverged");
+                    cal_log.push(g);
+                    ref_log.push(w);
+                }
+            }
+        }
+        prop_assert_eq!(cal.next_time(), reference.next_time(), "next_time diverged");
+        prop_assert_eq!(cal.len(), reference.heap.len(), "len diverged");
+        prop_assert_eq!(cal.is_empty(), reference.heap.is_empty());
+    }
+    // Drain the rest: total order must match to the end.
+    loop {
+        let got = cal.pop().map(|(key, kind)| (key, tag_of(&kind)));
+        let want = reference.pop();
+        prop_assert_eq!(got.is_some(), want.is_some(), "drain presence diverged");
+        match (got, want) {
+            (Some(g), Some(w)) => {
+                prop_assert_eq!(g.0, w.0, "drain key diverged");
+                cal_log.push(g);
+                ref_log.push(w);
+            }
+            _ => break,
+        }
+    }
+    // Tags within each run of equal keys must form the same multiset.
+    let mut i = 0;
+    while i < cal_log.len() {
+        let key = cal_log[i].0;
+        let mut j = i;
+        while j < cal_log.len() && cal_log[j].0 == key {
+            j += 1;
+        }
+        let mut a: Vec<u64> = cal_log[i..j].iter().map(|e| e.1).collect();
+        let mut b: Vec<u64> = ref_log[i..j].iter().map(|e| e.1).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        prop_assert_eq!(a, b, "tag multiset diverged for key {:?}", key);
+        i = j;
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Dense collision workloads: many events share a time or a
+    /// `(time, src)` prefix, and pops interleave with pushes.
+    #[test]
+    fn matches_reference_heap_under_collisions(workload in ops(colliding_key())) {
+        assert_equivalent(workload)?;
+    }
+
+    /// Sparse far-future workloads: times jump across calendar epochs,
+    /// past the widest bucket geometry and up to the `u64` edge, forcing
+    /// overflow handling and repeated re-bases.
+    #[test]
+    fn matches_reference_heap_across_rollovers(workload in ops(far_future_key())) {
+        assert_equivalent(workload)?;
+    }
+
+    /// Pure push-then-drain at scale: the whole-queue sort order is the
+    /// exact lexicographic key order.
+    #[test]
+    fn drains_in_exact_key_order(
+        keys in prop::collection::vec(far_future_key(), 1..400),
+    ) {
+        let mut cal: EventQueue<Nop> = EventQueue::new();
+        for (tag, key) in keys.iter().enumerate() {
+            let (key, kind) = tagged(*key, tag as u64);
+            cal.push(key, kind);
+        }
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        let mut popped = Vec::with_capacity(keys.len());
+        while let Some((key, _)) = cal.pop() {
+            popped.push(key);
+        }
+        prop_assert_eq!(popped, sorted);
+    }
+}

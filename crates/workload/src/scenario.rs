@@ -89,6 +89,52 @@ impl std::fmt::Display for Architecture {
     }
 }
 
+/// Node→shard placement policy for the sharded engine.
+///
+/// A pure performance knob: per-node random streams depend only on
+/// `(seed, node id)`, so every placement produces the bit-identical
+/// virtual-world outcome — what changes is how evenly event-processing
+/// load spreads over worker threads. The experiment harness maps each
+/// variant onto a `fed_cluster::ShardMap`; `Balanced` derives its
+/// per-node weights from the materialized scenario's event-count profile
+/// (subscription counts and scheduled publications).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Node `i` on shard `i % shards` (the seed-era default).
+    #[default]
+    RoundRobin,
+    /// Contiguous id blocks per shard.
+    Block,
+    /// Load-balanced greedy assignment guided by the scenario's expected
+    /// per-node event counts.
+    Balanced,
+}
+
+impl Placement {
+    /// Every placement policy.
+    pub const ALL: [Placement; 3] = [Placement::RoundRobin, Placement::Block, Placement::Balanced];
+
+    /// Stable lowercase name (table rows, CLI arguments).
+    pub fn name(self) -> &'static str {
+        match self {
+            Placement::RoundRobin => "round-robin",
+            Placement::Block => "block",
+            Placement::Balanced => "balanced",
+        }
+    }
+
+    /// Parses a [`Placement::name`] back into the variant.
+    pub fn parse(s: &str) -> Option<Placement> {
+        Placement::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
+impl std::fmt::Display for Placement {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// A self-contained, seeded description of one experiment scenario.
 #[derive(Debug, Clone)]
 pub struct ScenarioSpec {
@@ -99,6 +145,14 @@ pub struct ScenarioSpec {
     /// Number of shards when run on the sharded engine (`1` = sequential
     /// semantics; the result is identical either way).
     pub shards: usize,
+    /// Node→shard placement policy on the sharded engine (performance
+    /// only; never changes the outcome).
+    pub placement: Placement,
+    /// Whether the sharded engine grows/shrinks barrier windows from
+    /// observed events-per-window (performance only; never changes the
+    /// outcome). `false` pins windows to the lookahead, the seed-era
+    /// behavior.
+    pub adaptive_window: bool,
     /// Topic universe size.
     pub num_topics: usize,
     /// Topic popularity skew for subscriptions.
@@ -138,6 +192,8 @@ impl ScenarioSpec {
             arch: Architecture::FairGossip,
             n,
             shards: 1,
+            placement: Placement::RoundRobin,
+            adaptive_window: true,
             num_topics: 20,
             zipf_s: 1.0,
             appetite: Appetite::Bimodal {
@@ -178,6 +234,18 @@ impl ScenarioSpec {
     /// Returns the spec with a different architecture.
     pub fn with_arch(mut self, arch: Architecture) -> Self {
         self.arch = arch;
+        self
+    }
+
+    /// Returns the spec with a different placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Returns the spec with adaptive window sizing switched on or off.
+    pub fn with_adaptive_window(mut self, adaptive: bool) -> Self {
+        self.adaptive_window = adaptive;
         self
     }
 
@@ -291,6 +359,34 @@ mod tests {
         // The sweep is a subset of ALL.
         for arch in Architecture::SWEEP {
             assert!(Architecture::ALL.contains(&arch));
+        }
+    }
+
+    #[test]
+    fn placement_names_round_trip() {
+        for p in Placement::ALL {
+            assert_eq!(Placement::parse(p.name()), Some(p));
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert_eq!(Placement::parse("no-such-policy"), None);
+        assert_eq!(Placement::default(), Placement::RoundRobin);
+    }
+
+    #[test]
+    fn scheduler_knobs_are_performance_only_fields() {
+        let spec = ScenarioSpec::fair_gossip(8, 1)
+            .with_placement(Placement::Balanced)
+            .with_adaptive_window(false);
+        assert_eq!(spec.placement, Placement::Balanced);
+        assert!(!spec.adaptive_window);
+        // The knobs never enter materialization: ground truth is
+        // identical whatever the scheduler does.
+        let base = ScenarioSpec::fair_gossip(8, 1).materialize().unwrap();
+        let knobbed = spec.materialize().unwrap();
+        assert_eq!(base.schedule.len(), knobbed.schedule.len());
+        for (x, y) in base.schedule.iter().zip(&knobbed.schedule) {
+            assert_eq!(x.at, y.at);
+            assert_eq!(x.event.id(), y.event.id());
         }
     }
 
