@@ -1,25 +1,41 @@
 //! Scaling benchmark of the `fed-cluster` sharded runtime.
 //!
-//! Sweeps shard counts over the same scenario for all five sweep
-//! architectures — fair gossip, broker, Scribe, DKS, SplitStream — at
-//! 1 k and 10 k nodes, plus a 100 k-node group on a deliberately light
-//! publication plan. The virtual-world outcome is bit-identical at every
-//! shard count (asserted by the cross-engine tests); what changes is
-//! wall-clock time. On multi-core hardware the larger populations show
-//! the parallel speedup (>2x at 4 shards is the target); on a single
-//! core the sharded rows measure pure barrier overhead.
+//! Sweeps shard counts over the same scenario for every sweep
+//! architecture — fair gossip, broker, Scribe, DKS, DAM, SplitStream —
+//! at 1 k and 10 k nodes, plus a 100 k-node group on a deliberately
+//! light publication plan. The virtual-world outcome is bit-identical at
+//! every shard count (asserted by the cross-engine tests); what changes
+//! is wall-clock time. On multi-core hardware the larger populations
+//! show the parallel speedup (>2x at 4 shards is the target); on a
+//! single core the sharded rows measure pure barrier overhead.
+//!
+//! The record pass at the end also measures the telemetry overhead:
+//! every 100 k smoke scenario runs with and without a `fed-telemetry`
+//! probe attached, and both rows land in `BENCH_cluster.json`
+//! (`"telemetry": true/false`) — the acceptance bar is < 10 % events/s.
+//! Set `FED_BENCH_RECORDS_ONLY=1` to skip the timed criterion groups and
+//! regenerate only the JSON records.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fed_experiments::bench_json::{append_bench_json, BenchRecord};
 use fed_experiments::harness::{run_architecture, EngineKind};
 use fed_experiments::scale::scale_spec;
 use fed_sim::SimTime;
+use fed_telemetry::TelemetrySpec;
 use fed_workload::pubs::PubPlan;
 use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
+/// Whether to skip the timed criterion groups (JSON record pass only).
+fn records_only() -> bool {
+    std::env::var_os("FED_BENCH_RECORDS_ONLY").is_some()
+}
+
 fn sweep(c: &mut Criterion, group_name: &str, n: usize) {
+    if records_only() {
+        return;
+    }
     let mut g = c.benchmark_group(group_name);
     g.sample_size(10);
     for arch in Architecture::SWEEP {
@@ -52,6 +68,9 @@ fn bench_cluster_10k(c: &mut Criterion) {
 /// architecture, tight time budget — a liveness-at-scale measurement,
 /// not a statistics run.
 fn bench_cluster_100k(c: &mut Criterion) {
+    if records_only() {
+        return;
+    }
     let mut g = c.benchmark_group("cluster_100k");
     g.sample_size(10);
     // One 100 k iteration runs ~0.5-1 s in release; a couple of
@@ -67,6 +86,7 @@ fn bench_cluster_100k(c: &mut Criterion) {
                     topic_zipf_s: 1.0,
                     payload_bytes: 64,
                     warmup: SimTime::from_secs(1),
+                    flash: None,
                 };
                 let outcome = run_architecture(&spec, EngineKind::Cluster);
                 black_box(outcome.events)
@@ -86,6 +106,7 @@ fn smoke_spec_100k(arch: Architecture) -> ScenarioSpec {
         topic_zipf_s: 1.0,
         payload_bytes: 64,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     spec
 }
@@ -94,6 +115,9 @@ fn smoke_spec_100k(arch: Architecture) -> ScenarioSpec {
 /// 8 shards, for a uniform-load architecture (fair gossip) and the
 /// id-hotspot one (broker, where placement matters most).
 fn bench_sched_knobs(c: &mut Criterion) {
+    if records_only() {
+        return;
+    }
     let mut g = c.benchmark_group("cluster_sched_10k");
     g.sample_size(10);
     g.measurement_time(Duration::from_secs(3));
@@ -127,12 +151,41 @@ fn bench_sched_knobs(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry-overhead group: the 10 k scenario with and without a
+/// telemetry probe attached, timed side by side.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    if records_only() {
+        return;
+    }
+    let mut g = c.benchmark_group("cluster_telemetry_10k");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    for telemetry in [false, true] {
+        let label = if telemetry { "telemetry" } else { "baseline" };
+        g.bench_with_input(BenchmarkId::new(label, 8), &telemetry, |b, &telemetry| {
+            b.iter(|| {
+                let mut spec = scale_spec(10_000, 42)
+                    .with_arch(Architecture::FairGossip)
+                    .with_shards(8);
+                if telemetry {
+                    spec = spec.with_telemetry(TelemetrySpec::default());
+                }
+                let outcome = run_architecture(&spec, EngineKind::Cluster);
+                black_box(outcome.events)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// One timed run per configuration, appended to the repo-root
 /// `BENCH_cluster.json` so the scheduler's events/sec trajectory is
 /// tracked across PRs: the 10 k knob sweep plus the 100 k-node smoke
-/// scenario for every sweep architecture at the default knobs.
+/// scenario for every sweep architecture at the default knobs — each
+/// 100 k smoke measured twice, without and with streaming telemetry, so
+/// the observability overhead is recorded next to the baseline.
 ///
-/// This pass runs ~17 full simulations (minutes at 100 k); set
+/// This pass runs ~24 full simulations (minutes at 100 k); set
 /// `FED_BENCH_SKIP_JSON=1` to skip it when iterating on the timed
 /// groups above.
 fn write_bench_records(_c: &mut Criterion) {
@@ -144,22 +197,33 @@ fn write_bench_records(_c: &mut Criterion) {
     // anchor the output at the repo root where the file is committed.
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../", "BENCH_cluster.json");
     let mut records = Vec::new();
+    // Best of three runs per configuration: single-run wall times at
+    // 100 k vary by tens of percent on shared machines, which would
+    // drown the < 10 % telemetry-overhead bar these records gate.
+    const REPEATS: u32 = 3;
     let mut measure = |spec: &ScenarioSpec| {
-        let start = Instant::now();
-        let outcome = run_architecture(spec, EngineKind::Cluster);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        records.push(BenchRecord {
-            suite: "cluster_scale".into(),
-            arch: spec.arch.name().into(),
-            n: spec.n,
-            shards: outcome.shards,
-            placement: spec.placement.name().into(),
-            adaptive_window: spec.adaptive_window,
-            events: outcome.events,
-            windows: outcome.windows,
-            wall_ms,
-            events_per_sec: outcome.events as f64 / (wall_ms / 1e3).max(1e-9),
-        });
+        let mut best: Option<BenchRecord> = None;
+        for _ in 0..REPEATS {
+            let start = Instant::now();
+            let outcome = run_architecture(spec, EngineKind::Cluster);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            if best.as_ref().is_none_or(|b| wall_ms < b.wall_ms) {
+                best = Some(BenchRecord {
+                    suite: "cluster_scale".into(),
+                    arch: spec.arch.name().into(),
+                    n: spec.n,
+                    shards: outcome.shards,
+                    placement: spec.placement.name().into(),
+                    adaptive_window: spec.adaptive_window,
+                    telemetry: spec.telemetry.is_some(),
+                    events: outcome.events,
+                    windows: outcome.windows,
+                    wall_ms,
+                    events_per_sec: outcome.events as f64 / (wall_ms / 1e3).max(1e-9),
+                });
+            }
+        }
+        records.push(best.expect("at least one repeat"));
     };
     for arch in [Architecture::FairGossip, Architecture::Broker] {
         for placement in Placement::ALL {
@@ -174,7 +238,10 @@ fn write_bench_records(_c: &mut Criterion) {
         }
     }
     for arch in Architecture::SWEEP {
-        measure(&smoke_spec_100k(arch));
+        // Telemetry off, then on: adjacent rows measure the overhead.
+        let spec = smoke_spec_100k(arch);
+        measure(&spec);
+        measure(&spec.with_telemetry(TelemetrySpec::default()));
     }
     match append_bench_json(path, &records) {
         Ok(()) => println!("appended {} records to {path}", records.len()),
@@ -188,6 +255,7 @@ criterion_group!(
     bench_cluster_10k,
     bench_cluster_100k,
     bench_sched_knobs,
+    bench_telemetry_overhead,
     write_bench_records
 );
 criterion_main!(benches);

@@ -113,7 +113,8 @@ mod shard_map;
 pub use shard_map::ShardMap;
 
 use fed_sim::exec::{
-    seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, TransportStats, EXTERNAL_SRC,
+    seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, NullProbe, Probe,
+    TransportStats, EXTERNAL_SRC,
 };
 use fed_sim::network::NetworkModel;
 use fed_sim::protocol::{NodeId, Protocol};
@@ -270,8 +271,10 @@ struct Summary {
     outbound_min: Vec<Option<SimTime>>,
 }
 
-fn worker_loop<P>(
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<P, C>(
     shard: &mut Shard<P>,
+    mut probe: Option<&mut C>,
     factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
     map: &ShardMap,
     ctl_rx: Receiver<ToShard>,
@@ -280,6 +283,7 @@ fn worker_loop<P>(
     mail_rxs: Vec<Option<Receiver<Batch<P>>>>,
 ) where
     P: Protocol,
+    C: Probe,
 {
     let num_shards = map.num_shards();
     let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| factory(id, rng);
@@ -331,7 +335,13 @@ fn worker_loop<P>(
                         out: &mut out,
                         out_min: &mut out_min,
                     };
-                    kernel.dispatch(key, kind, &mut factory, &mut sink);
+                    kernel.dispatch(
+                        key,
+                        kind,
+                        &mut factory,
+                        &mut sink,
+                        probe.as_deref_mut().map(|p| p as &mut dyn Probe),
+                    );
                 }
                 // Exchange: exactly one batch (possibly empty) to every
                 // peer, every window — receivers rely on the count.
@@ -645,7 +655,34 @@ where
     /// Spawns one worker thread per shard for the duration of the call and
     /// coordinates them through conservative windows (see the crate docs).
     pub fn run_until(&mut self, target: SimTime) -> ClusterReport {
+        self.run_until_probed::<NullProbe>(target, &mut [])
+    }
+
+    /// [`ShardedSimulation::run_until`] with one telemetry [`Probe`] per
+    /// shard: worker `s` threads `probes[s]` through every event it
+    /// dispatches, so each probe observes exactly the nodes its shard
+    /// owns. Pass an empty slice to run unprobed (the plain
+    /// [`ShardedSimulation::run_until`] does exactly that).
+    ///
+    /// Probes are passive — the probed run is bit-identical to an
+    /// unprobed one. A caller wanting global aggregates merges the
+    /// per-shard probes afterwards; the `fed-telemetry` crate's
+    /// collectors are built for exactly that (their merge is exact, so
+    /// the merged result equals a sequential engine's single probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes` is non-empty with length ≠ the shard count.
+    pub fn run_until_probed<C>(&mut self, target: SimTime, probes: &mut [C]) -> ClusterReport
+    where
+        C: Probe + Send,
+    {
         let num_shards = self.map.num_shards();
+        assert!(
+            probes.is_empty() || probes.len() == num_shards,
+            "need one probe per shard ({} != {num_shards})",
+            probes.len()
+        );
         let lookahead = self.lookahead;
         let policy = self.window;
         let factory = Arc::clone(&self.factory);
@@ -665,6 +702,11 @@ where
         let hard_end = target.saturating_add(SimDuration::from_micros(1));
         // Set FED_TRACE_WINDOWS=1 to log per-window scheduling decisions.
         let trace = std::env::var_os("FED_TRACE_WINDOWS").is_some();
+        let mut probe_slots: Vec<Option<&mut C>> = if probes.is_empty() {
+            (0..num_shards).map(|_| None).collect()
+        } else {
+            probes.iter_mut().map(Some).collect()
+        };
         std::thread::scope(|scope| {
             let (sum_tx, sum_rx) = channel::<Summary>();
             // Direct shard-to-shard mailboxes: mail[src][dest].
@@ -687,7 +729,7 @@ where
             let mut ctl_txs = Vec::with_capacity(num_shards);
             let mut mail_rxs = mail_rxs.into_iter();
             let mut mail_txs = mail_txs.into_iter();
-            for shard in &mut self.shards {
+            for (shard, probe) in self.shards.iter_mut().zip(probe_slots.drain(..)) {
                 let (ctl_tx, ctl_rx) = channel::<ToShard>();
                 ctl_txs.push(ctl_tx);
                 let sum_tx = sum_tx.clone();
@@ -695,7 +737,9 @@ where
                 let map = Arc::clone(&map);
                 let txs = mail_txs.next().expect("one row per shard");
                 let rxs = mail_rxs.next().expect("one row per shard");
-                scope.spawn(move || worker_loop(shard, &*factory, &map, ctl_rx, sum_tx, txs, rxs));
+                scope.spawn(move || {
+                    worker_loop(shard, probe, &*factory, &map, ctl_rx, sum_tx, txs, rxs)
+                });
             }
             drop(sum_tx);
             let mut summaries: Vec<Option<Summary>> = (0..num_shards).map(|_| None).collect();

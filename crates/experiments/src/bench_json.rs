@@ -32,6 +32,10 @@ pub struct BenchRecord {
     pub placement: String,
     /// Whether adaptive window sizing was on.
     pub adaptive_window: bool,
+    /// Whether streaming telemetry was attached — telemetry-on vs
+    /// telemetry-off rows of the same configuration measure the
+    /// observability overhead.
+    pub telemetry: bool,
     /// Events processed.
     pub events: u64,
     /// Barrier windows executed.
@@ -67,7 +71,8 @@ impl BenchRecord {
     pub fn to_json(&self) -> String {
         format!(
             "{{\"suite\":\"{}\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
-             \"placement\":\"{}\",\"adaptive_window\":{},\"events\":{},\
+             \"placement\":\"{}\",\"adaptive_window\":{},\"telemetry\":{},\
+             \"events\":{},\
              \"windows\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.1}}}",
             escape(&self.suite),
             escape(&self.arch),
@@ -75,6 +80,7 @@ impl BenchRecord {
             self.shards,
             escape(&self.placement),
             self.adaptive_window,
+            self.telemetry,
             self.events,
             self.windows,
             self.wall_ms,
@@ -150,6 +156,7 @@ mod tests {
             shards: 8,
             placement: "round-robin".into(),
             adaptive_window: true,
+            telemetry: false,
             events,
             windows: 42,
             wall_ms: 12.5,

@@ -37,6 +37,7 @@ use fed_membership::FullMembership;
 use fed_metrics::delivery::DeliveryAudit;
 use fed_pubsub::{Event, EventId, TopicId, TopicSpace};
 use fed_sim::{NodeId, Protocol, SimDuration, SimTime, Simulation, TransportStats};
+use fed_telemetry::{ShardCollector, TelemetrySeries};
 use fed_util::rng::Xoshiro256StarStar;
 use fed_workload::churn::ChurnAction;
 use fed_workload::interest::InterestProfile;
@@ -453,6 +454,11 @@ pub struct ArchOutcome {
     /// Shards actually in use (the engine clamps to `1..=n`; always 1 on
     /// the sequential engine).
     pub shards: usize,
+    /// Streaming telemetry series, when the spec enabled it.
+    ///
+    /// Byte-identical across engines and shard counts for the same spec
+    /// (asserted by the `telemetry_parity` integration suite).
+    pub telemetry: Option<TelemetrySeries>,
 }
 
 impl ArchOutcome {
@@ -601,22 +607,66 @@ where
         EngineKind::Sequential => {
             let mut sim = Simulation::new(spec.n, spec.net.clone(), spec.seed, factory);
             schedule_workload(&mut sim, &materialized);
-            sim.run_until(horizon);
+            let telemetry = match spec.telemetry {
+                Some(t) => {
+                    let mut collector = ShardCollector::sequential(t, spec.n);
+                    sim.run_until_probed(horizon, &mut collector);
+                    Some(collector.finalize(horizon))
+                }
+                None => {
+                    sim.run_until(horizon);
+                    None
+                }
+            };
             let stats = sim.transport_stats_all().to_vec();
             let events = sim.events_processed();
-            collect(spec, materialized, sim.nodes(), stats, events, 0, 1)
+            collect(
+                spec,
+                materialized,
+                sim.nodes(),
+                stats,
+                events,
+                0,
+                1,
+                telemetry,
+            )
         }
         EngineKind::Cluster => {
+            let map = shard_map_for(spec, &materialized);
+            // One shard-local collector per worker, built from the same
+            // owned lists the kernels get; merged (exactly) after the
+            // run into the global series.
+            let mut collectors: Option<Vec<ShardCollector>> = spec.telemetry.map(|t| {
+                (0..map.num_shards())
+                    .map(|s| ShardCollector::new(t, spec.n, map.owned(s)))
+                    .collect()
+            });
             let mut sim = ShardedSimulation::with_scheduler(
                 spec.n,
                 spec.net.clone(),
                 spec.seed,
-                shard_map_for(spec, &materialized),
+                map,
                 window_policy_for(spec),
                 factory,
             );
             schedule_workload(&mut sim, &materialized);
-            sim.run_until(horizon);
+            let telemetry = match collectors.as_mut() {
+                Some(cs) => {
+                    sim.run_until_probed(horizon, cs);
+                    let mut merged: Option<TelemetrySeries> = None;
+                    for series in cs.drain(..).map(|c| c.finalize(horizon)) {
+                        match merged.as_mut() {
+                            None => merged = Some(series),
+                            Some(m) => m.merge(&series),
+                        }
+                    }
+                    merged
+                }
+                None => {
+                    sim.run_until(horizon);
+                    None
+                }
+            };
             let stats = sim.transport_stats_all();
             let events = sim.events_processed();
             let windows = sim.windows();
@@ -629,11 +679,13 @@ where
                 events,
                 windows,
                 shards,
+                telemetry,
             )
         }
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn collect<'a, P>(
     spec: &ScenarioSpec,
     materialized: MaterializedScenario,
@@ -642,6 +694,7 @@ fn collect<'a, P>(
     events: u64,
     windows: u64,
     shards: usize,
+    telemetry: Option<TelemetrySeries>,
 ) -> ArchOutcome
 where
     P: ArchProtocol + 'a,
@@ -662,6 +715,7 @@ where
         events,
         windows,
         shards,
+        telemetry,
     }
 }
 

@@ -16,6 +16,7 @@
 //! | E-BIAS | [`bias`] | §5.2 Q6 — audits against lying peers |
 //! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
 //! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
+//! | E-TIMESERIES | [`timeseries`] | per-window fairness/latency transients under churn + flash crowd (beyond the paper) |
 //!
 //! Every experiment is a plain function taking `(n, seed)` and returning a
 //! result struct with one or more [`fed_metrics::table::Table`]s; the
@@ -38,11 +39,23 @@ pub mod harness;
 pub mod robust;
 pub mod scale;
 pub mod subs;
+pub mod timeseries;
 
 /// The canonical experiment ids in DESIGN.md order.
 pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1", "fig2", "fig3", "fig4", "arch", "churn", "subs", "conv", "robust", "bias", "ablation",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "arch",
+    "churn",
+    "subs",
+    "conv",
+    "robust",
+    "bias",
+    "ablation",
     "scale",
+    "timeseries",
 ];
 
 /// Runs one experiment by id at a default size, printing its tables.
@@ -113,6 +126,15 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
                     bench_json::BENCH_PATH
                 ),
                 Err(e) => eprintln!("could not write {}: {e}", bench_json::BENCH_PATH),
+            }
+        }
+        "timeseries" => {
+            let r = timeseries::run(256, 4, seed);
+            println!("{}", r.table);
+            assert!(r.identical, "telemetry series diverged between the engines");
+            match timeseries::write_timeseries_json(timeseries::BENCH_TIMESERIES_PATH, &r.json) {
+                Ok(()) => eprintln!("wrote {}", timeseries::BENCH_TIMESERIES_PATH),
+                Err(e) => eprintln!("could not write {}: {e}", timeseries::BENCH_TIMESERIES_PATH),
             }
         }
         other => return run_smoke(other, seed),

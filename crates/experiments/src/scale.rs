@@ -1,8 +1,8 @@
 //! E-SCALE — sharded runtime scaling, across architectures.
 //!
 //! Runs the identical scenario on the `fed-cluster` sharded runtime at
-//! increasing shard counts — for fair gossip *and* the four structured
-//! baselines (broker, Scribe, DKS, SplitStream) — and reports wall-clock
+//! increasing shard counts — for fair gossip *and* every structured
+//! baseline (broker, Scribe, DKS, DAM, SplitStream) — and reports wall-clock
 //! time, event throughput, barrier-window count and the
 //! fairness/reliability metrics. Because the sharded runtime is
 //! bit-for-bit deterministic, every row of one architecture must show the
@@ -84,6 +84,7 @@ pub fn scale_spec(n: usize, seed: u64) -> ScenarioSpec {
         topic_zipf_s: 1.0,
         payload_bytes: 64,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     spec
 }
@@ -142,7 +143,7 @@ pub fn run_arch(arch: Architecture, n: usize, shard_counts: &[usize], seed: u64)
     }
 }
 
-/// Runs the scaling sweep for all five sweep architectures at population
+/// Runs the scaling sweep for every sweep architecture at population
 /// size `n` over `shard_counts`.
 pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
     let mut table = Table::new(
@@ -187,6 +188,7 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
                 shards: p.shards,
                 placement: spec_defaults.placement.name().into(),
                 adaptive_window: spec_defaults.adaptive_window,
+                telemetry: spec_defaults.telemetry.is_some(),
                 events: p.events,
                 windows: p.windows,
                 wall_ms: p.wall_ms,
@@ -238,6 +240,7 @@ impl SmokePoint {
             shards: self.shards,
             placement: self.placement.name().into(),
             adaptive_window: self.adaptive_window,
+            telemetry: false,
             events: self.events,
             windows: self.windows,
             wall_ms: self.wall_ms,
@@ -275,6 +278,7 @@ pub fn smoke_configured(
         topic_zipf_s: 1.0,
         payload_bytes: 64,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     let start = Instant::now();
     let outcome = run_architecture(&spec, EngineKind::Cluster);

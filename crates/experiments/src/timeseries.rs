@@ -1,0 +1,335 @@
+//! E-TIMESERIES — streaming time-series observability across
+//! architectures.
+//!
+//! Runs every architecture (all seven, DAM included) through the same
+//! bursty scenario — churn plus a flash-crowd publication burst — with
+//! `fed-telemetry` attached, on **both** engines. For each architecture
+//! the experiment:
+//!
+//! * asserts the **series parity gate**: the sequential engine's series
+//!   and the sharded engine's merged per-shard series must be
+//!   byte-identical (the `identical` column);
+//! * prints a per-architecture transient summary (worst-window fairness,
+//!   peak latency tail, population dip) distilled from the full series;
+//! * writes the complete per-window series of every architecture to
+//!   [`BENCH_TIMESERIES_PATH`], the machine-readable artifact tracked
+//!   across PRs.
+//!
+//! This is the observability layer the end-of-run ledger snapshots
+//! cannot provide: aggregate fairness can look fine while the flash
+//! crowd concentrates forwarding load on interior nodes for a few
+//! hundred milliseconds — exactly what the per-window Jain/Gini series
+//! exposes.
+
+use crate::harness::{run_architecture, EngineKind};
+use fed_metrics::table::{fmt_f64, Table};
+use fed_sim::{SimDuration, SimTime};
+use fed_telemetry::{TelemetrySeries, TelemetrySpec, WindowRow};
+use fed_workload::churn::ChurnPlan;
+use fed_workload::pubs::{FlashCrowd, PubPlan};
+use fed_workload::scenario::{Architecture, ScenarioSpec};
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Default output path of the series artifact, relative to the
+/// invocation directory.
+pub const BENCH_TIMESERIES_PATH: &str = "BENCH_timeseries.json";
+
+/// The bursty scenario the experiment samples: steady publishing for
+/// three seconds, then a flash crowd (hot-topic Zipf shift at 4 s with a
+/// 4x rate), under session churn, telemetry at 500 ms windows.
+pub fn timeseries_spec(arch: Architecture, n: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::standard(arch, n, seed);
+    spec.plan = PubPlan {
+        rate_per_sec: 20.0,
+        duration: SimTime::from_secs(6),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+        flash: Some(FlashCrowd {
+            at: SimTime::from_secs(4),
+            topic_zipf_s: 3.0,
+            rate_factor: 4.0,
+        }),
+    };
+    spec.churn = Some(ChurnPlan {
+        mean_session_secs: 5.0,
+        mean_downtime_secs: 2.0,
+        churning_fraction: 0.15,
+        duration: SimTime::from_secs(6),
+        warmup: SimTime::from_secs(1),
+    });
+    spec.telemetry = Some(TelemetrySpec::default().with_window(SimDuration::from_millis(500)));
+    spec
+}
+
+/// One architecture's sampled series plus its parity verdict.
+#[derive(Debug, Clone)]
+pub struct ArchSeries {
+    /// The architecture.
+    pub arch: Architecture,
+    /// Whether the sequential and sharded series are byte-identical
+    /// (must be `true`).
+    pub identical: bool,
+    /// The (shared) series, from the sharded run.
+    pub series: TelemetrySeries,
+}
+
+impl ArchSeries {
+    /// Worst (minimum) per-window Jain index over *loaded* windows
+    /// (1.0 when the series never carried load).
+    pub fn worst_jain(&self) -> f64 {
+        let worst = self
+            .active_rows()
+            .map(|r| r.jain)
+            .fold(f64::INFINITY, f64::min);
+        if worst.is_finite() {
+            worst
+        } else {
+            1.0
+        }
+    }
+
+    /// Peak (maximum) per-window Gini over *loaded* windows.
+    pub fn peak_gini(&self) -> f64 {
+        self.active_rows().map(|r| r.gini).fold(0.0, f64::max)
+    }
+
+    /// Peak p99 scheduled delivery latency (ms) over the run.
+    pub fn peak_p99_ms(&self) -> f64 {
+        self.series
+            .rows()
+            .iter()
+            .filter_map(|r| r.latency_p99_ms)
+            .fold(0.0, f64::max)
+    }
+
+    /// Peak single-node forward load in any window.
+    pub fn peak_node_load(&self) -> u64 {
+        self.series
+            .windows
+            .iter()
+            .map(|w| w.load_max)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Minimum alive population over windows that sampled the population.
+    pub fn min_alive(&self) -> u64 {
+        self.series
+            .windows
+            .iter()
+            .filter(|w| w.alive + w.crashed > 0)
+            .map(|w| w.alive)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Windows carrying real load: at least 10 % of the peak window's
+    /// sends. A handful of drain-tail stragglers (5 sends over 250
+    /// nodes) would otherwise post a near-zero Jain and make every
+    /// protocol's worst-window summary read like a hotspot — the
+    /// fairness summaries must describe the system under load, not the
+    /// silence after it.
+    fn active_rows(&self) -> impl Iterator<Item = WindowRow> + '_ {
+        let peak = self
+            .series
+            .windows
+            .iter()
+            .map(|w| w.msgs_sent)
+            .max()
+            .unwrap_or(0);
+        let floor = (peak / 10).max(1);
+        self.series
+            .rows()
+            .into_iter()
+            .filter(move |r| r.msgs_sent >= floor)
+    }
+}
+
+/// Result of the E-TIMESERIES experiment.
+#[derive(Debug)]
+pub struct TimeseriesResult {
+    /// Per-architecture transient summary.
+    pub table: Table,
+    /// Sampled series, in [`Architecture::ALL`] order.
+    pub archs: Vec<ArchSeries>,
+    /// Whether every architecture passed the series parity gate.
+    pub identical: bool,
+    /// The rendered `BENCH_timeseries.json` document.
+    pub json: String,
+}
+
+/// Runs the experiment at population `n`, comparing the sequential
+/// engine against the sharded engine at `shards` shards.
+pub fn run(n: usize, shards: usize, seed: u64) -> TimeseriesResult {
+    let mut table = Table::new(
+        format!("E-TIMESERIES: per-window transients (n={n}, shards={shards}, 500ms windows)"),
+        &[
+            "arch",
+            "windows",
+            "jain_min",
+            "gini_peak",
+            "p99_ms_peak",
+            "node_load_peak",
+            "alive_min",
+            "identical",
+        ],
+    );
+    let mut archs = Vec::new();
+    let mut identical = true;
+    for arch in Architecture::ALL {
+        let spec = timeseries_spec(arch, n, seed);
+        let sequential = run_architecture(&spec, EngineKind::Sequential);
+        let cluster = run_architecture(&spec.clone().with_shards(shards), EngineKind::Cluster);
+        let series_match = sequential.telemetry == cluster.telemetry;
+        identical &= series_match;
+        let entry = ArchSeries {
+            arch,
+            identical: series_match,
+            series: cluster.telemetry.expect("spec enables telemetry"),
+        };
+        table.row_owned(vec![
+            arch.name().to_string(),
+            entry.series.windows.len().to_string(),
+            fmt_f64(entry.worst_jain()),
+            fmt_f64(entry.peak_gini()),
+            fmt_f64(entry.peak_p99_ms()),
+            entry.peak_node_load().to_string(),
+            entry.min_alive().to_string(),
+            series_match.to_string(),
+        ]);
+        archs.push(entry);
+    }
+    let json = render_json(n, shards, seed, &archs);
+    TimeseriesResult {
+        table,
+        archs,
+        identical,
+        json,
+    }
+}
+
+/// Formats one JSON number, mapping non-finite values to `null`.
+fn jnum(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn jopt(x: Option<f64>) -> String {
+    match x {
+        Some(v) => jnum(v),
+        None => "null".into(),
+    }
+}
+
+/// Renders the full document: one object per architecture with its
+/// complete per-window series.
+fn render_json(n: usize, shards: usize, seed: u64, archs: &[ArchSeries]) -> String {
+    let mut out = String::from("[\n");
+    for (ai, a) in archs.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {{\"suite\":\"timeseries\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
+             \"seed\":{},\"window_us\":{},\"identical\":{},\"series\":[",
+            a.arch.name(),
+            n,
+            shards,
+            seed,
+            a.series.spec.window.as_micros(),
+            a.identical,
+        );
+        let rows = a.series.rows();
+        for (i, r) in rows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"w\":{},\"t_ms\":{},\"events\":{},\"sent\":{},\"recv\":{},\
+                 \"lost\":{},\"bytes_sent\":{},\"alive\":{},\"crashed\":{},\
+                 \"load_mean\":{},\"jain\":{},\"gini\":{},\"max_min\":{},\
+                 \"lat_p50_ms\":{},\"lat_p95_ms\":{},\"lat_p99_ms\":{}}}{}",
+                r.index,
+                r.start.as_millis(),
+                r.events,
+                r.msgs_sent,
+                r.msgs_received,
+                r.msgs_lost,
+                r.bytes_sent,
+                r.alive,
+                r.crashed,
+                jnum(r.load_mean),
+                jnum(r.jain),
+                jnum(r.gini),
+                jnum(r.max_min),
+                jopt(r.latency_p50_ms),
+                jopt(r.latency_p95_ms),
+                jopt(r.latency_p99_ms),
+                if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        let _ = writeln!(out, "  ]}}{}", if ai + 1 < archs.len() { "," } else { "" });
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Writes the rendered document to `path`, replacing the file (the
+/// artifact is regenerated whole every run).
+pub fn write_timeseries_json(path: impl AsRef<Path>, json: &str) -> io::Result<()> {
+    fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One fast architecture end to end: parity gate holds, the series
+    /// shows the flash crowd, and the JSON is well-formed-ish.
+    #[test]
+    fn timeseries_gates_parity_and_captures_the_burst() {
+        let spec = timeseries_spec(Architecture::FairGossip, 48, 7);
+        let sequential = run_architecture(&spec, EngineKind::Sequential);
+        let cluster = run_architecture(&spec.clone().with_shards(3), EngineKind::Cluster);
+        assert_eq!(
+            sequential.telemetry, cluster.telemetry,
+            "series parity must hold at 3 shards"
+        );
+        let series = cluster.telemetry.expect("telemetry enabled");
+        // Flash crowd at 4s with 4x rate: the busiest post-burst window
+        // must clearly out-send the *settled* steady state (2-4s —
+        // skipping the subscription-flood transient right after warmup).
+        let sent_at = |ms: u64| series.windows[(ms / 500) as usize].msgs_sent;
+        let steady_peak = (2_000..4_000).step_by(500).map(sent_at).max().unwrap();
+        let burst_peak = (4_000..7_000).step_by(500).map(sent_at).max().unwrap();
+        assert!(
+            burst_peak > steady_peak * 3 / 2,
+            "burst ({burst_peak}) must exceed the settled steady peak ({steady_peak}) by 50%"
+        );
+        // Churn shows up in the population series.
+        assert!(
+            series.windows.iter().any(|w| w.crashed > 0),
+            "churn must dent the live population"
+        );
+    }
+
+    #[test]
+    fn json_document_renders_every_architecture() {
+        // Tiny run: the document structure matters here, not the data.
+        let r = run(24, 2, 11);
+        assert!(r.identical, "parity gate failed");
+        assert_eq!(r.archs.len(), Architecture::ALL.len());
+        for arch in Architecture::ALL {
+            assert!(
+                r.json.contains(&format!("\"arch\":\"{}\"", arch.name())),
+                "missing {arch} in JSON"
+            );
+        }
+        assert_eq!(r.json.matches("\"suite\":\"timeseries\"").count(), 7);
+        assert!(!r.json.contains("inf"), "non-finite floats must be null");
+        assert!(!r.json.contains("NaN"), "non-finite floats must be null");
+    }
+}

@@ -36,6 +36,7 @@ fn spec(n: usize) -> ScenarioSpec {
         topic_zipf_s: 1.0,
         payload_bytes: 64,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     spec
 }
@@ -121,6 +122,7 @@ fn baseline_spec(arch: Architecture, n: usize) -> ScenarioSpec {
         topic_zipf_s: 1.0,
         payload_bytes: 64,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     spec
 }

@@ -27,6 +27,7 @@ fn small_spec(arch: Architecture, n: usize, seed: u64, churn: bool) -> ScenarioS
         topic_zipf_s: 1.0,
         payload_bytes: 32,
         warmup: SimTime::from_millis(500),
+        flash: None,
     };
     if churn {
         spec.churn = Some(ChurnPlan {

@@ -8,7 +8,9 @@
 //! `fed-cluster` runtime executes the same order and produces bit-identical
 //! results.
 
-use crate::exec::{seed_streams, EventKey, EventKind, EventQueue, Kernel, EXTERNAL_SRC};
+use crate::exec::{
+    reborrow, seed_streams, EventKey, EventKind, EventQueue, Kernel, Probe, EXTERNAL_SRC,
+};
 use crate::network::NetworkModel;
 use crate::protocol::{NodeId, Protocol};
 use crate::time::{SimDuration, SimTime};
@@ -227,6 +229,21 @@ impl<P: Protocol> Simulation<P> {
     /// Runs until virtual time reaches `target` (inclusive) or the queue
     /// drains or the event budget is exhausted.
     pub fn run_until(&mut self, target: SimTime) -> RunReport {
+        self.run_probed(target, None)
+    }
+
+    /// [`Simulation::run_until`] with a telemetry [`Probe`] attached: the
+    /// probe observes every dispatched event, send, delivery and liveness
+    /// transition without being able to influence the run.
+    ///
+    /// The probed run produces the bit-identical virtual-world outcome of
+    /// an unprobed one; the plain [`Simulation::run_until`] skips even the
+    /// hook-call overhead (a `None` branch per observation site).
+    pub fn run_until_probed(&mut self, target: SimTime, probe: &mut dyn Probe) -> RunReport {
+        self.run_probed(target, Some(probe))
+    }
+
+    fn run_probed(&mut self, target: SimTime, mut probe: Option<&mut dyn Probe>) -> RunReport {
         let mut events = 0u64;
         loop {
             if self.events_processed >= self.max_events {
@@ -243,8 +260,13 @@ impl<P: Protocol> Simulation<P> {
             self.now = key.time;
             self.events_processed += 1;
             events += 1;
-            self.kernel
-                .dispatch(key, kind, &mut *self.factory, &mut self.queue);
+            self.kernel.dispatch(
+                key,
+                kind,
+                &mut *self.factory,
+                &mut self.queue,
+                reborrow(&mut probe),
+            );
         }
         self.now = self.now.max(target);
         RunReport {
@@ -264,7 +286,7 @@ impl<P: Protocol> Simulation<P> {
         self.now = key.time;
         self.events_processed += 1;
         self.kernel
-            .dispatch(key, kind, &mut *self.factory, &mut self.queue);
+            .dispatch(key, kind, &mut *self.factory, &mut self.queue, None);
         Some(key.time)
     }
 
@@ -555,5 +577,87 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn zero_nodes_rejected() {
         let _ = Simulation::new(0, NetworkModel::default(), 1, |_, _| Echo::default());
+    }
+
+    /// Records every probe observation verbatim.
+    #[derive(Debug, Default)]
+    struct Tape {
+        events: u64,
+        sent: Vec<(SimTime, NodeId, u64, crate::exec::SendFate)>,
+        received: Vec<(SimTime, NodeId, u64)>,
+        liveness: Vec<(SimTime, NodeId, bool)>,
+    }
+
+    impl Probe for Tape {
+        fn on_event(&mut self, _now: SimTime) {
+            self.events += 1;
+        }
+        fn on_send(&mut self, now: SimTime, node: NodeId, bytes: u64, fate: crate::exec::SendFate) {
+            self.sent.push((now, node, bytes, fate));
+        }
+        fn on_receive(&mut self, now: SimTime, node: NodeId, bytes: u64) {
+            self.received.push((now, node, bytes));
+        }
+        fn on_liveness(&mut self, now: SimTime, node: NodeId, alive: bool) {
+            self.liveness.push((now, node, alive));
+        }
+    }
+
+    /// A probe sees exactly what the transport stats account — and
+    /// attaching one does not perturb the run.
+    #[test]
+    fn probe_matches_transport_stats_and_is_passive() {
+        use crate::exec::SendFate;
+        let drive = |probe: Option<&mut Tape>| {
+            let mut s = sim(3);
+            s.schedule_command(
+                SimTime::from_millis(5),
+                NodeId::new(0),
+                EchoCmd::SendTo(NodeId::new(2), 64),
+            );
+            s.schedule_crash(SimTime::from_millis(30), NodeId::new(1));
+            s.schedule_join(SimTime::from_millis(40), NodeId::new(1));
+            s.schedule_crash(SimTime::from_millis(41), NodeId::new(1)); // real
+            s.schedule_crash(SimTime::from_millis(42), NodeId::new(1)); // no-op
+            match probe {
+                Some(p) => s.run_until_probed(SimTime::from_secs(1), p),
+                None => s.run_until(SimTime::from_secs(1)),
+            };
+            (
+                s.events_processed(),
+                s.transport_stats(NodeId::new(0)),
+                s.transport_stats(NodeId::new(2)),
+            )
+        };
+        let mut tape = Tape::default();
+        let probed = drive(Some(&mut tape));
+        let unprobed = drive(None);
+        assert_eq!(probed, unprobed, "a probe must be purely passive");
+        assert_eq!(tape.events, probed.0, "one on_event per processed event");
+        assert_eq!(
+            tape.sent,
+            vec![(
+                SimTime::from_millis(5),
+                NodeId::new(0),
+                64,
+                SendFate::Delivered {
+                    at: SimTime::from_millis(15)
+                }
+            )]
+        );
+        assert_eq!(
+            tape.received,
+            vec![(SimTime::from_millis(15), NodeId::new(2), 64)]
+        );
+        // Only real transitions fire: crash, join, crash — the duplicate
+        // crash at 42 ms is invisible.
+        assert_eq!(
+            tape.liveness,
+            vec![
+                (SimTime::from_millis(30), NodeId::new(1), false),
+                (SimTime::from_millis(40), NodeId::new(1), true),
+                (SimTime::from_millis(41), NodeId::new(1), false),
+            ]
+        );
     }
 }

@@ -462,6 +462,83 @@ pub trait EffectSink<P: Protocol> {
     fn emit(&mut self, key: EventKey, kind: EventKind<P>);
 }
 
+/// Fate of one message handed to the network, as seen by a [`Probe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendFate {
+    /// The network accepted the message and will deliver it at `at`
+    /// (already floored at [`MIN_NETWORK_LATENCY`]).
+    Delivered {
+        /// The scheduled delivery instant.
+        at: SimTime,
+    },
+    /// The network dropped the message.
+    Lost,
+}
+
+/// Passive observation hooks over the execution substrate.
+///
+/// A probe watches the kernel work without being able to influence it:
+/// every hook receives copies of values the kernel already computed, so
+/// attaching a probe can never perturb the virtual-world outcome. Both
+/// engines thread an *optional* probe through
+/// [`Kernel::dispatch`] — when none is attached the per-event cost is a
+/// skipped `Option` branch, which is what makes telemetry free when
+/// disabled.
+///
+/// On a sharded engine each worker owns its own probe and only observes
+/// the nodes its kernel owns; a probe implementation that wants global
+/// aggregates must therefore be mergeable across shards (see the
+/// `fed-telemetry` crate, the primary implementor).
+///
+/// All hooks default to no-ops so implementors subscribe only to what
+/// they need.
+pub trait Probe {
+    /// One event is about to be dispatched at virtual time `now`.
+    ///
+    /// Fires once per processed event, before any effect of the event —
+    /// matching the engines' `events_processed` accounting exactly.
+    fn on_event(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// Owned node `node` handed a `bytes`-sized message to the network at
+    /// `now` (counted whether or not the network drops it — a lost
+    /// message still cost the sender its bandwidth).
+    fn on_send(&mut self, now: SimTime, node: NodeId, bytes: u64, fate: SendFate) {
+        let _ = (now, node, bytes, fate);
+    }
+
+    /// A `bytes`-sized message was delivered to alive owned node `node`.
+    fn on_receive(&mut self, now: SimTime, node: NodeId, bytes: u64) {
+        let _ = (now, node, bytes);
+    }
+
+    /// Owned node `node` crashed (`alive == false`) or (re)joined
+    /// (`alive == true`). Fires only on actual transitions — duplicate
+    /// crash/join events are no-ops and stay invisible.
+    fn on_liveness(&mut self, now: SimTime, node: NodeId, alive: bool) {
+        let _ = (now, node, alive);
+    }
+}
+
+/// The disabled probe: every hook is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
+/// Reborrows an optional probe for one more use.
+///
+/// `Option::as_deref_mut` cannot shorten the trait-object lifetime of
+/// `&mut dyn Probe` inside a dispatch loop (the `dyn` lifetime is
+/// invariant behind `&mut`), so the engines reborrow explicitly.
+pub(crate) fn reborrow<'a>(probe: &'a mut Option<&mut dyn Probe>) -> Option<&'a mut dyn Probe> {
+    match probe {
+        Some(p) => Some(&mut **p),
+        None => None,
+    }
+}
+
 /// The deterministic random streams of one node.
 #[derive(Debug, Clone)]
 pub struct NodeStreams {
@@ -562,9 +639,12 @@ impl<P: Protocol> Kernel<P> {
             net,
             scratch: Vec::new(),
         };
+        // Time-zero init effects run before any probe can be attached
+        // (both engines attach probes per run call), so they are
+        // consistently unobserved on every engine.
         for i in 0..kernel.owned.len() {
             let id = NodeId::new(kernel.owned[i]);
-            kernel.invoke(id, Invoke::Init, SimTime::ZERO, sink);
+            kernel.invoke(id, Invoke::Init, SimTime::ZERO, sink, None);
         }
         kernel
     }
@@ -648,7 +728,8 @@ impl<P: Protocol> Kernel<P> {
 
     /// Executes one event addressed to an owned node, emitting any produced
     /// events into `sink`. `factory` rebuilds protocol state on
-    /// [`EventKind::Join`].
+    /// [`EventKind::Join`]; `probe` (when attached) observes the event and
+    /// its effects without being able to influence them.
     ///
     /// Events for nodes this kernel does not own are ignored (the router
     /// upstream is responsible for addressing).
@@ -658,8 +739,12 @@ impl<P: Protocol> Kernel<P> {
         kind: EventKind<P>,
         factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
         sink: &mut dyn EffectSink<P>,
+        mut probe: Option<&mut dyn Probe>,
     ) {
         let now = key.time;
+        if let Some(p) = reborrow(&mut probe) {
+            p.on_event(now);
+        }
         match kind {
             EventKind::Deliver { to, from, msg } => {
                 let Some(li) = self.local_of(to) else { return };
@@ -669,7 +754,10 @@ impl<P: Protocol> Kernel<P> {
                 let size = P::message_size(&msg) as u64;
                 self.stats[li].msgs_received += 1;
                 self.stats[li].bytes_received += size;
-                self.invoke(to, Invoke::Message { from, msg }, now, sink);
+                if let Some(p) = reborrow(&mut probe) {
+                    p.on_receive(now, to, size);
+                }
+                self.invoke(to, Invoke::Message { from, msg }, now, sink, probe);
             }
             EventKind::Timer {
                 node,
@@ -682,7 +770,7 @@ impl<P: Protocol> Kernel<P> {
                 if !self.slots[li].alive || self.slots[li].incarnation != incarnation {
                     return; // stale timer from a previous incarnation
                 }
-                self.invoke(node, Invoke::Timer(token), now, sink);
+                self.invoke(node, Invoke::Timer(token), now, sink, probe);
             }
             EventKind::Command { node, cmd } => {
                 let Some(li) = self.local_of(node) else {
@@ -691,7 +779,7 @@ impl<P: Protocol> Kernel<P> {
                 if !self.slots[li].alive {
                     return;
                 }
-                self.invoke(node, Invoke::Command(cmd), now, sink);
+                self.invoke(node, Invoke::Command(cmd), now, sink, probe);
             }
             EventKind::Crash(node) => {
                 let Some(li) = self.local_of(node) else {
@@ -703,6 +791,9 @@ impl<P: Protocol> Kernel<P> {
                 self.slots[li].alive = false;
                 if let Some(state) = self.slots[li].state.as_mut() {
                     state.on_crash(now);
+                }
+                if let Some(p) = reborrow(&mut probe) {
+                    p.on_liveness(now, node, false);
                 }
             }
             EventKind::Join(node) => {
@@ -717,7 +808,10 @@ impl<P: Protocol> Kernel<P> {
                 slot.incarnation = slot.incarnation.wrapping_add(1);
                 let state = factory(node, &mut slot.rng);
                 slot.state = Some(state);
-                self.invoke(node, Invoke::Init, now, sink);
+                if let Some(p) = reborrow(&mut probe) {
+                    p.on_liveness(now, node, true);
+                }
+                self.invoke(node, Invoke::Init, now, sink, probe);
             }
         }
     }
@@ -728,6 +822,7 @@ impl<P: Protocol> Kernel<P> {
         what: Invoke<P>,
         now: SimTime,
         sink: &mut dyn EffectSink<P>,
+        mut probe: Option<&mut dyn Probe>,
     ) {
         debug_assert!(self.scratch.is_empty());
         let Some(li) = self.local_of(node) else {
@@ -769,6 +864,9 @@ impl<P: Protocol> Kernel<P> {
                     {
                         Some(latency) => {
                             let at = now + latency.max(MIN_NETWORK_LATENCY);
+                            if let Some(p) = reborrow(&mut probe) {
+                                p.on_send(now, node, size, SendFate::Delivered { at });
+                            }
                             let seq = slot.next_seq;
                             slot.next_seq += 1;
                             sink.emit(
@@ -786,6 +884,9 @@ impl<P: Protocol> Kernel<P> {
                         }
                         None => {
                             self.stats[li].msgs_lost += 1;
+                            if let Some(p) = reborrow(&mut probe) {
+                                p.on_send(now, node, size, SendFate::Lost);
+                            }
                         }
                     }
                 }
@@ -1053,6 +1154,7 @@ mod tests {
         let heavy = NetworkModel::reliable(LatencyModel::LogNormalMs {
             median_ms: 10.0,
             sigma: 1.0,
+            floor: SimDuration::ZERO,
         });
         assert_eq!(heavy.min_latency(), MIN_NETWORK_LATENCY);
     }

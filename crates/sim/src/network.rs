@@ -24,11 +24,23 @@ pub enum LatencyModel {
     },
     /// Log-normal with the given median (milliseconds) and shape — the
     /// classic heavy-tailed WAN model.
+    ///
+    /// The optional `floor` clamps every sample from below. A log-normal
+    /// has no positive infimum, so without a floor the model's
+    /// [`lower_bound`](LatencyModel::lower_bound) is zero and a sharded
+    /// engine falls back to the 1 µs delivery floor as its conservative
+    /// lookahead — collapsing barrier windows to microseconds. Real WAN
+    /// paths have a physical propagation minimum; setting `floor` to it
+    /// restores millisecond-wide windows at identical fidelity above the
+    /// floor.
     LogNormalMs {
         /// Median latency in milliseconds.
         median_ms: f64,
         /// Shape parameter of the underlying normal (0 = constant).
         sigma: f64,
+        /// Minimum latency; samples below are clamped up to it.
+        /// [`SimDuration::ZERO`] means no floor.
+        floor: SimDuration,
     },
 }
 
@@ -37,14 +49,15 @@ impl LatencyModel {
     ///
     /// Used by sharded runtimes as the conservative lookahead: no message
     /// can arrive sooner than `send_time + lower_bound()`. Heavy-tailed
-    /// models without a positive infimum return [`SimDuration::ZERO`]; the
+    /// models without a positive infimum (an unfloored
+    /// [`LatencyModel::LogNormalMs`]) return [`SimDuration::ZERO`]; the
     /// engine's 1 µs delivery floor (see
     /// [`crate::exec::MIN_NETWORK_LATENCY`]) still applies on top.
     pub fn lower_bound(&self) -> SimDuration {
         match self {
             LatencyModel::Constant(d) => *d,
             LatencyModel::Uniform { lo, .. } => *lo,
-            LatencyModel::LogNormalMs { .. } => SimDuration::ZERO,
+            LatencyModel::LogNormalMs { floor, .. } => *floor,
         }
     }
 
@@ -68,9 +81,13 @@ impl LatencyModel {
                     Ok(SimDuration::from_micros(a + rng.range_u64(b - a + 1)))
                 }
             }
-            LatencyModel::LogNormalMs { median_ms, sigma } => {
+            LatencyModel::LogNormalMs {
+                median_ms,
+                sigma,
+                floor,
+            } => {
                 let ln = LogNormal::from_median(*median_ms, *sigma)?;
-                Ok(SimDuration::from_millis_f64(ln.sample(rng)))
+                Ok(SimDuration::from_millis_f64(ln.sample(rng)).max(*floor))
             }
         }
     }
@@ -228,11 +245,37 @@ mod tests {
         let m = LatencyModel::LogNormalMs {
             median_ms: 50.0,
             sigma: 0.5,
+            floor: SimDuration::ZERO,
         };
         let mut r = rng();
         for _ in 0..1000 {
             assert!(m.sample(&mut r).unwrap() > SimDuration::ZERO);
         }
+    }
+
+    #[test]
+    fn lognormal_floor_clamps_samples_and_sets_lower_bound() {
+        let floor = SimDuration::from_millis(5);
+        let m = LatencyModel::LogNormalMs {
+            median_ms: 6.0,
+            sigma: 2.0, // heavy spread: many raw samples below the floor
+            floor,
+        };
+        assert_eq!(m.lower_bound(), floor, "floor is the conservative bound");
+        let mut r = rng();
+        for _ in 0..5000 {
+            assert!(m.sample(&mut r).unwrap() >= floor);
+        }
+        // A floored WAN model gives the sharded engine a real lookahead.
+        let net = NetworkModel::reliable(m);
+        assert_eq!(net.min_latency(), floor);
+        // Without a floor the engine minimum applies.
+        let bare = NetworkModel::reliable(LatencyModel::LogNormalMs {
+            median_ms: 6.0,
+            sigma: 2.0,
+            floor: SimDuration::ZERO,
+        });
+        assert_eq!(bare.min_latency(), crate::exec::MIN_NETWORK_LATENCY);
     }
 
     #[test]

@@ -91,7 +91,7 @@ proptest! {
     ) {
         let build = |seed: u64| {
             let net = NetworkModel::lossy(
-                LatencyModel::LogNormalMs { median_ms: 20.0, sigma: 0.5 },
+                LatencyModel::LogNormalMs { median_ms: 20.0, sigma: 0.5, floor: SimDuration::ZERO },
                 0.2,
             );
             let mut sim = Simulation::new(6, net, seed, |_, _| Recorder::default());

@@ -132,6 +132,40 @@ impl Histogram {
         None // inside overflow region
     }
 
+    /// Lower bound of the histogram's range.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Exclusive upper bound of the histogram's range.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Merges another histogram into this one, bucket by bucket.
+    ///
+    /// Merging is exact (counts are integers), associative and
+    /// commutative, which is what makes per-shard histograms usable as
+    /// streaming sketches: shards record locally and the merged result is
+    /// identical to a single histogram that saw every observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidHistogram`] when the two histograms disagree on
+    /// bounds or bucket count.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), InvalidHistogram> {
+        if self.lo != other.lo || self.hi != other.hi || self.buckets.len() != other.buckets.len() {
+            return Err(InvalidHistogram);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        Ok(())
+    }
+
     /// Renders a compact ASCII bar chart (one line per bucket) for reports.
     pub fn render(&self, width: usize) -> String {
         let max = self.buckets.iter().copied().max().unwrap_or(0).max(1);
@@ -204,6 +238,47 @@ mod tests {
         assert!((med - 45.0).abs() <= 10.0, "median~{med}");
         assert!(h.quantile(1.0).is_some());
         assert!(Histogram::new(0.0, 1.0, 2).unwrap().quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn merge_is_exact_and_geometry_checked() {
+        let mut a = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut whole = Histogram::new(0.0, 10.0, 5).unwrap();
+        for (i, x) in [0.5, 3.0, 9.9, -1.0, 42.0, 5.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a.record(*x);
+            } else {
+                b.record(*x);
+            }
+            whole.record(*x);
+        }
+        a.merge(&b).unwrap();
+        assert_eq!(a, whole, "merged shards must equal the single histogram");
+        // Merging is commutative: b + a gives the same result.
+        let mut a2 = Histogram::new(0.0, 10.0, 5).unwrap();
+        let mut b2 = Histogram::new(0.0, 10.0, 5).unwrap();
+        for (i, x) in [0.5, 3.0, 9.9, -1.0, 42.0, 5.0].iter().enumerate() {
+            if i % 2 == 0 {
+                a2.record(*x);
+            } else {
+                b2.record(*x);
+            }
+        }
+        b2.merge(&a2).unwrap();
+        assert_eq!(b2, whole);
+        // Geometry mismatches are rejected.
+        let mut narrow = Histogram::new(0.0, 5.0, 5).unwrap();
+        assert!(narrow.merge(&whole).is_err());
+        let mut coarse = Histogram::new(0.0, 10.0, 2).unwrap();
+        assert!(coarse.merge(&whole).is_err());
+    }
+
+    #[test]
+    fn bounds_accessors() {
+        let h = Histogram::new(-1.0, 3.0, 4).unwrap();
+        assert_eq!(h.lo(), -1.0);
+        assert_eq!(h.hi(), 3.0);
     }
 
     #[test]

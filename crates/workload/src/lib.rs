@@ -30,5 +30,5 @@ pub mod scenario;
 
 pub use churn::{generate_churn, ChurnAction, ChurnEvent, ChurnPlan};
 pub use interest::{Appetite, InterestProfile};
-pub use pubs::{generate_schedule, regular_schedule, PubPlan, Publication};
+pub use pubs::{generate_schedule, regular_schedule, FlashCrowd, PubPlan, Publication};
 pub use scenario::{Architecture, MaterializedScenario, Placement, ScenarioSpec};

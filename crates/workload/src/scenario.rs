@@ -14,6 +14,7 @@ use crate::interest::{Appetite, InterestProfile};
 use crate::pubs::{generate_schedule, PubPlan, Publication};
 use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
+use fed_telemetry::TelemetrySpec;
 use fed_util::dist::InvalidDistribution;
 use fed_util::rng::{Rng64, Xoshiro256StarStar};
 
@@ -54,13 +55,14 @@ impl Architecture {
         Architecture::SplitStream,
     ];
 
-    /// The five-system scaling sweep: fair gossip plus the four
-    /// structured baselines the paper compares against.
-    pub const SWEEP: [Architecture; 5] = [
+    /// The scaling sweep: fair gossip plus every structured baseline the
+    /// paper compares against (broker, Scribe, DKS, DAM, SplitStream).
+    pub const SWEEP: [Architecture; 6] = [
         Architecture::FairGossip,
         Architecture::Broker,
         Architecture::Scribe,
         Architecture::Dks,
+        Architecture::Dam,
         Architecture::SplitStream,
     ];
 
@@ -163,6 +165,11 @@ pub struct ScenarioSpec {
     pub plan: PubPlan,
     /// Optional churn trace parameters.
     pub churn: Option<ChurnPlan>,
+    /// Optional streaming telemetry: when set, the harness attaches
+    /// `fed-telemetry` collectors and the run emits a per-window time
+    /// series. Observation only — the virtual-world outcome is
+    /// bit-identical with or without it.
+    pub telemetry: Option<TelemetrySpec>,
     /// Network model.
     pub net: NetworkModel,
     /// Master seed fixing the interest profile, the publication schedule,
@@ -207,8 +214,10 @@ impl ScenarioSpec {
                 topic_zipf_s: 1.0,
                 payload_bytes: 64,
                 warmup: SimTime::from_secs(2),
+                flash: None,
             },
             churn: None,
+            telemetry: None,
             net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
             seed,
         }
@@ -252,6 +261,13 @@ impl ScenarioSpec {
     /// Returns the spec with a different seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns the spec with streaming telemetry attached (observation
+    /// only; never changes the outcome).
+    pub fn with_telemetry(mut self, telemetry: TelemetrySpec) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 

@@ -22,6 +22,9 @@ fn main() {
     let net = NetworkModel::reliable(LatencyModel::LogNormalMs {
         median_ms: 40.0,
         sigma: 0.4,
+        // A physical propagation floor keeps the sharded engine's
+        // conservative lookahead in the millisecond range.
+        floor: SimDuration::from_millis(5),
     });
 
     // Every node runs the fair gossip protocol over a full-membership view.

@@ -14,6 +14,8 @@
 //! |---|---|---|
 //! | [`util`] | `fed-util` | deterministic PRNG, distributions, statistics, fairness indices |
 //! | [`sim`] | `fed-sim` | discrete-event simulator: protocols, virtual time, network models, churn |
+//! | [`cluster`] | `fed-cluster` | sharded multi-threaded runtime, bit-identical to the sequential engine |
+//! | [`telemetry`] | `fed-telemetry` | deterministic streaming time-series observability for both engines |
 //! | [`pubsub`] | `fed-pubsub` | events, topics, filters, the subscription language |
 //! | [`membership`] | `fed-membership` | peer sampling: full oracle and Cyclon views |
 //! | [`dht`] | `fed-dht` | Pastry-like ring for the structured baselines |
@@ -57,6 +59,7 @@
 #![warn(missing_docs)]
 
 pub use fed_baselines as baselines;
+pub use fed_cluster as cluster;
 pub use fed_core as core;
 pub use fed_dht as dht;
 pub use fed_experiments as experiments;
@@ -64,5 +67,6 @@ pub use fed_membership as membership;
 pub use fed_metrics as metrics;
 pub use fed_pubsub as pubsub;
 pub use fed_sim as sim;
+pub use fed_telemetry as telemetry;
 pub use fed_util as util;
 pub use fed_workload as workload;

@@ -33,6 +33,7 @@ fn build(n: usize, cfg: GossipConfig, seed: u64) -> Setup {
         topic_zipf_s: 1.0,
         payload_bytes: 48,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     let schedule = generate_schedule(&mut rng, n, 12, &plan).expect("valid plan");
     let net = NetworkModel::reliable(LatencyModel::Uniform {
@@ -140,6 +141,7 @@ fn free_riders_cannot_crash_reliability() {
         topic_zipf_s: 0.5,
         payload_bytes: 32,
         warmup: SimTime::from_secs(1),
+        flash: None,
     };
     let schedule = generate_schedule(&mut rng, n, 12, &plan).expect("valid");
     let cfg = GossipConfig::fair(8, 16, SimDuration::from_millis(100));
