@@ -18,6 +18,40 @@
 //! [`fed_core::gossip::GossipConfig::classic`] — identical code path to the
 //! fair protocol with adaptation switched off, so comparisons isolate the
 //! adaptation itself.
+//!
+//! Every node type implements [`fed_sim::Protocol`], so a baseline runs
+//! on either engine exactly like the core protocol; the experiment
+//! harness's `ArchProtocol` adapter (in `fed-experiments`) drives all of
+//! them through one scheduling path. Shared routing infrastructure (the
+//! DHT of [`scribe`]/[`dks`], the [`splitstream`] forest, the group
+//! tables of [`dks`]/[`dam`]) is built deterministically up front and
+//! handed to every node immutably.
+//!
+//! ## Examples
+//!
+//! A three-node broker system delivering one event to one subscriber:
+//!
+//! ```
+//! use fed_baselines::broker::{BrokerCmd, BrokerNode};
+//! use fed_pubsub::{Event, EventId, TopicId};
+//! use fed_sim::network::NetworkModel;
+//! use fed_sim::{NodeId, SimTime, Simulation};
+//!
+//! let broker = NodeId::new(0);
+//! let mut sim = Simulation::new(3, NetworkModel::default(), 1, move |id, _| {
+//!     BrokerNode::new(id, broker)
+//! });
+//! let topic = TopicId::new(0);
+//! sim.schedule_command(SimTime::ZERO, NodeId::new(1), BrokerCmd::SubscribeTopic(topic));
+//! sim.schedule_command(
+//!     SimTime::from_millis(200),
+//!     NodeId::new(2),
+//!     BrokerCmd::Publish(Event::bare(EventId::new(2, 0), topic)),
+//! );
+//! sim.run_until(SimTime::from_secs(2));
+//! let subscriber = sim.nodes().find(|(id, _)| *id == NodeId::new(1)).unwrap().1;
+//! assert_eq!(subscriber.deliveries().len(), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

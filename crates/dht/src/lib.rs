@@ -12,6 +12,13 @@
 //! fairness accounting); routes have the same prefix-routing structure,
 //! `O(log n)` length and rendezvous placement as Pastry's.
 //!
+//! [`DhtNetwork::build`] bulk-builds every node's routing table from one
+//! ring-sorted index in `O(n log n)` — bit-identical to the per-node
+//! reference construction (asserted by tests) — so 100k-node
+//! Scribe/DKS populations are constructible in milliseconds and can be
+//! shared immutably (`Arc`) across the sharded engine's worker threads
+//! without perturbing determinism.
+//!
 //! ## Examples
 //!
 //! ```

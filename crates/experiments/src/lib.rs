@@ -17,10 +17,21 @@
 //! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
 //! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
 //! | E-TIMESERIES | [`timeseries`] | per-window fairness/latency transients under churn + flash crowd (beyond the paper) |
+//! | RUN / PARITY | [`scenario_run`] | declarative scenario files + cross-engine parity gate (beyond the paper) |
 //!
 //! Every experiment is a plain function taking `(n, seed)` and returning a
 //! result struct with one or more [`fed_metrics::table::Table`]s; the
 //! `fed-experiments` binary runs them by id and prints the tables.
+//!
+//! Beyond the fixed ids, [`scenario_run`] executes **declarative
+//! scenario files** (`run <path.toml>` / `run @name`) and checks them
+//! through the cross-engine parity gate (`parity <target>` /
+//! `parity @all`).
+//!
+//! [`REGISTRY`] is the single source of truth for the id list: the
+//! runner's help text, the default all-experiments sweep and the README's
+//! "Available ids" line (guarded by a test) all derive from it, so a new
+//! experiment cannot silently go missing from any of them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,25 +49,86 @@ pub mod fig4;
 pub mod harness;
 pub mod robust;
 pub mod scale;
+pub mod scenario_run;
 pub mod subs;
 pub mod timeseries;
 
-/// The canonical experiment ids in DESIGN.md order.
-pub const EXPERIMENT_IDS: &[&str] = &[
-    "fig1",
-    "fig2",
-    "fig3",
-    "fig4",
-    "arch",
-    "churn",
-    "subs",
-    "conv",
-    "robust",
-    "bias",
-    "ablation",
-    "scale",
-    "timeseries",
+/// One runnable experiment: its CLI id and a one-line description.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentInfo {
+    /// The CLI id (also the row key in DESIGN.md).
+    pub id: &'static str,
+    /// One-line description shown by `--help`.
+    pub summary: &'static str,
+}
+
+/// The experiment registry, in DESIGN.md order — the single source of
+/// truth for every id listing (CLI help, default sweep, README).
+pub const REGISTRY: &[ExperimentInfo] = &[
+    ExperimentInfo {
+        id: "fig1",
+        summary: "Figure 1 — contribution/benefit ratio equalization",
+    },
+    ExperimentInfo {
+        id: "fig2",
+        summary: "Figure 2 — topic-based filter-weighted accounting",
+    },
+    ExperimentInfo {
+        id: "fig3",
+        summary: "Figure 3 — fanout & message-size modulation",
+    },
+    ExperimentInfo {
+        id: "fig4",
+        summary: "Figure 4 — basic push gossip, epidemic curves",
+    },
+    ExperimentInfo {
+        id: "arch",
+        summary: "§4 — fairness of existing architectures",
+    },
+    ExperimentInfo {
+        id: "churn",
+        summary: "§1/§6 — unfairness-driven churn",
+    },
+    ExperimentInfo {
+        id: "subs",
+        summary: "§5.1 — subscription maintenance cost",
+    },
+    ExperimentInfo {
+        id: "conv",
+        summary: "§5.2 Q1/Q2 — controller convergence",
+    },
+    ExperimentInfo {
+        id: "robust",
+        summary: "§5.2 Q5 — robustness under loss/crash",
+    },
+    ExperimentInfo {
+        id: "bias",
+        summary: "§5.2 Q6 — audits against lying peers",
+    },
+    ExperimentInfo {
+        id: "ablation",
+        summary: "design-choice ablations (correction gain, civic minimum)",
+    },
+    ExperimentInfo {
+        id: "scale",
+        summary: "sharded-runtime scaling sweep with parity gate",
+    },
+    ExperimentInfo {
+        id: "timeseries",
+        summary: "per-window fairness/latency transients (churn + flash crowd)",
+    },
 ];
+
+/// The canonical experiment ids, derived from [`REGISTRY`].
+pub fn experiment_ids() -> impl Iterator<Item = &'static str> {
+    REGISTRY.iter().map(|e| e.id)
+}
+
+/// The ids as one space-separated line (help text, error messages, the
+/// README's "Available ids" sentence).
+pub fn experiment_ids_line() -> String {
+    experiment_ids().collect::<Vec<_>>().join(" ")
+}
 
 /// Runs one experiment by id at a default size, printing its tables.
 ///
@@ -148,7 +220,7 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
 /// placement, adaptive windows), printing a one-line liveness report and
 /// appending a record to `BENCH_cluster.json`. `placement` is a
 /// [`fed_workload::Placement`] name; `window` is `adaptive` or `fixed`.
-/// Not part of [`EXPERIMENT_IDS`], so it never runs in the default
+/// Not part of [`REGISTRY`], so it never runs in the default
 /// all-experiments sweep — CI invokes it explicitly, time-boxed.
 fn run_smoke(id: &str, seed: u64) -> bool {
     let mut parts = id.split(':');
@@ -218,4 +290,83 @@ fn run_smoke(id: &str, seed: u64) -> bool {
     assert!(p.events > 0, "smoke run processed no events");
     assert!(p.deliveries > 0, "smoke run delivered nothing");
     true
+}
+
+/// Executes one scenario file (`run <path.toml>` / `run @name`) and
+/// prints its report tables.
+///
+/// The scenario file is self-contained — its own `seed` applies, not the
+/// runner's `--seed` flag.
+///
+/// # Errors
+///
+/// Returns a message when the target cannot be resolved, read or parsed.
+pub fn run_scenario_target(target: &str) -> Result<(), String> {
+    let path = scenario_run::resolve_target(target);
+    let file = scenario_run::load_file(&path)?;
+    let name = scenario_run::display_name(&path, &file);
+    if let Some(summary) = &file.summary {
+        eprintln!("{name}: {summary}");
+    }
+    let report = scenario_run::run_scenario(&name, &file.spec);
+    println!("{}", report.summary);
+    println!("{}", report.fairness);
+    println!("{}", report.latency);
+    if let Some(t) = &report.telemetry {
+        println!("{t}");
+    }
+    if report.outcome.total_deliveries() == 0 {
+        return Err(format!(
+            "{name}: scenario delivered nothing — no publication reached a subscriber \
+             (check the publication rate/duration against the interest profile)"
+        ));
+    }
+    Ok(())
+}
+
+/// Runs the cross-engine parity gate (`parity <target>` / `parity @all`)
+/// over one scenario file or the whole library, printing one table per
+/// scenario.
+///
+/// # Errors
+///
+/// Returns a message when a target cannot be loaded, or when any
+/// engine/shard combination diverges from the sequential baseline.
+pub fn parity_target(target: &str) -> Result<(), String> {
+    let paths = if target == "@all" {
+        let paths = scenario_run::library()?;
+        if paths.is_empty() {
+            return Err(format!(
+                "scenario library {} holds no .toml files",
+                scenario_run::scenarios_dir().display()
+            ));
+        }
+        paths
+    } else {
+        vec![scenario_run::resolve_target(target)]
+    };
+    let mut failures = Vec::new();
+    for path in &paths {
+        let file = scenario_run::load_file(path)?;
+        let name = scenario_run::display_name(path, &file);
+        let shards = scenario_run::parity_shards_for(&file.spec);
+        let report = scenario_run::parity_gate(&name, &file.spec, &shards);
+        println!("{}", report.table);
+        if !report.identical {
+            failures.push(name);
+        }
+    }
+    if failures.is_empty() {
+        eprintln!(
+            "parity gate passed for {} scenario(s) at shards {:?} plus each file's own count",
+            paths.len(),
+            scenario_run::PARITY_SHARDS
+        );
+        Ok(())
+    } else {
+        Err(format!(
+            "parity gate FAILED for: {} — engines diverged",
+            failures.join(", ")
+        ))
+    }
 }

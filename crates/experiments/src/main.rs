@@ -1,16 +1,50 @@
 //! Command-line experiment runner.
 //!
 //! ```text
-//! fed-experiments            # run every experiment
-//! fed-experiments fig1 arch  # run selected experiments
+//! fed-experiments                      # run every registered experiment
+//! fed-experiments fig1 arch            # run selected experiments
 //! fed-experiments --seed 7 fig1
+//! fed-experiments run scenarios/wan-lognormal.toml
+//! fed-experiments run @flash-crowd-100k
+//! fed-experiments parity @all          # whole-library cross-engine gate
 //! ```
 
 use std::process::ExitCode;
 
+/// One unit of work named on the command line.
+enum Command {
+    /// A registered experiment id (or `smoke:*` pseudo-id).
+    Experiment(String),
+    /// `run <path.toml|@name>` — execute one scenario file.
+    Run(String),
+    /// `parity <path.toml|@name|@all>` — cross-engine parity gate.
+    Parity(String),
+}
+
+fn print_help() {
+    println!("usage: fed-experiments [--seed N] [ids...]");
+    println!("\nexperiments (default: all, in this order):");
+    for e in fed_experiments::REGISTRY {
+        println!("  {:<12} {}", e.id, e.summary);
+    }
+    println!("\nscenario files:");
+    println!("  run <path.toml|@name>       execute one declarative scenario");
+    println!("                              (@name resolves to scenarios/<name>.toml;");
+    println!("                              the file's own seed applies)");
+    println!("  parity <path.toml|@name|@all>");
+    println!(
+        "                              seq-vs-cluster bit-identity gate at shards {:?}",
+        fed_experiments::scenario_run::PARITY_SHARDS
+    );
+    println!("                              plus the file's own shard count");
+    println!("\nlarge-population smoke:");
+    println!("  smoke[:arch[:n[:shards[:placement[:window]]]]]");
+    println!("                              cluster liveness run (default splitstream:100000:8)");
+}
+
 fn main() -> ExitCode {
     let mut seed = 42u64;
-    let mut ids: Vec<String> = Vec::new();
+    let mut commands: Vec<Command> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,31 +56,54 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!(
-                    "usage: fed-experiments [--seed N] [ids...]\navailable ids: {}\n\
-                     plus smoke[:arch[:n[:shards]]] — large-population cluster \
-                     smoke run (default splitstream:100000:8)",
-                    fed_experiments::EXPERIMENT_IDS.join(", ")
-                );
+                print_help();
                 return ExitCode::SUCCESS;
             }
-            other => ids.push(other.to_string()),
+            "run" | "parity" => {
+                let Some(target) = args.next() else {
+                    eprintln!("{arg} requires a target: a scenario .toml path or @name");
+                    return ExitCode::FAILURE;
+                };
+                commands.push(if arg == "run" {
+                    Command::Run(target)
+                } else {
+                    Command::Parity(target)
+                });
+            }
+            other => commands.push(Command::Experiment(other.to_string())),
         }
     }
-    if ids.is_empty() {
-        ids = fed_experiments::EXPERIMENT_IDS
-            .iter()
-            .map(|s| s.to_string())
+    if commands.is_empty() {
+        commands = fed_experiments::experiment_ids()
+            .map(|id| Command::Experiment(id.to_string()))
             .collect();
     }
-    for id in &ids {
-        eprintln!("=== running {id} (seed {seed}) ===");
-        if !fed_experiments::run_by_id(id, seed) {
-            eprintln!(
-                "unknown experiment {id:?}; available: {}",
-                fed_experiments::EXPERIMENT_IDS.join(", ")
-            );
-            return ExitCode::FAILURE;
+    for command in &commands {
+        match command {
+            Command::Experiment(id) => {
+                eprintln!("=== running {id} (seed {seed}) ===");
+                if !fed_experiments::run_by_id(id, seed) {
+                    eprintln!(
+                        "unknown experiment {id:?}; available: {}",
+                        fed_experiments::experiment_ids_line()
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            Command::Run(target) => {
+                eprintln!("=== running scenario {target} ===");
+                if let Err(e) = fed_experiments::run_scenario_target(target) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Command::Parity(target) => {
+                eprintln!("=== parity gate {target} ===");
+                if let Err(e) = fed_experiments::parity_target(target) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
         }
     }
     ExitCode::SUCCESS

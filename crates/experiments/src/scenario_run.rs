@@ -1,0 +1,383 @@
+//! RUN/PARITY — execute declarative scenario files on either engine.
+//!
+//! The `fed-experiments` CLI accepts `run <path.toml>` (or `run @name`,
+//! resolved against the repository's `scenarios/` library) and executes
+//! the file through the architecture-generic harness: the sequential
+//! engine when the file asks for one shard, the sharded cluster
+//! otherwise. The run prints a liveness summary, the fairness tables
+//! (contribution/benefit ratios *and* raw load — the paper's §3
+//! distinction), the delivery-latency percentiles, and — when the file
+//! enables `[telemetry]` — a per-window transient summary.
+//!
+//! `parity <target>` (or `parity @all` for the whole library) is the
+//! determinism gate: the same file runs on the sequential engine and on
+//! the cluster at shard counts {1, 4} plus the file's own shard count
+//! (the configuration `run` actually uses), and every observable — delivery
+//! logs, fairness ledgers, transport statistics, event count and the
+//! telemetry series — must be bit-identical. CI runs `parity @all`
+//! time-boxed, so every scenario in the library is continuously proven
+//! runnable *and* engine-agnostic.
+
+use crate::harness::{run_architecture, ArchOutcome, EngineKind};
+use fed_core::ledger::RatioSpec;
+use fed_metrics::fairness::{contribution_report, ratio_report};
+use fed_metrics::table::{fmt_f64, Table};
+use fed_workload::scenario_file::{parse_scenario, ScenarioFile};
+use fed_workload::ScenarioSpec;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Shard counts the parity gate always sweeps on the cluster engine;
+/// the scenario's own shard count is added on top (see
+/// [`parity_shards_for`]) so the configuration `run` actually uses is
+/// never the one configuration the gate skipped.
+pub const PARITY_SHARDS: &[usize] = &[1, 4];
+
+/// The full parity sweep for a spec: [`PARITY_SHARDS`] plus the spec's
+/// own shard count, deduplicated.
+pub fn parity_shards_for(spec: &ScenarioSpec) -> Vec<usize> {
+    let mut shards = PARITY_SHARDS.to_vec();
+    if !shards.contains(&spec.shards) {
+        shards.push(spec.shards);
+    }
+    shards
+}
+
+/// Locates the curated scenario library.
+///
+/// Prefers `scenarios/` under the current directory (the normal case:
+/// the runner invoked from the repository root), falling back to the
+/// path relative to this crate's manifest so tests and `cargo run` from
+/// a subdirectory behave identically.
+pub fn scenarios_dir() -> PathBuf {
+    let local = PathBuf::from("scenarios");
+    if local.is_dir() {
+        return local;
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../scenarios")
+        .to_path_buf()
+}
+
+/// Resolves a CLI target: `@name` means `scenarios/<name>.toml`,
+/// anything else is a literal path.
+pub fn resolve_target(target: &str) -> PathBuf {
+    match target.strip_prefix('@') {
+        Some(name) => scenarios_dir().join(format!("{name}.toml")),
+        None => PathBuf::from(target),
+    }
+}
+
+/// Every `.toml` file in the scenario library, sorted by file name.
+///
+/// # Errors
+///
+/// Returns a message when the library directory cannot be read.
+pub fn library() -> Result<Vec<PathBuf>, String> {
+    let dir = scenarios_dir();
+    let entries = std::fs::read_dir(&dir)
+        .map_err(|e| format!("cannot read scenario library {}: {e}", dir.display()))?;
+    let mut files: Vec<PathBuf> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+/// Loads and strictly validates one scenario file.
+///
+/// # Errors
+///
+/// Returns a message carrying the path and (for parse errors) the line
+/// number.
+pub fn load_file(path: &Path) -> Result<ScenarioFile, String> {
+    let input = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    parse_scenario(&input).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// The engine a spec's shard count implies for a plain `run`.
+pub fn engine_for(spec: &ScenarioSpec) -> EngineKind {
+    if spec.shards > 1 {
+        EngineKind::Cluster
+    } else {
+        EngineKind::Sequential
+    }
+}
+
+/// Everything `run <target>` prints, as data.
+#[derive(Debug)]
+pub struct ScenarioReport {
+    /// Display name (file stem or `[scenario] name`).
+    pub name: String,
+    /// Engine the run used.
+    pub engine: EngineKind,
+    /// Liveness summary (events, windows, deliveries, reliability, wall).
+    pub summary: Table,
+    /// Fairness over ratios and raw load.
+    pub fairness: Table,
+    /// Delivery-latency percentiles.
+    pub latency: Table,
+    /// Per-window transient summary when the file enabled telemetry.
+    pub telemetry: Option<Table>,
+    /// The raw outcome, for callers that want more than tables.
+    pub outcome: ArchOutcome,
+}
+
+/// Runs one parsed scenario and builds the report tables.
+pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
+    let engine = engine_for(spec);
+    let start = Instant::now();
+    let outcome = run_architecture(spec, engine);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let audit = outcome.audit();
+
+    let mut summary = Table::new(
+        format!("RUN {name}: {} (n={})", spec.arch, spec.n),
+        &[
+            "engine",
+            "shards",
+            "events",
+            "windows",
+            "deliveries",
+            "reliability",
+            "spurious",
+            "wall_ms",
+        ],
+    );
+    summary.row_owned(vec![
+        match engine {
+            EngineKind::Sequential => "sequential".to_string(),
+            EngineKind::Cluster => "cluster".to_string(),
+        },
+        outcome.shards.to_string(),
+        outcome.events.to_string(),
+        outcome.windows.to_string(),
+        outcome.total_deliveries().to_string(),
+        fmt_f64(audit.reliability()),
+        audit.spurious().to_string(),
+        fmt_f64(wall_ms),
+    ]);
+
+    let ratio_spec = RatioSpec::topic_based();
+    let ratio = ratio_report(outcome.ledgers.iter(), &ratio_spec);
+    let load = contribution_report(outcome.ledgers.iter(), &ratio_spec);
+    let total_msgs: u64 = outcome.stats.iter().map(|s| s.msgs_sent).sum();
+    let hottest = outcome.stats.iter().map(|s| s.msgs_sent).max().unwrap_or(0);
+    let mut fairness = Table::new(
+        format!("RUN {name}: fairness"),
+        &["view", "jain", "gini", "max/min", "hottest node share"],
+    );
+    let hottest_share = if total_msgs == 0 {
+        0.0
+    } else {
+        hottest as f64 / total_msgs as f64
+    };
+    // The hottest-node share is a raw-load quantity; the ratio view has
+    // no analogue, so that row leaves the column empty.
+    fairness.row_owned(vec![
+        "contribution/benefit ratio".to_string(),
+        fmt_f64(ratio.jain),
+        fmt_f64(ratio.gini),
+        fmt_f64(ratio.max_min),
+        "-".to_string(),
+    ]);
+    fairness.row_owned(vec![
+        "raw load".to_string(),
+        fmt_f64(load.jain),
+        fmt_f64(load.gini),
+        fmt_f64(load.max_min),
+        fmt_f64(hottest_share),
+    ]);
+
+    let lat = audit.latency_ms();
+    let mut latency = Table::new(
+        format!("RUN {name}: delivery latency (ms)"),
+        &["deliveries", "mean", "p50", "p95", "p99", "max"],
+    );
+    let pct = |p: f64| lat.percentile(p).map(fmt_f64).unwrap_or_else(|| "-".into());
+    latency.row_owned(vec![
+        lat.len().to_string(),
+        fmt_f64(lat.mean()),
+        pct(50.0),
+        pct(95.0),
+        pct(99.0),
+        lat.max().map(fmt_f64).unwrap_or_else(|| "-".into()),
+    ]);
+
+    let telemetry = outcome.telemetry.as_ref().map(|series| {
+        let mut t = Table::new(
+            format!("RUN {name}: telemetry transients"),
+            &[
+                "windows",
+                "active",
+                "jain_min",
+                "gini_peak",
+                "peak load_max",
+                "peak window msgs",
+            ],
+        );
+        let rows = series.rows();
+        let active: Vec<_> = rows.iter().filter(|r| r.events > 0).collect();
+        let jain_min = active.iter().map(|r| r.jain).fold(f64::INFINITY, f64::min);
+        let gini_peak = active.iter().map(|r| r.gini).fold(0.0, f64::max);
+        let peak_load = series.windows.iter().map(|w| w.load_max).max().unwrap_or(0);
+        let peak_msgs = series
+            .windows
+            .iter()
+            .map(|w| w.msgs_sent)
+            .max()
+            .unwrap_or(0);
+        t.row_owned(vec![
+            rows.len().to_string(),
+            active.len().to_string(),
+            if active.is_empty() {
+                "-".into()
+            } else {
+                fmt_f64(jain_min)
+            },
+            fmt_f64(gini_peak),
+            peak_load.to_string(),
+            peak_msgs.to_string(),
+        ]);
+        t
+    });
+
+    ScenarioReport {
+        name: name.to_string(),
+        engine,
+        summary,
+        fairness,
+        latency,
+        telemetry,
+        outcome,
+    }
+}
+
+/// Result of one scenario's parity gate.
+#[derive(Debug)]
+pub struct ParityReport {
+    /// One row per engine/shard combination.
+    pub table: Table,
+    /// Whether every combination matched the sequential run bit for bit.
+    pub identical: bool,
+}
+
+/// `true` when two outcomes describe the same virtual-world execution.
+///
+/// Compares every observable that must be engine-invariant: per-node
+/// delivery logs, fairness ledgers, transport statistics, the engine's
+/// event count and (when enabled) the full telemetry series. Barrier
+/// window counts are intentionally excluded — they are scheduling
+/// artifacts, not observables.
+pub fn outcomes_match(a: &ArchOutcome, b: &ArchOutcome) -> bool {
+    a.deliveries == b.deliveries
+        && a.ledgers == b.ledgers
+        && a.stats == b.stats
+        && a.events == b.events
+        && a.telemetry == b.telemetry
+}
+
+/// Runs the parity gate for one scenario: sequential baseline, then the
+/// cluster at each of `shard_counts`, all compared bit for bit.
+pub fn parity_gate(name: &str, spec: &ScenarioSpec, shard_counts: &[usize]) -> ParityReport {
+    let mut table = Table::new(
+        format!("PARITY {name}: {} (n={})", spec.arch, spec.n),
+        &[
+            "engine",
+            "shards",
+            "events",
+            "deliveries",
+            "wall_ms",
+            "identical",
+        ],
+    );
+    let start = Instant::now();
+    let baseline = run_architecture(spec, EngineKind::Sequential);
+    let base_wall = start.elapsed().as_secs_f64() * 1e3;
+    table.row_owned(vec![
+        "sequential".to_string(),
+        "1".to_string(),
+        baseline.events.to_string(),
+        baseline.total_deliveries().to_string(),
+        fmt_f64(base_wall),
+        "baseline".to_string(),
+    ]);
+    let mut identical = true;
+    for &shards in shard_counts {
+        let spec = spec.clone().with_shards(shards);
+        let start = Instant::now();
+        let outcome = run_architecture(&spec, EngineKind::Cluster);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let same = outcomes_match(&baseline, &outcome);
+        identical &= same;
+        table.row_owned(vec![
+            "cluster".to_string(),
+            shards.to_string(),
+            outcome.events.to_string(),
+            outcome.total_deliveries().to_string(),
+            fmt_f64(wall_ms),
+            same.to_string(),
+        ]);
+    }
+    ParityReport { table, identical }
+}
+
+/// Display name of a scenario file: its `[scenario] name`, else the file
+/// stem.
+pub fn display_name(path: &Path, file: &ScenarioFile) -> String {
+    file.name.clone().unwrap_or_else(|| {
+        path.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_telemetry::TelemetrySpec;
+    use fed_workload::scenario::Architecture;
+
+    fn small_spec() -> ScenarioSpec {
+        let mut spec = ScenarioSpec::standard(Architecture::SplitStream, 32, 9)
+            .with_telemetry(TelemetrySpec::default());
+        spec.plan.duration = fed_sim::SimTime::from_secs(2);
+        spec
+    }
+
+    #[test]
+    fn run_scenario_builds_all_tables() {
+        let report = run_scenario("unit", &small_spec());
+        assert_eq!(report.engine, EngineKind::Sequential);
+        assert_eq!(report.summary.len(), 1);
+        assert_eq!(report.fairness.len(), 2);
+        assert_eq!(report.latency.len(), 1);
+        assert!(report.telemetry.is_some(), "telemetry spec set");
+        assert!(report.outcome.total_deliveries() > 0);
+    }
+
+    #[test]
+    fn cluster_engine_used_when_shards_requested() {
+        let report = run_scenario("unit", &small_spec().with_shards(3));
+        assert_eq!(report.engine, EngineKind::Cluster);
+        assert!(report.outcome.windows > 0);
+    }
+
+    #[test]
+    fn parity_gate_passes_for_a_small_scenario() {
+        let report = parity_gate("unit", &small_spec(), PARITY_SHARDS);
+        assert!(report.identical, "{}", report.table);
+        assert_eq!(report.table.len(), 1 + PARITY_SHARDS.len());
+    }
+
+    #[test]
+    fn target_resolution() {
+        assert_eq!(
+            resolve_target("@wan-lognormal"),
+            scenarios_dir().join("wan-lognormal.toml")
+        );
+        assert_eq!(resolve_target("x/y.toml"), PathBuf::from("x/y.toml"));
+    }
+}

@@ -8,6 +8,15 @@
 //! how partners are found: the idealized [`FullMembership`] oracle used in
 //! gossip analysis, or the realistic [`cyclon::CyclonState`] partial view.
 //!
+//! Samplers draw only from the node's kernel-provided RNG stream, so
+//! partner selection is deterministic per `(seed, node id)` — one of the
+//! invariants that keeps the sharded runtime bit-identical to the
+//! sequential engine (see `docs/ARCHITECTURE.md`). Uniformity matters
+//! for fairness too: the paper's `SELECTPARTICIPANTS(F)` assumes
+//! partners are picked uniformly, which is what makes expected
+//! forwarding load proportional to fanout and lets the controllers
+//! steer it.
+//!
 //! ## Examples
 //!
 //! ```

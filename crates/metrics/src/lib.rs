@@ -4,6 +4,23 @@
 //! delivery reliability/latency audits against ground truth, and the text
 //! tables every experiment prints.
 //!
+//! The two fairness views mirror the paper's §3 distinction and are
+//! deliberately separate entry points:
+//!
+//! | Function | Equalizes | Fair under it |
+//! |---|---|---|
+//! | [`fairness::ratio_report`] | contribution **/ benefit** ratios | the paper's goal |
+//! | [`fairness::contribution_report`] | raw contributions (load) | mere load balancing |
+//!
+//! A system can ace the second while failing the first — SplitStream is
+//! the canonical example — so experiments print both.
+//!
+//! [`DeliveryAudit`] checks the dissemination contract itself (every
+//! interested process delivers, nobody else does) against the
+//! materialized ground truth and summarizes delivery latency; it is
+//! engine-agnostic, so the same audit code gates both the sequential and
+//! the sharded runtime.
+//!
 //! ## Examples
 //!
 //! ```

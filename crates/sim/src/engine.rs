@@ -1,8 +1,10 @@
 //! The sequential discrete-event simulation engine.
 //!
 //! [`Simulation`] owns one [`exec::Kernel`](crate::exec::Kernel) covering
-//! every node plus a single global [`exec::EventQueue`]. Events are
-//! processed in canonical [`exec::EventKey`] order — `(time, producing
+//! every node plus a single global
+//! [`exec::EventQueue`](crate::exec::EventQueue). Events are
+//! processed in canonical [`exec::EventKey`](crate::exec::EventKey)
+//! order — `(time, producing
 //! node, per-producer sequence)` — which makes runs fully deterministic for
 //! a given seed *and* independent of engine internals: the sharded
 //! `fed-cluster` runtime executes the same order and produces bit-identical

@@ -148,7 +148,7 @@ const INITIAL_BUCKET_SHIFT: u32 = 12;
 ///   back) holding every pending event with `time < front_end`. The
 ///   common pops are O(1); a push landing inside the front range does a
 ///   binary-search insert.
-/// * **Calendar.** [`CAL_BUCKETS`] unsorted buckets of `2^shift` µs each
+/// * **Calendar.** `CAL_BUCKETS` (512) unsorted buckets of `2^shift` µs each
 ///   covering `[base, base + CAL_BUCKETS·2^shift)`. A push into the
 ///   future appends to its bucket in O(1); when the front drains, the
 ///   next non-empty bucket (found through an occupancy bitmap) is sorted

@@ -2,7 +2,7 @@
 //!
 //! Deterministic streaming time-series observability for both simulation
 //! engines: a [`ShardCollector`] plugs into the execution substrate's
-//! [`Probe`](fed_sim::exec::Probe) hooks, samples the run on fixed
+//! [`Probe`] hooks, samples the run on fixed
 //! virtual-time windows and emits a [`TelemetrySeries`] — per-window
 //! fairness indices over forwarding contributions, per-node forward-load
 //! histograms, scheduled-delivery-latency percentiles and live/crashed
@@ -113,14 +113,32 @@ impl TelemetrySpec {
         Histogram::new(0.0, self.latency_hi_ms, self.latency_buckets).expect("validated in new()")
     }
 
+    /// Checks a spec without panicking — the validation entry point for
+    /// declarative sources like `fed-workload`'s scenario files, which
+    /// must turn a bad `[telemetry]` section into an actionable parse
+    /// error rather than a collector panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first invalid field:
+    /// a non-positive window, or histogram geometry (`load_hi`,
+    /// `load_buckets`, `latency_hi_ms`, `latency_buckets`) that does not
+    /// describe a well-formed sketch.
+    pub fn checked(spec: TelemetrySpec) -> Result<TelemetrySpec, String> {
+        if spec.window <= SimDuration::ZERO {
+            return Err("telemetry window must be positive".to_string());
+        }
+        Histogram::new(0.0, spec.load_hi, spec.load_buckets)
+            .map_err(|e| format!("invalid load histogram spec: {e}"))?;
+        Histogram::new(0.0, spec.latency_hi_ms, spec.latency_buckets)
+            .map_err(|e| format!("invalid latency histogram spec: {e}"))?;
+        Ok(spec)
+    }
+
     fn validate(&self) {
-        assert!(
-            self.window > SimDuration::ZERO,
-            "telemetry window must be positive"
-        );
-        Histogram::new(0.0, self.load_hi, self.load_buckets).expect("invalid load histogram spec");
-        Histogram::new(0.0, self.latency_hi_ms, self.latency_buckets)
-            .expect("invalid latency histogram spec");
+        if let Err(e) = TelemetrySpec::checked(*self) {
+            panic!("{e}");
+        }
     }
 }
 

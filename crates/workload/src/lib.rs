@@ -5,6 +5,12 @@
 //! publication schedules and churn traces. All generators are
 //! deterministic under a seeded [`fed_util::rng::Rng64`].
 //!
+//! [`ScenarioSpec`] bundles a whole run behind one seeded value, and the
+//! [`scenario_file`] module gives specs a declarative TOML form
+//! (strictly validated, exactly round-tripping) — the format behind the
+//! curated `scenarios/` library and the `fed-experiments run` command;
+//! see `docs/SCENARIOS.md` for the key-by-key reference.
+//!
 //! ## Examples
 //!
 //! ```
@@ -27,8 +33,10 @@ pub mod churn;
 pub mod interest;
 pub mod pubs;
 pub mod scenario;
+pub mod scenario_file;
 
 pub use churn::{generate_churn, ChurnAction, ChurnEvent, ChurnPlan};
 pub use interest::{Appetite, InterestProfile};
 pub use pubs::{generate_schedule, regular_schedule, FlashCrowd, PubPlan, Publication};
 pub use scenario::{Architecture, MaterializedScenario, Placement, ScenarioSpec};
+pub use scenario_file::{parse_scenario, spec_from_toml, to_toml, ScenarioFile, ScenarioFileError};

@@ -138,7 +138,11 @@ impl std::fmt::Display for Placement {
 }
 
 /// A self-contained, seeded description of one experiment scenario.
-#[derive(Debug, Clone)]
+///
+/// Specs are plain data and compare with `==`; the
+/// [`crate::scenario_file`] module gives them a declarative TOML form
+/// (`parse` ∘ `serialize` is the identity on specs).
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioSpec {
     /// The dissemination architecture under test.
     pub arch: Architecture,

@@ -1,0 +1,1393 @@
+//! Declarative scenario files: a TOML format for [`ScenarioSpec`].
+//!
+//! Scenarios are *data, not code*: everything a [`ScenarioSpec`] can
+//! express — architecture, population, shards, placement, adaptive
+//! window, interest profile, publication plan (flash crowd included),
+//! churn plan, latency/loss model and telemetry — is writable as a small
+//! TOML file, parsed by [`parse_scenario`] and serialized back by
+//! [`to_toml`]. The curated library under `scenarios/` in the repository
+//! root is built entirely from this format, and the `fed-experiments`
+//! runner executes any file via `run <path.toml>` / `run @name`.
+//!
+//! The full key-by-key reference with defaults and units lives in
+//! `docs/SCENARIOS.md`; the grammar below is the contract.
+//!
+//! ## Format
+//!
+//! A deliberately small TOML subset, parsed without external crates:
+//!
+//! * `[section]` and `[section.subsection]` headers (each at most once);
+//! * `key = value` pairs where a value is a `"string"`, an integer, a
+//!   float, or `true`/`false`;
+//! * `#` comments (full-line or trailing) and blank lines.
+//!
+//! Durations and instants are strings with an explicit integer count and
+//! unit: `"250us"`, `"10ms"`, `"2s"`. Anything else — `"10sec"`, a bare
+//! `10`, a negative count — is rejected.
+//!
+//! ## Strictness
+//!
+//! Parsing is strict by design: unknown sections and unknown keys are
+//! errors (catching typos like `ratez`), every value is range-checked
+//! (`shards` ∈ 1..=512, positive rates, fractions in `[0, 1]`, …) and
+//! every error carries the line number and the offending key. A file
+//! that parses is guaranteed to materialize: the checks here are a
+//! superset of what [`ScenarioSpec::materialize`] validates.
+//!
+//! ## Round trip
+//!
+//! [`to_toml`] ∘ [`parse_scenario`] is the identity on [`ScenarioSpec`]
+//! (property-tested in `tests/scenario_file_props.rs`): floats are
+//! emitted in Rust's shortest round-trip notation, durations in the
+//! coarsest exact unit. The one unrepresentable corner is a
+//! [`NetworkModel`] carrying an active partition — partitions are a
+//! dynamic experiment device installed mid-run, not a scenario knob —
+//! for which [`to_toml`] returns an error.
+
+use crate::churn::ChurnPlan;
+use crate::interest::Appetite;
+use crate::pubs::{FlashCrowd, PubPlan};
+use crate::scenario::{Architecture, Placement, ScenarioSpec};
+use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::{SimDuration, SimTime};
+use fed_telemetry::TelemetrySpec;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Highest shard count a scenario file may request.
+///
+/// The engine itself clamps shards to the population size; this bound
+/// exists so a typo (`shards = 40000`) fails loudly instead of spawning
+/// thousands of idle worker threads.
+pub const MAX_SHARDS: usize = 512;
+
+/// Highest population a scenario file may request.
+pub const MAX_NODES: usize = 10_000_000;
+
+/// An error from parsing, validating or serializing a scenario file.
+///
+/// Carries the 1-based line number when the error is attributable to a
+/// specific line of the input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioFileError {
+    /// 1-based line of the offending input, when known.
+    pub line: Option<usize>,
+    /// Human-readable description, including the key path involved.
+    pub message: String,
+}
+
+impl ScenarioFileError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        ScenarioFileError {
+            line: Some(line),
+            message: message.into(),
+        }
+    }
+
+    fn global(message: impl Into<String>) -> Self {
+        ScenarioFileError {
+            line: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ScenarioFileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            Some(line) => write!(f, "line {line}: {}", self.message),
+            None => f.write_str(&self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioFileError {}
+
+type Result<T> = std::result::Result<T, ScenarioFileError>;
+
+// ---------------------------------------------------------------------------
+// Lexing: lines → sections of (key, value) pairs
+// ---------------------------------------------------------------------------
+
+/// One parsed TOML value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Int(i128),
+    Float(f64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Str(_) => "a string",
+            Value::Int(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Bool(_) => "a boolean",
+        }
+    }
+}
+
+/// Strips a trailing `#` comment that is not inside a string literal.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '\\' if in_str && !escaped => escaped = true,
+            '"' if !escaped => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => escaped = false,
+        }
+    }
+    line
+}
+
+fn valid_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+}
+
+fn parse_string(raw: &str, line: usize) -> Result<String> {
+    let inner = &raw[1..raw.len() - 1];
+    let mut out = String::with_capacity(inner.len());
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            return Err(ScenarioFileError::at(
+                line,
+                "unescaped quote inside string".to_string(),
+            ));
+        }
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            other => {
+                return Err(ScenarioFileError::at(
+                    line,
+                    format!("unsupported string escape {other:?}"),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn parse_value(raw: &str, line: usize) -> Result<Value> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err(ScenarioFileError::at(line, "missing value after `=`"));
+    }
+    if raw.starts_with('"') {
+        if raw.len() < 2 || !raw.ends_with('"') {
+            return Err(ScenarioFileError::at(line, "unterminated string"));
+        }
+        return parse_string(raw, line).map(Value::Str);
+    }
+    match raw {
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    let body = raw.strip_prefix(['+', '-']).unwrap_or(raw);
+    if body.is_empty() || !body.starts_with(|c: char| c.is_ascii_digit() || c == '.') {
+        return Err(ScenarioFileError::at(
+            line,
+            format!("unrecognized value {raw:?} (expected a string, number or boolean)"),
+        ));
+    }
+    // Underscore digit grouping is allowed in both integers and floats
+    // (`100_000`, `1_000.5`), as in full TOML.
+    let digits = raw.replace('_', "");
+    let looks_float = raw.contains(['.', 'e', 'E']);
+    if !looks_float {
+        return match digits.parse::<i128>() {
+            Ok(v) => Ok(Value::Int(v)),
+            Err(_) => Err(ScenarioFileError::at(
+                line,
+                format!("integer {raw:?} is out of range"),
+            )),
+        };
+    }
+    match digits.parse::<f64>() {
+        Ok(v) if v.is_finite() => Ok(Value::Float(v)),
+        Ok(_) => Err(ScenarioFileError::at(
+            line,
+            format!("float {raw:?} must be finite"),
+        )),
+        Err(_) => Err(ScenarioFileError::at(
+            line,
+            format!("invalid float {raw:?}"),
+        )),
+    }
+}
+
+/// A lexed document: section path → (header line, key → (value, line)).
+struct Document {
+    sections: BTreeMap<String, Section>,
+}
+
+struct Section {
+    header_line: usize,
+    entries: BTreeMap<String, (Value, usize)>,
+}
+
+fn lex(input: &str) -> Result<Document> {
+    let mut sections: BTreeMap<String, Section> = BTreeMap::new();
+    let mut current: Option<String> = None;
+    for (idx, raw_line) in input.lines().enumerate() {
+        let line = idx + 1;
+        let text = strip_comment(raw_line).trim();
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(rest) = text.strip_prefix('[') {
+            let Some(name) = rest.strip_suffix(']') else {
+                return Err(ScenarioFileError::at(line, "unterminated section header"));
+            };
+            let name = name.trim();
+            if name.is_empty() || !name.split('.').all(valid_key) {
+                return Err(ScenarioFileError::at(
+                    line,
+                    format!("invalid section name [{name}]"),
+                ));
+            }
+            if sections.contains_key(name) {
+                return Err(ScenarioFileError::at(
+                    line,
+                    format!("duplicate section [{name}]"),
+                ));
+            }
+            sections.insert(
+                name.to_string(),
+                Section {
+                    header_line: line,
+                    entries: BTreeMap::new(),
+                },
+            );
+            current = Some(name.to_string());
+            continue;
+        }
+        let Some((key, value)) = text.split_once('=') else {
+            return Err(ScenarioFileError::at(
+                line,
+                format!("expected `key = value` or `[section]`, got {text:?}"),
+            ));
+        };
+        let key = key.trim();
+        if !valid_key(key) {
+            return Err(ScenarioFileError::at(line, format!("invalid key {key:?}")));
+        }
+        let Some(section) = current.as_ref() else {
+            return Err(ScenarioFileError::at(
+                line,
+                format!("key {key:?} before any [section] header"),
+            ));
+        };
+        let value = parse_value(value, line)?;
+        let entries = &mut sections.get_mut(section).unwrap().entries;
+        if entries.insert(key.to_string(), (value, line)).is_some() {
+            return Err(ScenarioFileError::at(
+                line,
+                format!("duplicate key {key:?} in [{section}]"),
+            ));
+        }
+    }
+    Ok(Document { sections })
+}
+
+// ---------------------------------------------------------------------------
+// Typed access with strict leftover detection
+// ---------------------------------------------------------------------------
+
+/// Typed view over one lexed section; every accessor removes the key, and
+/// [`Reader::finish`] rejects whatever was not consumed.
+struct Reader {
+    path: String,
+    header_line: usize,
+    entries: BTreeMap<String, (Value, usize)>,
+    valid_keys: &'static [&'static str],
+}
+
+impl Reader {
+    fn new(path: &str, section: Section, valid_keys: &'static [&'static str]) -> Result<Reader> {
+        // Reject typos up front so "unknown key" wins over "missing
+        // required key" when both apply.
+        for (key, (_, line)) in &section.entries {
+            if !valid_keys.contains(&key.as_str()) {
+                return Err(ScenarioFileError::at(
+                    *line,
+                    format!(
+                        "unknown key `{key}` in [{path}] (valid keys: {})",
+                        valid_keys.join(", ")
+                    ),
+                ));
+            }
+        }
+        Ok(Reader {
+            path: path.to_string(),
+            header_line: section.header_line,
+            entries: section.entries,
+            valid_keys,
+        })
+    }
+
+    fn key_err(&self, key: &str, line: usize, what: String) -> ScenarioFileError {
+        ScenarioFileError::at(line, format!("[{}] {key}: {what}", self.path))
+    }
+
+    fn take(&mut self, key: &str) -> Option<(Value, usize)> {
+        self.entries.remove(key)
+    }
+
+    fn req(&mut self, key: &str) -> Result<(Value, usize)> {
+        self.take(key).ok_or_else(|| {
+            ScenarioFileError::at(
+                self.header_line,
+                format!("[{}] is missing the required key `{key}`", self.path),
+            )
+        })
+    }
+
+    fn str_of(&self, key: &str, v: Value, line: usize) -> Result<(String, usize)> {
+        match v {
+            Value::Str(s) => Ok((s, line)),
+            other => Err(self.key_err(
+                key,
+                line,
+                format!("expected a string, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn req_str(&mut self, key: &str) -> Result<(String, usize)> {
+        let (v, line) = self.req(key)?;
+        self.str_of(key, v, line)
+    }
+
+    fn opt_str(&mut self, key: &str) -> Result<Option<(String, usize)>> {
+        match self.take(key) {
+            None => Ok(None),
+            Some((v, line)) => self.str_of(key, v, line).map(Some),
+        }
+    }
+
+    fn int_of(&self, key: &str, v: Value, line: usize) -> Result<(i128, usize)> {
+        match v {
+            Value::Int(i) => Ok((i, line)),
+            other => Err(self.key_err(
+                key,
+                line,
+                format!("expected an integer, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn usize_in(
+        &self,
+        key: &str,
+        v: Value,
+        line: usize,
+        range: std::ops::RangeInclusive<usize>,
+    ) -> Result<usize> {
+        let (i, line) = self.int_of(key, v, line)?;
+        if i < *range.start() as i128 || i > *range.end() as i128 {
+            return Err(self.key_err(
+                key,
+                line,
+                format!(
+                    "{i} is out of range (expected {}..={})",
+                    range.start(),
+                    range.end()
+                ),
+            ));
+        }
+        Ok(i as usize)
+    }
+
+    fn req_usize(&mut self, key: &str, range: std::ops::RangeInclusive<usize>) -> Result<usize> {
+        let (v, line) = self.req(key)?;
+        self.usize_in(key, v, line, range)
+    }
+
+    fn opt_usize(
+        &mut self,
+        key: &str,
+        range: std::ops::RangeInclusive<usize>,
+        default: usize,
+    ) -> Result<usize> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((v, line)) => self.usize_in(key, v, line, range),
+        }
+    }
+
+    fn req_u64(&mut self, key: &str) -> Result<u64> {
+        let (v, line) = self.req(key)?;
+        let (i, line) = self.int_of(key, v, line)?;
+        if i < 0 || i > u64::MAX as i128 {
+            return Err(self.key_err(
+                key,
+                line,
+                format!("{i} does not fit an unsigned 64-bit value"),
+            ));
+        }
+        Ok(i as u64)
+    }
+
+    fn float_of(&self, key: &str, v: Value, line: usize) -> Result<(f64, usize)> {
+        match v {
+            Value::Float(x) => Ok((x, line)),
+            // Integer literals are fine where a float is expected.
+            Value::Int(i) => Ok((i as f64, line)),
+            other => Err(self.key_err(
+                key,
+                line,
+                format!("expected a number, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn float_checked(&self, key: &str, v: Value, line: usize, check: FloatCheck) -> Result<f64> {
+        let (x, line) = self.float_of(key, v, line)?;
+        match check {
+            // Values are finite by lexing, so plain comparisons suffice.
+            FloatCheck::Positive if x <= 0.0 => {
+                Err(self.key_err(key, line, format!("{x} must be strictly positive")))
+            }
+            FloatCheck::NonNegative if x < 0.0 => {
+                Err(self.key_err(key, line, format!("{x} must be non-negative")))
+            }
+            FloatCheck::Fraction if !(0.0..=1.0).contains(&x) => {
+                Err(self.key_err(key, line, format!("{x} must be a fraction in [0, 1]")))
+            }
+            FloatCheck::LossProbability if !(0.0..1.0).contains(&x) => Err(self.key_err(
+                key,
+                line,
+                format!("{x} must be a loss probability in [0, 1)"),
+            )),
+            _ => Ok(x),
+        }
+    }
+
+    fn req_float(&mut self, key: &str, check: FloatCheck) -> Result<f64> {
+        let (v, line) = self.req(key)?;
+        self.float_checked(key, v, line, check)
+    }
+
+    fn opt_float(&mut self, key: &str, check: FloatCheck, default: f64) -> Result<f64> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((v, line)) => self.float_checked(key, v, line, check),
+        }
+    }
+
+    fn opt_bool(&mut self, key: &str, default: bool) -> Result<bool> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((Value::Bool(b), _)) => Ok(b),
+            Some((other, line)) => Err(self.key_err(
+                key,
+                line,
+                format!("expected true or false, got {}", other.type_name()),
+            )),
+        }
+    }
+
+    fn duration_of(&self, key: &str, v: Value, line: usize) -> Result<u64> {
+        let (s, line) = self.str_of(key, v, line)?;
+        parse_duration_str(&s).ok_or_else(|| {
+            self.key_err(
+                key,
+                line,
+                format!("bad duration {s:?} (expected an integer count with unit, e.g. \"250us\", \"10ms\", \"2s\")"),
+            )
+        })
+    }
+
+    fn req_duration(&mut self, key: &str) -> Result<SimDuration> {
+        let (v, line) = self.req(key)?;
+        Ok(SimDuration::from_micros(self.duration_of(key, v, line)?))
+    }
+
+    fn opt_duration(&mut self, key: &str, default: SimDuration) -> Result<SimDuration> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((v, line)) => Ok(SimDuration::from_micros(self.duration_of(key, v, line)?)),
+        }
+    }
+
+    fn req_instant(&mut self, key: &str) -> Result<SimTime> {
+        let (v, line) = self.req(key)?;
+        Ok(SimTime::from_micros(self.duration_of(key, v, line)?))
+    }
+
+    fn opt_instant(&mut self, key: &str, default: SimTime) -> Result<SimTime> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((v, line)) => Ok(SimTime::from_micros(self.duration_of(key, v, line)?)),
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        if let Some((key, (_, line))) = self.entries.into_iter().next() {
+            return Err(ScenarioFileError::at(
+                line,
+                format!(
+                    "key `{key}` in [{}] does not apply to this configuration \
+                     (all keys: {})",
+                    self.path,
+                    self.valid_keys.join(", ")
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum FloatCheck {
+    Positive,
+    NonNegative,
+    Fraction,
+    LossProbability,
+}
+
+/// Parses `"<digits><unit>"` with unit `us`, `ms` or `s` into microseconds.
+fn parse_duration_str(s: &str) -> Option<u64> {
+    let (count, factor) = if let Some(c) = s.strip_suffix("us") {
+        (c, 1u64)
+    } else if let Some(c) = s.strip_suffix("ms") {
+        (c, 1_000)
+    } else if let Some(c) = s.strip_suffix('s') {
+        (c, 1_000_000)
+    } else {
+        return None;
+    };
+    if count.is_empty() || !count.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    count.parse::<u64>().ok()?.checked_mul(factor)
+}
+
+/// Formats microseconds in the coarsest exact unit (`us`/`ms`/`s`).
+fn fmt_duration_us(us: u64) -> String {
+    if us.is_multiple_of(1_000_000) {
+        format!("\"{}s\"", us / 1_000_000)
+    } else if us.is_multiple_of(1_000) {
+        format!("\"{}ms\"", us / 1_000)
+    } else {
+        format!("\"{us}us\"")
+    }
+}
+
+fn fmt_dur(d: SimDuration) -> String {
+    fmt_duration_us(d.as_micros())
+}
+
+fn fmt_time(t: SimTime) -> String {
+    fmt_duration_us(t.as_micros())
+}
+
+/// Shortest float notation that round-trips and always re-lexes as a
+/// float or integer literal.
+fn fmt_float(x: f64) -> String {
+    format!("{x:?}")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing: document → ScenarioSpec
+// ---------------------------------------------------------------------------
+
+/// A parsed scenario file: the spec plus the file's own metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioFile {
+    /// Optional `name` from `[scenario]` (the library files set it to the
+    /// file stem).
+    pub name: Option<String>,
+    /// Optional one-line `summary` from `[scenario]`.
+    pub summary: Option<String>,
+    /// The scenario itself.
+    pub spec: ScenarioSpec,
+}
+
+const SCENARIO_KEYS: &[&str] = &[
+    "name",
+    "summary",
+    "arch",
+    "nodes",
+    "seed",
+    "shards",
+    "placement",
+    "adaptive_window",
+];
+const TOPICS_KEYS: &[&str] = &["count", "zipf_s"];
+const INTEREST_KEYS: &[&str] = &[
+    "appetite",
+    "topics_per_node",
+    "lo",
+    "hi",
+    "heavy_fraction",
+    "heavy",
+    "light",
+];
+const PUBLISH_KEYS: &[&str] = &[
+    "rate_per_sec",
+    "duration",
+    "warmup",
+    "topic_zipf_s",
+    "payload_bytes",
+];
+const FLASH_KEYS: &[&str] = &["at", "topic_zipf_s", "rate_factor"];
+const CHURN_KEYS: &[&str] = &[
+    "mean_session_secs",
+    "mean_downtime_secs",
+    "churning_fraction",
+    "duration",
+    "warmup",
+];
+const NETWORK_KEYS: &[&str] = &[
+    "latency",
+    "delay",
+    "lo",
+    "hi",
+    "median_ms",
+    "sigma",
+    "floor",
+    "loss",
+];
+const TELEMETRY_KEYS: &[&str] = &[
+    "window",
+    "load_hi",
+    "load_buckets",
+    "latency_hi_ms",
+    "latency_buckets",
+];
+
+/// All sections a scenario file may contain.
+const SECTIONS: &[&str] = &[
+    "scenario",
+    "topics",
+    "interest",
+    "publish",
+    "publish.flash",
+    "churn",
+    "network",
+    "telemetry",
+];
+
+/// Parses a complete scenario file.
+///
+/// # Errors
+///
+/// Returns [`ScenarioFileError`] — with the line number and key path —
+/// for syntax errors, unknown sections or keys, type mismatches, bad
+/// duration units and out-of-range values.
+pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
+    let mut doc = lex(input)?;
+
+    let mut section = |name: &str, keys: &'static [&'static str]| -> Result<Option<Reader>> {
+        doc.sections
+            .remove(name)
+            .map(|s| Reader::new(name, s, keys))
+            .transpose()
+    };
+
+    // [scenario] — required.
+    let Some(mut scenario) = section("scenario", SCENARIO_KEYS)? else {
+        return Err(ScenarioFileError::global(
+            "missing required section [scenario]",
+        ));
+    };
+    let name = scenario.opt_str("name")?.map(|(s, _)| s);
+    let summary = scenario.opt_str("summary")?.map(|(s, _)| s);
+    let (arch_name, arch_line) = scenario.req_str("arch")?;
+    let Some(arch) = Architecture::parse(&arch_name) else {
+        let valid: Vec<&str> = Architecture::ALL.iter().map(|a| a.name()).collect();
+        return Err(ScenarioFileError::at(
+            arch_line,
+            format!(
+                "[scenario] arch: unknown architecture {arch_name:?} (valid: {})",
+                valid.join(", ")
+            ),
+        ));
+    };
+    let n = scenario.req_usize("nodes", 1..=MAX_NODES)?;
+    let seed = scenario.req_u64("seed")?;
+    let shards = scenario.opt_usize("shards", 1..=MAX_SHARDS, 1)?;
+    let placement = match scenario.opt_str("placement")? {
+        None => Placement::RoundRobin,
+        Some((name, line)) => Placement::parse(&name).ok_or_else(|| {
+            let valid: Vec<&str> = Placement::ALL.iter().map(|p| p.name()).collect();
+            ScenarioFileError::at(
+                line,
+                format!(
+                    "[scenario] placement: unknown policy {name:?} (valid: {})",
+                    valid.join(", ")
+                ),
+            )
+        })?,
+    };
+    let adaptive_window = scenario.opt_bool("adaptive_window", true)?;
+    scenario.finish()?;
+
+    // [topics] — required.
+    let Some(mut topics) = section("topics", TOPICS_KEYS)? else {
+        return Err(ScenarioFileError::global(
+            "missing required section [topics]",
+        ));
+    };
+    let num_topics = topics.req_usize("count", 1..=1_000_000)?;
+    let zipf_s = topics.opt_float("zipf_s", FloatCheck::NonNegative, 1.0)?;
+    topics.finish()?;
+
+    // [interest] — required.
+    let Some(mut interest) = section("interest", INTEREST_KEYS)? else {
+        return Err(ScenarioFileError::global(
+            "missing required section [interest]",
+        ));
+    };
+    let (appetite_kind, appetite_line) = interest.req_str("appetite")?;
+    let appetite = match appetite_kind.as_str() {
+        "fixed" => Appetite::Fixed(interest.req_usize("topics_per_node", 0..=1_000_000)?),
+        "uniform" => {
+            let lo = interest.req_usize("lo", 0..=1_000_000)?;
+            let hi = interest.req_usize("hi", 0..=1_000_000)?;
+            if lo > hi {
+                return Err(ScenarioFileError::at(
+                    appetite_line,
+                    format!("[interest] uniform appetite needs lo <= hi (got {lo} > {hi})"),
+                ));
+            }
+            Appetite::Uniform { lo, hi }
+        }
+        "bimodal" => Appetite::Bimodal {
+            heavy_fraction: interest.req_float("heavy_fraction", FloatCheck::Fraction)?,
+            heavy: interest.req_usize("heavy", 0..=1_000_000)?,
+            light: interest.req_usize("light", 0..=1_000_000)?,
+        },
+        other => {
+            return Err(ScenarioFileError::at(
+                appetite_line,
+                format!(
+                    "[interest] appetite: unknown kind {other:?} (valid: fixed, uniform, bimodal)"
+                ),
+            ))
+        }
+    };
+    interest.finish()?;
+
+    // [publish] — required; [publish.flash] — optional.
+    let Some(mut publish) = section("publish", PUBLISH_KEYS)? else {
+        return Err(ScenarioFileError::global(
+            "missing required section [publish]",
+        ));
+    };
+    let publish_header = publish.header_line;
+    let rate_per_sec = publish.req_float("rate_per_sec", FloatCheck::Positive)?;
+    let duration = publish.req_instant("duration")?;
+    let warmup = publish.opt_instant("warmup", SimTime::from_secs(1))?;
+    let topic_zipf_s = publish.opt_float("topic_zipf_s", FloatCheck::NonNegative, 1.0)?;
+    let payload_bytes = publish.opt_usize("payload_bytes", 0..=1 << 20, 64)?;
+    publish.finish()?;
+    let flash = match section("publish.flash", FLASH_KEYS)? {
+        None => None,
+        Some(mut flash) => {
+            let f = FlashCrowd {
+                at: flash.req_instant("at")?,
+                topic_zipf_s: flash.req_float("topic_zipf_s", FloatCheck::NonNegative)?,
+                rate_factor: flash.opt_float("rate_factor", FloatCheck::Positive, 1.0)?,
+            };
+            flash.finish()?;
+            Some(f)
+        }
+    };
+    // The run horizon is `warmup + duration + drain` on the u64
+    // microsecond clock; reject files whose publication phase would
+    // overflow it so "a file that parses is guaranteed to run" holds.
+    if warmup
+        .as_micros()
+        .checked_add(duration.as_micros())
+        .and_then(|v| v.checked_add(4_000_000))
+        .is_none()
+    {
+        return Err(ScenarioFileError::at(
+            publish_header,
+            "[publish] warmup + duration overflows the simulation clock".to_string(),
+        ));
+    }
+    let plan = PubPlan {
+        rate_per_sec,
+        duration,
+        topic_zipf_s,
+        payload_bytes,
+        warmup,
+        flash,
+    };
+
+    // [churn] — optional; its presence enables churn.
+    let churn = match section("churn", CHURN_KEYS)? {
+        None => None,
+        Some(mut churn) => {
+            let d = ChurnPlan::default();
+            let plan = ChurnPlan {
+                mean_session_secs: churn.opt_float(
+                    "mean_session_secs",
+                    FloatCheck::Positive,
+                    d.mean_session_secs,
+                )?,
+                mean_downtime_secs: churn.opt_float(
+                    "mean_downtime_secs",
+                    FloatCheck::Positive,
+                    d.mean_downtime_secs,
+                )?,
+                churning_fraction: churn.opt_float(
+                    "churning_fraction",
+                    FloatCheck::Fraction,
+                    d.churning_fraction,
+                )?,
+                duration: churn.opt_instant("duration", d.duration)?,
+                warmup: churn.opt_instant("warmup", d.warmup)?,
+            };
+            churn.finish()?;
+            Some(plan)
+        }
+    };
+
+    // [network] — optional; defaults to the standard reliable 10 ms net.
+    let net = match section("network", NETWORK_KEYS)? {
+        None => NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
+        Some(mut network) => {
+            let (kind, kind_line) = network.req_str("latency")?;
+            let latency = match kind.as_str() {
+                "constant" => LatencyModel::Constant(network.req_duration("delay")?),
+                "uniform" => {
+                    let lo = network.req_duration("lo")?;
+                    let hi = network.req_duration("hi")?;
+                    if lo > hi {
+                        return Err(ScenarioFileError::at(
+                            kind_line,
+                            format!(
+                                "[network] uniform latency needs lo <= hi (got {}us > {}us)",
+                                lo.as_micros(),
+                                hi.as_micros()
+                            ),
+                        ));
+                    }
+                    LatencyModel::Uniform { lo, hi }
+                }
+                "lognormal" => LatencyModel::LogNormalMs {
+                    median_ms: network.req_float("median_ms", FloatCheck::Positive)?,
+                    sigma: network.req_float("sigma", FloatCheck::NonNegative)?,
+                    floor: network.opt_duration("floor", SimDuration::ZERO)?,
+                },
+                other => {
+                    return Err(ScenarioFileError::at(
+                        kind_line,
+                        format!(
+                            "[network] latency: unknown model {other:?} (valid: constant, uniform, lognormal)"
+                        ),
+                    ))
+                }
+            };
+            let loss = network.opt_float("loss", FloatCheck::LossProbability, 0.0)?;
+            network.finish()?;
+            if loss > 0.0 {
+                NetworkModel::lossy(latency, loss)
+            } else {
+                NetworkModel::reliable(latency)
+            }
+        }
+    };
+
+    // [telemetry] — optional; its presence enables the streaming series.
+    let telemetry = match section("telemetry", TELEMETRY_KEYS)? {
+        None => None,
+        Some(mut telemetry) => {
+            let d = TelemetrySpec::default();
+            let window = telemetry.opt_duration("window", d.window)?;
+            let spec = TelemetrySpec {
+                window,
+                load_hi: telemetry.opt_float("load_hi", FloatCheck::Positive, d.load_hi)?,
+                load_buckets: telemetry.opt_usize("load_buckets", 1..=100_000, d.load_buckets)?,
+                latency_hi_ms: telemetry.opt_float(
+                    "latency_hi_ms",
+                    FloatCheck::Positive,
+                    d.latency_hi_ms,
+                )?,
+                latency_buckets: telemetry.opt_usize(
+                    "latency_buckets",
+                    1..=100_000,
+                    d.latency_buckets,
+                )?,
+            };
+            let header = telemetry.header_line;
+            telemetry.finish()?;
+            TelemetrySpec::checked(spec)
+                .map_err(|e| ScenarioFileError::at(header, format!("[telemetry] {e}")))?;
+            Some(spec)
+        }
+    };
+
+    // Anything left over is an unknown section.
+    if let Some((path, sec)) = doc.sections.into_iter().next() {
+        return Err(ScenarioFileError::at(
+            sec.header_line,
+            format!(
+                "unknown section [{path}] (valid sections: {})",
+                SECTIONS.join(", ")
+            ),
+        ));
+    }
+
+    Ok(ScenarioFile {
+        name,
+        summary,
+        spec: ScenarioSpec {
+            arch,
+            n,
+            shards,
+            placement,
+            adaptive_window,
+            num_topics,
+            zipf_s,
+            appetite,
+            plan,
+            churn,
+            telemetry,
+            net,
+            seed,
+        },
+    })
+}
+
+/// Parses a scenario file, discarding the name/summary metadata.
+///
+/// # Errors
+///
+/// See [`parse_scenario`].
+pub fn spec_from_toml(input: &str) -> Result<ScenarioSpec> {
+    parse_scenario(input).map(|f| f.spec)
+}
+
+// ---------------------------------------------------------------------------
+// Serialization: ScenarioSpec → TOML
+// ---------------------------------------------------------------------------
+
+/// Serializes a spec as a scenario file that parses back to an equal
+/// spec ([`parse_scenario`] ∘ [`to_toml`] is the identity — property
+/// tested).
+///
+/// # Errors
+///
+/// Returns an error when the spec's network model carries an active
+/// partition: partitions are installed dynamically by experiments, not
+/// described by scenario files.
+pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
+    if spec.net.is_partitioned() {
+        return Err(ScenarioFileError::global(
+            "network models with active partitions are not representable in a scenario file",
+        ));
+    }
+    let mut out = String::new();
+    let mut push = |s: String| {
+        out.push_str(&s);
+        out.push('\n');
+    };
+    push("[scenario]".into());
+    push(format!("arch = \"{}\"", spec.arch.name()));
+    push(format!("nodes = {}", spec.n));
+    push(format!("seed = {}", spec.seed));
+    push(format!("shards = {}", spec.shards));
+    push(format!("placement = \"{}\"", spec.placement.name()));
+    push(format!("adaptive_window = {}", spec.adaptive_window));
+
+    push("\n[topics]".into());
+    push(format!("count = {}", spec.num_topics));
+    push(format!("zipf_s = {}", fmt_float(spec.zipf_s)));
+
+    push("\n[interest]".into());
+    match spec.appetite {
+        Appetite::Fixed(k) => {
+            push("appetite = \"fixed\"".into());
+            push(format!("topics_per_node = {k}"));
+        }
+        Appetite::Uniform { lo, hi } => {
+            push("appetite = \"uniform\"".into());
+            push(format!("lo = {lo}"));
+            push(format!("hi = {hi}"));
+        }
+        Appetite::Bimodal {
+            heavy_fraction,
+            heavy,
+            light,
+        } => {
+            push("appetite = \"bimodal\"".into());
+            push(format!("heavy_fraction = {}", fmt_float(heavy_fraction)));
+            push(format!("heavy = {heavy}"));
+            push(format!("light = {light}"));
+        }
+    }
+
+    push("\n[publish]".into());
+    push(format!(
+        "rate_per_sec = {}",
+        fmt_float(spec.plan.rate_per_sec)
+    ));
+    push(format!("duration = {}", fmt_time(spec.plan.duration)));
+    push(format!("warmup = {}", fmt_time(spec.plan.warmup)));
+    push(format!(
+        "topic_zipf_s = {}",
+        fmt_float(spec.plan.topic_zipf_s)
+    ));
+    push(format!("payload_bytes = {}", spec.plan.payload_bytes));
+    if let Some(flash) = spec.plan.flash {
+        push("\n[publish.flash]".into());
+        push(format!("at = {}", fmt_time(flash.at)));
+        push(format!("topic_zipf_s = {}", fmt_float(flash.topic_zipf_s)));
+        push(format!("rate_factor = {}", fmt_float(flash.rate_factor)));
+    }
+
+    if let Some(churn) = &spec.churn {
+        push("\n[churn]".into());
+        push(format!(
+            "mean_session_secs = {}",
+            fmt_float(churn.mean_session_secs)
+        ));
+        push(format!(
+            "mean_downtime_secs = {}",
+            fmt_float(churn.mean_downtime_secs)
+        ));
+        push(format!(
+            "churning_fraction = {}",
+            fmt_float(churn.churning_fraction)
+        ));
+        push(format!("duration = {}", fmt_time(churn.duration)));
+        push(format!("warmup = {}", fmt_time(churn.warmup)));
+    }
+
+    push("\n[network]".into());
+    match spec.net.latency_model() {
+        LatencyModel::Constant(d) => {
+            push("latency = \"constant\"".into());
+            push(format!("delay = {}", fmt_dur(*d)));
+        }
+        LatencyModel::Uniform { lo, hi } => {
+            push("latency = \"uniform\"".into());
+            push(format!("lo = {}", fmt_dur(*lo)));
+            push(format!("hi = {}", fmt_dur(*hi)));
+        }
+        LatencyModel::LogNormalMs {
+            median_ms,
+            sigma,
+            floor,
+        } => {
+            push("latency = \"lognormal\"".into());
+            push(format!("median_ms = {}", fmt_float(*median_ms)));
+            push(format!("sigma = {}", fmt_float(*sigma)));
+            push(format!("floor = {}", fmt_dur(*floor)));
+        }
+    }
+    if spec.net.loss_probability() > 0.0 {
+        push(format!("loss = {}", fmt_float(spec.net.loss_probability())));
+    }
+
+    if let Some(t) = &spec.telemetry {
+        push("\n[telemetry]".into());
+        push(format!("window = {}", fmt_dur(t.window)));
+        push(format!("load_hi = {}", fmt_float(t.load_hi)));
+        push(format!("load_buckets = {}", t.load_buckets));
+        push(format!("latency_hi_ms = {}", fmt_float(t.latency_hi_ms)));
+        push(format!("latency_buckets = {}", t.latency_buckets));
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MINIMAL: &str = r#"
+        [scenario]
+        arch = "fair-gossip"
+        nodes = 64
+        seed = 7
+
+        [topics]
+        count = 20
+
+        [interest]
+        appetite = "fixed"
+        topics_per_node = 3
+
+        [publish]
+        rate_per_sec = 10.0
+        duration = "5s"
+    "#;
+
+    #[test]
+    fn minimal_file_parses_with_defaults() {
+        let f = parse_scenario(MINIMAL).unwrap();
+        assert_eq!(f.spec.arch, Architecture::FairGossip);
+        assert_eq!(f.spec.n, 64);
+        assert_eq!(f.spec.seed, 7);
+        assert_eq!(f.spec.shards, 1);
+        assert_eq!(f.spec.placement, Placement::RoundRobin);
+        assert!(f.spec.adaptive_window);
+        assert_eq!(f.spec.appetite, Appetite::Fixed(3));
+        assert_eq!(f.spec.plan.warmup, SimTime::from_secs(1));
+        assert_eq!(f.spec.plan.payload_bytes, 64);
+        assert!(f.spec.churn.is_none());
+        assert!(f.spec.telemetry.is_none());
+        assert_eq!(
+            *f.spec.net.latency_model(),
+            LatencyModel::Constant(SimDuration::from_millis(10))
+        );
+        // The minimal file materializes.
+        f.spec.materialize().unwrap();
+    }
+
+    #[test]
+    fn full_file_parses_every_knob() {
+        let input = r#"
+            [scenario]
+            name = "kitchen-sink"
+            summary = "every knob at once"
+            arch = "scribe"
+            nodes = 128          # trailing comment
+            seed = 99
+            shards = 4
+            placement = "balanced"
+            adaptive_window = false
+
+            [topics]
+            count = 50
+            zipf_s = 1.2
+
+            [interest]
+            appetite = "bimodal"
+            heavy_fraction = 0.25
+            heavy = 12
+            light = 2
+
+            [publish]
+            rate_per_sec = 40.5
+            duration = "10s"
+            warmup = "500ms"
+            topic_zipf_s = 0.8
+            payload_bytes = 256
+
+            [publish.flash]
+            at = "6s"
+            topic_zipf_s = 3.5
+            rate_factor = 4.0
+
+            [churn]
+            mean_session_secs = 12.0
+            mean_downtime_secs = 3.0
+            churning_fraction = 0.4
+            duration = "8s"
+            warmup = "1s"
+
+            [network]
+            latency = "lognormal"
+            median_ms = 40.0
+            sigma = 0.6
+            floor = "5ms"
+            loss = 0.01
+
+            [telemetry]
+            window = "250ms"
+            load_hi = 128.0
+            load_buckets = 128
+            latency_hi_ms = 400.0
+            latency_buckets = 80
+        "#;
+        let f = parse_scenario(input).unwrap();
+        assert_eq!(f.name.as_deref(), Some("kitchen-sink"));
+        assert_eq!(f.summary.as_deref(), Some("every knob at once"));
+        let s = &f.spec;
+        assert_eq!(s.arch, Architecture::Scribe);
+        assert_eq!((s.n, s.shards, s.seed), (128, 4, 99));
+        assert_eq!(s.placement, Placement::Balanced);
+        assert!(!s.adaptive_window);
+        assert_eq!((s.num_topics, s.zipf_s), (50, 1.2));
+        assert_eq!(
+            s.appetite,
+            Appetite::Bimodal {
+                heavy_fraction: 0.25,
+                heavy: 12,
+                light: 2
+            }
+        );
+        assert_eq!(s.plan.rate_per_sec, 40.5);
+        assert_eq!(s.plan.duration, SimTime::from_secs(10));
+        assert_eq!(s.plan.warmup, SimTime::from_millis(500));
+        assert_eq!(s.plan.payload_bytes, 256);
+        let flash = s.plan.flash.unwrap();
+        assert_eq!(flash.at, SimTime::from_secs(6));
+        assert_eq!(flash.rate_factor, 4.0);
+        let churn = s.churn.unwrap();
+        assert_eq!(churn.mean_session_secs, 12.0);
+        assert_eq!(churn.churning_fraction, 0.4);
+        assert_eq!(
+            *s.net.latency_model(),
+            LatencyModel::LogNormalMs {
+                median_ms: 40.0,
+                sigma: 0.6,
+                floor: SimDuration::from_millis(5)
+            }
+        );
+        assert_eq!(s.net.loss_probability(), 0.01);
+        let t = s.telemetry.unwrap();
+        assert_eq!(t.window, SimDuration::from_millis(250));
+        assert_eq!((t.load_buckets, t.latency_buckets), (128, 80));
+        // And it round-trips exactly.
+        let reparsed = spec_from_toml(&to_toml(s).unwrap()).unwrap();
+        assert_eq!(*s, reparsed);
+    }
+
+    #[test]
+    fn unknown_key_is_an_error_with_line_and_suggestions() {
+        let input = MINIMAL.replace("rate_per_sec = 10.0", "ratez = 10.0");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.line.is_some());
+        assert!(err.message.contains("unknown key `ratez`"), "{err}");
+        assert!(err.message.contains("rate_per_sec"), "{err}");
+        // …and the section-level required-key error still fires.
+        assert!(parse_scenario(&input.replace("ratez = 10.0", "")).is_err());
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        let input = format!("{MINIMAL}\n[pubs]\nx = 1\n");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("unknown section [pubs]"), "{err}");
+    }
+
+    #[test]
+    fn bad_duration_unit_is_an_error() {
+        let input = MINIMAL.replace("\"5s\"", "\"5sec\"");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("bad duration"), "{err}");
+        assert!(err.message.contains("publish"), "{err}");
+        // A bare number is not a duration either.
+        let input = MINIMAL.replace("\"5s\"", "5");
+        assert!(parse_scenario(&input).is_err());
+    }
+
+    #[test]
+    fn out_of_range_shards_is_an_error() {
+        let input = MINIMAL.replace("seed = 7", "seed = 7\nshards = 0");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+        let input = MINIMAL.replace("seed = 7", "seed = 7\nshards = 4096");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn unknown_arch_lists_valid_names() {
+        let input = MINIMAL.replace("fair-gossip", "gossipzilla");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("gossipzilla"), "{err}");
+        assert!(err.message.contains("splitstream"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_key_and_section_are_errors() {
+        let input = MINIMAL.replace("nodes = 64", "nodes = 64\nnodes = 65");
+        assert!(parse_scenario(&input)
+            .unwrap_err()
+            .message
+            .contains("duplicate key"));
+        let input = format!("{MINIMAL}\n[topics]\ncount = 2\n");
+        assert!(parse_scenario(&input)
+            .unwrap_err()
+            .message
+            .contains("duplicate section"));
+    }
+
+    #[test]
+    fn type_mismatches_are_actionable() {
+        let input = MINIMAL.replace("nodes = 64", "nodes = \"many\"");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("expected an integer"), "{err}");
+        let input = MINIMAL.replace("count = 20", "count = 20.5");
+        assert!(parse_scenario(&input).is_err());
+    }
+
+    #[test]
+    fn underscore_grouping_works_in_integers_and_floats() {
+        let input = MINIMAL
+            .replace("nodes = 64", "nodes = 1_000")
+            .replace("rate_per_sec = 10.0", "rate_per_sec = 1_000.5");
+        let f = parse_scenario(&input).unwrap();
+        assert_eq!(f.spec.n, 1000);
+        assert_eq!(f.spec.plan.rate_per_sec, 1000.5);
+    }
+
+    #[test]
+    fn loss_probability_range_is_enforced() {
+        let with_net =
+            format!("{MINIMAL}\n[network]\nlatency = \"constant\"\ndelay = \"10ms\"\nloss = 1.0\n");
+        let err = parse_scenario(&with_net).unwrap_err();
+        assert!(err.message.contains("[0, 1)"), "{err}");
+    }
+
+    #[test]
+    fn comments_and_strings_interact_correctly() {
+        let input = MINIMAL.replace("[topics]", "[topics] # the universe\n# full-line comment");
+        parse_scenario(&input).unwrap();
+        let named = MINIMAL.replace(
+            "[scenario]",
+            "[scenario]\nname = \"has # hash and \\\"quotes\\\"\"",
+        );
+        let f = parse_scenario(&named).unwrap();
+        assert_eq!(f.name.as_deref(), Some("has # hash and \"quotes\""));
+    }
+
+    #[test]
+    fn standard_specs_round_trip() {
+        for arch in Architecture::ALL {
+            let spec = ScenarioSpec::standard(arch, 200, 13)
+                .with_shards(7)
+                .with_placement(Placement::Balanced);
+            let toml = to_toml(&spec).unwrap();
+            assert_eq!(spec_from_toml(&toml).unwrap(), spec, "{toml}");
+        }
+    }
+
+    #[test]
+    fn partitioned_network_is_unrepresentable() {
+        let mut spec = ScenarioSpec::fair_gossip(8, 1);
+        spec.net.partition(vec![0, 0, 1, 1, 0, 0, 1, 1]);
+        let err = to_toml(&spec).unwrap_err();
+        assert!(err.message.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn odd_durations_round_trip_in_exact_units() {
+        assert_eq!(fmt_duration_us(2_000_000), "\"2s\"");
+        assert_eq!(fmt_duration_us(1_500_000), "\"1500ms\"");
+        assert_eq!(fmt_duration_us(1_234_567), "\"1234567us\"");
+        for us in [0u64, 1, 999, 1_000, 1_001, 1_500_000, u64::MAX] {
+            let formatted = fmt_duration_us(us);
+            let stripped = formatted.trim_matches('"');
+            assert_eq!(parse_duration_str(stripped), Some(us), "{formatted}");
+        }
+        assert_eq!(parse_duration_str("10sec"), None);
+        assert_eq!(parse_duration_str("-5ms"), None);
+        assert_eq!(parse_duration_str("1.5s"), None);
+        assert_eq!(parse_duration_str("ms"), None);
+    }
+}

@@ -1,0 +1,294 @@
+//! Property tests for the declarative scenario-file format.
+//!
+//! The contract under test: serialization is the *exact* inverse of
+//! parsing — `parse(to_toml(spec)) == spec` for every representable
+//! [`ScenarioSpec`] — plus strict rejection of malformed files (unknown
+//! keys, bad duration units, out-of-range values).
+
+use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::{SimDuration, SimTime};
+use fed_telemetry::TelemetrySpec;
+use fed_workload::scenario_file::{parse_scenario, spec_from_toml, to_toml};
+use fed_workload::{
+    Appetite, Architecture, ChurnPlan, FlashCrowd, Placement, PubPlan, ScenarioSpec,
+};
+use proptest::prelude::*;
+
+/// A float with a non-trivial decimal expansion, exercising the
+/// shortest-round-trip emitter.
+fn fractional(numerator: u32, denominator: u32) -> f64 {
+    numerator as f64 / denominator as f64
+}
+
+fn arch_strategy() -> impl Strategy<Value = Architecture> {
+    (0..Architecture::ALL.len()).prop_map(|i| Architecture::ALL[i])
+}
+
+fn placement_strategy() -> impl Strategy<Value = Placement> {
+    (0..Placement::ALL.len()).prop_map(|i| Placement::ALL[i])
+}
+
+fn appetite_strategy() -> impl Strategy<Value = Appetite> {
+    prop_oneof![
+        (0usize..=40).prop_map(Appetite::Fixed),
+        (0usize..=10, 0usize..=30).prop_map(|(lo, extra)| Appetite::Uniform { lo, hi: lo + extra }),
+        (1u32..=1000, 0usize..=40, 0usize..=8).prop_map(|(num, heavy, light)| {
+            Appetite::Bimodal {
+                heavy_fraction: fractional(num, 1000),
+                heavy,
+                light,
+            }
+        }),
+    ]
+}
+
+fn latency_strategy() -> impl Strategy<Value = LatencyModel> {
+    prop_oneof![
+        any::<u64>().prop_map(|us| LatencyModel::Constant(SimDuration::from_micros(us))),
+        (any::<u64>(), any::<u64>()).prop_map(|(a, b)| LatencyModel::Uniform {
+            lo: SimDuration::from_micros(a.min(b)),
+            hi: SimDuration::from_micros(a.max(b)),
+        }),
+        (1u32..=100_000, 0u32..=3000, 0u64..=50_000).prop_map(|(median, sigma, floor)| {
+            LatencyModel::LogNormalMs {
+                median_ms: fractional(median, 100),
+                sigma: fractional(sigma, 1000),
+                floor: SimDuration::from_micros(floor),
+            }
+        }),
+    ]
+}
+
+fn flash_strategy() -> impl Strategy<Value = Option<FlashCrowd>> {
+    prop_oneof![
+        Just(None),
+        (any::<u64>(), 0u32..=5000, 1u32..=20_000).prop_map(|(at, zipf, rate)| {
+            Some(FlashCrowd {
+                at: SimTime::from_micros(at),
+                topic_zipf_s: fractional(zipf, 1000),
+                rate_factor: fractional(rate, 1000),
+            })
+        }),
+    ]
+}
+
+fn churn_strategy() -> impl Strategy<Value = Option<ChurnPlan>> {
+    prop_oneof![
+        Just(None),
+        (
+            1u32..=100_000,
+            1u32..=100_000,
+            0u32..=1000,
+            any::<u64>(),
+            any::<u64>()
+        )
+            .prop_map(|(session, down, frac, duration, warmup)| {
+                Some(ChurnPlan {
+                    mean_session_secs: fractional(session, 100),
+                    mean_downtime_secs: fractional(down, 100),
+                    churning_fraction: fractional(frac, 1000),
+                    duration: SimTime::from_micros(duration),
+                    warmup: SimTime::from_micros(warmup),
+                })
+            }),
+    ]
+}
+
+fn telemetry_strategy() -> impl Strategy<Value = Option<TelemetrySpec>> {
+    prop_oneof![
+        Just(None),
+        (
+            1u64..=10_000_000,
+            1u32..=100_000,
+            1usize..=512,
+            1u32..=1_000_000,
+            1usize..=512
+        )
+            .prop_map(|(window, load_hi, load_buckets, lat_hi, lat_buckets)| {
+                Some(TelemetrySpec {
+                    window: SimDuration::from_micros(window),
+                    load_hi: fractional(load_hi, 10),
+                    load_buckets,
+                    latency_hi_ms: fractional(lat_hi, 100),
+                    latency_buckets: lat_buckets,
+                })
+            }),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    let head = (
+        arch_strategy(),
+        1usize..=100_000,
+        1usize..=512,
+        placement_strategy(),
+        any::<bool>(),
+        1usize..=10_000,
+        0u32..=4000,
+        appetite_strategy(),
+    );
+    // Publication warmup + duration must not overflow the u64 µs
+    // horizon arithmetic — the parser rejects such files, so the
+    // round-trip property quantifies over valid phases (≈31.7 years
+    // each, far beyond any scenario).
+    let plan = (
+        1u32..=1_000_000,
+        0u64..=1_000_000_000_000_000,
+        0u32..=4000,
+        0usize..=65_536,
+        0u64..=1_000_000_000_000_000,
+        flash_strategy(),
+    );
+    let tail = (
+        churn_strategy(),
+        telemetry_strategy(),
+        latency_strategy(),
+        0u32..=999_999u32,
+        any::<u64>(),
+    );
+    (head, plan, tail).prop_map(
+        |(
+            (arch, n, shards, placement, adaptive_window, num_topics, zipf, appetite),
+            (rate, duration, topic_zipf, payload_bytes, warmup, flash),
+            (churn, telemetry, latency, loss, seed),
+        )| {
+            let loss = fractional(loss, 1_000_000);
+            let net = if loss > 0.0 {
+                NetworkModel::lossy(latency, loss)
+            } else {
+                NetworkModel::reliable(latency)
+            };
+            ScenarioSpec {
+                arch,
+                n,
+                shards,
+                placement,
+                adaptive_window,
+                num_topics,
+                zipf_s: fractional(zipf, 1000),
+                appetite,
+                plan: PubPlan {
+                    rate_per_sec: fractional(rate, 1000),
+                    duration: SimTime::from_micros(duration),
+                    topic_zipf_s: fractional(topic_zipf, 1000),
+                    payload_bytes,
+                    warmup: SimTime::from_micros(warmup),
+                    flash,
+                },
+                churn,
+                telemetry,
+                net,
+                seed,
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `parse ∘ to_toml` is the identity on every representable spec —
+    /// architectures, placements, all three appetites and latency
+    /// models, optional flash/churn/telemetry, arbitrary u64 durations
+    /// and seeds, fractional floats.
+    #[test]
+    fn spec_to_toml_round_trips_exactly(spec in spec_strategy()) {
+        let toml = to_toml(&spec).expect("unpartitioned specs always serialize");
+        let reparsed = spec_from_toml(&toml)
+            .unwrap_or_else(|e| panic!("serialized spec failed to parse: {e}\n{toml}"));
+        prop_assert_eq!(&reparsed, &spec, "round trip diverged for:\n{}", toml);
+        // Serialization is deterministic, so a second trip is too.
+        prop_assert_eq!(to_toml(&reparsed).unwrap(), toml);
+    }
+
+    /// Injecting an unknown key anywhere in a serialized spec makes the
+    /// parse fail with a message naming that key.
+    #[test]
+    fn unknown_keys_are_rejected(spec in spec_strategy(), section_idx in 0usize..8) {
+        let toml = to_toml(&spec).unwrap();
+        // Insert a bogus key right after the (section_idx % sections)-th
+        // section header.
+        let headers: Vec<usize> = toml
+            .lines()
+            .enumerate()
+            .filter(|(_, l)| l.starts_with('['))
+            .map(|(i, _)| i)
+            .collect();
+        let target = headers[section_idx % headers.len()];
+        let mut lines: Vec<&str> = toml.lines().collect();
+        lines.insert(target + 1, "definitely_not_a_knob = 1");
+        let mangled = lines.join("\n");
+        let err = parse_scenario(&mangled).expect_err("unknown key must be rejected");
+        prop_assert!(
+            err.message.contains("definitely_not_a_knob"),
+            "error does not name the key: {}",
+            err
+        );
+    }
+}
+
+/// Malformed-file rejections with fixed, human-auditable inputs.
+mod malformed {
+    use super::*;
+
+    fn base() -> String {
+        to_toml(&ScenarioSpec::fair_gossip(64, 7)).unwrap()
+    }
+
+    #[test]
+    fn unknown_key_is_rejected() {
+        let input = base().replace("nodes = 64", "nodes = 64\nnode_count = 64");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("unknown key `node_count`"), "{err}");
+        assert!(err.line.is_some());
+    }
+
+    #[test]
+    fn bad_duration_unit_is_rejected() {
+        let input = base().replace("duration = \"20s\"", "duration = \"20sec\"");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("bad duration"), "{err}");
+        assert!(err.message.contains("20sec"), "{err}");
+    }
+
+    #[test]
+    fn out_of_range_shard_count_is_rejected() {
+        for bad in ["shards = 0", "shards = 513", "shards = -3"] {
+            let input = base().replace("shards = 1", bad);
+            let err = parse_scenario(&input).unwrap_err();
+            assert!(err.message.contains("out of range"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn negative_rate_is_rejected() {
+        let input = base().replace("rate_per_sec = 20", "rate_per_sec = -20");
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("strictly positive"), "{err}");
+    }
+
+    #[test]
+    fn horizon_overflowing_duration_is_rejected() {
+        let input = base().replace(
+            "duration = \"20s\"",
+            "duration = \"18446744073709551615us\"",
+        );
+        let err = parse_scenario(&input).unwrap_err();
+        assert!(err.message.contains("overflows"), "{err}");
+        // A huge-but-safe duration still parses.
+        let input = base().replace("duration = \"20s\"", "duration = \"1000000000s\"");
+        assert!(parse_scenario(&input).is_ok());
+    }
+
+    #[test]
+    fn missing_required_section_is_rejected() {
+        let full = base();
+        let without: String = full
+            .lines()
+            .skip_while(|l| !l.starts_with("[topics]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let err = parse_scenario(&without).unwrap_err();
+        assert!(err.message.contains("[scenario]"), "{err}");
+    }
+}
