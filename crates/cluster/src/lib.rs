@@ -113,8 +113,8 @@ mod shard_map;
 pub use shard_map::ShardMap;
 
 use fed_sim::exec::{
-    seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, NullProbe, Probe,
-    TransportStats, EXTERNAL_SRC,
+    seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, NullProbe, NullProfiler,
+    Probe, Profiler, QueueStats, TransportStats, WindowWork, EXTERNAL_SRC,
 };
 use fed_sim::network::NetworkModel;
 use fed_sim::protocol::{NodeId, Protocol};
@@ -175,6 +175,57 @@ pub struct ClusterReport {
     pub windows: u64,
     /// `false` when the event budget was exhausted before the target time.
     pub completed: bool,
+}
+
+/// One conservative window as the coordinator decided it.
+///
+/// `index`, `start`, `width`, `straggler`, `ends` and `events` are
+/// deterministic (they follow from the summaries, which follow from the
+/// event streams); `wall_ns` is a host measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowRecord {
+    /// 1-based window number within the `run_until_profiled` call.
+    pub index: u64,
+    /// Global minimum pending time when the window was issued.
+    pub start: SimTime,
+    /// Target width in effect when the window was issued.
+    pub width: SimDuration,
+    /// The shard holding the global minimum — the shard whose pending
+    /// work bounded every *other* shard's window end. When its head time
+    /// trails the rest of the cluster, it is the straggler the
+    /// conservative scheduler is waiting on.
+    pub straggler: usize,
+    /// Conservative end issued to each shard (exclusive).
+    pub ends: Vec<SimTime>,
+    /// Events each shard executed inside the window.
+    pub events: Vec<u64>,
+    /// Coordinator wall clock from issuing the window to folding its
+    /// summaries.
+    pub wall_ns: u64,
+}
+
+/// Coordinator-side schedule trace: every window's sizing decision plus
+/// per-shard straggler attribution, filled in by
+/// [`ShardedSimulation::run_until_profiled`].
+///
+/// Successive runs append; `straggler_windows[s]` counts the windows
+/// shard `s` bounded (held the global minimum head time for).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScheduleTrace {
+    /// Per-window records, in execution order.
+    pub windows: Vec<WindowRecord>,
+    /// Windows each shard was the straggler for, indexed by shard.
+    pub straggler_windows: Vec<u64>,
+}
+
+impl ScheduleTrace {
+    fn record(&mut self, rec: WindowRecord, num_shards: usize) {
+        if self.straggler_windows.len() < num_shards {
+            self.straggler_windows.resize(num_shards, 0);
+        }
+        self.straggler_windows[rec.straggler] += 1;
+        self.windows.push(rec);
+    }
 }
 
 /// One shard: a kernel for the nodes it owns plus its private queue.
@@ -272,9 +323,10 @@ struct Summary {
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop<P, C>(
+fn worker_loop<P, C, R>(
     shard: &mut Shard<P>,
     mut probe: Option<&mut C>,
+    mut profiler: Option<&mut R>,
     factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
     map: &ShardMap,
     ctl_rx: Receiver<ToShard>,
@@ -284,6 +336,7 @@ fn worker_loop<P, C>(
 ) where
     P: Protocol,
     C: Probe,
+    R: Profiler,
 {
     let num_shards = map.num_shards();
     let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| factory(id, rng);
@@ -294,7 +347,13 @@ fn worker_loop<P, C>(
     } = shard;
     let mut out: Vec<Batch<P>> = (0..num_shards).map(|_| Vec::new()).collect();
     let mut out_min: Vec<Option<SimTime>> = vec![None; num_shards];
-    while let Ok(msg) = ctl_rx.recv() {
+    // Wall clocks are taken only when a profiler is attached, so the
+    // unprofiled hot path pays nothing beyond a `None` branch.
+    let timing = profiler.is_some();
+    loop {
+        let wait_t0 = timing.then(std::time::Instant::now);
+        let Ok(msg) = ctl_rx.recv() else { break };
+        let wait_ns = wait_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
         match msg {
             ToShard::Done { drain } => {
                 // Batches sent during the final window are still in our
@@ -310,6 +369,7 @@ fn worker_loop<P, C>(
                 break;
             }
             ToShard::Window { end, drain } => {
+                let exch_t0 = timing.then(std::time::Instant::now);
                 if drain {
                     for rx in mail_rxs.iter().flatten() {
                         for (key, kind) in rx.recv().expect("peer batch") {
@@ -317,6 +377,7 @@ fn worker_loop<P, C>(
                         }
                     }
                 }
+                let mut exchange_ns = exch_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
                 let lookahead = kernel.net().min_latency();
                 let mut events = 0u64;
                 // `dyn_end` starts at the coordinator's conservative end
@@ -324,6 +385,7 @@ fn worker_loop<P, C>(
                 // [`ShardSink`]); unprocessed events simply wait for the
                 // next window.
                 let mut dyn_end = end;
+                let exec_t0 = timing.then(std::time::Instant::now);
                 while let Some((key, kind)) = queue.pop_before(dyn_end) {
                     events += 1;
                     let mut sink = ShardSink {
@@ -341,16 +403,43 @@ fn worker_loop<P, C>(
                         &mut factory,
                         &mut sink,
                         probe.as_deref_mut().map(|p| p as &mut dyn Probe),
+                        profiler.as_deref_mut().map(|p| p as &mut dyn Profiler),
                     );
+                }
+                let execute_ns = exec_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                if let Some(p) = profiler.as_deref_mut() {
+                    let (mut msgs, mut bytes) = (0u64, 0u64);
+                    for batch in &out {
+                        msgs += batch.len() as u64;
+                        for (_, kind) in batch {
+                            if let EventKind::Deliver { msg, .. } = kind {
+                                bytes += P::message_size(msg) as u64;
+                            }
+                        }
+                    }
+                    if msgs > 0 {
+                        p.on_mailbox(msgs, bytes);
+                    }
                 }
                 // Exchange: exactly one batch (possibly empty) to every
                 // peer, every window — receivers rely on the count.
+                let send_t0 = timing.then(std::time::Instant::now);
                 for (dest, tx) in mail_txs.iter().enumerate() {
                     if let Some(tx) = tx {
                         if tx.send(std::mem::take(&mut out[dest])).is_err() {
                             return; // peer gone, coordinator shutting down
                         }
                     }
+                }
+                exchange_ns += send_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                if let Some(p) = profiler.as_deref_mut() {
+                    p.on_window(WindowWork {
+                        end: dyn_end,
+                        events,
+                        execute_ns,
+                        exchange_ns,
+                        wait_ns,
+                    });
                 }
                 let summary = Summary {
                     shard: *index,
@@ -559,6 +648,20 @@ impl<P: Protocol> ShardedSimulation<P> {
         self.windows
     }
 
+    /// Push/pop/overflow counters summed over every shard's queue.
+    ///
+    /// `pushes` and `pops` are partition-invariant and match the
+    /// sequential engine's [`fed_sim::Simulation::queue_stats`] for the
+    /// same run; `overflow_hits` depends on per-shard queue geometry and
+    /// does not (see [`QueueStats`]).
+    pub fn queue_stats(&self) -> QueueStats {
+        let mut total = QueueStats::default();
+        for s in &self.shards {
+            total.merge(&s.queue.stats());
+        }
+        total
+    }
+
     fn shard_of(&self, id: NodeId) -> usize {
         self.map.shard_of(id)
     }
@@ -677,11 +780,51 @@ where
     where
         C: Probe + Send,
     {
+        self.run_until_profiled::<C, NullProfiler>(target, probes, &mut [], None)
+    }
+
+    /// [`ShardedSimulation::run_until_probed`] with one [`Profiler`] per
+    /// shard and an optional coordinator-side [`ScheduleTrace`].
+    ///
+    /// Worker `s` threads `profilers[s]` through its dispatch loop
+    /// (deterministic [`Profiler::on_event`] per event) and reports its
+    /// per-window phase wall clocks and mailbox traffic to it; the
+    /// coordinator appends every window's sizing decision and straggler
+    /// attribution to `schedule` when one is given. Pass empty slices /
+    /// `None` to turn each instrument off individually; with everything
+    /// off this is exactly [`ShardedSimulation::run_until_probed`] —
+    /// profilers are passive and no wall clock is read.
+    ///
+    /// Setting `FED_TRACE=1` (or the legacy alias `FED_TRACE_WINDOWS=1`)
+    /// additionally logs one structured
+    /// `FED_TRACE window=… start=… width=… straggler=… events=… wall_us=…`
+    /// line per window to stderr, with or without a trace attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes` or `profilers` is non-empty with length ≠ the
+    /// shard count.
+    pub fn run_until_profiled<C, R>(
+        &mut self,
+        target: SimTime,
+        probes: &mut [C],
+        profilers: &mut [R],
+        mut schedule: Option<&mut ScheduleTrace>,
+    ) -> ClusterReport
+    where
+        C: Probe + Send,
+        R: Profiler + Send,
+    {
         let num_shards = self.map.num_shards();
         assert!(
             probes.is_empty() || probes.len() == num_shards,
             "need one probe per shard ({} != {num_shards})",
             probes.len()
+        );
+        assert!(
+            profilers.is_empty() || profilers.len() == num_shards,
+            "need one profiler per shard ({} != {num_shards})",
+            profilers.len()
         );
         let lookahead = self.lookahead;
         let policy = self.window;
@@ -700,12 +843,22 @@ where
         // `target` is inclusive like the sequential engine; windows have
         // exclusive ends, so the last window may end just past it.
         let hard_end = target.saturating_add(SimDuration::from_micros(1));
-        // Set FED_TRACE_WINDOWS=1 to log per-window scheduling decisions.
-        let trace = std::env::var_os("FED_TRACE_WINDOWS").is_some();
+        // FED_TRACE=1 (or the legacy FED_TRACE_WINDOWS=1) logs one
+        // structured line per window to stderr.
+        let log_windows = std::env::var_os("FED_TRACE").is_some()
+            || std::env::var_os("FED_TRACE_WINDOWS").is_some();
+        // Record windows (and read the coordinator wall clock) only when
+        // someone is listening.
+        let timing = log_windows || schedule.is_some();
         let mut probe_slots: Vec<Option<&mut C>> = if probes.is_empty() {
             (0..num_shards).map(|_| None).collect()
         } else {
             probes.iter_mut().map(Some).collect()
+        };
+        let mut profiler_slots: Vec<Option<&mut R>> = if profilers.is_empty() {
+            (0..num_shards).map(|_| None).collect()
+        } else {
+            profilers.iter_mut().map(Some).collect()
         };
         std::thread::scope(|scope| {
             let (sum_tx, sum_rx) = channel::<Summary>();
@@ -729,7 +882,12 @@ where
             let mut ctl_txs = Vec::with_capacity(num_shards);
             let mut mail_rxs = mail_rxs.into_iter();
             let mut mail_txs = mail_txs.into_iter();
-            for (shard, probe) in self.shards.iter_mut().zip(probe_slots.drain(..)) {
+            for ((shard, probe), profiler) in self
+                .shards
+                .iter_mut()
+                .zip(probe_slots.drain(..))
+                .zip(profiler_slots.drain(..))
+            {
                 let (ctl_tx, ctl_rx) = channel::<ToShard>();
                 ctl_txs.push(ctl_tx);
                 let sum_tx = sum_tx.clone();
@@ -738,7 +896,9 @@ where
                 let txs = mail_txs.next().expect("one row per shard");
                 let rxs = mail_rxs.next().expect("one row per shard");
                 scope.spawn(move || {
-                    worker_loop(shard, probe, &*factory, &map, ctl_rx, sum_tx, txs, rxs)
+                    worker_loop(
+                        shard, probe, profiler, &*factory, &map, ctl_rx, sum_tx, txs, rxs,
+                    )
                 });
             }
             drop(sum_tx);
@@ -773,7 +933,8 @@ where
                 if start > target {
                     break;
                 }
-                let window_t0 = trace.then(std::time::Instant::now);
+                let window_t0 = timing.then(std::time::Instant::now);
+                let mut window_ends = timing.then(|| Vec::with_capacity(num_shards));
                 let drain = report.windows > 0;
                 for (d, ctl) in ctl_txs.iter().enumerate() {
                     // Conservative per-shard bound: shard s cannot emit
@@ -788,6 +949,9 @@ where
                         end = end.min(a.saturating_add(lookahead));
                     }
                     let end = end.min(hard_end);
+                    if let Some(ends) = window_ends.as_mut() {
+                        ends.push(end);
+                    }
                     ctl.send(ToShard::Window { end, drain })
                         .expect("worker thread alive");
                 }
@@ -819,12 +983,33 @@ where
                 }
                 report.events += window_events;
                 report.windows += 1;
-                if let Some(t0) = window_t0 {
-                    eprintln!(
-                        "window {} start={start} width={width} events={window_events} wall_us={}",
-                        report.windows,
-                        t0.elapsed().as_micros()
-                    );
+                if let (Some(t0), Some(ends)) = (window_t0, window_ends) {
+                    let wall_ns = t0.elapsed().as_nanos() as u64;
+                    if log_windows {
+                        eprintln!(
+                            "FED_TRACE window={} start={start} width={width} \
+                             straggler={holder} events={window_events} wall_us={}",
+                            report.windows,
+                            wall_ns / 1_000
+                        );
+                    }
+                    if let Some(trace) = schedule.as_deref_mut() {
+                        trace.record(
+                            WindowRecord {
+                                index: report.windows,
+                                start,
+                                width,
+                                straggler: holder,
+                                ends,
+                                events: summaries
+                                    .iter()
+                                    .map(|s| s.as_ref().expect("summary per shard").events)
+                                    .collect(),
+                                wall_ns,
+                            },
+                            num_shards,
+                        );
+                    }
                 }
                 if policy.adaptive {
                     // Deterministic grow/shrink from the observed events
@@ -1239,5 +1424,115 @@ mod tests {
                 "boundary-aligned cluster with {shards} shards diverged"
             );
         }
+    }
+
+    /// Queue pushes/pops are partition-invariant: the sum over shards
+    /// equals the sequential engine's single queue, at every shard count.
+    #[test]
+    fn queue_stats_match_sequential_engine() {
+        let horizon = SimTime::from_secs(1);
+        let mut seq = Simulation::new(16, lossy_net(), 42, |_, _| Chatter::default());
+        schedule(&mut seq);
+        seq.run_until(horizon);
+        let expect = seq.queue_stats();
+        assert!(expect.pushes > 0 && expect.pops > 0);
+        assert!(
+            expect.pops <= expect.pushes,
+            "cannot pop more than was pushed"
+        );
+        assert_eq!(expect.pops, seq.events_processed());
+
+        for shards in [1, 2, 4, 7] {
+            let mut cluster =
+                ShardedSimulation::new(16, lossy_net(), 42, shards, |_, _| Chatter::default());
+            schedule(&mut cluster);
+            cluster.run_until(horizon);
+            let got = cluster.queue_stats();
+            assert_eq!(
+                (got.pushes, got.pops),
+                (expect.pushes, expect.pops),
+                "queue traffic with {shards} shards diverged from sequential"
+            );
+        }
+    }
+
+    /// A per-shard profiler counting dispatched events.
+    #[derive(Debug, Default)]
+    struct CountEvents {
+        events: u64,
+        windows: u64,
+        mailbox_msgs: u64,
+    }
+
+    impl Profiler for CountEvents {
+        fn on_event(&mut self, _now: SimTime) {
+            self.events += 1;
+        }
+        fn on_window(&mut self, _work: WindowWork) {
+            self.windows += 1;
+        }
+        fn on_mailbox(&mut self, msgs: u64, _bytes: u64) {
+            self.mailbox_msgs += msgs;
+        }
+    }
+
+    /// Profiling and schedule tracing are passive (bit-identical run),
+    /// profiler event counts sum to the report, and the schedule trace
+    /// attributes every window to exactly one straggler.
+    #[test]
+    fn profilers_and_schedule_trace_are_passive_and_consistent() {
+        let horizon = SimTime::from_secs(1);
+        let mut plain = ShardedSimulation::new(16, lossy_net(), 42, 4, |_, _| Chatter::default());
+        schedule(&mut plain);
+        let plain_report = plain.run_until(horizon);
+        let expect = fingerprint_cluster(&plain);
+
+        let mut profiled =
+            ShardedSimulation::new(16, lossy_net(), 42, 4, |_, _| Chatter::default());
+        schedule(&mut profiled);
+        let mut profilers: Vec<CountEvents> = (0..4).map(|_| CountEvents::default()).collect();
+        let mut trace = ScheduleTrace::default();
+        let report = profiled.run_until_profiled::<NullProbe, _>(
+            horizon,
+            &mut [],
+            &mut profilers,
+            Some(&mut trace),
+        );
+        assert_eq!(
+            fingerprint_cluster(&profiled),
+            expect,
+            "profiling perturbed the run"
+        );
+        assert_eq!(report.events, plain_report.events);
+        assert_eq!(
+            profilers.iter().map(|p| p.events).sum::<u64>(),
+            report.events,
+            "one on_event per dispatched event, summed over shards"
+        );
+        assert_eq!(
+            profilers.iter().map(|p| p.windows).sum::<u64>(),
+            report.windows * 4,
+            "every shard reports every window"
+        );
+        assert!(
+            profilers.iter().map(|p| p.mailbox_msgs).sum::<u64>() > 0,
+            "a 4-shard chatter run must exchange cross-shard messages"
+        );
+        assert_eq!(trace.windows.len() as u64, report.windows);
+        assert_eq!(trace.straggler_windows.len(), 4);
+        assert_eq!(
+            trace.straggler_windows.iter().sum::<u64>(),
+            report.windows,
+            "each window has exactly one straggler"
+        );
+        for (i, w) in trace.windows.iter().enumerate() {
+            assert_eq!(w.index, i as u64 + 1);
+            assert_eq!(w.ends.len(), 4);
+            assert_eq!(w.events.len(), 4);
+            assert!(w.straggler < 4);
+            assert!(w.ends.iter().all(|&e| e > w.start));
+        }
+        let traced_events: u64 = trace.windows.iter().flat_map(|w| w.events.iter()).sum();
+        assert_eq!(traced_events, report.events);
     }
 }

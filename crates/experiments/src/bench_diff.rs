@@ -1,0 +1,274 @@
+//! bench-diff — compare two `BENCH_*` JSON artifacts row by row.
+//!
+//! `fed-experiments bench-diff <old.json> <new.json> [--threshold F]`
+//! reads both files as JSON arrays of flat records (the shape every
+//! `BENCH_cluster.json` / `BENCH_profile.json` / `BENCH_timeseries.json`
+//! writer emits), matches rows by their *configuration* fields (suite,
+//! arch, n, shards, placement, …), and reports the per-row events/s
+//! delta. A row whose throughput dropped by more than the threshold is a
+//! regression and fails the command — CI diffs the fresh artifact
+//! against the committed one (`git show HEAD:BENCH_cluster.json`).
+//!
+//! Configurations appear many times in an appended artifact (one record
+//! per historical run); the **last occurrence wins**, so the diff always
+//! compares the most recent measurement on each side.
+
+use fed_metrics::table::{fmt_f64, Table};
+use fed_profile::json::{self, Value};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Fields that are measurements, not configuration — excluded from the
+/// row key. Everything else (strings, bools, config numbers) identifies
+/// the row.
+const MEASUREMENT_FIELDS: &[&str] = &[
+    "events",
+    "windows",
+    "wall_ms",
+    "events_per_sec",
+    "wall_ms_off",
+    "wall_ms_on",
+    "overhead_frac",
+    "events_per_sec_off",
+    "events_per_sec_on",
+    "execute_ms",
+    "exchange_ms",
+    "barrier_ms",
+    "idle_ms",
+    "series",
+    "identical",
+];
+
+/// Default regression threshold: a row fails when its events/s dropped
+/// by more than this fraction. Generous because wall-clock throughput on
+/// shared CI hardware is noisy.
+pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+fn scalar_repr(v: &Value) -> Option<String> {
+    match v {
+        Value::Str(s) => Some(s.clone()),
+        Value::Bool(b) => Some(b.to_string()),
+        Value::Num(n) => Some(if n.fract() == 0.0 && n.abs() < 1e15 {
+            format!("{}", *n as i64)
+        } else {
+            format!("{n}")
+        }),
+        _ => None,
+    }
+}
+
+/// The configuration key of one record: every scalar field that is not a
+/// measurement, sorted by name.
+fn row_key(obj: &Value) -> Option<String> {
+    let Value::Obj(map) = obj else { return None };
+    let mut parts: BTreeMap<&str, String> = BTreeMap::new();
+    for (k, v) in map {
+        if MEASUREMENT_FIELDS.contains(&k.as_str()) {
+            continue;
+        }
+        parts.insert(k.as_str(), scalar_repr(v)?);
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    Some(
+        parts
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join(" "),
+    )
+}
+
+/// The throughput metric of one record, when it carries one.
+fn rate_of(obj: &Value) -> Option<f64> {
+    obj.get("events_per_sec")
+        .or_else(|| obj.get("events_per_sec_on"))
+        .and_then(|v| v.as_f64())
+}
+
+fn index(text: &str, label: &str) -> Result<BTreeMap<String, Value>, String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: not valid JSON: {e}"))?;
+    let rows = doc
+        .as_array()
+        .ok_or_else(|| format!("{label}: top level is not a JSON array"))?;
+    let mut map = BTreeMap::new();
+    for row in rows {
+        if let Some(key) = row_key(row) {
+            // Later records of the same configuration replace earlier
+            // ones: last occurrence wins.
+            map.insert(key, row.clone());
+        }
+    }
+    Ok(map)
+}
+
+/// Result of one bench diff.
+#[derive(Debug)]
+pub struct DiffReport {
+    /// One row per configuration present in either file.
+    pub table: Table,
+    /// Configurations whose throughput regressed past the threshold.
+    pub regressions: Vec<String>,
+    /// Configurations compared on both sides.
+    pub compared: usize,
+}
+
+/// Diffs two artifact texts. `threshold` is the allowed fractional
+/// events/s drop before a row counts as a regression.
+///
+/// # Errors
+///
+/// Returns a message when either text is not a JSON array.
+pub fn diff(old_text: &str, new_text: &str, threshold: f64) -> Result<DiffReport, String> {
+    let old = index(old_text, "old")?;
+    let new = index(new_text, "new")?;
+    let mut table = Table::new(
+        format!("BENCH-DIFF (threshold {})", fmt_f64(threshold)),
+        &["row", "old events/s", "new events/s", "delta", "status"],
+    );
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    let dash = || "-".to_string();
+    for (key, new_row) in &new {
+        match old.get(key) {
+            None => {
+                table.row_owned(vec![
+                    key.clone(),
+                    dash(),
+                    rate_of(new_row).map(fmt_f64).unwrap_or_else(dash),
+                    dash(),
+                    "added".to_string(),
+                ]);
+            }
+            Some(old_row) => {
+                compared += 1;
+                match (rate_of(old_row), rate_of(new_row)) {
+                    (Some(o), Some(n)) if o > 0.0 => {
+                        let delta = n / o - 1.0;
+                        let status = if delta < -threshold {
+                            regressions.push(key.clone());
+                            "REGRESSION".to_string()
+                        } else {
+                            "ok".to_string()
+                        };
+                        table.row_owned(vec![
+                            key.clone(),
+                            fmt_f64(o),
+                            fmt_f64(n),
+                            format!("{:+.1}%", delta * 100.0),
+                            status,
+                        ]);
+                    }
+                    _ => {
+                        table.row_owned(vec![key.clone(), dash(), dash(), dash(), "ok".into()]);
+                    }
+                }
+            }
+        }
+    }
+    for (key, old_row) in &old {
+        if !new.contains_key(key) {
+            table.row_owned(vec![
+                key.clone(),
+                rate_of(old_row).map(fmt_f64).unwrap_or_else(dash),
+                dash(),
+                dash(),
+                "removed".to_string(),
+            ]);
+        }
+    }
+    Ok(DiffReport {
+        table,
+        regressions,
+        compared,
+    })
+}
+
+/// Diffs two artifact files on disk.
+///
+/// # Errors
+///
+/// Returns a message when a file cannot be read or parsed.
+pub fn diff_files(
+    old_path: impl AsRef<Path>,
+    new_path: impl AsRef<Path>,
+    threshold: f64,
+) -> Result<DiffReport, String> {
+    let old_path = old_path.as_ref();
+    let new_path = new_path.as_ref();
+    let old = std::fs::read_to_string(old_path)
+        .map_err(|e| format!("cannot read {}: {e}", old_path.display()))?;
+    let new = std::fs::read_to_string(new_path)
+        .map_err(|e| format!("cannot read {}: {e}", new_path.display()))?;
+    diff(&old, &new, threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(suite: &str, shards: usize, rate: f64) -> String {
+        format!(
+            "{{\"suite\":\"{suite}\",\"arch\":\"fair-gossip\",\"n\":1000,\
+             \"shards\":{shards},\"events\":5,\"events_per_sec\":{rate}}}"
+        )
+    }
+
+    fn doc(rows: &[String]) -> String {
+        format!("[{}]", rows.join(","))
+    }
+
+    #[test]
+    fn matching_rows_within_threshold_pass() {
+        let old = doc(&[row("smoke", 4, 1000.0)]);
+        let new = doc(&[row("smoke", 4, 900.0)]);
+        let r = diff(&old, &new, 0.2).unwrap();
+        assert_eq!(r.compared, 1);
+        assert!(r.regressions.is_empty(), "{}", r.table);
+    }
+
+    #[test]
+    fn regression_past_threshold_is_flagged() {
+        let old = doc(&[row("smoke", 4, 1000.0)]);
+        let new = doc(&[row("smoke", 4, 400.0)]);
+        let r = diff(&old, &new, 0.5).unwrap();
+        assert_eq!(r.regressions.len(), 1);
+        assert!(r.regressions[0].contains("suite=smoke"));
+    }
+
+    #[test]
+    fn last_occurrence_of_a_configuration_wins() {
+        let old = doc(&[row("smoke", 4, 100.0), row("smoke", 4, 1000.0)]);
+        let new = doc(&[row("smoke", 4, 950.0)]);
+        let r = diff(&old, &new, 0.2).unwrap();
+        assert!(r.regressions.is_empty(), "old should be 1000, not 100");
+        let new = doc(&[row("smoke", 4, 100.0)]);
+        let r = diff(&old, &new, 0.2).unwrap();
+        assert_eq!(r.regressions.len(), 1);
+    }
+
+    #[test]
+    fn added_and_removed_rows_are_reported_not_failed() {
+        let old = doc(&[row("smoke", 4, 1000.0)]);
+        let new = doc(&[row("smoke", 8, 1000.0)]);
+        let r = diff(&old, &new, 0.2).unwrap();
+        assert_eq!(r.compared, 0);
+        assert!(r.regressions.is_empty());
+        assert_eq!(r.table.len(), 2, "one added + one removed row");
+    }
+
+    #[test]
+    fn rows_without_a_rate_metric_are_tolerated() {
+        let old = r#"[{"suite":"timeseries","arch":"broker","n":64,"shards":2,"identical":true,"series":[]}]"#;
+        let r = diff(old, old, 0.2).unwrap();
+        assert_eq!(r.compared, 1);
+        assert!(r.regressions.is_empty());
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(diff("not json", "[]", 0.2).is_err());
+        assert!(diff("{}", "[]", 0.2).is_err());
+    }
+}

@@ -48,7 +48,7 @@ pub struct BenchRecord {
 
 /// Minimal JSON string escaping (the names we write are plain ASCII, but
 /// stay correct for anything).
-fn escape(s: &str) -> String {
+pub(crate) fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -89,12 +89,12 @@ impl BenchRecord {
     }
 }
 
-fn render(records: &[BenchRecord]) -> String {
+fn render(objects: &[String]) -> String {
     let mut body = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
+    for (i, r) in objects.iter().enumerate() {
         body.push_str("  ");
-        body.push_str(&r.to_json());
-        if i + 1 < records.len() {
+        body.push_str(r);
+        if i + 1 < objects.len() {
             body.push(',');
         }
         body.push('\n');
@@ -103,16 +103,18 @@ fn render(records: &[BenchRecord]) -> String {
     body
 }
 
-/// Writes `records` to `path` as a JSON array, replacing the file.
-pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
-    fs::write(path, render(records))
+/// Writes pre-rendered JSON objects to `path` as one array, replacing the
+/// file.
+pub fn write_json_objects(path: impl AsRef<Path>, objects: &[String]) -> io::Result<()> {
+    fs::write(path, render(objects))
 }
 
-/// Appends `records` to the JSON array at `path`, creating the file if it
-/// is missing. An existing file is spliced before its closing bracket; a
-/// file that does not look like a JSON array is replaced.
-pub fn append_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
-    if records.is_empty() {
+/// Appends pre-rendered JSON objects to the array at `path`, creating the
+/// file if it is missing — the shared splice behind every `BENCH_*`
+/// array artifact. An existing file is spliced before its closing
+/// bracket; a file that does not look like a JSON array is replaced.
+pub fn append_json_objects(path: impl AsRef<Path>, objects: &[String]) -> io::Result<()> {
+    if objects.is_empty() {
         return Ok(());
     }
     let path = path.as_ref();
@@ -123,7 +125,7 @@ pub fn append_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io:
     };
     let trimmed = existing.trim_end();
     let Some(head) = trimmed.strip_suffix(']') else {
-        return write_bench_json(path, records);
+        return write_json_objects(path, objects);
     };
     let head = head.trim_end();
     let mut out = String::from(head);
@@ -132,16 +134,29 @@ pub fn append_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io:
         out.push(',');
     }
     out.push('\n');
-    for (i, r) in records.iter().enumerate() {
+    for (i, r) in objects.iter().enumerate() {
         out.push_str("  ");
-        out.push_str(&r.to_json());
-        if i + 1 < records.len() {
+        out.push_str(r);
+        if i + 1 < objects.len() {
             out.push(',');
         }
         out.push('\n');
     }
     out.push_str("]\n");
     fs::write(path, out)
+}
+
+/// Writes `records` to `path` as a JSON array, replacing the file.
+pub fn write_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    let objects: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+    write_json_objects(path, &objects)
+}
+
+/// Appends `records` to the JSON array at `path`, creating the file if it
+/// is missing (see [`append_json_objects`]).
+pub fn append_bench_json(path: impl AsRef<Path>, records: &[BenchRecord]) -> io::Result<()> {
+    let objects: Vec<String> = records.iter().map(BenchRecord::to_json).collect();
+    append_json_objects(path, &objects)
 }
 
 #[cfg(test)]

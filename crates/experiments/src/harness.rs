@@ -28,14 +28,18 @@ use fed_baselines::dam::{DamCmd, DamConfig, DamNode, GroupTable};
 use fed_baselines::dks::{DksCmd, DksConfig, DksNode};
 use fed_baselines::scribe::{ScribeCmd, ScribeNode};
 use fed_baselines::splitstream::{Forest, SplitStreamNode, StripeCmd};
-use fed_cluster::{ShardMap, ShardedSimulation, WindowPolicy};
+use fed_cluster::{ScheduleTrace, ShardMap, ShardedSimulation, WindowPolicy};
 use fed_core::behavior::Behavior;
 use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
 use fed_core::ledger::FairnessLedger;
 use fed_dht::DhtNetwork;
 use fed_membership::FullMembership;
 use fed_metrics::delivery::DeliveryAudit;
+use fed_profile::{
+    CountingProbe, RunProfile, ScheduleSummary, ShardProfile, WindowSlice, WorkCounters,
+};
 use fed_pubsub::{Event, EventId, TopicId, TopicSpace};
+use fed_sim::exec::Profiler;
 use fed_sim::{NodeId, Protocol, SimDuration, SimTime, Simulation, TransportStats};
 use fed_telemetry::{ShardCollector, TelemetrySeries};
 use fed_util::rng::Xoshiro256StarStar;
@@ -459,6 +463,13 @@ pub struct ArchOutcome {
     /// Byte-identical across engines and shard counts for the same spec
     /// (asserted by the `telemetry_parity` integration suite).
     pub telemetry: Option<TelemetrySeries>,
+    /// Scheduler profile, when the spec enabled `[profile]`.
+    ///
+    /// Its [`RunProfile::merged_work`] counters are partition-invariant
+    /// (gated by the `profile_parity` integration suite); the wall-clock
+    /// phase timings are host measurements and intentionally excluded
+    /// from [`crate::scenario_run::outcomes_match`].
+    pub profiling: Option<RunProfile>,
 }
 
 impl ArchOutcome {
@@ -587,6 +598,59 @@ pub fn run_architecture(spec: &ScenarioSpec, engine: EngineKind) -> ArchOutcome 
     }
 }
 
+/// Engine-neutral copy of the coordinator's schedule trace, so
+/// `fed-profile` (and everything reading a [`RunProfile`]) stays
+/// independent of the cluster runtime.
+fn schedule_summary(trace: &ScheduleTrace) -> ScheduleSummary {
+    ScheduleSummary {
+        windows: trace
+            .windows
+            .iter()
+            .map(|w| WindowSlice {
+                index: w.index,
+                start_us: w.start.as_micros(),
+                end_us: w
+                    .ends
+                    .iter()
+                    .map(|e| e.as_micros())
+                    .max()
+                    .unwrap_or_else(|| w.start.as_micros()),
+                straggler: w.straggler,
+                events: w.events.iter().sum(),
+                wall_ns: w.wall_ns,
+            })
+            .collect(),
+        straggler_windows: trace.straggler_windows.clone(),
+    }
+}
+
+/// One shard's partition-invariant work counters, assembled from its
+/// profiler's event count and the transport stats of the nodes it owns.
+///
+/// Queue pushes/pops live on the engine's queues, not here — they stay
+/// zero per shard and [`RunProfile::merged_work`] fills the merged totals
+/// from the engine's [`fed_sim::exec::QueueStats`].
+fn work_counters(
+    stats: &[TransportStats],
+    owned: impl Iterator<Item = u32>,
+    events: u64,
+    probe_calls: u64,
+) -> WorkCounters {
+    let mut w = WorkCounters {
+        events,
+        probe_calls,
+        ..WorkCounters::default()
+    };
+    for id in owned {
+        let s = &stats[id as usize];
+        w.msgs_sent += s.msgs_sent;
+        w.msgs_received += s.msgs_received;
+        w.msgs_lost += s.msgs_lost;
+        w.bytes_sent += s.bytes_sent;
+    }
+    w
+}
+
 /// Monomorphic worker behind [`run_architecture`]: builds the chosen
 /// engine with `factory`, schedules the workload, runs to the horizon and
 /// collects the outcome.
@@ -603,23 +667,51 @@ where
     F: Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync + 'static,
 {
     let horizon = materialized.horizon;
+    let profiling = spec.profile.is_some();
     match engine {
         EngineKind::Sequential => {
             let mut sim = Simulation::new(spec.n, spec.net.clone(), spec.seed, factory);
             schedule_workload(&mut sim, &materialized);
-            let telemetry = match spec.telemetry {
+            let mut shard_profile = profiling.then(ShardProfile::default);
+            let run_start = profiling.then(std::time::Instant::now);
+            let (telemetry, probe_calls) = match spec.telemetry {
                 Some(t) => {
-                    let mut collector = ShardCollector::sequential(t, spec.n);
-                    sim.run_until_probed(horizon, &mut collector);
-                    Some(collector.finalize(horizon))
+                    let mut collector = CountingProbe::new(ShardCollector::sequential(t, spec.n));
+                    sim.run_profiled(
+                        horizon,
+                        Some(&mut collector),
+                        shard_profile.as_mut().map(|p| p as &mut dyn Profiler),
+                    );
+                    (Some(collector.inner.finalize(horizon)), collector.calls)
+                }
+                None if profiling => {
+                    sim.run_profiled(
+                        horizon,
+                        None,
+                        shard_profile.as_mut().map(|p| p as &mut dyn Profiler),
+                    );
+                    (None, 0)
                 }
                 None => {
                     sim.run_until(horizon);
-                    None
+                    (None, 0)
                 }
             };
+            let wall_ns = run_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             let stats = sim.transport_stats_all().to_vec();
             let events = sim.events_processed();
+            let profile = shard_profile.map(|shard| RunProfile {
+                work: vec![work_counters(
+                    &stats,
+                    0..spec.n as u32,
+                    shard.events,
+                    probe_calls,
+                )],
+                shards: vec![shard],
+                queue: sim.queue_stats(),
+                schedule: None,
+                wall_ns,
+            });
             collect(
                 spec,
                 materialized,
@@ -629,18 +721,31 @@ where
                 0,
                 1,
                 telemetry,
+                profile,
             )
         }
         EngineKind::Cluster => {
             let map = shard_map_for(spec, &materialized);
+            let num_shards = map.num_shards();
+            let owned: Option<Vec<Vec<u32>>> =
+                profiling.then(|| (0..num_shards).map(|s| map.owned(s).to_vec()).collect());
             // One shard-local collector per worker, built from the same
             // owned lists the kernels get; merged (exactly) after the
-            // run into the global series.
-            let mut collectors: Option<Vec<ShardCollector>> = spec.telemetry.map(|t| {
-                (0..map.num_shards())
-                    .map(|s| ShardCollector::new(t, spec.n, map.owned(s)))
-                    .collect()
-            });
+            // run into the global series. The counting wrapper feeds the
+            // profiler's `probe_calls` work counter and forwards
+            // everything unchanged.
+            let mut collectors: Vec<CountingProbe<ShardCollector>> = match spec.telemetry {
+                Some(t) => (0..num_shards)
+                    .map(|s| CountingProbe::new(ShardCollector::new(t, spec.n, map.owned(s))))
+                    .collect(),
+                None => Vec::new(),
+            };
+            let mut profilers: Vec<ShardProfile> = if profiling {
+                vec![ShardProfile::default(); num_shards]
+            } else {
+                Vec::new()
+            };
+            let mut trace = profiling.then(ScheduleTrace::default);
             let mut sim = ShardedSimulation::with_scheduler(
                 spec.n,
                 spec.net.clone(),
@@ -650,27 +755,46 @@ where
                 factory,
             );
             schedule_workload(&mut sim, &materialized);
-            let telemetry = match collectors.as_mut() {
-                Some(cs) => {
-                    sim.run_until_probed(horizon, cs);
-                    let mut merged: Option<TelemetrySeries> = None;
-                    for series in cs.drain(..).map(|c| c.finalize(horizon)) {
-                        match merged.as_mut() {
-                            None => merged = Some(series),
-                            Some(m) => m.merge(&series),
-                        }
+            let run_start = profiling.then(std::time::Instant::now);
+            if collectors.is_empty() && !profiling {
+                sim.run_until(horizon);
+            } else {
+                sim.run_until_profiled(horizon, &mut collectors, &mut profilers, trace.as_mut());
+            }
+            let wall_ns = run_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let probe_calls: Vec<u64> = collectors.iter().map(|c| c.calls).collect();
+            let telemetry = if collectors.is_empty() {
+                None
+            } else {
+                let mut merged: Option<TelemetrySeries> = None;
+                for series in collectors.drain(..).map(|c| c.inner.finalize(horizon)) {
+                    match merged.as_mut() {
+                        None => merged = Some(series),
+                        Some(m) => m.merge(&series),
                     }
-                    merged
                 }
-                None => {
-                    sim.run_until(horizon);
-                    None
-                }
+                merged
             };
             let stats = sim.transport_stats_all();
             let events = sim.events_processed();
             let windows = sim.windows();
             let shards = sim.num_shards();
+            let profile = owned.map(|owned| RunProfile {
+                work: (0..num_shards)
+                    .map(|s| {
+                        work_counters(
+                            &stats,
+                            owned[s].iter().copied(),
+                            profilers[s].events,
+                            probe_calls.get(s).copied().unwrap_or(0),
+                        )
+                    })
+                    .collect(),
+                shards: std::mem::take(&mut profilers),
+                queue: sim.queue_stats(),
+                schedule: trace.as_ref().map(schedule_summary),
+                wall_ns,
+            });
             collect(
                 spec,
                 materialized,
@@ -680,6 +804,7 @@ where
                 windows,
                 shards,
                 telemetry,
+                profile,
             )
         }
     }
@@ -695,6 +820,7 @@ fn collect<'a, P>(
     windows: u64,
     shards: usize,
     telemetry: Option<TelemetrySeries>,
+    profiling: Option<RunProfile>,
 ) -> ArchOutcome
 where
     P: ArchProtocol + 'a,
@@ -716,6 +842,7 @@ where
         windows,
         shards,
         telemetry,
+        profiling,
     }
 }
 
@@ -772,6 +899,41 @@ mod tests {
             assert!(outcome.total_deliveries() > 0, "{arch}: dead scenario");
             assert_eq!(outcome.windows, 0, "sequential engine has no barriers");
         }
+    }
+
+    /// Enabling `[profile]` perturbs nothing, and the merged work
+    /// counters are partition-invariant across the engines — the
+    /// `profile_parity` suite sweeps this wider.
+    #[test]
+    fn profiling_is_passive_and_partition_invariant() {
+        let base = ScenarioSpec::standard(Architecture::FairGossip, 24, 7)
+            .with_telemetry(fed_telemetry::TelemetrySpec::default());
+        let spec = base
+            .clone()
+            .with_profile(fed_profile::ProfileSpec::default());
+        let plain = run_architecture(&base, EngineKind::Sequential);
+        let seq = run_architecture(&spec, EngineKind::Sequential);
+        assert!(plain.profiling.is_none(), "off unless the spec asks");
+        assert_eq!(plain.deliveries, seq.deliveries, "profiling is passive");
+        assert_eq!(plain.telemetry, seq.telemetry);
+        let p = seq.profiling.as_ref().expect("profiling on");
+        assert_eq!(p.shards.len(), 1);
+        assert!(p.schedule.is_none(), "no windows on the sequential engine");
+        let work = p.merged_work();
+        assert_eq!(work.events, seq.events);
+        assert!(work.probe_calls > 0, "telemetry hooks counted");
+        assert!(work.queue_pops > 0 && work.queue_pushes >= work.queue_pops);
+        let clu = run_architecture(&spec.with_shards(3), EngineKind::Cluster);
+        let q = clu.profiling.as_ref().expect("profiling on");
+        assert_eq!(q.shards.len(), 3);
+        assert_eq!(work, q.merged_work(), "work counters partition-invariant");
+        let schedule = q.schedule.as_ref().expect("cluster schedule traced");
+        assert_eq!(schedule.windows.len() as u64, clu.windows);
+        assert_eq!(
+            schedule.straggler_windows.iter().sum::<u64>(),
+            clu.windows,
+            "every window has exactly one straggler"
+        );
     }
 
     /// The generic runner's sequential path and the dedicated gossip

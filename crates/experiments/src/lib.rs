@@ -17,7 +17,9 @@
 //! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
 //! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
 //! | E-TIMESERIES | [`timeseries`] | per-window fairness/latency transients under churn + flash crowd (beyond the paper) |
+//! | PROFILE | [`profile`] | scheduler profiler: phase timings, stall attribution, overhead (beyond the paper) |
 //! | RUN / PARITY | [`scenario_run`] | declarative scenario files + cross-engine parity gate (beyond the paper) |
+//! | BENCH-DIFF | [`bench_diff`] | regression diff of two `BENCH_*` artifacts (beyond the paper) |
 //!
 //! Every experiment is a plain function taking `(n, seed)` and returning a
 //! result struct with one or more [`fed_metrics::table::Table`]s; the
@@ -38,6 +40,7 @@
 
 pub mod ablation;
 pub mod arch;
+pub mod bench_diff;
 pub mod bench_json;
 pub mod bias;
 pub mod churn;
@@ -47,6 +50,7 @@ pub mod fig2;
 pub mod fig3;
 pub mod fig4;
 pub mod harness;
+pub mod profile;
 pub mod robust;
 pub mod scale;
 pub mod scenario_run;
@@ -116,6 +120,10 @@ pub const REGISTRY: &[ExperimentInfo] = &[
     ExperimentInfo {
         id: "timeseries",
         summary: "per-window fairness/latency transients (churn + flash crowd)",
+    },
+    ExperimentInfo {
+        id: "profile",
+        summary: "scheduler profiler: phase timings, stall attribution, overhead",
     },
 ];
 
@@ -209,7 +217,23 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
                 Err(e) => eprintln!("could not write {}: {e}", timeseries::BENCH_TIMESERIES_PATH),
             }
         }
-        other => return run_smoke(other, seed),
+        "profile" => {
+            let r = profile::run(256, 4, seed);
+            println!("{}", r.summary);
+            println!("{}", r.phase_table);
+            println!("{}", r.stall_table);
+            println!("{}", r.work_table);
+            assert!(r.identical, "profiled engines diverged");
+            match profile::append_profile_bench(profile::BENCH_PROFILE_PATH, &r.records) {
+                Ok(()) => eprintln!(
+                    "appended {} record(s) to {}",
+                    r.records.len(),
+                    profile::BENCH_PROFILE_PATH
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", profile::BENCH_PROFILE_PATH),
+            }
+        }
+        other => return run_smoke(other, seed) || run_profile_smoke(other, seed),
     }
     true
 }
@@ -292,28 +316,125 @@ fn run_smoke(id: &str, seed: u64) -> bool {
     true
 }
 
+/// Handles the `profile-smoke[:arch[:n[:shards]]]` pseudo-id: the smoke
+/// configuration run with profiling off then on (default: splitstream at
+/// 100 000 nodes on 8 shards), printing the overhead line, appending a
+/// record to `BENCH_profile.json` and asserting the enabled profiler
+/// stays under [`profile::OVERHEAD_BAR`]. Like `smoke`, not part of
+/// [`REGISTRY`] — CI invokes it explicitly, time-boxed.
+fn run_profile_smoke(id: &str, seed: u64) -> bool {
+    let mut parts = id.split(':');
+    if parts.next() != Some("profile-smoke") {
+        return false;
+    }
+    let arch = match parts.next() {
+        None => fed_workload::Architecture::SplitStream,
+        Some(name) => match fed_workload::Architecture::parse(name) {
+            Some(a) => a,
+            None => return false,
+        },
+    };
+    let n: usize = match parts.next() {
+        None => 100_000,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    let shards: usize = match parts.next() {
+        None => 8,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    if parts.next().is_some() {
+        return false;
+    }
+    let s = profile::smoke(arch, n, shards, seed);
+    let rec = &s.record;
+    println!(
+        "PROFILE-SMOKE {} n={} shards={}: {} events, {} windows, \
+         off {:.0} ms ({:.0} events/s), on {:.0} ms ({:.0} events/s), \
+         overhead {:+.1}%",
+        rec.arch,
+        rec.n,
+        rec.shards,
+        rec.events,
+        rec.windows,
+        rec.wall_ms_off,
+        rec.events_per_sec_off,
+        rec.wall_ms_on,
+        rec.events_per_sec_on,
+        rec.overhead_frac * 100.0,
+    );
+    if let Err(e) =
+        profile::append_profile_bench(profile::BENCH_PROFILE_PATH, std::slice::from_ref(rec))
+    {
+        eprintln!("could not append to {}: {e}", profile::BENCH_PROFILE_PATH);
+    }
+    assert!(rec.events > 0, "profile smoke processed no events");
+    assert!(
+        crate::scenario_run::outcomes_match(&s.point.off, &s.point.on),
+        "profiling changed the outcome"
+    );
+    assert!(
+        rec.overhead_frac < profile::OVERHEAD_BAR,
+        "enabled profiler overhead {:.1}% breaches the {:.0}% bar",
+        rec.overhead_frac * 100.0,
+        profile::OVERHEAD_BAR * 100.0
+    );
+    true
+}
+
 /// Executes one scenario file (`run <path.toml>` / `run @name`) and
-/// prints its report tables.
+/// prints its report tables. `force_profile` (the CLI's `--profile`
+/// flag) turns profiling on even when the file has no `[profile]`
+/// section.
+///
+/// When profiling is on, the per-shard phase/stall/work tables print
+/// after the regular report and the Chrome Trace Event JSON is written
+/// to the file's `[profile] trace` path, defaulting to
+/// `TRACE_<name>.json`.
 ///
 /// The scenario file is self-contained — its own `seed` applies, not the
 /// runner's `--seed` flag.
 ///
 /// # Errors
 ///
-/// Returns a message when the target cannot be resolved, read or parsed.
-pub fn run_scenario_target(target: &str) -> Result<(), String> {
+/// Returns a message when the target cannot be resolved, read or parsed,
+/// or the trace file cannot be written.
+pub fn run_scenario_target(target: &str, force_profile: bool) -> Result<(), String> {
     let path = scenario_run::resolve_target(target);
     let file = scenario_run::load_file(&path)?;
     let name = scenario_run::display_name(&path, &file);
     if let Some(summary) = &file.summary {
         eprintln!("{name}: {summary}");
     }
-    let report = scenario_run::run_scenario(&name, &file.spec);
+    let mut spec = file.spec.clone();
+    if force_profile && spec.profile.is_none() {
+        spec.profile = Some(fed_profile::ProfileSpec::default());
+    }
+    let report = scenario_run::run_scenario(&name, &spec);
     println!("{}", report.summary);
     println!("{}", report.fairness);
     println!("{}", report.latency);
     if let Some(t) = &report.telemetry {
         println!("{t}");
+    }
+    for t in &report.profile_tables {
+        println!("{t}");
+    }
+    if let Some(profile) = &report.outcome.profiling {
+        let trace_path = spec
+            .profile
+            .as_ref()
+            .and_then(|p| p.trace.clone())
+            .unwrap_or_else(|| format!("TRACE_{name}.json"));
+        let trace = fed_profile::chrome_trace_json(profile, &name);
+        std::fs::write(&trace_path, trace)
+            .map_err(|e| format!("cannot write trace {trace_path}: {e}"))?;
+        eprintln!("wrote {trace_path} (load in https://ui.perfetto.dev)");
     }
     if report.outcome.total_deliveries() == 0 {
         return Err(format!(
@@ -322,6 +443,33 @@ pub fn run_scenario_target(target: &str) -> Result<(), String> {
         ));
     }
     Ok(())
+}
+
+/// Runs the `bench-diff` command: diff a fresh `BENCH_*` artifact
+/// against a committed one and fail on throughput regressions past
+/// `threshold` (default [`bench_diff::DEFAULT_THRESHOLD`]).
+///
+/// # Errors
+///
+/// Returns a message when a file cannot be loaded or any row regressed.
+pub fn bench_diff_target(old: &str, new: &str, threshold: Option<f64>) -> Result<(), String> {
+    let threshold = threshold.unwrap_or(bench_diff::DEFAULT_THRESHOLD);
+    let report = bench_diff::diff_files(old, new, threshold)?;
+    println!("{}", report.table);
+    eprintln!(
+        "bench-diff: compared {} configuration(s), {} regression(s)",
+        report.compared,
+        report.regressions.len()
+    );
+    if report.regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "bench-diff: events/s regressed past {:.0}% on: {}",
+            threshold * 100.0,
+            report.regressions.join("; ")
+        ))
+    }
 }
 
 /// Runs the cross-engine parity gate (`parity <target>` / `parity @all`)

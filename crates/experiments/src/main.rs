@@ -5,20 +5,29 @@
 //! fed-experiments fig1 arch            # run selected experiments
 //! fed-experiments --seed 7 fig1
 //! fed-experiments run scenarios/wan-lognormal.toml
+//! fed-experiments run --profile @fair-vs-static
 //! fed-experiments run @flash-crowd-100k
 //! fed-experiments parity @all          # whole-library cross-engine gate
+//! fed-experiments bench-diff old.json BENCH_cluster.json
 //! ```
 
 use std::process::ExitCode;
 
 /// One unit of work named on the command line.
 enum Command {
-    /// A registered experiment id (or `smoke:*` pseudo-id).
+    /// A registered experiment id (or `smoke:*` / `profile-smoke:*`
+    /// pseudo-id).
     Experiment(String),
-    /// `run <path.toml|@name>` — execute one scenario file.
-    Run(String),
+    /// `run [--profile] <path.toml|@name>` — execute one scenario file.
+    Run { target: String, profile: bool },
     /// `parity <path.toml|@name|@all>` — cross-engine parity gate.
     Parity(String),
+    /// `bench-diff <old.json> <new.json> [--threshold F]`.
+    BenchDiff {
+        old: String,
+        new: String,
+        threshold: Option<f64>,
+    },
 }
 
 fn print_help() {
@@ -28,24 +37,35 @@ fn print_help() {
         println!("  {:<12} {}", e.id, e.summary);
     }
     println!("\nscenario files:");
-    println!("  run <path.toml|@name>       execute one declarative scenario");
+    println!("  run [--profile] <path.toml|@name>");
+    println!("                              execute one declarative scenario");
     println!("                              (@name resolves to scenarios/<name>.toml;");
-    println!("                              the file's own seed applies)");
+    println!("                              the file's own seed applies; --profile forces");
+    println!("                              profiling on and writes TRACE_<name>.json)");
     println!("  parity <path.toml|@name|@all>");
     println!(
         "                              seq-vs-cluster bit-identity gate at shards {:?}",
         fed_experiments::scenario_run::PARITY_SHARDS
     );
     println!("                              plus the file's own shard count");
+    println!("\nbenchmark artifacts:");
+    println!("  bench-diff <old.json> <new.json> [--threshold F]");
+    println!("                              per-row events/s diff of two BENCH_* arrays;");
+    println!(
+        "                              fails on drops past the threshold (default {})",
+        fed_experiments::bench_diff::DEFAULT_THRESHOLD
+    );
     println!("\nlarge-population smoke:");
     println!("  smoke[:arch[:n[:shards[:placement[:window]]]]]");
     println!("                              cluster liveness run (default splitstream:100000:8)");
+    println!("  profile-smoke[:arch[:n[:shards]]]");
+    println!("                              profiler off/on overhead gate on the same workload");
 }
 
 fn main() -> ExitCode {
     let mut seed = 42u64;
     let mut commands: Vec<Command> = Vec::new();
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -60,14 +80,59 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "run" | "parity" => {
-                let Some(target) = args.next() else {
+                let mut profile = false;
+                let mut target = args.next();
+                if arg == "run" && target.as_deref() == Some("--profile") {
+                    profile = true;
+                    target = args.next();
+                }
+                let Some(target) = target else {
                     eprintln!("{arg} requires a target: a scenario .toml path or @name");
                     return ExitCode::FAILURE;
                 };
                 commands.push(if arg == "run" {
-                    Command::Run(target)
+                    Command::Run { target, profile }
                 } else {
                     Command::Parity(target)
+                });
+            }
+            "bench-diff" => {
+                let mut threshold = None;
+                let mut paths = Vec::new();
+                while paths.len() < 2 {
+                    match args.next() {
+                        Some(v) if v == "--threshold" => {
+                            match args.next().and_then(|v| v.parse().ok()) {
+                                Some(f) => threshold = Some(f),
+                                None => {
+                                    eprintln!("--threshold requires a fraction (e.g. 0.5)");
+                                    return ExitCode::FAILURE;
+                                }
+                            }
+                        }
+                        Some(v) => paths.push(v),
+                        None => {
+                            eprintln!("bench-diff requires two paths: <old.json> <new.json>");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if args.peek().map(String::as_str) == Some("--threshold") {
+                    args.next();
+                    match args.next().and_then(|v| v.parse().ok()) {
+                        Some(f) => threshold = Some(f),
+                        None => {
+                            eprintln!("--threshold requires a fraction (e.g. 0.5)");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                let new = paths.pop().expect("two paths");
+                let old = paths.pop().expect("two paths");
+                commands.push(Command::BenchDiff {
+                    old,
+                    new,
+                    threshold,
                 });
             }
             other => commands.push(Command::Experiment(other.to_string())),
@@ -90,9 +155,9 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            Command::Run(target) => {
+            Command::Run { target, profile } => {
                 eprintln!("=== running scenario {target} ===");
-                if let Err(e) = fed_experiments::run_scenario_target(target) {
+                if let Err(e) = fed_experiments::run_scenario_target(target, *profile) {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
@@ -100,6 +165,17 @@ fn main() -> ExitCode {
             Command::Parity(target) => {
                 eprintln!("=== parity gate {target} ===");
                 if let Err(e) = fed_experiments::parity_target(target) {
+                    eprintln!("{e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Command::BenchDiff {
+                old,
+                new,
+                threshold,
+            } => {
+                eprintln!("=== bench-diff {old} vs {new} ===");
+                if let Err(e) = fed_experiments::bench_diff_target(old, new, *threshold) {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }

@@ -1,0 +1,487 @@
+//! PROFILE — scheduler profiler: phase tables, stall attribution,
+//! instrumentation overhead.
+//!
+//! The registered `profile` experiment runs one scenario three ways —
+//! sequential with profiling, cluster without, cluster with — and
+//! reports (a) the per-shard wall-clock phase breakdown, (b) which shard
+//! bounded each conservative window (stall attribution), (c) the merged
+//! deterministic work counters, gated byte-identical between the
+//! engines, and (d) the profiler's own overhead, appended to
+//! `BENCH_profile.json`.
+//!
+//! The `profile-smoke[:arch[:n[:shards]]]` pseudo-id is the
+//! large-population CI entry point: the same off/on overhead measurement
+//! on the standard smoke workload, asserting the enabled profiler stays
+//! under [`OVERHEAD_BAR`].
+
+use crate::bench_json::{append_json_objects, escape};
+use crate::harness::{run_architecture, ArchOutcome, EngineKind};
+use crate::scale::smoke_spec;
+use crate::scenario_run::outcomes_match;
+use fed_metrics::table::{fmt_f64, Table};
+use fed_profile::{ProfileSpec, RunProfile};
+use fed_sim::SimTime;
+use fed_telemetry::TelemetrySpec;
+use fed_workload::pubs::PubPlan;
+use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Default output path of the profiler benchmark artifact, relative to
+/// the invocation directory.
+pub const BENCH_PROFILE_PATH: &str = "BENCH_profile.json";
+
+/// Ceiling on the enabled profiler's wall-clock overhead, as a fraction
+/// of the unprofiled run — asserted by the `profile-smoke` pseudo-id.
+pub const OVERHEAD_BAR: f64 = 0.10;
+
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1e6
+}
+
+/// Per-shard wall-clock phase breakdown, one row per shard plus a total.
+pub fn phase_table(name: &str, profile: &RunProfile) -> Table {
+    let mut t = Table::new(
+        format!("PROFILE {name}: per-shard phases (wall ms)"),
+        &[
+            "shard",
+            "events",
+            "execute",
+            "exchange",
+            "barrier",
+            "idle",
+            "mailbox msgs",
+            "mailbox bytes",
+        ],
+    );
+    for (s, shard) in profile.shards.iter().enumerate() {
+        t.row_owned(vec![
+            s.to_string(),
+            shard.events.to_string(),
+            fmt_f64(ms(shard.phases.execute_ns)),
+            fmt_f64(ms(shard.phases.exchange_ns)),
+            fmt_f64(ms(shard.phases.barrier_ns)),
+            fmt_f64(ms(shard.phases.idle_ns)),
+            shard.mailbox_msgs.to_string(),
+            shard.mailbox_bytes.to_string(),
+        ]);
+    }
+    let phases = profile.phases();
+    let sched = profile.sched();
+    t.row_owned(vec![
+        "all".to_string(),
+        profile
+            .shards
+            .iter()
+            .map(|s| s.events)
+            .sum::<u64>()
+            .to_string(),
+        fmt_f64(ms(phases.execute_ns)),
+        fmt_f64(ms(phases.exchange_ns)),
+        fmt_f64(ms(phases.barrier_ns)),
+        fmt_f64(ms(phases.idle_ns)),
+        sched.mailbox_msgs.to_string(),
+        sched.mailbox_bytes.to_string(),
+    ]);
+    t
+}
+
+/// Stall attribution: how many conservative windows each shard bounded
+/// (held the global minimum pending time for). `None` on sequential
+/// runs, which have no windows.
+pub fn stall_table(name: &str, profile: &RunProfile) -> Option<Table> {
+    let schedule = profile.schedule.as_ref()?;
+    let windows = schedule.windows.len().max(1) as f64;
+    let mut t = Table::new(
+        format!(
+            "PROFILE {name}: stall attribution ({} windows)",
+            schedule.windows.len()
+        ),
+        &["shard", "straggler windows", "share", "events"],
+    );
+    for (s, &bounded) in schedule.straggler_windows.iter().enumerate() {
+        t.row_owned(vec![
+            s.to_string(),
+            bounded.to_string(),
+            fmt_f64(bounded as f64 / windows),
+            profile
+                .shards
+                .get(s)
+                .map(|p| p.events.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+        ]);
+    }
+    Some(t)
+}
+
+/// Deterministic work counters (parity-gated across engines) and
+/// scheduler counters (reported only), one row per counter.
+pub fn work_table(name: &str, profile: &RunProfile) -> Table {
+    let mut t = Table::new(
+        format!("PROFILE {name}: work counters"),
+        &["counter", "value", "class"],
+    );
+    let work = profile.merged_work();
+    let sched = profile.sched();
+    let det = "deterministic";
+    let rep = "scheduler";
+    for (counter, value, class) in [
+        ("events", work.events, det),
+        ("queue_pushes", work.queue_pushes, det),
+        ("queue_pops", work.queue_pops, det),
+        ("msgs_sent", work.msgs_sent, det),
+        ("msgs_received", work.msgs_received, det),
+        ("msgs_lost", work.msgs_lost, det),
+        ("bytes_sent", work.bytes_sent, det),
+        ("probe_calls", work.probe_calls, det),
+        ("overflow_hits", sched.overflow_hits, rep),
+        ("mailbox_msgs", sched.mailbox_msgs, rep),
+        ("mailbox_bytes", sched.mailbox_bytes, rep),
+        ("windows", sched.windows, rep),
+        ("straggler_windows", sched.straggler_windows, rep),
+    ] {
+        t.row_owned(vec![
+            counter.to_string(),
+            value.to_string(),
+            class.to_string(),
+        ]);
+    }
+    t
+}
+
+/// One `BENCH_profile.json` record: a configuration run with profiling
+/// off then on, so the instrumentation overhead is tracked across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileBenchRecord {
+    /// Which harness produced the record (`profile`, `profile-smoke`).
+    pub suite: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Population size.
+    pub n: usize,
+    /// Shard count in use.
+    pub shards: usize,
+    /// Placement policy name.
+    pub placement: String,
+    /// Whether adaptive window sizing was on.
+    pub adaptive_window: bool,
+    /// Whether streaming telemetry was attached in both runs.
+    pub telemetry: bool,
+    /// Events processed (identical off and on — profiling is passive).
+    pub events: u64,
+    /// Barrier windows executed in the profiled run.
+    pub windows: u64,
+    /// Wall-clock milliseconds with profiling off.
+    pub wall_ms_off: f64,
+    /// Wall-clock milliseconds with profiling on.
+    pub wall_ms_on: f64,
+    /// `wall_ms_on / wall_ms_off - 1`.
+    pub overhead_frac: f64,
+    /// Events per wall-clock second with profiling off.
+    pub events_per_sec_off: f64,
+    /// Events per wall-clock second with profiling on.
+    pub events_per_sec_on: f64,
+    /// Profiled execute phase, milliseconds (summed over shards).
+    pub execute_ms: f64,
+    /// Profiled exchange phase, milliseconds.
+    pub exchange_ms: f64,
+    /// Profiled barrier phase, milliseconds.
+    pub barrier_ms: f64,
+    /// Profiled idle phase, milliseconds.
+    pub idle_ms: f64,
+}
+
+impl ProfileBenchRecord {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
+             \"placement\":\"{}\",\"adaptive_window\":{},\"telemetry\":{},\
+             \"events\":{},\"windows\":{},\
+             \"wall_ms_off\":{:.3},\"wall_ms_on\":{:.3},\
+             \"overhead_frac\":{:.4},\
+             \"events_per_sec_off\":{:.1},\"events_per_sec_on\":{:.1},\
+             \"execute_ms\":{:.3},\"exchange_ms\":{:.3},\
+             \"barrier_ms\":{:.3},\"idle_ms\":{:.3}}}",
+            escape(&self.suite),
+            escape(&self.arch),
+            self.n,
+            self.shards,
+            escape(&self.placement),
+            self.adaptive_window,
+            self.telemetry,
+            self.events,
+            self.windows,
+            self.wall_ms_off,
+            self.wall_ms_on,
+            self.overhead_frac,
+            self.events_per_sec_off,
+            self.events_per_sec_on,
+            self.execute_ms,
+            self.exchange_ms,
+            self.barrier_ms,
+            self.idle_ms,
+        )
+    }
+}
+
+/// Appends profiler benchmark records to the JSON array at `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn append_profile_bench(
+    path: impl AsRef<Path>,
+    records: &[ProfileBenchRecord],
+) -> io::Result<()> {
+    let objects: Vec<String> = records.iter().map(ProfileBenchRecord::to_json).collect();
+    append_json_objects(path, &objects)
+}
+
+/// An off/on overhead measurement of one cluster configuration.
+#[derive(Debug)]
+pub struct OverheadPoint {
+    /// The profiled spec (profiling on).
+    pub spec: ScenarioSpec,
+    /// Outcome of the unprofiled run.
+    pub off: ArchOutcome,
+    /// Outcome of the profiled run.
+    pub on: ArchOutcome,
+    /// Wall-clock milliseconds without profiling (best of `runs`).
+    pub wall_ms_off: f64,
+    /// Wall-clock milliseconds with profiling (best of `runs`).
+    pub wall_ms_on: f64,
+}
+
+impl OverheadPoint {
+    /// `wall_on / wall_off - 1`: the enabled profiler's relative cost.
+    pub fn overhead_frac(&self) -> f64 {
+        self.wall_ms_on / self.wall_ms_off.max(1e-9) - 1.0
+    }
+
+    /// The measurement as one [`ProfileBenchRecord`].
+    pub fn record(&self, suite: &str) -> ProfileBenchRecord {
+        let phases = self
+            .on
+            .profiling
+            .as_ref()
+            .map(|p| p.phases())
+            .unwrap_or_default();
+        ProfileBenchRecord {
+            suite: suite.to_string(),
+            arch: self.spec.arch.name().to_string(),
+            n: self.spec.n,
+            shards: self.on.shards,
+            placement: self.spec.placement.name().to_string(),
+            adaptive_window: self.spec.adaptive_window,
+            telemetry: self.spec.telemetry.is_some(),
+            events: self.on.events,
+            windows: self.on.windows,
+            wall_ms_off: self.wall_ms_off,
+            wall_ms_on: self.wall_ms_on,
+            overhead_frac: self.overhead_frac(),
+            events_per_sec_off: self.off.events as f64 / (self.wall_ms_off / 1e3).max(1e-9),
+            events_per_sec_on: self.on.events as f64 / (self.wall_ms_on / 1e3).max(1e-9),
+            execute_ms: ms(phases.execute_ns),
+            exchange_ms: ms(phases.exchange_ns),
+            barrier_ms: ms(phases.barrier_ns),
+            idle_ms: ms(phases.idle_ns),
+        }
+    }
+}
+
+/// Runs `spec` on the cluster engine with profiling off, then on, `runs`
+/// times each, keeping the best wall clock per configuration (the
+/// repeats damp scheduler noise so the overhead fraction is meaningful).
+pub fn measure_overhead(spec: &ScenarioSpec, runs: usize) -> OverheadPoint {
+    let runs = runs.max(1);
+    let mut spec_off = spec.clone();
+    spec_off.profile = None;
+    let spec_on = spec
+        .clone()
+        .with_profile(spec.profile.clone().unwrap_or_default());
+    let best = |spec: &ScenarioSpec| {
+        let mut wall_ms = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let o = run_architecture(spec, EngineKind::Cluster);
+            wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            outcome = Some(o);
+        }
+        (outcome.expect("runs >= 1"), wall_ms)
+    };
+    let (off, wall_ms_off) = best(&spec_off);
+    let (on, wall_ms_on) = best(&spec_on);
+    OverheadPoint {
+        spec: spec_on,
+        off,
+        on,
+        wall_ms_off,
+        wall_ms_on,
+    }
+}
+
+/// The scenario the registered `profile` experiment runs: the standard
+/// workload with a shorter publication phase (as E-SCALE uses) plus
+/// telemetry, so the probe-call counter is exercised too.
+pub fn profile_spec(n: usize, shards: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::fair_gossip(n, seed)
+        .with_shards(shards)
+        .with_telemetry(TelemetrySpec::default())
+        .with_profile(ProfileSpec::default());
+    spec.plan = PubPlan {
+        rate_per_sec: 10.0,
+        duration: SimTime::from_secs(5),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+        flash: None,
+    };
+    spec
+}
+
+/// Result of the PROFILE experiment.
+#[derive(Debug)]
+pub struct ProfileResult {
+    /// Off/on overhead summary, one row per configuration.
+    pub summary: Table,
+    /// Per-shard phase breakdown of the profiled cluster run.
+    pub phase_table: Table,
+    /// Stall attribution of the profiled cluster run.
+    pub stall_table: Table,
+    /// Merged work/scheduler counters of the profiled cluster run.
+    pub work_table: Table,
+    /// Whether the profiled sequential and cluster runs agreed on every
+    /// observable *and* on the merged work counters (must be `true`).
+    pub identical: bool,
+    /// Machine-readable record for `BENCH_profile.json`.
+    pub records: Vec<ProfileBenchRecord>,
+}
+
+/// Runs the PROFILE experiment: sequential-vs-cluster work-counter
+/// parity plus the off/on overhead measurement at `shards` shards.
+pub fn run(n: usize, shards: usize, seed: u64) -> ProfileResult {
+    let spec = profile_spec(n, shards, seed);
+    let seq = run_architecture(&spec, EngineKind::Sequential);
+    let point = measure_overhead(&spec, 2);
+
+    let seq_profile = seq.profiling.as_ref().expect("profiling on");
+    let clu_profile = point.on.profiling.as_ref().expect("profiling on");
+    let identical = outcomes_match(&seq, &point.on)
+        && outcomes_match(&seq, &point.off)
+        && seq_profile.merged_work() == clu_profile.merged_work();
+
+    let mut summary = Table::new(
+        format!("PROFILE: instrumentation overhead (n={n}, shards={shards})"),
+        &[
+            "config",
+            "events",
+            "windows",
+            "wall_ms",
+            "events/s",
+            "overhead",
+            "identical",
+        ],
+    );
+    summary.row_owned(vec![
+        "profile off".to_string(),
+        point.off.events.to_string(),
+        point.off.windows.to_string(),
+        fmt_f64(point.wall_ms_off),
+        fmt_f64(point.off.events as f64 / (point.wall_ms_off / 1e3).max(1e-9)),
+        "-".to_string(),
+        identical.to_string(),
+    ]);
+    summary.row_owned(vec![
+        "profile on".to_string(),
+        point.on.events.to_string(),
+        point.on.windows.to_string(),
+        fmt_f64(point.wall_ms_on),
+        fmt_f64(point.on.events as f64 / (point.wall_ms_on / 1e3).max(1e-9)),
+        fmt_f64(point.overhead_frac()),
+        identical.to_string(),
+    ]);
+
+    let name = "fair-gossip";
+    let phase = phase_table(name, clu_profile);
+    let stall = stall_table(name, clu_profile).expect("cluster run has a schedule");
+    let work = work_table(name, clu_profile);
+    let records = vec![point.record("profile")];
+    ProfileResult {
+        summary,
+        phase_table: phase,
+        stall_table: stall,
+        work_table: work,
+        identical,
+        records,
+    }
+}
+
+/// Outcome of one `profile-smoke` overhead run.
+#[derive(Debug)]
+pub struct ProfileSmokePoint {
+    /// The off/on measurement.
+    pub point: OverheadPoint,
+    /// The record appended to `BENCH_profile.json`.
+    pub record: ProfileBenchRecord,
+}
+
+/// The large-population profiler smoke: the standard smoke workload
+/// (round-robin placement, adaptive windows, telemetry off) run with
+/// profiling off then on, twice each, keeping the best wall clocks.
+///
+/// The caller asserts the overhead bar — see
+/// [`crate::run_by_id`]'s `profile-smoke` pseudo-id.
+pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> ProfileSmokePoint {
+    let spec = smoke_spec(arch, n, shards, Placement::RoundRobin, true, seed)
+        .with_profile(ProfileSpec::default());
+    let point = measure_overhead(&spec, 2);
+    let record = point.record("profile-smoke");
+    ProfileSmokePoint { point, record }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_profile::json;
+
+    #[test]
+    fn profile_experiment_gates_parity_and_builds_tables() {
+        let r = run(48, 3, 42);
+        assert!(r.identical, "profiled engines diverged");
+        assert_eq!(r.summary.len(), 2);
+        assert_eq!(r.phase_table.len(), 3 + 1, "3 shards + total row");
+        assert_eq!(r.stall_table.len(), 3);
+        assert_eq!(r.work_table.len(), 13);
+        assert_eq!(r.records.len(), 1);
+        let rec = &r.records[0];
+        assert_eq!(rec.suite, "profile");
+        assert!(rec.events > 0);
+        assert!(rec.windows > 0);
+        assert!(rec.wall_ms_on > 0.0 && rec.wall_ms_off > 0.0);
+    }
+
+    #[test]
+    fn bench_record_renders_parseable_json() {
+        let r = run(32, 2, 7);
+        let text = r.records[0].to_json();
+        let v = json::parse(&text).expect("record must parse as JSON");
+        assert_eq!(v.get("suite").and_then(|s| s.as_str()), Some("profile"));
+        assert!(v.get("overhead_frac").and_then(|o| o.as_f64()).is_some());
+        assert_eq!(
+            v.get("events").and_then(|e| e.as_f64()).unwrap() as u64,
+            r.records[0].events
+        );
+    }
+
+    #[test]
+    fn measure_overhead_is_passive() {
+        let spec = profile_spec(32, 2, 11);
+        let p = measure_overhead(&spec, 1);
+        assert!(outcomes_match(&p.off, &p.on), "profiling changed a result");
+        assert!(p.off.profiling.is_none());
+        assert!(p.on.profiling.is_some());
+    }
+}

@@ -258,16 +258,17 @@ pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> SmokePoi
     smoke_configured(arch, n, shards, Placement::RoundRobin, true, seed)
 }
 
-/// [`smoke`] with explicit scheduler knobs, for sweeping placement and
-/// window policies at scale.
-pub fn smoke_configured(
+/// The large-population smoke scenario: the standard workload with a
+/// deliberately light publication plan, so 100 k-node runs stay
+/// tractable. Shared with the `profile-smoke` overhead measurement.
+pub fn smoke_spec(
     arch: Architecture,
     n: usize,
     shards: usize,
     placement: Placement,
     adaptive_window: bool,
     seed: u64,
-) -> SmokePoint {
+) -> ScenarioSpec {
     let mut spec = ScenarioSpec::standard(arch, n, seed)
         .with_shards(shards)
         .with_placement(placement)
@@ -280,6 +281,20 @@ pub fn smoke_configured(
         warmup: SimTime::from_secs(1),
         flash: None,
     };
+    spec
+}
+
+/// [`smoke`] with explicit scheduler knobs, for sweeping placement and
+/// window policies at scale.
+pub fn smoke_configured(
+    arch: Architecture,
+    n: usize,
+    shards: usize,
+    placement: Placement,
+    adaptive_window: bool,
+    seed: u64,
+) -> SmokePoint {
+    let spec = smoke_spec(arch, n, shards, placement, adaptive_window, seed);
     let start = Instant::now();
     let outcome = run_architecture(&spec, EngineKind::Cluster);
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;

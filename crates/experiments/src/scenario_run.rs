@@ -121,6 +121,9 @@ pub struct ScenarioReport {
     pub latency: Table,
     /// Per-window transient summary when the file enabled telemetry.
     pub telemetry: Option<Table>,
+    /// Profiler tables (phases, stall attribution, work counters) when
+    /// the file enabled `[profile]`; empty otherwise.
+    pub profile_tables: Vec<Table>,
     /// The raw outcome, for callers that want more than tables.
     pub outcome: ArchOutcome,
 }
@@ -244,6 +247,19 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         t
     });
 
+    let profile_tables = outcome
+        .profiling
+        .as_ref()
+        .map(|p| {
+            let mut v = vec![crate::profile::phase_table(name, p)];
+            if let Some(stall) = crate::profile::stall_table(name, p) {
+                v.push(stall);
+            }
+            v.push(crate::profile::work_table(name, p));
+            v
+        })
+        .unwrap_or_default();
+
     ScenarioReport {
         name: name.to_string(),
         engine,
@@ -251,6 +267,7 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         fairness,
         latency,
         telemetry,
+        profile_tables,
         outcome,
     }
 }
@@ -355,7 +372,18 @@ mod tests {
         assert_eq!(report.fairness.len(), 2);
         assert_eq!(report.latency.len(), 1);
         assert!(report.telemetry.is_some(), "telemetry spec set");
+        assert!(report.profile_tables.is_empty(), "no [profile] section");
         assert!(report.outcome.total_deliveries() > 0);
+    }
+
+    #[test]
+    fn profiled_scenario_adds_profile_tables() {
+        let spec = small_spec().with_profile(fed_profile::ProfileSpec::default());
+        let seq = run_scenario("unit", &spec);
+        assert_eq!(seq.profile_tables.len(), 2, "phases + work, no stalls");
+        let clu = run_scenario("unit", &spec.with_shards(3));
+        assert_eq!(clu.profile_tables.len(), 3, "phases + stalls + work");
+        assert!(clu.outcome.profiling.is_some());
     }
 
     #[test]

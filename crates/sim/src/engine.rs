@@ -11,7 +11,8 @@
 //! results.
 
 use crate::exec::{
-    reborrow, seed_streams, EventKey, EventKind, EventQueue, Kernel, Probe, EXTERNAL_SRC,
+    reborrow, reborrow_profiler, seed_streams, EventKey, EventKind, EventQueue, Kernel, Probe,
+    ProfilePhase, Profiler, QueueStats, EXTERNAL_SRC,
 };
 use crate::network::NetworkModel;
 use crate::protocol::{NodeId, Protocol};
@@ -231,7 +232,7 @@ impl<P: Protocol> Simulation<P> {
     /// Runs until virtual time reaches `target` (inclusive) or the queue
     /// drains or the event budget is exhausted.
     pub fn run_until(&mut self, target: SimTime) -> RunReport {
-        self.run_probed(target, None)
+        self.run_profiled(target, None, None)
     }
 
     /// [`Simulation::run_until`] with a telemetry [`Probe`] attached: the
@@ -242,17 +243,31 @@ impl<P: Protocol> Simulation<P> {
     /// an unprobed one; the plain [`Simulation::run_until`] skips even the
     /// hook-call overhead (a `None` branch per observation site).
     pub fn run_until_probed(&mut self, target: SimTime, probe: &mut dyn Probe) -> RunReport {
-        self.run_probed(target, Some(probe))
+        self.run_profiled(target, Some(probe), None)
     }
 
-    fn run_probed(&mut self, target: SimTime, mut probe: Option<&mut dyn Probe>) -> RunReport {
+    /// [`Simulation::run_until`] with an optional [`Probe`] *and* an
+    /// optional [`Profiler`] attached.
+    ///
+    /// The profiler's deterministic hooks ([`Profiler::on_event`]) fire
+    /// exactly once per dispatched event; when a profiler is attached the
+    /// whole dispatch loop's wall clock is reported once per call via
+    /// [`Profiler::on_phase`] as [`ProfilePhase::Execute`] (the sequential
+    /// engine has no exchange or barrier phases). Neither hook can
+    /// influence the run.
+    pub fn run_profiled(
+        &mut self,
+        target: SimTime,
+        mut probe: Option<&mut dyn Probe>,
+        mut profiler: Option<&mut dyn Profiler>,
+    ) -> RunReport {
+        let t0 = profiler.as_ref().map(|_| std::time::Instant::now());
         let mut events = 0u64;
+        let mut completed = true;
         loop {
             if self.events_processed >= self.max_events {
-                return RunReport {
-                    events,
-                    completed: false,
-                };
+                completed = false;
+                break;
             }
             match self.queue.next_time() {
                 Some(t) if t <= target => {}
@@ -268,13 +283,23 @@ impl<P: Protocol> Simulation<P> {
                 &mut *self.factory,
                 &mut self.queue,
                 reborrow(&mut probe),
+                reborrow_profiler(&mut profiler),
             );
         }
-        self.now = self.now.max(target);
-        RunReport {
-            events,
-            completed: true,
+        if completed {
+            self.now = self.now.max(target);
         }
+        if let (Some(p), Some(t0)) = (profiler, t0) {
+            p.on_phase(ProfilePhase::Execute, t0.elapsed().as_nanos() as u64);
+        }
+        RunReport { events, completed }
+    }
+
+    /// Push/pop/overflow counters of the global event queue since
+    /// construction (see [`QueueStats`] for what is and is not
+    /// partition-invariant).
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
     }
 
     /// Runs for a span of virtual time from the current instant.
@@ -288,7 +313,7 @@ impl<P: Protocol> Simulation<P> {
         self.now = key.time;
         self.events_processed += 1;
         self.kernel
-            .dispatch(key, kind, &mut *self.factory, &mut self.queue, None);
+            .dispatch(key, kind, &mut *self.factory, &mut self.queue, None, None);
         Some(key.time)
     }
 

@@ -62,6 +62,40 @@ pub struct TransportStats {
     pub msgs_lost: u64,
 }
 
+/// Work counters maintained by an [`EventQueue`], for the profiler.
+///
+/// `pushes` and `pops` count *external* queue traffic — events handed to
+/// the queue and events handed back — never internal reshuffling (a
+/// calendar re-base moves events between internal levels without touching
+/// either counter). Every event enters exactly one queue exactly once on
+/// either engine, so summing `pushes`/`pops` across shards reproduces the
+/// sequential engine's counts bit for bit at any shard count.
+///
+/// `overflow_hits` counts events parked beyond the calendar horizon
+/// (including re-parks during a re-base). It depends on per-queue bucket
+/// geometry, which sees only the shard's own event density — so it is
+/// deterministic for a fixed configuration but **not** partition
+/// invariant, and is reported rather than parity-gated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Events enqueued (external pushes only).
+    pub pushes: u64,
+    /// Events dequeued.
+    pub pops: u64,
+    /// Events that landed beyond the calendar horizon.
+    pub overflow_hits: u64,
+}
+
+impl QueueStats {
+    /// Adds `other`'s counts into `self` (exact, associative,
+    /// commutative).
+    pub fn merge(&mut self, other: &QueueStats) {
+        self.pushes += other.pushes;
+        self.pops += other.pops;
+        self.overflow_hits += other.overflow_hits;
+    }
+}
+
 /// The canonical total order on events.
 ///
 /// `(time, src, seq)`: virtual time first, then producing node, then that
@@ -193,6 +227,8 @@ pub struct EventQueue<P: Protocol> {
     probed: Option<(usize, u64)>,
     /// Total pending events across front, buckets and overflow.
     len: usize,
+    /// Work counters (external pushes/pops, overflow hits).
+    stats: QueueStats,
 }
 
 impl<P: Protocol> Default for EventQueue<P> {
@@ -216,12 +252,19 @@ impl<P: Protocol> EventQueue<P> {
             overflow_min: u64::MAX,
             probed: None,
             len: 0,
+            stats: QueueStats::default(),
         }
+    }
+
+    /// This queue's work counters.
+    pub fn stats(&self) -> QueueStats {
+        self.stats
     }
 
     /// Enqueues an event.
     pub fn push(&mut self, key: EventKey, kind: EventKind<P>) {
         self.len += 1;
+        self.stats.pushes += 1;
         let t = key.time.as_micros();
         if t < self.front_end {
             // An empty front lets us retract the front boundary to the
@@ -257,6 +300,7 @@ impl<P: Protocol> EventQueue<P> {
             self.buckets[idx].push((key, kind));
             self.occupied[idx / 64] |= 1 << (idx % 64);
         } else {
+            self.stats.overflow_hits += 1;
             self.overflow_min = self.overflow_min.min(t);
             self.overflow.push((key, kind));
         }
@@ -269,6 +313,7 @@ impl<P: Protocol> EventQueue<P> {
         }
         self.settle();
         self.len -= 1;
+        self.stats.pops += 1;
         self.front.pop()
     }
 
@@ -286,6 +331,7 @@ impl<P: Protocol> EventQueue<P> {
         self.settle_before(end.as_micros());
         if self.front.last()?.0.time < end {
             self.len -= 1;
+            self.stats.pops += 1;
             self.front.pop()
         } else {
             None
@@ -439,7 +485,11 @@ impl<P: Protocol> EventQueue<P> {
         self.cursor = 0;
         self.front_end = min;
         self.overflow_min = u64::MAX;
-        self.len -= entries.len(); // re-pushed below
+        // Re-pushed below: neither `len` nor the external push counter may
+        // double-count them (overflow hits *are* re-counted — a re-park is
+        // another hit on the overflow level).
+        self.len -= entries.len();
+        self.stats.pushes -= entries.len() as u64;
         for (key, kind) in entries {
             self.push(key, kind);
         }
@@ -534,6 +584,96 @@ impl Probe for NullProbe {}
 /// invariant behind `&mut`), so the engines reborrow explicitly.
 pub(crate) fn reborrow<'a>(probe: &'a mut Option<&mut dyn Probe>) -> Option<&'a mut dyn Probe> {
     match probe {
+        Some(p) => Some(&mut **p),
+        None => None,
+    }
+}
+
+/// An engine phase wall-clock time can be attributed to.
+///
+/// Virtual-world results never depend on these — they classify where the
+/// *host* spends real time, for the `fed-profile` subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfilePhase {
+    /// Popping and dispatching events.
+    Execute,
+    /// Exchanging cross-shard mailbox batches at a window barrier.
+    Exchange,
+    /// Waiting at a barrier for the coordinator and peer shards.
+    Barrier,
+    /// Waiting at a barrier with no local work pending (the preceding
+    /// window executed zero events on this shard).
+    Idle,
+}
+
+/// One conservative window's work, as one shard saw it.
+///
+/// `events` and `end` are deterministic; the wall-clock fields are host
+/// measurements and vary run to run.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowWork {
+    /// Exclusive virtual-time end of the window for this shard.
+    pub end: SimTime,
+    /// Events this shard executed inside the window.
+    pub events: u64,
+    /// Wall nanoseconds spent popping/dispatching.
+    pub execute_ns: u64,
+    /// Wall nanoseconds spent draining/sending mailbox batches.
+    pub exchange_ns: u64,
+    /// Wall nanoseconds spent waiting for the window to be issued.
+    pub wait_ns: u64,
+}
+
+/// Profiling hooks over the execution substrate, beside [`Probe`].
+///
+/// Where a probe observes the *virtual world* (sends, deliveries,
+/// liveness), a profiler observes the *engine*: events dispatched, phase
+/// wall clocks, conservative windows, mailbox traffic. Both engines
+/// thread an optional profiler through [`Kernel::dispatch`]; when none is
+/// attached the per-event cost is a skipped `Option` branch, so profiling
+/// is free when off.
+///
+/// Deterministic hooks ([`Profiler::on_event`]) fire identically on both
+/// engines; wall-clock hooks ([`Profiler::on_phase`],
+/// [`Profiler::on_window`]) are host measurements. The `fed-profile`
+/// crate's collector is the primary implementor and keeps the two
+/// strictly separated.
+pub trait Profiler {
+    /// One event is about to be dispatched at virtual time `now`
+    /// (deterministic; fires exactly like [`Probe::on_event`]).
+    fn on_event(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
+    /// `nanos` of wall clock attributed to `phase`.
+    fn on_phase(&mut self, phase: ProfilePhase, nanos: u64) {
+        let _ = (phase, nanos);
+    }
+
+    /// One conservative window completed on this shard.
+    fn on_window(&mut self, work: WindowWork) {
+        let _ = work;
+    }
+
+    /// This shard staged `msgs` cross-shard mailbox messages totalling
+    /// `bytes` payload bytes during the last window.
+    fn on_mailbox(&mut self, msgs: u64, bytes: u64) {
+        let _ = (msgs, bytes);
+    }
+}
+
+/// The disabled profiler: every hook is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {}
+
+/// Reborrows an optional profiler so it can be handed to a callee without
+/// giving it away (mirrors [`reborrow`] for probes).
+pub(crate) fn reborrow_profiler<'a>(
+    profiler: &'a mut Option<&mut dyn Profiler>,
+) -> Option<&'a mut dyn Profiler> {
+    match profiler {
         Some(p) => Some(&mut **p),
         None => None,
     }
@@ -740,10 +880,14 @@ impl<P: Protocol> Kernel<P> {
         factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
         sink: &mut dyn EffectSink<P>,
         mut probe: Option<&mut dyn Probe>,
+        profiler: Option<&mut dyn Profiler>,
     ) {
         let now = key.time;
         if let Some(p) = reborrow(&mut probe) {
             p.on_event(now);
+        }
+        if let Some(pr) = profiler {
+            pr.on_event(now);
         }
         match kind {
             EventKind::Deliver { to, from, msg } => {

@@ -12,6 +12,7 @@
 use crate::churn::{generate_churn, ChurnEvent, ChurnPlan};
 use crate::interest::{Appetite, InterestProfile};
 use crate::pubs::{generate_schedule, PubPlan, Publication};
+use fed_profile::ProfileSpec;
 use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
@@ -174,6 +175,12 @@ pub struct ScenarioSpec {
     /// series. Observation only — the virtual-world outcome is
     /// bit-identical with or without it.
     pub telemetry: Option<TelemetrySpec>,
+    /// Optional scheduler profiling: when set, the harness attaches
+    /// `fed-profile` collectors and the run reports phase timings, stall
+    /// attribution and work counters (plus a Chrome-trace file).
+    /// Observation only — the virtual-world outcome is bit-identical
+    /// with or without it.
+    pub profile: Option<ProfileSpec>,
     /// Network model.
     pub net: NetworkModel,
     /// Master seed fixing the interest profile, the publication schedule,
@@ -222,6 +229,7 @@ impl ScenarioSpec {
             },
             churn: None,
             telemetry: None,
+            profile: None,
             net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
             seed,
         }
@@ -272,6 +280,13 @@ impl ScenarioSpec {
     /// only; never changes the outcome).
     pub fn with_telemetry(mut self, telemetry: TelemetrySpec) -> Self {
         self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Returns the spec with scheduler profiling attached (observation
+    /// only; never changes the outcome).
+    pub fn with_profile(mut self, profile: ProfileSpec) -> Self {
+        self.profile = Some(profile);
         self
     }
 

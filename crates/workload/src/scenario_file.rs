@@ -48,6 +48,7 @@ use crate::churn::ChurnPlan;
 use crate::interest::Appetite;
 use crate::pubs::{FlashCrowd, PubPlan};
 use crate::scenario::{Architecture, Placement, ScenarioSpec};
+use fed_profile::ProfileSpec;
 use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
@@ -671,6 +672,7 @@ const TELEMETRY_KEYS: &[&str] = &[
     "latency_hi_ms",
     "latency_buckets",
 ];
+const PROFILE_KEYS: &[&str] = &["trace"];
 
 /// All sections a scenario file may contain.
 const SECTIONS: &[&str] = &[
@@ -682,6 +684,7 @@ const SECTIONS: &[&str] = &[
     "churn",
     "network",
     "telemetry",
+    "profile",
 ];
 
 /// Parses a complete scenario file.
@@ -937,6 +940,22 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
         }
     };
 
+    // [profile] — optional; its presence (even empty) enables scheduler
+    // profiling.
+    let profile = match section("profile", PROFILE_KEYS)? {
+        None => None,
+        Some(mut profile) => {
+            let spec = ProfileSpec {
+                trace: profile.opt_str("trace")?.map(|(s, _)| s),
+            };
+            let header = profile.header_line;
+            profile.finish()?;
+            ProfileSpec::checked(spec.clone())
+                .map_err(|e| ScenarioFileError::at(header, format!("[profile] {e}")))?;
+            Some(spec)
+        }
+    };
+
     // Anything left over is an unknown section.
     if let Some((path, sec)) = doc.sections.into_iter().next() {
         return Err(ScenarioFileError::at(
@@ -963,6 +982,7 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
             plan,
             churn,
             telemetry,
+            profile,
             net,
             seed,
         },
@@ -1109,6 +1129,13 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
         push(format!("latency_buckets = {}", t.latency_buckets));
     }
 
+    if let Some(p) = &spec.profile {
+        push("\n[profile]".into());
+        if let Some(trace) = &p.trace {
+            push(format!("trace = \"{trace}\""));
+        }
+    }
+
     Ok(out)
 }
 
@@ -1211,6 +1238,9 @@ mod tests {
             load_buckets = 128
             latency_hi_ms = 400.0
             latency_buckets = 80
+
+            [profile]
+            trace = "TRACE_kitchen-sink.json"
         "#;
         let f = parse_scenario(input).unwrap();
         assert_eq!(f.name.as_deref(), Some("kitchen-sink"));
@@ -1251,9 +1281,29 @@ mod tests {
         let t = s.telemetry.unwrap();
         assert_eq!(t.window, SimDuration::from_millis(250));
         assert_eq!((t.load_buckets, t.latency_buckets), (128, 80));
+        let p = s.profile.clone().unwrap();
+        assert_eq!(p.trace.as_deref(), Some("TRACE_kitchen-sink.json"));
         // And it round-trips exactly.
         let reparsed = spec_from_toml(&to_toml(s).unwrap()).unwrap();
         assert_eq!(*s, reparsed);
+    }
+
+    #[test]
+    fn empty_profile_section_enables_profiling_with_defaults() {
+        let input = format!("{MINIMAL}\n[profile]\n");
+        let f = parse_scenario(&input).unwrap();
+        assert_eq!(f.spec.profile, Some(ProfileSpec::default()));
+        // No section at all means no profiling.
+        assert!(parse_scenario(MINIMAL).unwrap().spec.profile.is_none());
+        // Unknown keys in [profile] are rejected like everywhere else.
+        let bad = format!("{MINIMAL}\n[profile]\ntrace_path = \"x.json\"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("unknown key `trace_path`"), "{err}");
+        assert!(err.message.contains("trace"), "{err}");
+        // An empty trace path is rejected by the spec check.
+        let bad = format!("{MINIMAL}\n[profile]\ntrace = \"  \"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("[profile]"), "{err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! [`ScenarioSpec`] — plus strict rejection of malformed files (unknown
 //! keys, bad duration units, out-of-range values).
 
+use fed_profile::ProfileSpec;
 use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
@@ -116,6 +117,14 @@ fn telemetry_strategy() -> impl Strategy<Value = Option<TelemetrySpec>> {
     ]
 }
 
+fn profile_strategy() -> impl Strategy<Value = Option<ProfileSpec>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(ProfileSpec::default())),
+        "[A-Za-z0-9_./-]{1,40}".prop_map(|path| Some(ProfileSpec { trace: Some(path) })),
+    ]
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     let head = (
         arch_strategy(),
@@ -142,6 +151,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     let tail = (
         churn_strategy(),
         telemetry_strategy(),
+        profile_strategy(),
         latency_strategy(),
         0u32..=999_999u32,
         any::<u64>(),
@@ -150,7 +160,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         |(
             (arch, n, shards, placement, adaptive_window, num_topics, zipf, appetite),
             (rate, duration, topic_zipf, payload_bytes, warmup, flash),
-            (churn, telemetry, latency, loss, seed),
+            (churn, telemetry, profile, latency, loss, seed),
         )| {
             let loss = fractional(loss, 1_000_000);
             let net = if loss > 0.0 {
@@ -177,6 +187,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 },
                 churn,
                 telemetry,
+                profile,
                 net,
                 seed,
             }
@@ -204,7 +215,7 @@ proptest! {
     /// Injecting an unknown key anywhere in a serialized spec makes the
     /// parse fail with a message naming that key.
     #[test]
-    fn unknown_keys_are_rejected(spec in spec_strategy(), section_idx in 0usize..8) {
+    fn unknown_keys_are_rejected(spec in spec_strategy(), section_idx in 0usize..9) {
         let toml = to_toml(&spec).unwrap();
         // Insert a bogus key right after the (section_idx % sections)-th
         // section header.

@@ -16,6 +16,7 @@
 //! | [`sim`] | `fed-sim` | discrete-event simulator: protocols, virtual time, network models, churn |
 //! | [`cluster`] | `fed-cluster` | sharded multi-threaded runtime, bit-identical to the sequential engine |
 //! | [`telemetry`] | `fed-telemetry` | deterministic streaming time-series observability for both engines |
+//! | [`profile`] | `fed-profile` | scheduler profiler: phase timings, stall attribution, Chrome-trace export |
 //! | [`pubsub`] | `fed-pubsub` | events, topics, filters, the subscription language |
 //! | [`membership`] | `fed-membership` | peer sampling: full oracle and Cyclon views |
 //! | [`dht`] | `fed-dht` | Pastry-like ring for the structured baselines |
@@ -65,6 +66,7 @@ pub use fed_dht as dht;
 pub use fed_experiments as experiments;
 pub use fed_membership as membership;
 pub use fed_metrics as metrics;
+pub use fed_profile as profile;
 pub use fed_pubsub as pubsub;
 pub use fed_sim as sim;
 pub use fed_telemetry as telemetry;
