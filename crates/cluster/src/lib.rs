@@ -13,22 +13,27 @@
 //! `fed_sim::exec`); node-local events (timers, commands, same-shard
 //! messages) never leave the shard.
 //!
-//! Cross-shard messages flow through **per-destination outbound
-//! mailboxes**: during a window each shard batches the events it produces
-//! for every other shard, and at the window barrier the batches are
-//! exchanged **directly shard-to-shard** over dedicated channels — the
-//! coordinator never touches event payloads. What the coordinator *does*
-//! see is one compact summary per shard per window (events processed,
-//! local queue head, per-destination outbound minimum times, all tracked
-//! incrementally), from which it computes the next window in O(shards):
-//! no scan of pending events anywhere.
+//! Cross-shard messages flow through **double-buffered per-destination
+//! mailboxes**: during a window each shard batches the events it
+//! produces for every other shard, and at the end of the window the
+//! batches are sent **directly shard-to-shard** over dedicated channels
+//! (drained batch vectors return over a paired channel, so steady-state
+//! windows allocate nothing). Nothing central touches event payloads —
+//! or anything else: the scheduling state is one compact summary per
+//! shard per window (events processed, local queue head, per-destination
+//! outbound minimum times, all tracked incrementally), min-folded into a
+//! **shared O(shards) reduction**. Whichever worker folds *last*
+//! computes the next window and publishes it before releasing the lock,
+//! so the decision is ready the moment the slowest shard finishes — the
+//! coordinator round-trip of the pre-pipelined design is gone, and no
+//! scan of pending events happens anywhere.
 //!
 //! ## Windows
 //!
 //! Windows are **conservative**: the lookahead `L` is the network model's
 //! minimum latency ([`NetworkModel::min_latency`]), so a message produced
 //! at time `t` is never due before `t + L`. From the per-shard head times
-//! `next_s` the coordinator derives, for every shard `d`, the bound
+//! `next_s` the reduction derives, for every shard `d`, the bound
 //!
 //! ```text
 //! end_d  ≤  min over s ≠ d of (next_s + L)
@@ -42,6 +47,19 @@
 //! (see `ShardSink`), which is deterministic — it depends only on the
 //! shard's own event stream — and never invalidates an event already
 //! processed (`α ≥ t + L` for an event processed at `t`).
+//!
+//! The exchange is **pipelined**: a worker that finishes its window
+//! sends one batch per peer, folds its summary, and then immediately
+//! absorbs its peers' batches for the *next* window — exactly one per
+//! peer — while the slower shards are still executing. Inbound events
+//! are conservatively due at or after their sender's `next + L`, i.e.
+//! inside a later window, so pushing them while the local window is
+//! closed cannot perturb the dispatch order and bit-identity is
+//! preserved by construction. Because every send precedes every fold,
+//! all batches a window needs are in flight before its decision is even
+//! computable: absorption overlaps straggler execution (*pipeline
+//! fill*), and the only wait left at the decision channel is the genuine
+//! straggler stall. See docs/ARCHITECTURE.md for the full protocol.
 //!
 //! With the default **adaptive window policy** the target window width
 //! grows when windows run near-empty and shrinks when they are dense
@@ -120,8 +138,10 @@ use fed_sim::network::NetworkModel;
 use fed_sim::protocol::{NodeId, Protocol};
 use fed_sim::time::{SimDuration, SimTime};
 use fed_util::rng::Xoshiro256StarStar;
+use std::ffi::OsStr;
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
 
 /// The shared, thread-safe node-state factory of a cluster.
 type SharedFactory<P> = Arc<dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync>;
@@ -199,13 +219,13 @@ pub struct WindowRecord {
     pub ends: Vec<SimTime>,
     /// Events each shard executed inside the window.
     pub events: Vec<u64>,
-    /// Coordinator wall clock from issuing the window to folding its
-    /// summaries.
+    /// Wall clock from publishing the window decision to the last shard
+    /// folding its summary into the reduction.
     pub wall_ns: u64,
 }
 
-/// Coordinator-side schedule trace: every window's sizing decision plus
-/// per-shard straggler attribution, filled in by
+/// Schedule trace: every window's sizing decision plus per-shard
+/// straggler attribution, filled in by
 /// [`ShardedSimulation::run_until_profiled`].
 ///
 /// Successive runs append; `straggler_windows[s]` counts the windows
@@ -226,6 +246,27 @@ impl ScheduleTrace {
         self.straggler_windows[rec.straggler] += 1;
         self.windows.push(rec);
     }
+}
+
+/// Whether a `FED_TRACE`-family variable value turns logging on: set and
+/// neither empty nor `0`. (`FED_TRACE=0` must mean *off* — shell
+/// idiom — and so must `FED_TRACE=`.)
+fn trace_flag_on(v: Option<&OsStr>) -> bool {
+    match v {
+        Some(s) => !s.is_empty() && s != OsStr::new("0"),
+        None => false,
+    }
+}
+
+/// Whether FED_TRACE window logging is enabled, reading `FED_TRACE` (and
+/// the legacy alias `FED_TRACE_WINDOWS`) **once per process** — not per
+/// `run_until` call; see docs/OBSERVABILITY.md for the convention.
+fn trace_enabled() -> bool {
+    static ENABLED: OnceLock<bool> = OnceLock::new();
+    *ENABLED.get_or_init(|| {
+        trace_flag_on(std::env::var_os("FED_TRACE").as_deref())
+            || trace_flag_on(std::env::var_os("FED_TRACE_WINDOWS").as_deref())
+    })
 }
 
 /// One shard: a kernel for the nodes it owns plus its private queue.
@@ -297,29 +338,366 @@ impl<P: Protocol> EffectSink<P> for InitSink<'_, P> {
     }
 }
 
-/// Coordinator → shard control messages. Event payloads never travel this
-/// channel; they go shard-to-shard through the mailbox channels.
-enum ToShard {
-    /// Process all queued events with `time < end`, after absorbing one
-    /// inbound batch per peer when `drain` is set (false only for the
-    /// first window of a `run_until` call, when no batches are in
-    /// flight).
-    Window { end: SimTime, drain: bool },
-    /// Absorb the final in-flight batches (when `drain`) into the local
-    /// queue and exit.
-    Done { drain: bool },
+/// Per-worker window instruction, published by whichever shard completes
+/// the epoch's reduction (or by the calling thread for the first
+/// window). Event payloads never travel this channel; they go
+/// shard-to-shard through the mailbox channels.
+enum Decision {
+    /// Execute one conservative window.
+    Window {
+        /// Exclusive virtual-time end of the window for this shard.
+        end: SimTime,
+        /// Inclusive saturated window (see [`Scheduler::decide`]): pop
+        /// every remaining event instead of stopping strictly below
+        /// `end`, which events due exactly at [`SimTime::MAX`] could
+        /// never satisfy.
+        rim: bool,
+    },
+    /// Exit the worker loop. Every in-flight batch was already absorbed
+    /// at the end of the final window, so there is nothing to drain.
+    Stop,
 }
 
-/// Shard → coordinator per-window summary: everything the coordinator
-/// needs to size the next window, in O(shards) space.
-struct Summary {
+/// A window record being assembled: opened when the decision is
+/// published, completed when the last shard folds its summary.
+struct PendingWindow {
+    start: SimTime,
+    width: SimDuration,
+    straggler: usize,
+    ends: Vec<SimTime>,
+    events: Vec<u64>,
+    issued: Instant,
+}
+
+/// The shared reduction that replaced the coordinator thread: at the end
+/// of a window every worker min-folds its O(shards) summary (local queue
+/// head + per-destination outbound minima) into this state, and the
+/// **last arriver** computes and publishes the next window's decision
+/// in-place — so the decision is ready the moment the slowest shard
+/// finishes, never one coordinator round-trip later. Folding uses only
+/// `min` (associative and commutative), so the merged state — and hence
+/// the decision — is independent of worker arrival order.
+struct Reduction {
+    /// Workers that have folded the current epoch so far.
+    arrived: usize,
+    /// Per-shard local queue head after the epoch's window.
+    local_next: Vec<Option<SimTime>>,
+    /// Minimum event time in flight to each shard, folded from the
+    /// senders' outbound minima — batches the destination has not
+    /// absorbed into its local queue yet, so its `local_next` alone
+    /// would miss them.
+    inbound_min: Vec<Option<SimTime>>,
+    /// Events executed in the current epoch's window, all shards.
+    epoch_events: u64,
+    /// Adaptive target width in effect.
+    width: SimDuration,
+    /// Events processed this `run_until` call.
+    events: u64,
+    /// Windows completed this `run_until` call.
+    windows: u64,
+    /// Cleared when the event budget stops the run early.
+    completed: bool,
+    /// Window record in flight (tracing only).
+    pending: Option<PendingWindow>,
+    /// Completed window records, drained by the caller after the join.
+    trace: Vec<WindowRecord>,
+    /// One decision sender per worker, used by the last arriver.
+    decision_txs: Vec<Sender<Decision>>,
+}
+
+/// The window-decision parameters, fixed for one `run_until` call. The
+/// decision math is exactly the pre-pipelined coordinator's; only *who*
+/// runs it moved (into whichever worker folds last).
+struct Scheduler {
+    num_shards: usize,
+    lookahead: SimDuration,
+    target: SimTime,
+    /// Exclusive bound enforcing the inclusive `target` (`target + 1µs`);
+    /// saturates at [`SimTime::MAX`], where rim windows take over.
+    hard_end: SimTime,
+    max_events: u64,
+    /// Events processed by earlier `run_until` calls.
+    already: u64,
+    adaptive: bool,
+    /// Adaptive width cap (`lookahead × max_factor`).
+    cap: SimDuration,
+    log_windows: bool,
+    timing: bool,
+}
+
+/// What [`Scheduler::decide`] concluded from the folded head times.
+enum Verdict {
+    /// No runnable window: out of events, past the target, or (when
+    /// `completed` is false) out of event budget.
+    Stop { completed: bool },
+    /// Issue a window starting at the global minimum `start`, held by
+    /// shard `holder` whose own end is bounded by the runner-up `m2`.
+    Window {
+        start: SimTime,
+        holder: usize,
+        m2: Option<SimTime>,
+        rim: bool,
+    },
+}
+
+impl Scheduler {
+    /// Computes the next window from per-shard head times, in O(shards).
+    fn decide(&self, next: impl Fn(usize) -> Option<SimTime>, events_so_far: u64) -> Verdict {
+        if self.already + events_so_far >= self.max_events {
+            return Verdict::Stop { completed: false };
+        }
+        // Global minimum pending time (the window start), its holder,
+        // and the runner-up — never from scanning events.
+        let mut m1: Option<(SimTime, usize)> = None;
+        let mut m2: Option<SimTime> = None;
+        for s in 0..self.num_shards {
+            let Some(t) = next(s) else { continue };
+            match m1 {
+                None => m1 = Some((t, s)),
+                Some((best, _)) if t < best => {
+                    m2 = Some(best);
+                    m1 = Some((t, s));
+                }
+                Some(_) => {
+                    m2 = Some(match m2 {
+                        Some(m) => m.min(t),
+                        None => t,
+                    });
+                }
+            }
+        }
+        let Some((start, holder)) = m1 else {
+            return Verdict::Stop { completed: true };
+        };
+        if start > self.target {
+            return Verdict::Stop { completed: true };
+        }
+        // `start ≥ hard_end` is only reachable when the exclusive bound
+        // saturated (`target == SimTime::MAX`): an ordinary exclusive
+        // window could never include the event, so issue an inclusive
+        // **rim** window rather than silently excluding it (or spinning
+        // on empty windows forever).
+        let rim = start >= self.hard_end;
+        Verdict::Window {
+            start,
+            holder,
+            m2,
+            rim,
+        }
+    }
+
+    /// Conservative per-shard end: shard `s` cannot emit anything due
+    /// before `next_s + L`, so `d` may run to the minimum of that over
+    /// all other shards — the runner-up head for the holder of the
+    /// global minimum, the global minimum itself for everyone else.
+    fn end_for(
+        &self,
+        d: usize,
+        start: SimTime,
+        holder: usize,
+        m2: Option<SimTime>,
+        width: SimDuration,
+    ) -> SimTime {
+        let allowance = if d == holder { m2 } else { Some(start) };
+        let mut end = start.saturating_add(width);
+        if let Some(a) = allowance {
+            end = end.min(a.saturating_add(self.lookahead));
+        }
+        end.min(self.hard_end)
+    }
+
+    /// Deterministic grow/shrink of the target width from the observed
+    /// events per window, floored at the lookahead.
+    fn adapt(&self, width: SimDuration, window_events: u64) -> SimDuration {
+        if !self.adaptive {
+            return width;
+        }
+        let sparse = 8 * self.num_shards as u64;
+        let dense = 128 * self.num_shards as u64;
+        if window_events < sparse {
+            width.saturating_mul(2).min(self.cap)
+        } else if window_events > dense {
+            SimDuration::from_micros((width.as_micros() / 2).max(self.lookahead.as_micros()))
+        } else {
+            width
+        }
+    }
+}
+
+/// Publishes `verdict` to every worker: per-shard window ends, or the
+/// stop signal. Opens the window's pending trace record and resets the
+/// epoch accumulator.
+fn publish(sched: &Scheduler, r: &mut Reduction, verdict: Verdict) {
+    match verdict {
+        Verdict::Stop { completed } => {
+            if !completed {
+                r.completed = false;
+            }
+            for tx in &r.decision_txs {
+                let _ = tx.send(Decision::Stop);
+            }
+        }
+        Verdict::Window {
+            start,
+            holder,
+            m2,
+            rim,
+        } => {
+            let mut ends = sched.timing.then(|| Vec::with_capacity(sched.num_shards));
+            for (d, tx) in r.decision_txs.iter().enumerate() {
+                let end = sched.end_for(d, start, holder, m2, r.width);
+                if let Some(ends) = ends.as_mut() {
+                    ends.push(end);
+                }
+                let _ = tx.send(Decision::Window { end, rim });
+            }
+            if let Some(ends) = ends {
+                r.pending = Some(PendingWindow {
+                    start,
+                    width: r.width,
+                    straggler: holder,
+                    ends,
+                    events: vec![0; sched.num_shards],
+                    issued: Instant::now(),
+                });
+            }
+            // The decision has consumed the in-flight minima; reset the
+            // accumulator for the next epoch's folds.
+            for m in r.inbound_min.iter_mut() {
+                *m = None;
+            }
+        }
+    }
+}
+
+/// Completes an epoch after the last worker folded: finishes the pending
+/// window record, adapts the width, and decides + publishes the next
+/// window — all under the reduction lock, so the decision is
+/// deterministic and workers always observe a fully-published epoch.
+fn complete_epoch(sched: &Scheduler, r: &mut Reduction) {
+    r.arrived = 0;
+    let window_events = std::mem::take(&mut r.epoch_events);
+    r.events += window_events;
+    r.windows += 1;
+    if let Some(p) = r.pending.take() {
+        let wall_ns = p.issued.elapsed().as_nanos() as u64;
+        if sched.log_windows {
+            eprintln!(
+                "FED_TRACE window={} start={} width={} straggler={} events={window_events} \
+                 wall_us={}",
+                r.windows,
+                p.start,
+                p.width,
+                p.straggler,
+                wall_ns / 1_000
+            );
+        }
+        r.trace.push(WindowRecord {
+            index: r.windows,
+            start: p.start,
+            width: p.width,
+            straggler: p.straggler,
+            ends: p.ends,
+            events: p.events,
+            wall_ns,
+        });
+    }
+    r.width = sched.adapt(r.width, window_events);
+    let verdict = sched.decide(
+        |s| match (r.local_next[s], r.inbound_min[s]) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        },
+        r.events,
+    );
+    publish(sched, r, verdict);
+}
+
+/// Folds one worker's end-of-window summary into the shared reduction;
+/// the last arriver completes the epoch (which publishes the next
+/// decision before the lock is released).
+fn fold_summary(
+    sched: &Scheduler,
+    red: &Mutex<Reduction>,
     shard: usize,
     events: u64,
-    /// Head of the shard's queue after the window.
     local_next: Option<SimTime>,
-    /// Minimum event time sent to each destination shard this window,
-    /// tracked incrementally during dispatch.
-    outbound_min: Vec<Option<SimTime>>,
+    out_min: &mut [Option<SimTime>],
+) {
+    let mut guard = red.lock().expect("reduction lock");
+    let r = &mut *guard;
+    r.local_next[shard] = local_next;
+    for (d, m) in out_min.iter_mut().enumerate() {
+        if let Some(t) = m.take() {
+            r.inbound_min[d] = Some(match r.inbound_min[d] {
+                Some(x) => x.min(t),
+                None => t,
+            });
+        }
+    }
+    r.epoch_events += events;
+    if let Some(p) = r.pending.as_mut() {
+        p.events[shard] = events;
+    }
+    r.arrived += 1;
+    if r.arrived == sched.num_shards {
+        complete_epoch(sched, r);
+    }
+}
+
+/// One worker's channel endpoints, all indexed by peer shard (`None` on
+/// the diagonal). Data batches travel `mail`; the drained vectors come
+/// back over `ret` so steady-state windows allocate nothing.
+struct Links<P: Protocol> {
+    /// Outbound data batches, by destination.
+    mail_txs: Vec<Option<Sender<Batch<P>>>>,
+    /// Inbound data batches, by source.
+    mail_rxs: Vec<Option<Receiver<Batch<P>>>>,
+    /// Returns a drained batch vector to its sender, by source.
+    ret_txs: Vec<Option<Sender<Batch<P>>>>,
+    /// Reclaims our own vectors from the destination that drained them.
+    ret_rxs: Vec<Option<Receiver<Batch<P>>>>,
+}
+
+/// Dispatches one event through the kernel with a [`ShardSink`] wired to
+/// this worker's queue and outbound mailboxes.
+#[allow(clippy::too_many_arguments)]
+fn dispatch_one<P, C, R>(
+    key: EventKey,
+    kind: EventKind<P>,
+    kernel: &mut Kernel<P>,
+    queue: &mut EventQueue<P>,
+    map: &ShardMap,
+    local_shard: usize,
+    lookahead: SimDuration,
+    dyn_end: &mut SimTime,
+    out: &mut Vec<Batch<P>>,
+    out_min: &mut Vec<Option<SimTime>>,
+    factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
+    probe: &mut Option<&mut C>,
+    profiler: &mut Option<&mut R>,
+) where
+    P: Protocol,
+    C: Probe,
+    R: Profiler,
+{
+    let mut sink = ShardSink {
+        map,
+        local_shard,
+        lookahead,
+        dyn_end,
+        queue,
+        out,
+        out_min,
+    };
+    kernel.dispatch(
+        key,
+        kind,
+        factory,
+        &mut sink,
+        probe.as_deref_mut().map(|p| p as &mut dyn Probe),
+        profiler.as_deref_mut().map(|p| p as &mut dyn Profiler),
+    );
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -329,10 +707,10 @@ fn worker_loop<P, C, R>(
     mut profiler: Option<&mut R>,
     factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
     map: &ShardMap,
-    ctl_rx: Receiver<ToShard>,
-    sum_tx: Sender<Summary>,
-    mail_txs: Vec<Option<Sender<Batch<P>>>>,
-    mail_rxs: Vec<Option<Receiver<Batch<P>>>>,
+    sched: &Scheduler,
+    red: &Mutex<Reduction>,
+    decision_rx: Receiver<Decision>,
+    links: Links<P>,
 ) where
     P: Protocol,
     C: Probe,
@@ -345,112 +723,147 @@ fn worker_loop<P, C, R>(
         kernel,
         queue,
     } = shard;
+    let me = *index;
+    let lookahead = kernel.net().min_latency();
     let mut out: Vec<Batch<P>> = (0..num_shards).map(|_| Vec::new()).collect();
     let mut out_min: Vec<Option<SimTime>> = vec![None; num_shards];
     // Wall clocks are taken only when a profiler is attached, so the
     // unprofiled hot path pays nothing beyond a `None` branch.
     let timing = profiler.is_some();
     loop {
-        let wait_t0 = timing.then(std::time::Instant::now);
-        let Ok(msg) = ctl_rx.recv() else { break };
+        // The decision is computed in-place by whichever worker folds the
+        // epoch last, so by the time it arrives every peer has already
+        // sent its batch (sends precede folds) and this window's inbound
+        // events are already in our queue (absorbed below, before the
+        // recv). Blocking here is therefore the *pure* straggler stall:
+        // everything local is done and the slowest shard has not folded.
+        let wait_t0 = timing.then(Instant::now);
+        let Ok(msg) = decision_rx.recv() else { break };
         let wait_ns = wait_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-        match msg {
-            ToShard::Done { drain } => {
-                // Batches sent during the final window are still in our
-                // mailboxes; they are addressed to us, so they persist in
-                // our queue for the next `run_until` call.
-                if drain {
-                    for rx in mail_rxs.iter().flatten() {
-                        for (key, kind) in rx.recv().expect("peer batch") {
-                            queue.push(key, kind);
-                        }
+        let Decision::Window { end, rim } = msg else {
+            // Stop: the final window's batches were absorbed at its end,
+            // so the queue already holds every in-flight event for the
+            // next `run_until` call.
+            break;
+        };
+        // Reclaim batch vectors our peers drained and returned.
+        for (dest, ret) in links.ret_rxs.iter().enumerate() {
+            if let Some(ret) = ret {
+                if out[dest].capacity() == 0 {
+                    if let Ok(v) = ret.try_recv() {
+                        out[dest] = v;
                     }
-                }
-                break;
-            }
-            ToShard::Window { end, drain } => {
-                let exch_t0 = timing.then(std::time::Instant::now);
-                if drain {
-                    for rx in mail_rxs.iter().flatten() {
-                        for (key, kind) in rx.recv().expect("peer batch") {
-                            queue.push(key, kind);
-                        }
-                    }
-                }
-                let mut exchange_ns = exch_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                let lookahead = kernel.net().min_latency();
-                let mut events = 0u64;
-                // `dyn_end` starts at the coordinator's conservative end
-                // and tightens as cross-shard sends occur (see
-                // [`ShardSink`]); unprocessed events simply wait for the
-                // next window.
-                let mut dyn_end = end;
-                let exec_t0 = timing.then(std::time::Instant::now);
-                while let Some((key, kind)) = queue.pop_before(dyn_end) {
-                    events += 1;
-                    let mut sink = ShardSink {
-                        map,
-                        local_shard: *index,
-                        lookahead,
-                        dyn_end: &mut dyn_end,
-                        queue,
-                        out: &mut out,
-                        out_min: &mut out_min,
-                    };
-                    kernel.dispatch(
-                        key,
-                        kind,
-                        &mut factory,
-                        &mut sink,
-                        probe.as_deref_mut().map(|p| p as &mut dyn Probe),
-                        profiler.as_deref_mut().map(|p| p as &mut dyn Profiler),
-                    );
-                }
-                let execute_ns = exec_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                if let Some(p) = profiler.as_deref_mut() {
-                    let (mut msgs, mut bytes) = (0u64, 0u64);
-                    for batch in &out {
-                        msgs += batch.len() as u64;
-                        for (_, kind) in batch {
-                            if let EventKind::Deliver { msg, .. } = kind {
-                                bytes += P::message_size(msg) as u64;
-                            }
-                        }
-                    }
-                    if msgs > 0 {
-                        p.on_mailbox(msgs, bytes);
-                    }
-                }
-                // Exchange: exactly one batch (possibly empty) to every
-                // peer, every window — receivers rely on the count.
-                let send_t0 = timing.then(std::time::Instant::now);
-                for (dest, tx) in mail_txs.iter().enumerate() {
-                    if let Some(tx) = tx {
-                        if tx.send(std::mem::take(&mut out[dest])).is_err() {
-                            return; // peer gone, coordinator shutting down
-                        }
-                    }
-                }
-                exchange_ns += send_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
-                if let Some(p) = profiler.as_deref_mut() {
-                    p.on_window(WindowWork {
-                        end: dyn_end,
-                        events,
-                        execute_ns,
-                        exchange_ns,
-                        wait_ns,
-                    });
-                }
-                let summary = Summary {
-                    shard: *index,
-                    events,
-                    local_next: queue.next_time(),
-                    outbound_min: std::mem::replace(&mut out_min, vec![None; num_shards]),
-                };
-                if sum_tx.send(summary).is_err() {
-                    break; // coordinator gone
                 }
             }
+        }
+        let mut dyn_end = end;
+        let mut events = 0u64;
+        let mut exchange_ns = 0u64;
+        let mut fill_ns = 0u64;
+        // Run the local queue — which already holds this window's
+        // absorbed inbound events — to the (dynamic) window end.
+        // `dyn_end` starts at the published conservative end and tightens
+        // as cross-shard sends occur (see [`ShardSink`]); unprocessed
+        // events simply wait for the next window. Rim windows instead
+        // pop everything left — every remaining event sits exactly at
+        // the saturated target (see [`Scheduler::decide`]) — bounded by
+        // the event budget as a stopgap against saturated same-time
+        // cycles.
+        let exec_t0 = timing.then(Instant::now);
+        loop {
+            let popped = if rim {
+                if events >= sched.max_events {
+                    None
+                } else {
+                    queue.pop()
+                }
+            } else {
+                queue.pop_before(dyn_end)
+            };
+            let Some((key, kind)) = popped else { break };
+            events += 1;
+            dispatch_one(
+                key,
+                kind,
+                kernel,
+                queue,
+                map,
+                me,
+                lookahead,
+                &mut dyn_end,
+                &mut out,
+                &mut out_min,
+                &mut factory,
+                &mut probe,
+                &mut profiler,
+            );
+        }
+        let execute_ns = exec_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        if let Some(p) = profiler.as_deref_mut() {
+            let (mut msgs, mut bytes) = (0u64, 0u64);
+            for batch in &out {
+                msgs += batch.len() as u64;
+                for (_, kind) in batch {
+                    if let EventKind::Deliver { msg, .. } = kind {
+                        bytes += P::message_size(msg) as u64;
+                    }
+                }
+            }
+            if msgs > 0 {
+                p.on_mailbox(msgs, bytes);
+            }
+        }
+        // Send one batch (possibly empty) to every peer *before* folding:
+        // the decision that follows the fold may race ahead of us
+        // otherwise, and a stopping peer must find its final batch.
+        let send_t0 = timing.then(Instant::now);
+        for (dest, tx) in links.mail_txs.iter().enumerate() {
+            if let Some(tx) = tx {
+                if tx.send(std::mem::take(&mut out[dest])).is_err() {
+                    return; // peer gone, run shutting down
+                }
+            }
+        }
+        exchange_ns += send_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        // Fold immediately after sending so the reduction — and hence the
+        // next decision — never waits on this shard's absorption below.
+        // `queue.next_time()` is taken before absorbing, which is why the
+        // reduction folds the senders' outbound minima (`inbound_min`)
+        // alongside it: together they cover every event this shard will
+        // hold next window.
+        fold_summary(sched, red, me, events, queue.next_time(), &mut out_min);
+        // Absorption — exactly one batch per peer per window, pulled
+        // *eagerly* between the fold and the next decision, while the
+        // slower shards are still executing. Inbound events are due at or
+        // after `next + lookahead` of their sender, i.e. inside a later
+        // window, so pushing them while this window is closed is safe.
+        // Blocking here is pipeline fill (the peer has not reached its
+        // send yet), not a straggler stall.
+        for (rx, ret) in links.mail_rxs.iter().zip(&links.ret_txs) {
+            let (Some(rx), Some(ret)) = (rx, ret) else {
+                continue;
+            };
+            let fill_t0 = timing.then(Instant::now);
+            let Ok(mut batch) = rx.recv() else {
+                return; // peer gone, run shutting down
+            };
+            fill_ns += fill_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let push_t0 = timing.then(Instant::now);
+            for (key, kind) in batch.drain(..) {
+                queue.push(key, kind);
+            }
+            let _ = ret.send(batch);
+            exchange_ns += push_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+        }
+        if let Some(p) = profiler.as_deref_mut() {
+            p.on_window(WindowWork {
+                end: dyn_end,
+                events,
+                execute_ns,
+                exchange_ns,
+                fill_ns,
+                wait_ns,
+            });
         }
     }
 }
@@ -784,13 +1197,14 @@ where
     }
 
     /// [`ShardedSimulation::run_until_probed`] with one [`Profiler`] per
-    /// shard and an optional coordinator-side [`ScheduleTrace`].
+    /// shard and an optional [`ScheduleTrace`].
     ///
     /// Worker `s` threads `profilers[s]` through its dispatch loop
     /// (deterministic [`Profiler::on_event`] per event) and reports its
-    /// per-window phase wall clocks and mailbox traffic to it; the
-    /// coordinator appends every window's sizing decision and straggler
-    /// attribution to `schedule` when one is given. Pass empty slices /
+    /// per-window phase wall clocks — execute, exchange, pipeline fill,
+    /// and the straggler wait at the reduction — and mailbox traffic to
+    /// it; every window's sizing decision and straggler attribution is
+    /// appended to `schedule` when one is given. Pass empty slices /
     /// `None` to turn each instrument off individually; with everything
     /// off this is exactly [`ShardedSimulation::run_until_probed`] —
     /// profilers are passive and no wall clock is read.
@@ -798,7 +1212,9 @@ where
     /// Setting `FED_TRACE=1` (or the legacy alias `FED_TRACE_WINDOWS=1`)
     /// additionally logs one structured
     /// `FED_TRACE window=… start=… width=… straggler=… events=… wall_us=…`
-    /// line per window to stderr, with or without a trace attached.
+    /// line per window to stderr, with or without a trace attached. The
+    /// variables are read once per process; unset, empty or `0` all mean
+    /// *off* (see docs/OBSERVABILITY.md).
     ///
     /// # Panics
     ///
@@ -809,7 +1225,7 @@ where
         target: SimTime,
         probes: &mut [C],
         profilers: &mut [R],
-        mut schedule: Option<&mut ScheduleTrace>,
+        schedule: Option<&mut ScheduleTrace>,
     ) -> ClusterReport
     where
         C: Probe + Send,
@@ -830,208 +1246,148 @@ where
         let policy = self.window;
         let factory = Arc::clone(&self.factory);
         let map = Arc::clone(&self.map);
-        let mut next: Vec<Option<SimTime>> =
-            self.shards.iter().map(|s| s.queue.next_time()).collect();
-        let max_events = self.max_events;
-        let already = self.events_processed;
-        let mut width = self.window_width.max(lookahead);
-        let mut report = ClusterReport {
+        let next: Vec<Option<SimTime>> = self.shards.iter().map(|s| s.queue.next_time()).collect();
+        let log_windows = trace_enabled();
+        // Record windows (and read wall clocks for them) only when
+        // someone is listening.
+        let timing = log_windows || schedule.is_some();
+        let sched = Scheduler {
+            num_shards,
+            lookahead,
+            target,
+            // `target` is inclusive like the sequential engine; windows
+            // have exclusive ends, so the last window may end just past
+            // it. At the saturation boundary (`target == SimTime::MAX`)
+            // no exclusive bound past the target exists — `decide`
+            // issues inclusive rim windows for events due exactly there
+            // instead of silently excluding them.
+            hard_end: target.saturating_add(SimDuration::from_micros(1)),
+            max_events: self.max_events,
+            already: self.events_processed,
+            adaptive: policy.adaptive,
+            cap: lookahead.saturating_mul(policy.max_factor.max(1) as u64),
+            log_windows,
+            timing,
+        };
+        let mut decision_txs = Vec::with_capacity(num_shards);
+        let mut decision_rxs = Vec::with_capacity(num_shards);
+        for _ in 0..num_shards {
+            let (tx, rx) = channel::<Decision>();
+            decision_txs.push(tx);
+            decision_rxs.push(rx);
+        }
+        let mut red = Reduction {
+            arrived: 0,
+            local_next: vec![None; num_shards],
+            inbound_min: vec![None; num_shards],
+            epoch_events: 0,
+            width: self.window_width.max(lookahead),
             events: 0,
             windows: 0,
             completed: true,
+            pending: None,
+            trace: Vec::new(),
+            decision_txs,
         };
-        // `target` is inclusive like the sequential engine; windows have
-        // exclusive ends, so the last window may end just past it.
-        let hard_end = target.saturating_add(SimDuration::from_micros(1));
-        // FED_TRACE=1 (or the legacy FED_TRACE_WINDOWS=1) logs one
-        // structured line per window to stderr.
-        let log_windows = std::env::var_os("FED_TRACE").is_some()
-            || std::env::var_os("FED_TRACE_WINDOWS").is_some();
-        // Record windows (and read the coordinator wall clock) only when
-        // someone is listening.
-        let timing = log_windows || schedule.is_some();
-        let mut probe_slots: Vec<Option<&mut C>> = if probes.is_empty() {
-            (0..num_shards).map(|_| None).collect()
-        } else {
-            probes.iter_mut().map(Some).collect()
-        };
-        let mut profiler_slots: Vec<Option<&mut R>> = if profilers.is_empty() {
-            (0..num_shards).map(|_| None).collect()
-        } else {
-            profilers.iter_mut().map(Some).collect()
-        };
-        std::thread::scope(|scope| {
-            let (sum_tx, sum_rx) = channel::<Summary>();
-            // Direct shard-to-shard mailboxes: mail[src][dest].
-            let mut mail_txs: Vec<Vec<Option<Sender<Batch<P>>>>> =
-                (0..num_shards).map(|_| Vec::new()).collect();
-            let mut mail_rxs: Vec<Vec<Option<Receiver<Batch<P>>>>> = (0..num_shards)
-                .map(|_| (0..num_shards).map(|_| None).collect())
-                .collect();
-            for src in 0..num_shards {
-                for (dest, dest_rxs) in mail_rxs.iter_mut().enumerate() {
-                    if src == dest {
-                        mail_txs[src].push(None);
-                    } else {
-                        let (tx, rx) = channel::<Batch<P>>();
-                        mail_txs[src].push(Some(tx));
-                        dest_rxs[src] = Some(rx);
-                    }
-                }
-            }
-            let mut ctl_txs = Vec::with_capacity(num_shards);
-            let mut mail_rxs = mail_rxs.into_iter();
-            let mut mail_txs = mail_txs.into_iter();
-            for ((shard, probe), profiler) in self
-                .shards
-                .iter_mut()
-                .zip(probe_slots.drain(..))
-                .zip(profiler_slots.drain(..))
-            {
-                let (ctl_tx, ctl_rx) = channel::<ToShard>();
-                ctl_txs.push(ctl_tx);
-                let sum_tx = sum_tx.clone();
-                let factory = Arc::clone(&factory);
-                let map = Arc::clone(&map);
-                let txs = mail_txs.next().expect("one row per shard");
-                let rxs = mail_rxs.next().expect("one row per shard");
-                scope.spawn(move || {
-                    worker_loop(
-                        shard, probe, profiler, &*factory, &map, ctl_rx, sum_tx, txs, rxs,
-                    )
-                });
-            }
-            drop(sum_tx);
-            let mut summaries: Vec<Option<Summary>> = (0..num_shards).map(|_| None).collect();
-            loop {
-                if already + report.events >= max_events {
-                    report.completed = false;
-                    break;
-                }
-                // Global minimum pending time (the window start), its
-                // holder, and the runner-up — all from the O(shards)
-                // summary state, never from scanning events.
-                let mut m1: Option<(SimTime, usize)> = None;
-                let mut m2: Option<SimTime> = None;
-                for (s, t) in next.iter().enumerate() {
-                    let Some(t) = *t else { continue };
-                    match m1 {
-                        None => m1 = Some((t, s)),
-                        Some((best, _)) if t < best => {
-                            m2 = Some(best);
-                            m1 = Some((t, s));
-                        }
-                        Some(_) => {
-                            m2 = Some(match m2 {
-                                Some(m) => m.min(t),
-                                None => t,
-                            });
-                        }
-                    }
-                }
-                let Some((start, holder)) = m1 else { break };
-                if start > target {
-                    break;
-                }
-                let window_t0 = timing.then(std::time::Instant::now);
-                let mut window_ends = timing.then(|| Vec::with_capacity(num_shards));
-                let drain = report.windows > 0;
-                for (d, ctl) in ctl_txs.iter().enumerate() {
-                    // Conservative per-shard bound: shard s cannot emit
-                    // anything due before `next_s + L`, so `d` may run to
-                    // the minimum of that over all other shards. For the
-                    // holder of the global minimum that bound is the
-                    // runner-up head; for everyone else it is the global
-                    // minimum itself.
-                    let allowance = if d == holder { m2 } else { Some(start) };
-                    let mut end = start.saturating_add(width);
-                    if let Some(a) = allowance {
-                        end = end.min(a.saturating_add(lookahead));
-                    }
-                    let end = end.min(hard_end);
-                    if let Some(ends) = window_ends.as_mut() {
-                        ends.push(end);
-                    }
-                    ctl.send(ToShard::Window { end, drain })
-                        .expect("worker thread alive");
-                }
-                let mut window_events = 0u64;
-                for _ in 0..num_shards {
-                    let s = sum_rx.recv().expect("worker thread alive");
-                    window_events += s.events;
-                    let slot = s.shard;
-                    summaries[slot] = Some(s);
-                }
-                // Fold the summaries into the per-shard head times: a
-                // shard's next event is its local head or the earliest
-                // batch in flight to it.
-                for d in 0..num_shards {
-                    let mut t = summaries[d].as_ref().expect("summary per shard").local_next;
-                    for (s, summary) in summaries.iter().enumerate() {
-                        if s == d {
+        // The first decision is made here on the calling thread (from
+        // the initial queue heads); every later one is made by whichever
+        // worker folds its epoch last. No windows → nothing to spawn.
+        let first = sched.decide(|s| next[s], 0);
+        let spawn = matches!(first, Verdict::Window { .. });
+        publish(&sched, &mut red, first);
+        if spawn {
+            let mut probe_slots: Vec<Option<&mut C>> = if probes.is_empty() {
+                (0..num_shards).map(|_| None).collect()
+            } else {
+                probes.iter_mut().map(Some).collect()
+            };
+            let mut profiler_slots: Vec<Option<&mut R>> = if profilers.is_empty() {
+                (0..num_shards).map(|_| None).collect()
+            } else {
+                profilers.iter_mut().map(Some).collect()
+            };
+            let red_lock = Mutex::new(red);
+            let sched = &sched;
+            std::thread::scope(|scope| {
+                // Double-buffered shard-to-shard mailboxes: data batches
+                // travel src→dest, drained vectors return dest→src. The
+                // pipeline keeps at most two batches in flight per link
+                // (a worker can run at most one window ahead of the
+                // slowest shard — the next decision needs its fold).
+                let mut mail_txs: Vec<Vec<Option<Sender<Batch<P>>>>> = (0..num_shards)
+                    .map(|_| (0..num_shards).map(|_| None).collect())
+                    .collect();
+                let mut mail_rxs: Vec<Vec<Option<Receiver<Batch<P>>>>> = (0..num_shards)
+                    .map(|_| (0..num_shards).map(|_| None).collect())
+                    .collect();
+                let mut ret_txs: Vec<Vec<Option<Sender<Batch<P>>>>> = (0..num_shards)
+                    .map(|_| (0..num_shards).map(|_| None).collect())
+                    .collect();
+                let mut ret_rxs: Vec<Vec<Option<Receiver<Batch<P>>>>> = (0..num_shards)
+                    .map(|_| (0..num_shards).map(|_| None).collect())
+                    .collect();
+                for src in 0..num_shards {
+                    for dest in 0..num_shards {
+                        if src == dest {
                             continue;
                         }
-                        let inbound = summary.as_ref().expect("summary per shard");
-                        if let Some(m) = inbound.outbound_min[d] {
-                            t = Some(match t {
-                                Some(x) => x.min(m),
-                                None => m,
-                            });
-                        }
-                    }
-                    next[d] = t;
-                }
-                report.events += window_events;
-                report.windows += 1;
-                if let (Some(t0), Some(ends)) = (window_t0, window_ends) {
-                    let wall_ns = t0.elapsed().as_nanos() as u64;
-                    if log_windows {
-                        eprintln!(
-                            "FED_TRACE window={} start={start} width={width} \
-                             straggler={holder} events={window_events} wall_us={}",
-                            report.windows,
-                            wall_ns / 1_000
-                        );
-                    }
-                    if let Some(trace) = schedule.as_deref_mut() {
-                        trace.record(
-                            WindowRecord {
-                                index: report.windows,
-                                start,
-                                width,
-                                straggler: holder,
-                                ends,
-                                events: summaries
-                                    .iter()
-                                    .map(|s| s.as_ref().expect("summary per shard").events)
-                                    .collect(),
-                                wall_ns,
-                            },
-                            num_shards,
-                        );
+                        let (tx, rx) = channel::<Batch<P>>();
+                        mail_txs[src][dest] = Some(tx);
+                        mail_rxs[dest][src] = Some(rx);
+                        let (tx, rx) = channel::<Batch<P>>();
+                        ret_txs[dest][src] = Some(tx);
+                        ret_rxs[src][dest] = Some(rx);
                     }
                 }
-                if policy.adaptive {
-                    // Deterministic grow/shrink from the observed events
-                    // per window, floored at the lookahead.
-                    let sparse = 8 * num_shards as u64;
-                    let dense = 128 * num_shards as u64;
-                    let cap = lookahead.saturating_mul(policy.max_factor.max(1) as u64);
-                    if window_events < sparse {
-                        width = width.saturating_mul(2).min(cap);
-                    } else if window_events > dense {
-                        width = SimDuration::from_micros(
-                            (width.as_micros() / 2).max(lookahead.as_micros()),
-                        );
-                    }
+                let mut mail_txs = mail_txs.into_iter();
+                let mut mail_rxs = mail_rxs.into_iter();
+                let mut ret_txs = ret_txs.into_iter();
+                let mut ret_rxs = ret_rxs.into_iter();
+                let mut decision_rxs = decision_rxs.into_iter();
+                for ((shard, probe), profiler) in self
+                    .shards
+                    .iter_mut()
+                    .zip(probe_slots.drain(..))
+                    .zip(profiler_slots.drain(..))
+                {
+                    let factory = Arc::clone(&factory);
+                    let map = Arc::clone(&map);
+                    let red = &red_lock;
+                    let decision_rx = decision_rxs.next().expect("one receiver per shard");
+                    let links = Links {
+                        mail_txs: mail_txs.next().expect("one row per shard"),
+                        mail_rxs: mail_rxs.next().expect("one row per shard"),
+                        ret_txs: ret_txs.next().expect("one row per shard"),
+                        ret_rxs: ret_rxs.next().expect("one row per shard"),
+                    };
+                    scope.spawn(move || {
+                        worker_loop(
+                            shard,
+                            probe,
+                            profiler,
+                            &*factory,
+                            &map,
+                            sched,
+                            red,
+                            decision_rx,
+                            links,
+                        )
+                    });
                 }
+            });
+            red = red_lock.into_inner().expect("reduction lock");
+        }
+        let report = ClusterReport {
+            events: red.events,
+            windows: red.windows,
+            completed: red.completed,
+        };
+        if let Some(trace) = schedule {
+            for rec in red.trace.drain(..) {
+                trace.record(rec, num_shards);
             }
-            let drain = report.windows > 0;
-            for ctl in &ctl_txs {
-                let _ = ctl.send(ToShard::Done { drain });
-            }
-        });
-        self.window_width = width;
+        }
+        self.window_width = red.width;
         if report.completed {
             self.now = self.now.max(target);
         }
@@ -1534,5 +1890,126 @@ mod tests {
         }
         let traced_events: u64 = trace.windows.iter().flat_map(|w| w.events.iter()).sum();
         assert_eq!(traced_events, report.events);
+    }
+
+    #[test]
+    fn trace_flag_off_for_unset_empty_and_zero() {
+        assert!(!trace_flag_on(None));
+        assert!(!trace_flag_on(Some(OsStr::new(""))));
+        assert!(!trace_flag_on(Some(OsStr::new("0"))));
+        assert!(trace_flag_on(Some(OsStr::new("1"))));
+        assert!(trace_flag_on(Some(OsStr::new("true"))));
+        assert!(
+            trace_flag_on(Some(OsStr::new("00"))),
+            "only a lone 0 is off"
+        );
+    }
+
+    /// Quiet protocol recording when its handlers fire — no sends, no
+    /// timers — so it is safe to drive arbitrarily close to the
+    /// saturation point without overflowing delivery times.
+    #[derive(Debug, Default)]
+    struct Recorder {
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Protocol for Recorder {
+        type Msg = u64;
+        type Cmd = u64;
+        fn on_init(&mut self, _ctx: &mut Context<'_, u64>) {}
+        fn on_message(&mut self, ctx: &mut Context<'_, u64>, _from: NodeId, msg: u64) {
+            self.log.push((ctx.now(), msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Context<'_, u64>, token: u64) {
+            self.log.push((ctx.now(), token));
+        }
+        fn on_command(&mut self, ctx: &mut Context<'_, u64>, cmd: u64) {
+            self.log.push((ctx.now(), cmd));
+        }
+    }
+
+    fn recorder_logs_cluster(sim: &ShardedSimulation<Recorder>) -> Vec<Vec<(SimTime, u64)>> {
+        sim.nodes().map(|(_, p)| p.log.clone()).collect()
+    }
+
+    fn schedule_rim<F: FnMut(SimTime, NodeId, u64)>(mut cmd: F) {
+        let near = SimTime::from_micros(u64::MAX - 1);
+        cmd(SimTime::from_millis(1), NodeId::new(0), 1);
+        cmd(near, NodeId::new(1), 2);
+        cmd(SimTime::MAX, NodeId::new(2), 3);
+        cmd(SimTime::MAX, NodeId::new(3), 4);
+    }
+
+    /// Running to `SimTime::MAX` must still deliver events due exactly at
+    /// the target: `hard_end = target + 1µs` saturates back to `target`,
+    /// so the scheduler's final window flips to an inclusive "rim" pass
+    /// instead of excluding the boundary (or looping on empty exclusive
+    /// windows, the old failure mode). Parity holds at and adjacent to
+    /// the saturation point, and the run terminates.
+    #[test]
+    fn saturation_boundary_matches_sequential() {
+        let mut seq = Simulation::new(4, NetworkModel::default(), 7, |_, _| Recorder::default());
+        schedule_rim(|at, node, cmd| seq.schedule_command(at, node, cmd));
+        seq.run_until(SimTime::MAX);
+        let expect: Vec<Vec<(SimTime, u64)>> = seq.nodes().map(|(_, p)| p.log.clone()).collect();
+        let expect_events = seq.events_processed();
+        assert_eq!(expect.iter().map(Vec::len).sum::<usize>(), 4);
+
+        for shards in [1, 2, 4] {
+            let mut cluster =
+                ShardedSimulation::new(4, NetworkModel::default(), 7, shards, |_, _| {
+                    Recorder::default()
+                });
+            schedule_rim(|at, node, cmd| cluster.schedule_command(at, node, cmd));
+            let report = cluster.run_until(SimTime::MAX);
+            assert!(report.completed, "{shards} shards: rim run must terminate");
+            assert_eq!(cluster.now(), SimTime::MAX);
+            assert_eq!(
+                recorder_logs_cluster(&cluster),
+                expect,
+                "saturation rim with {shards} shards diverged from sequential"
+            );
+            assert_eq!(cluster.events_processed(), expect_events);
+        }
+    }
+
+    /// One tick shy of saturation the boundary is still exclusive of
+    /// later events: `run_until(MAX − 1µs)` delivers everything up to and
+    /// including its target but leaves events at `MAX` pending; a second
+    /// run to `MAX` drains them. Both steps match the sequential engine.
+    #[test]
+    fn adjacent_to_saturation_two_phase_matches_sequential() {
+        let near = SimTime::from_micros(u64::MAX - 1);
+        let mut seq = Simulation::new(4, NetworkModel::default(), 7, |_, _| Recorder::default());
+        schedule_rim(|at, node, cmd| seq.schedule_command(at, node, cmd));
+        seq.run_until(near);
+        let expect_near: Vec<Vec<(SimTime, u64)>> =
+            seq.nodes().map(|(_, p)| p.log.clone()).collect();
+        seq.run_until(SimTime::MAX);
+        let expect_full: Vec<Vec<(SimTime, u64)>> =
+            seq.nodes().map(|(_, p)| p.log.clone()).collect();
+        assert_ne!(expect_near, expect_full, "events at MAX must be pending");
+
+        for shards in [1, 2, 4] {
+            let mut cluster =
+                ShardedSimulation::new(4, NetworkModel::default(), 7, shards, |_, _| {
+                    Recorder::default()
+                });
+            schedule_rim(|at, node, cmd| cluster.schedule_command(at, node, cmd));
+            let first = cluster.run_until(near);
+            assert!(first.completed);
+            assert_eq!(
+                recorder_logs_cluster(&cluster),
+                expect_near,
+                "run to MAX-1µs with {shards} shards diverged"
+            );
+            let second = cluster.run_until(SimTime::MAX);
+            assert!(second.completed);
+            assert_eq!(
+                recorder_logs_cluster(&cluster),
+                expect_full,
+                "resumed rim run with {shards} shards diverged"
+            );
+        }
     }
 }

@@ -33,6 +33,7 @@ const MEASUREMENT_FIELDS: &[&str] = &[
     "events_per_sec_on",
     "execute_ms",
     "exchange_ms",
+    "fill_ms",
     "barrier_ms",
     "idle_ms",
     "series",

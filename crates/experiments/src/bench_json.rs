@@ -69,11 +69,20 @@ pub(crate) fn escape(s: &str) -> String {
 impl BenchRecord {
     /// The record as one JSON object.
     pub fn to_json(&self) -> String {
+        // `events_per_sec` is an absolute rate (millions) on most rows
+        // but a dimensionless ratio (~1.0) on `shard-gate` rows; one
+        // decimal would quantize the ratio away, so small values keep
+        // four.
+        let events_per_sec = if self.events_per_sec < 100.0 {
+            format!("{:.4}", self.events_per_sec)
+        } else {
+            format!("{:.1}", self.events_per_sec)
+        };
         format!(
             "{{\"suite\":\"{}\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
              \"placement\":\"{}\",\"adaptive_window\":{},\"telemetry\":{},\
              \"events\":{},\
-             \"windows\":{},\"wall_ms\":{:.3},\"events_per_sec\":{:.1}}}",
+             \"windows\":{},\"wall_ms\":{:.3},\"events_per_sec\":{}}}",
             escape(&self.suite),
             escape(&self.arch),
             self.n,
@@ -84,7 +93,7 @@ impl BenchRecord {
             self.events,
             self.windows,
             self.wall_ms,
-            self.events_per_sec,
+            events_per_sec,
         )
     }
 }
@@ -187,6 +196,13 @@ mod tests {
         assert!(json.contains("\"events\":7"));
         assert!(json.contains("\"adaptive_window\":true"));
         assert!(json.contains("\"wall_ms\":12.500"));
+        assert!(json.contains("\"events_per_sec\":80000.0"));
+        // Ratio-valued rows (shard-gate) keep four decimals.
+        let gate = BenchRecord {
+            events_per_sec: 0.8725,
+            ..record("shard-gate", 7)
+        };
+        assert!(gate.to_json().contains("\"events_per_sec\":0.8725"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub fn phase_table(name: &str, profile: &RunProfile) -> Table {
             "events",
             "execute",
             "exchange",
+            "fill",
             "barrier",
             "idle",
             "mailbox msgs",
@@ -61,6 +62,7 @@ pub fn phase_table(name: &str, profile: &RunProfile) -> Table {
             shard.events.to_string(),
             fmt_f64(ms(shard.phases.execute_ns)),
             fmt_f64(ms(shard.phases.exchange_ns)),
+            fmt_f64(ms(shard.phases.fill_ns)),
             fmt_f64(ms(shard.phases.barrier_ns)),
             fmt_f64(ms(shard.phases.idle_ns)),
             shard.mailbox_msgs.to_string(),
@@ -79,6 +81,7 @@ pub fn phase_table(name: &str, profile: &RunProfile) -> Table {
             .to_string(),
         fmt_f64(ms(phases.execute_ns)),
         fmt_f64(ms(phases.exchange_ns)),
+        fmt_f64(ms(phases.fill_ns)),
         fmt_f64(ms(phases.barrier_ns)),
         fmt_f64(ms(phases.idle_ns)),
         sched.mailbox_msgs.to_string(),
@@ -186,7 +189,11 @@ pub struct ProfileBenchRecord {
     pub execute_ms: f64,
     /// Profiled exchange phase, milliseconds.
     pub exchange_ms: f64,
-    /// Profiled barrier phase, milliseconds.
+    /// Profiled pipeline-fill phase (waiting mid-window for inbound
+    /// batches still in flight), milliseconds.
+    pub fill_ms: f64,
+    /// Profiled barrier phase (genuine straggler stall at the
+    /// reduction), milliseconds.
     pub barrier_ms: f64,
     /// Profiled idle phase, milliseconds.
     pub idle_ms: f64,
@@ -203,7 +210,7 @@ impl ProfileBenchRecord {
              \"overhead_frac\":{:.4},\
              \"events_per_sec_off\":{:.1},\"events_per_sec_on\":{:.1},\
              \"execute_ms\":{:.3},\"exchange_ms\":{:.3},\
-             \"barrier_ms\":{:.3},\"idle_ms\":{:.3}}}",
+             \"fill_ms\":{:.3},\"barrier_ms\":{:.3},\"idle_ms\":{:.3}}}",
             escape(&self.suite),
             escape(&self.arch),
             self.n,
@@ -220,6 +227,7 @@ impl ProfileBenchRecord {
             self.events_per_sec_on,
             self.execute_ms,
             self.exchange_ms,
+            self.fill_ms,
             self.barrier_ms,
             self.idle_ms,
         )
@@ -285,6 +293,7 @@ impl OverheadPoint {
             events_per_sec_on: self.on.events as f64 / (self.wall_ms_on / 1e3).max(1e-9),
             execute_ms: ms(phases.execute_ns),
             exchange_ms: ms(phases.exchange_ns),
+            fill_ms: ms(phases.fill_ns),
             barrier_ms: ms(phases.barrier_ns),
             idle_ms: ms(phases.idle_ns),
         }

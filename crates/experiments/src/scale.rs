@@ -8,8 +8,10 @@
 //! bit-for-bit deterministic, every row of one architecture must show the
 //! *same* virtual-world outcome (deliveries, fairness) — the `identical`
 //! flag asserts it — while wall-clock time drops as shards spread over
-//! cores. On a single-core machine the sharded rows only add barrier
-//! overhead; the speedup column is meaningful on multi-core hardware.
+//! cores. Every point is timed twice and the faster wall clock kept,
+//! the same noise discipline as the `profile-smoke` overhead gate. On a
+//! single-core machine the sharded rows only add barrier overhead; the
+//! speedup column is meaningful on multi-core hardware.
 //!
 //! [`smoke`] is the large-population entry point (100 k+ nodes): one
 //! architecture, one shard count, a deliberately light publication plan,
@@ -103,9 +105,15 @@ pub fn run_arch(arch: Architecture, n: usize, shard_counts: &[usize], seed: u64)
     let mut reliability = 0.0;
     for &shards in shard_counts {
         let spec = scale_spec(n, seed).with_arch(arch).with_shards(shards);
+        // Two timed runs per point, keeping the faster wall clock — the
+        // same noise discipline as the profile-smoke overhead gate. The
+        // outcomes are bit-identical by determinism, so either serves.
         let start = Instant::now();
         let outcome = run_architecture(&spec, EngineKind::Cluster);
-        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let mut wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        let _ = run_architecture(&spec, EngineKind::Cluster);
+        wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
         // The per-node fingerprint must not depend on the shard count.
         let fingerprint: Fingerprint = outcome
             .stats
@@ -141,6 +149,33 @@ pub fn run_arch(arch: Architecture, n: usize, shard_counts: &[usize], seed: u64)
         points,
         identical,
     }
+}
+
+/// The small-n sharding regression gate: a synthetic `shard-gate`
+/// record whose `events_per_sec` field carries the **4-shard / 1-shard
+/// throughput ratio** of one architecture's sweep (not an absolute
+/// rate). `bench-diff` reads `events_per_sec`, so committing this row to
+/// `BENCH_cluster.json` makes any future collapse of the ratio — the
+/// "fair-gossip 512 loses throughput going 1 → 4 shards" bug — fail the
+/// CI diff instead of hiding inside two noisy absolute measurements.
+/// Returns `None` when the sweep lacks a 1-shard or 4-shard point.
+pub fn shard_gate_record(sweep: &ArchScale, n: usize, spec: &ScenarioSpec) -> Option<BenchRecord> {
+    let one = sweep.points.iter().find(|p| p.shards == 1)?;
+    let four = sweep.points.iter().find(|p| p.shards == 4)?;
+    let ratio = four.events_per_sec / one.events_per_sec.max(1e-9);
+    Some(BenchRecord {
+        suite: "shard-gate".into(),
+        arch: sweep.arch.name().into(),
+        n,
+        shards: 4,
+        placement: spec.placement.name().into(),
+        adaptive_window: spec.adaptive_window,
+        telemetry: spec.telemetry.is_some(),
+        events: four.events,
+        windows: four.windows,
+        wall_ms: four.wall_ms,
+        events_per_sec: ratio,
+    })
 }
 
 /// Runs the scaling sweep for every sweep architecture at population
@@ -194,6 +229,9 @@ pub fn run(n: usize, shard_counts: &[usize], seed: u64) -> ScaleResult {
                 wall_ms: p.wall_ms,
                 events_per_sec: p.events_per_sec,
             });
+        }
+        if let Some(gate) = shard_gate_record(&sweep, n, &spec_defaults) {
+            records.push(gate);
         }
         archs.push(sweep);
     }
@@ -338,6 +376,29 @@ mod tests {
                 sweep.reliability
             );
         }
+    }
+
+    #[test]
+    fn shard_gate_row_carries_the_throughput_ratio() {
+        let r = run(48, &[1, 2, 4], 42);
+        let gates: Vec<_> = r
+            .records
+            .iter()
+            .filter(|rec| rec.suite == "shard-gate")
+            .collect();
+        assert_eq!(gates.len(), Architecture::SWEEP.len());
+        for gate in gates {
+            assert_eq!(gate.shards, 4);
+            assert!(
+                gate.events_per_sec > 0.0,
+                "{}: gate ratio must be positive",
+                gate.arch
+            );
+        }
+        // Sweeps without both endpoints produce no gate row.
+        let sweep = run_arch(Architecture::FairGossip, 48, &[2], 42);
+        let spec = scale_spec(48, 42);
+        assert!(shard_gate_record(&sweep, 48, &spec).is_none());
     }
 
     #[test]

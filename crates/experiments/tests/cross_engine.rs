@@ -251,11 +251,71 @@ fn cross_engine_determinism_under_churn() {
         warmup: SimTime::from_secs(1),
     });
     let expected = run_sequential(&spec);
-    for shards in [2, 4] {
+    for shards in [1, 2, 4, 7] {
         let got = run_cluster(&spec, shards);
         assert_eq!(
             got, expected,
             "churny cluster with {shards} shards diverged from the sequential engine"
+        );
+    }
+}
+
+/// A zero-latency network floors the lookahead at the 1 µs delivery
+/// minimum — the narrowest conservative windows the scheduler can issue.
+/// Under the pipelined exchange every absorption point sits 1 µs past
+/// the window start, so this is the harshest test of the overlapped
+/// path: parity must hold at shards {1, 2, 4, 7} under both window
+/// policies.
+#[test]
+fn zero_lookahead_floor_parity_across_shard_counts() {
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    let mut spec = spec(96);
+    spec.net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
+    spec.plan.duration = SimTime::from_secs(2);
+    let expected = run_sequential(&spec);
+    assert!(
+        expected.deliveries.iter().sum::<usize>() > 0,
+        "dead zero-latency scenario proves nothing"
+    );
+    for shards in [1, 2, 4, 7] {
+        for adaptive in [true, false] {
+            let cluster_spec = spec.clone().with_adaptive_window(adaptive);
+            let got = run_cluster(&cluster_spec, shards);
+            assert_eq!(
+                got,
+                expected,
+                "zero-lookahead cluster with {shards} shards \
+                 ({} windows) diverged from the sequential engine",
+                if adaptive { "adaptive" } else { "fixed" }
+            );
+        }
+    }
+}
+
+/// Zero lookahead *and* churn together: crashes and rejoins land inside
+/// 1 µs-floored windows while inbound batches stream through the
+/// pipelined mailboxes — the two stress axes of the overlapped exchange
+/// at once.
+#[test]
+fn zero_lookahead_floor_parity_under_churn() {
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    let mut spec = spec(96);
+    spec.net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::ZERO));
+    spec.plan.duration = SimTime::from_secs(2);
+    spec.churn = Some(fed_workload::churn::ChurnPlan {
+        mean_session_secs: 2.0,
+        mean_downtime_secs: 1.0,
+        churning_fraction: 0.25,
+        duration: SimTime::from_secs(2),
+        warmup: SimTime::from_secs(1),
+    });
+    let expected = run_sequential(&spec);
+    for shards in [1, 2, 4, 7] {
+        let got = run_cluster(&spec, shards);
+        assert_eq!(
+            got, expected,
+            "churny zero-lookahead cluster with {shards} shards diverged \
+             from the sequential engine"
         );
     }
 }

@@ -137,9 +137,16 @@ pub struct SchedCounters {
 pub struct PhaseTimes {
     /// Popping and dispatching events.
     pub execute_ns: u64,
-    /// Draining and sending cross-shard mailbox batches.
+    /// Draining and sending cross-shard mailbox batches (the
+    /// non-blocking queue-push and channel-send work).
     pub exchange_ns: u64,
-    /// Waiting at barriers after a window that did local work.
+    /// Blocked at a mid-window absorption point for inbound batches
+    /// still in flight — pipeline fill, not a straggler stall: the shard
+    /// had already executed everything safe to run ahead of them.
+    pub fill_ns: u64,
+    /// Waiting at the reduction barrier for the next window decision
+    /// after a window that did local work — the genuine straggler stall
+    /// (the decision lands when the slowest shard folds).
     pub barrier_ns: u64,
     /// Waiting at barriers after a window with no local work — time the
     /// shard had nothing to do, the conservative-lookahead cost.
@@ -151,13 +158,14 @@ impl PhaseTimes {
     pub fn merge(&mut self, other: &PhaseTimes) {
         self.execute_ns += other.execute_ns;
         self.exchange_ns += other.exchange_ns;
+        self.fill_ns += other.fill_ns;
         self.barrier_ns += other.barrier_ns;
         self.idle_ns += other.idle_ns;
     }
 
     /// Total attributed wall time.
     pub fn total_ns(&self) -> u64 {
-        self.execute_ns + self.exchange_ns + self.barrier_ns + self.idle_ns
+        self.execute_ns + self.exchange_ns + self.fill_ns + self.barrier_ns + self.idle_ns
     }
 }
 
@@ -173,6 +181,8 @@ pub struct WindowSample {
     pub execute_ns: u64,
     /// Wall nanoseconds exchanging mailboxes.
     pub exchange_ns: u64,
+    /// Wall nanoseconds blocked at the absorption point (pipeline fill).
+    pub fill_ns: u64,
     /// Wall nanoseconds waiting for the window.
     pub wait_ns: u64,
 }
@@ -207,6 +217,7 @@ impl Profiler for ShardProfile {
         match phase {
             ProfilePhase::Execute => self.phases.execute_ns += nanos,
             ProfilePhase::Exchange => self.phases.exchange_ns += nanos,
+            ProfilePhase::Fill => self.phases.fill_ns += nanos,
             ProfilePhase::Barrier => self.phases.barrier_ns += nanos,
             ProfilePhase::Idle => self.phases.idle_ns += nanos,
         }
@@ -215,6 +226,7 @@ impl Profiler for ShardProfile {
     fn on_window(&mut self, work: WindowWork) {
         self.phases.execute_ns += work.execute_ns;
         self.phases.exchange_ns += work.exchange_ns;
+        self.phases.fill_ns += work.fill_ns;
         if work.events == 0 {
             self.phases.idle_ns += work.wait_ns;
         } else {
@@ -225,6 +237,7 @@ impl Profiler for ShardProfile {
             events: work.events,
             execute_ns: work.execute_ns,
             exchange_ns: work.exchange_ns,
+            fill_ns: work.fill_ns,
             wait_ns: work.wait_ns,
         });
     }
@@ -446,8 +459,8 @@ pub fn chrome_trace_json(profile: &RunProfile, name: &str) -> String {
             ev.push(format!(
                 "{{\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"name\":\"{label}\",\
                  \"ts\":{start},\"dur\":{dur},\"args\":{{\"events\":{},\
-                 \"execute_ns\":{},\"exchange_ns\":{},\"wait_ns\":{}}}}}",
-                w.events, w.execute_ns, w.exchange_ns, w.wait_ns
+                 \"execute_ns\":{},\"exchange_ns\":{},\"fill_ns\":{},\"wait_ns\":{}}}}}",
+                w.events, w.execute_ns, w.exchange_ns, w.fill_ns, w.wait_ns
             ));
             prev_end = end;
         }
@@ -505,6 +518,7 @@ mod tests {
             events: 5,
             execute_ns: 100,
             exchange_ns: 20,
+            fill_ns: 40,
             wait_ns: 30,
         });
         p.on_window(WindowWork {
@@ -512,14 +526,16 @@ mod tests {
             events: 0,
             execute_ns: 0,
             exchange_ns: 10,
+            fill_ns: 0,
             wait_ns: 50,
         });
         assert_eq!(p.phases.execute_ns, 100);
         assert_eq!(p.phases.exchange_ns, 30);
+        assert_eq!(p.phases.fill_ns, 40, "absorption wait is pipeline fill");
         assert_eq!(p.phases.barrier_ns, 30, "busy window's wait is barrier");
         assert_eq!(p.phases.idle_ns, 50, "empty window's wait is idle");
         assert_eq!(p.windows.len(), 2);
-        assert_eq!(p.phases.total_ns(), 210);
+        assert_eq!(p.phases.total_ns(), 250);
     }
 
     #[test]
@@ -554,6 +570,7 @@ mod tests {
             events: 1,
             execute_ns: 1_000,
             exchange_ns: 200,
+            fill_ns: 50,
             wait_ns: 300,
         });
         shard.on_mailbox(2, 64);
@@ -596,7 +613,7 @@ mod tests {
         assert_eq!(sched.mailbox_bytes, 64);
         assert_eq!(sched.windows, 1);
         assert_eq!(sched.straggler_windows, 1);
-        assert_eq!(p.phases().total_ns(), 1_500);
+        assert_eq!(p.phases().total_ns(), 1_550);
     }
 
     #[test]

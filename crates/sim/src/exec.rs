@@ -597,9 +597,17 @@ pub(crate) fn reborrow<'a>(probe: &'a mut Option<&mut dyn Probe>) -> Option<&'a 
 pub enum ProfilePhase {
     /// Popping and dispatching events.
     Execute,
-    /// Exchanging cross-shard mailbox batches at a window barrier.
+    /// Exchanging cross-shard mailbox batches: pushing absorbed events
+    /// into the local queue and staging/sending outbound batches.
     Exchange,
-    /// Waiting at a barrier for the coordinator and peer shards.
+    /// Blocked absorbing a peer's next-window batch that is still in
+    /// flight — pipeline fill, not a straggler stall: the shard finished
+    /// its own window and folded, and is overlapping the slower shards'
+    /// execution by pre-merging their outbound batches.
+    Fill,
+    /// Waiting at a barrier for the next window decision — the genuine
+    /// straggler stall: the reduction completes only when the slowest
+    /// shard folds its summary.
     Barrier,
     /// Waiting at a barrier with no local work pending (the preceding
     /// window executed zero events on this shard).
@@ -618,9 +626,16 @@ pub struct WindowWork {
     pub events: u64,
     /// Wall nanoseconds spent popping/dispatching.
     pub execute_ns: u64,
-    /// Wall nanoseconds spent draining/sending mailbox batches.
+    /// Wall nanoseconds spent draining/sending mailbox batches (the
+    /// non-blocking part of the exchange: queue pushes and channel
+    /// sends).
     pub exchange_ns: u64,
-    /// Wall nanoseconds spent waiting for the window to be issued.
+    /// Wall nanoseconds blocked absorbing peers' next-window batches
+    /// still in flight (pipeline fill — overlaps straggler execution).
+    /// Zero on windows whose batches had already arrived.
+    pub fill_ns: u64,
+    /// Wall nanoseconds spent waiting for the window to be issued (the
+    /// straggler stall at the reduction barrier).
     pub wait_ns: u64,
 }
 
