@@ -1,0 +1,391 @@
+//! Broker/gossip hybrid with telemetry-driven strategy switching.
+//!
+//! The paper's tension is between centralized brokers (cheap, unfair,
+//! fragile under load) and fair gossip (decentralized, load-tolerant,
+//! chattier). This architecture runs *both* stacks on every node and
+//! switches strategy at runtime: the system starts in broker mode, the
+//! hub self-monitors its publish load per window, and when a window
+//! exceeds the configured threshold (a flash crowd) the hub broadcasts a
+//! [`HybridMsg::Switch`] — after which every node publishes through fair
+//! gossip instead.
+//!
+//! Both embedded protocols are driven through [`Context::scoped`], so
+//! they see fully functional deterministic contexts sharing the node's
+//! RNG stream: the hybrid is bit-identical across engines and shard
+//! counts like any other [`Protocol`]. Timer tokens are namespaced —
+//! gossip owns tokens `1`, `2` and the `3 << 56`/`4 << 56` SWIM
+//! namespaces, the hybrid's own monitor timer lives at `5 << 56` — so
+//! `on_timer` routes unambiguously.
+//!
+//! Subscriptions are mirrored into both stacks at all times; only the
+//! *publish* path switches. In-flight broker traffic keeps being served
+//! after the switch (the broker stack stays alive), so no event is
+//! stranded by the handover. A node that was crashed during the switch
+//! broadcast rejoins in broker mode; its publishes still reach
+//! subscribers through the hub, which keeps dispatching broker traffic
+//! in either mode.
+
+use crate::broker::{BrokerCmd, BrokerMsg, BrokerNode};
+use fed_core::behavior::Behavior;
+use fed_core::gossip::{GossipCmd, GossipConfig, GossipMsg, GossipNode};
+use fed_core::ledger::FairnessLedger;
+use fed_membership::swim::SwimObservation;
+use fed_membership::FullMembership;
+use fed_pubsub::{Event, EventId, TopicId};
+use fed_sim::{Context, NodeId, Protocol, SimDuration, SimTime};
+
+/// Timer token of the hub's load-monitor window. Must not collide with
+/// the embedded gossip node's tokens (`1`, `2`, `3 << 56 | seq`,
+/// `4 << 56 | seq`); the broker has no timers.
+const MONITOR_TIMER: u64 = 5 << 56;
+
+/// Configuration of the [`HybridNode`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridConfig {
+    /// The broker hub (also the node that monitors load and triggers
+    /// the switch).
+    pub hub: NodeId,
+    /// Configuration of the embedded fair-gossip stack.
+    pub gossip: GossipConfig,
+    /// Length of the hub's load-monitoring window.
+    pub monitor_window: SimDuration,
+    /// Publish submissions per monitor window above which the hub
+    /// declares a load spike and broadcasts the switch.
+    pub spike_threshold: u64,
+}
+
+impl HybridConfig {
+    /// The comparison configuration: hub 0, the T-ARCH fair-gossip
+    /// stack, and a spike threshold of 64 publishes per 500 ms window
+    /// (128/s) — comfortably above the standard scenarios' base rates
+    /// and comfortably below their flash-crowd rates.
+    pub fn standard() -> Self {
+        HybridConfig {
+            hub: NodeId::new(0),
+            gossip: GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+            monitor_window: SimDuration::from_millis(500),
+            spike_threshold: 64,
+        }
+    }
+}
+
+/// Wire messages of the hybrid: each embedded stack's traffic wrapped in
+/// its own variant, plus the strategy-switch broadcast.
+#[derive(Debug, Clone)]
+pub enum HybridMsg {
+    /// Broker-stack traffic.
+    B(BrokerMsg),
+    /// Gossip-stack traffic.
+    G(GossipMsg),
+    /// Hub → everyone: publish through gossip from now on.
+    Switch,
+}
+
+/// Commands for the experiment driver.
+#[derive(Debug, Clone)]
+pub enum HybridCmd {
+    /// Subscribe to a topic (mirrored into both stacks).
+    SubscribeTopic(TopicId),
+    /// Publish an event through the currently active strategy.
+    Publish(Event),
+}
+
+/// Which strategy the node currently publishes through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Broker,
+    Gossip,
+}
+
+/// A node running the broker/gossip hybrid.
+#[derive(Debug)]
+pub struct HybridNode {
+    id: NodeId,
+    config: HybridConfig,
+    broker: BrokerNode,
+    gossip: GossipNode<FullMembership>,
+    mode: Mode,
+    /// When this node switched to gossip, if it has.
+    switched_at: Option<SimTime>,
+    /// Publish submissions the hub saw in the current monitor window.
+    window_publishes: u64,
+}
+
+impl HybridNode {
+    /// Creates a hybrid node for a system of `n` nodes.
+    pub fn new(id: NodeId, n: usize, config: HybridConfig) -> Self {
+        let broker = BrokerNode::new(id, config.hub);
+        let gossip = GossipNode::with_behavior(
+            id,
+            config.gossip.clone(),
+            FullMembership::new(id, n),
+            Behavior::Honest,
+        );
+        HybridNode {
+            id,
+            config,
+            broker,
+            gossip,
+            mode: Mode::Broker,
+            switched_at: None,
+            window_publishes: 0,
+        }
+    }
+
+    /// When this node switched its publish path to gossip (`None` while
+    /// still in broker mode).
+    pub fn switched_at(&self) -> Option<SimTime> {
+        self.switched_at
+    }
+
+    /// The embedded gossip stack's SWIM observation log.
+    pub fn swim_observations(&self) -> Vec<SwimObservation> {
+        self.gossip.swim_observations()
+    }
+
+    /// Merged fairness ledger of both stacks.
+    pub fn merged_ledger(&self) -> FairnessLedger {
+        let mut ledger = self.broker.ledger().clone();
+        ledger.absorb(self.gossip.ledger());
+        ledger
+    }
+
+    /// Union of both stacks' delivery logs, deduplicated by event id
+    /// (earliest delivery wins), sorted by event id.
+    pub fn merged_deliveries(&self) -> Vec<(EventId, SimTime)> {
+        let mut merged: Vec<(EventId, SimTime)> = self.broker.deliveries().iter().collect();
+        merged.extend(
+            self.gossip
+                .deliveries()
+                .iter()
+                .map(|(&id, rec)| (id, rec.at)),
+        );
+        merged.sort_unstable();
+        merged.dedup_by_key(|&mut (id, _)| id);
+        merged
+    }
+
+    fn switch(&mut self, now: SimTime) {
+        if self.mode == Mode::Broker {
+            self.mode = Mode::Gossip;
+            self.switched_at = Some(now);
+        }
+    }
+}
+
+impl Protocol for HybridNode {
+    type Msg = HybridMsg;
+    type Cmd = HybridCmd;
+
+    fn on_init(&mut self, ctx: &mut Context<'_, HybridMsg>) {
+        let broker = &mut self.broker;
+        ctx.scoped(HybridMsg::B, |c| broker.on_init(c));
+        let gossip = &mut self.gossip;
+        ctx.scoped(HybridMsg::G, |c| gossip.on_init(c));
+        if self.id == self.config.hub {
+            ctx.set_timer(self.config.monitor_window, MONITOR_TIMER);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_, HybridMsg>, from: NodeId, msg: HybridMsg) {
+        match msg {
+            HybridMsg::B(m) => {
+                if matches!(m, BrokerMsg::Publish(_)) {
+                    self.window_publishes += 1;
+                }
+                let broker = &mut self.broker;
+                ctx.scoped(HybridMsg::B, |c| broker.on_message(c, from, m));
+            }
+            HybridMsg::G(m) => {
+                let gossip = &mut self.gossip;
+                ctx.scoped(HybridMsg::G, |c| gossip.on_message(c, from, m));
+            }
+            HybridMsg::Switch => self.switch(ctx.now()),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, HybridMsg>, token: u64) {
+        if token == MONITOR_TIMER {
+            if self.mode == Mode::Broker {
+                if self.window_publishes > self.config.spike_threshold {
+                    // Load spike: hand the system over to fair gossip.
+                    for peer in 0..ctx.system_size() {
+                        let peer = NodeId::new(peer as u32);
+                        if peer != self.id {
+                            ctx.send(peer, HybridMsg::Switch);
+                        }
+                    }
+                    self.switch(ctx.now());
+                } else {
+                    self.window_publishes = 0;
+                    ctx.set_timer(self.config.monitor_window, MONITOR_TIMER);
+                }
+            }
+        } else {
+            let gossip = &mut self.gossip;
+            ctx.scoped(HybridMsg::G, |c| gossip.on_timer(c, token));
+        }
+    }
+
+    fn on_command(&mut self, ctx: &mut Context<'_, HybridMsg>, cmd: HybridCmd) {
+        match cmd {
+            HybridCmd::SubscribeTopic(topic) => {
+                let broker = &mut self.broker;
+                ctx.scoped(HybridMsg::B, |c| {
+                    broker.on_command(c, BrokerCmd::SubscribeTopic(topic))
+                });
+                let gossip = &mut self.gossip;
+                ctx.scoped(HybridMsg::G, |c| {
+                    gossip.on_command(c, GossipCmd::SubscribeTopic(topic))
+                });
+            }
+            HybridCmd::Publish(event) => match self.mode {
+                Mode::Broker => {
+                    // The hub publishes locally: count it like a remote
+                    // submission so local load also trips the monitor.
+                    if self.id == self.config.hub {
+                        self.window_publishes += 1;
+                    }
+                    let broker = &mut self.broker;
+                    ctx.scoped(HybridMsg::B, |c| {
+                        broker.on_command(c, BrokerCmd::Publish(event))
+                    });
+                }
+                Mode::Gossip => {
+                    let gossip = &mut self.gossip;
+                    ctx.scoped(HybridMsg::G, |c| {
+                        gossip.on_command(c, GossipCmd::Publish(event))
+                    });
+                }
+            },
+        }
+    }
+
+    fn on_crash(&mut self, at: SimTime) {
+        self.broker.on_crash(at);
+        self.gossip.on_crash(at);
+        self.window_publishes = 0;
+    }
+
+    fn message_size(msg: &HybridMsg) -> usize {
+        match msg {
+            HybridMsg::B(m) => BrokerNode::message_size(m),
+            HybridMsg::G(m) => GossipNode::<FullMembership>::message_size(m),
+            HybridMsg::Switch => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_pubsub::EventId;
+    use fed_sim::network::{LatencyModel, NetworkModel};
+    use fed_sim::Simulation;
+
+    fn sim(n: usize, config: HybridConfig) -> Simulation<HybridNode> {
+        let net = NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10)));
+        Simulation::new(n, net, 11, move |id, _| {
+            HybridNode::new(id, n, config.clone())
+        })
+    }
+
+    fn topic_event(seq: u32, topic: TopicId) -> Event {
+        Event::bare(EventId::new(1, seq), topic)
+    }
+
+    #[test]
+    fn broker_mode_delivers_without_switching() {
+        let mut s = sim(8, HybridConfig::standard());
+        let topic = TopicId::new(1);
+        for i in 0..8u32 {
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                HybridCmd::SubscribeTopic(topic),
+            );
+        }
+        for seq in 0..10 {
+            s.schedule_command(
+                SimTime::from_millis(100 + 50 * seq),
+                NodeId::new(3),
+                HybridCmd::Publish(topic_event(seq as u32, topic)),
+            );
+        }
+        s.run_until(SimTime::from_secs(3));
+        for (id, node) in s.nodes() {
+            assert_eq!(node.switched_at(), None, "{id:?} switched under no load");
+            assert_eq!(node.merged_deliveries().len(), 10, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn load_spike_triggers_switch_and_gossip_still_delivers() {
+        let config = HybridConfig {
+            spike_threshold: 5,
+            ..HybridConfig::standard()
+        };
+        let mut s = sim(8, config);
+        let topic = TopicId::new(1);
+        for i in 0..8u32 {
+            s.schedule_command(
+                SimTime::ZERO,
+                NodeId::new(i),
+                HybridCmd::SubscribeTopic(topic),
+            );
+        }
+        // A burst well past the threshold inside one monitor window…
+        for seq in 0..20 {
+            s.schedule_command(
+                SimTime::from_millis(100 + 5 * seq),
+                NodeId::new(3),
+                HybridCmd::Publish(topic_event(seq as u32, topic)),
+            );
+        }
+        // …then traffic published long after the switch completed.
+        for seq in 100..110 {
+            s.schedule_command(
+                SimTime::from_millis(2_000 + 50 * (seq - 100)),
+                NodeId::new(5),
+                HybridCmd::Publish(topic_event(seq as u32, topic)),
+            );
+        }
+        s.run_until(SimTime::from_secs(6));
+        for (id, node) in s.nodes() {
+            let at = node.switched_at().expect("every node switches");
+            assert!(at >= SimTime::from_millis(500), "{id:?} switched at {at}");
+            assert_eq!(node.merged_deliveries().len(), 30, "{id:?}");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            let config = HybridConfig {
+                spike_threshold: 5,
+                ..HybridConfig::standard()
+            };
+            let mut s = sim(12, config);
+            let topic = TopicId::new(2);
+            for i in 0..12u32 {
+                s.schedule_command(
+                    SimTime::ZERO,
+                    NodeId::new(i),
+                    HybridCmd::SubscribeTopic(topic),
+                );
+            }
+            for seq in 0..30 {
+                s.schedule_command(
+                    SimTime::from_millis(100 + 7 * seq),
+                    NodeId::new((seq % 12) as u32),
+                    HybridCmd::Publish(topic_event(seq as u32, topic)),
+                );
+            }
+            s.run_until(SimTime::from_secs(5));
+            let logs: Vec<_> = s.nodes().map(|(_, n)| n.merged_deliveries()).collect();
+            let switches: Vec<_> = s.nodes().map(|(_, n)| n.switched_at()).collect();
+            (logs, switches, s.events_processed())
+        };
+        assert_eq!(run(), run());
+    }
+}

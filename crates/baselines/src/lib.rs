@@ -60,6 +60,7 @@ pub mod broker;
 pub mod common;
 pub mod dam;
 pub mod dks;
+pub mod hybrid;
 pub mod scribe;
 pub mod splitstream;
 

@@ -22,6 +22,7 @@
 use crate::adaptive::{Controller, ControllerConfig, GlobalRateEstimator, RateSample};
 use crate::behavior::Behavior;
 use crate::ledger::{FairnessLedger, RatioSpec};
+use fed_membership::swim::{SwimConfig, SwimMsg, SwimObservation, SwimState, SwimUpdate};
 use fed_membership::PeerSampler;
 use fed_pubsub::{Event, EventId, Filter, SubscriptionTable, TopicId};
 use fed_sim::{Context, NodeId, Protocol, SimDuration, SimTime};
@@ -30,6 +31,15 @@ use std::collections::{HashMap, HashSet};
 
 /// Timer token for the periodic gossip round.
 const ROUND_TIMER: u64 = 1;
+/// Timer token for the SWIM protocol period.
+const SWIM_TICK_TIMER: u64 = 2;
+/// Token namespace for SWIM direct-probe timeouts; low bits carry the
+/// probe sequence number.
+const SWIM_DIRECT_NS: u64 = 3 << 56;
+/// Token namespace for SWIM indirect-probe timeouts.
+const SWIM_INDIRECT_NS: u64 = 4 << 56;
+/// Mask isolating a token's namespace.
+const TOKEN_NS_MASK: u64 = 0xff << 56;
 
 /// Configuration of a [`GossipNode`].
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +80,10 @@ pub struct GossipConfig {
     /// peer can accumulate to a constant, instead of letting it grow with
     /// stream length.
     pub civic_allowance: f64,
+    /// Optional in-protocol SWIM failure detection. When set, the node
+    /// runs probe/ping-req/suspect/confirm rounds beside its gossip
+    /// rounds and piggybacks membership updates on gossip pushes.
+    pub swim: Option<SwimConfig>,
 }
 
 impl GossipConfig {
@@ -94,6 +108,7 @@ impl GossipConfig {
             ratio_correction_gain: 0.0,
             min_relay_rate: 0.0,
             civic_allowance: 0.0,
+            swim: None,
         }
     }
 
@@ -119,7 +134,14 @@ impl GossipConfig {
             ratio_correction_gain: 0.05,
             min_relay_rate: 0.25,
             civic_allowance: 2.0 * f as f64,
+            swim: None,
         }
+    }
+
+    /// Enables the SWIM failure detector (builder style).
+    pub fn with_swim(mut self, swim: SwimConfig) -> Self {
+        self.swim = Some(swim);
+        self
     }
 
     /// Fair protocol adapting both knobs with expressive (byte) accounting
@@ -155,7 +177,12 @@ pub enum GossipMsg {
         /// Sender's advertised windowed rates (see
         /// [`crate::adaptive`]).
         sample: RateSample,
+        /// SWIM membership updates piggybacked on dissemination traffic
+        /// (empty when the detector is off).
+        swim: Vec<SwimUpdate>,
     },
+    /// SWIM failure-detector traffic (probes, relays, acks).
+    Swim(SwimMsg),
 }
 
 /// Where one delivery came from, with its timestamp.
@@ -200,6 +227,8 @@ pub struct GossipNode<S> {
     receipts: HashMap<NodeId, (u64, u64)>,
     /// Last advertised rates per sender (audit evidence).
     peer_claims: HashMap<NodeId, RateSample>,
+    /// SWIM failure detector, created in `on_init` when configured.
+    swim: Option<SwimState>,
 }
 
 impl<S: PeerSampler> GossipNode<S> {
@@ -230,6 +259,7 @@ impl<S: PeerSampler> GossipNode<S> {
             duplicates: 0,
             receipts: HashMap::new(),
             peer_claims: HashMap::new(),
+            swim: None,
         }
     }
 
@@ -318,6 +348,19 @@ impl<S: PeerSampler> GossipNode<S> {
     /// Read access to the peer sampler.
     pub fn sampler(&self) -> &S {
         &self.sampler
+    }
+
+    /// The SWIM detector state, when enabled (and after `on_init`).
+    pub fn swim_state(&self) -> Option<&SwimState> {
+        self.swim.as_ref()
+    }
+
+    /// The SWIM observation log (empty when the detector is off).
+    pub fn swim_observations(&self) -> Vec<SwimObservation> {
+        self.swim
+            .as_ref()
+            .map(|s| s.observations().to_vec())
+            .unwrap_or_default()
     }
 
     fn deliver_if_interested(&mut self, event: &Event, now: SimTime) {
@@ -414,13 +457,18 @@ impl<S: PeerSampler> GossipNode<S> {
                 benefit_total: self.ledger.benefit(&spec),
                 contribution_total: self.ledger.contribution(&spec),
             });
-            let bytes = push_size(&events);
             for peer in partners {
+                let swim_piggy = match &mut self.swim {
+                    Some(s) => s.outgoing_piggyback(),
+                    None => Vec::new(),
+                };
+                let bytes = push_size(&events, swim_piggy.len());
                 ctx.send(
                     peer,
                     GossipMsg::Push {
                         events: events.clone(),
                         sample,
+                        swim: swim_piggy,
                     },
                 );
                 self.ledger.record_forward(bytes);
@@ -444,28 +492,91 @@ impl<S: PeerSampler + 'static> Protocol for GossipNode<S> {
         // Jittered first round desynchronizes the population.
         let jitter = ctx.rng().range_u64(self.config.period.as_micros().max(1));
         ctx.set_timer(SimDuration::from_micros(jitter), ROUND_TIMER);
+        if let Some(swim_cfg) = &self.config.swim {
+            // Fresh detector per (re)start: a rejoining node begins with a
+            // clean view and converges via dissemination + contact revival.
+            self.swim = Some(SwimState::new(self.id, ctx.system_size(), swim_cfg.clone()));
+            let sj = ctx
+                .rng()
+                .range_u64(swim_cfg.probe_period.as_micros().max(1));
+            ctx.set_timer(SimDuration::from_micros(sj), SWIM_TICK_TIMER);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Context<'_, GossipMsg>, from: NodeId, msg: GossipMsg) {
         match msg {
-            GossipMsg::Push { events, sample } => {
+            GossipMsg::Push {
+                events,
+                sample,
+                swim,
+            } => {
                 self.estimator.observe(sample);
                 self.peer_claims.insert(from, sample);
                 let entry = self.receipts.entry(from).or_insert((0, self.rounds));
                 entry.0 += 1;
                 self.sampler.note_peer(from);
                 let now = ctx.now();
+                if let Some(detector) = &mut self.swim {
+                    detector.absorb_piggyback(now, from, &swim);
+                }
                 for event in events {
                     self.accept_event(event, now);
+                }
+            }
+            GossipMsg::Swim(m) => {
+                if let Some(detector) = &mut self.swim {
+                    for (to, reply) in detector.on_message(ctx.now(), from, m) {
+                        ctx.send(to, GossipMsg::Swim(reply));
+                    }
                 }
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_, GossipMsg>, token: u64) {
-        debug_assert_eq!(token, ROUND_TIMER);
-        self.run_round(ctx);
-        ctx.set_timer(self.config.period, ROUND_TIMER);
+        match token {
+            ROUND_TIMER => {
+                self.run_round(ctx);
+                ctx.set_timer(self.config.period, ROUND_TIMER);
+            }
+            SWIM_TICK_TIMER => {
+                let Some(swim_cfg) = self.config.swim.clone() else {
+                    return;
+                };
+                if let Some(detector) = &mut self.swim {
+                    let now = ctx.now();
+                    let tick = detector.on_tick(now, ctx.rng());
+                    for (to, m) in tick.msgs {
+                        ctx.send(to, GossipMsg::Swim(m));
+                    }
+                    if let Some(seq) = tick.probe_seq {
+                        ctx.set_timer(swim_cfg.probe_timeout, SWIM_DIRECT_NS | seq);
+                    }
+                }
+                ctx.set_timer(swim_cfg.probe_period, SWIM_TICK_TIMER);
+            }
+            t if t & TOKEN_NS_MASK == SWIM_DIRECT_NS => {
+                let Some(swim_cfg) = self.config.swim.clone() else {
+                    return;
+                };
+                if let Some(detector) = &mut self.swim {
+                    let seq = t & !TOKEN_NS_MASK;
+                    let relays = detector.on_probe_timeout(ctx.now(), ctx.rng(), seq);
+                    if !relays.is_empty() {
+                        for (to, m) in relays {
+                            ctx.send(to, GossipMsg::Swim(m));
+                        }
+                        ctx.set_timer(swim_cfg.probe_timeout, SWIM_INDIRECT_NS | seq);
+                    }
+                }
+            }
+            t if t & TOKEN_NS_MASK == SWIM_INDIRECT_NS => {
+                if let Some(detector) = &mut self.swim {
+                    detector.on_indirect_timeout(ctx.now(), t & !TOKEN_NS_MASK);
+                }
+            }
+            other => debug_assert!(false, "unknown timer token {other}"),
+        }
     }
 
     fn on_command(&mut self, ctx: &mut Context<'_, GossipMsg>, cmd: GossipCmd) {
@@ -493,13 +604,18 @@ impl<S: PeerSampler + 'static> Protocol for GossipNode<S> {
                     benefit_total: self.ledger.benefit(&self.config.spec),
                     contribution_total: self.ledger.contribution(&self.config.spec),
                 });
-                let bytes = push_size(std::slice::from_ref(&event));
                 for peer in peers {
+                    let swim_piggy = match &mut self.swim {
+                        Some(s) => s.outgoing_piggyback(),
+                        None => Vec::new(),
+                    };
+                    let bytes = push_size(std::slice::from_ref(&event), swim_piggy.len());
                     ctx.send(
                         peer,
                         GossipMsg::Push {
                             events: vec![event.clone()],
                             sample,
+                            swim: swim_piggy,
                         },
                     );
                     self.ledger.record_forward(bytes);
@@ -525,14 +641,17 @@ impl<S: PeerSampler + 'static> Protocol for GossipNode<S> {
 
     fn message_size(msg: &GossipMsg) -> usize {
         match msg {
-            GossipMsg::Push { events, .. } => push_size(events),
+            GossipMsg::Push { events, swim, .. } => push_size(events, swim.len()),
+            GossipMsg::Swim(m) => m.wire_size(),
         }
     }
 }
 
-/// Wire size of a push message: header + piggyback + event payloads.
-fn push_size(events: &[Event]) -> usize {
-    8 + RateSample::WIRE_BYTES + events.iter().map(Event::size_bytes).sum::<usize>()
+/// Wire size of a push message: header + piggybacks + event payloads.
+fn push_size(events: &[Event], swim_updates: usize) -> usize {
+    8 + RateSample::WIRE_BYTES
+        + events.iter().map(Event::size_bytes).sum::<usize>()
+        + swim_updates * fed_membership::swim::SWIM_UPDATE_BYTES
 }
 
 #[cfg(test)]
@@ -790,9 +909,50 @@ mod tests {
         let msg = GossipMsg::Push {
             events: vec![e.clone(), e],
             sample: RateSample::default(),
+            swim: vec![],
         };
         let expect = 8 + RateSample::WIRE_BYTES + 2 * (16 + 100);
         assert_eq!(Node::message_size(&msg), expect);
+    }
+
+    #[test]
+    fn swim_detects_a_crashed_node() {
+        use fed_membership::swim::SwimConfig;
+        let n = 16;
+        let cfg = GossipConfig::classic(4, 16, SimDuration::from_millis(100))
+            .with_swim(SwimConfig::standard());
+        let mut sim: Simulation<Node> = Simulation::new(n, net(10), 31, move |id, _| {
+            GossipNode::new(id, cfg.clone(), FullMembership::new(id, n))
+        });
+        let victim = NodeId::new(3);
+        sim.schedule_crash(SimTime::from_secs(5), victim);
+        sim.run_until(SimTime::from_secs(30));
+        // Every surviving node eventually confirms the victim dead, and
+        // nobody confirms anyone else.
+        for (id, node) in sim.nodes() {
+            if id == victim {
+                continue;
+            }
+            let swim = node.swim_state().expect("detector enabled");
+            assert!(swim.is_dead(victim), "{id} must confirm {victim} dead");
+            for other in 0..n {
+                let other = NodeId::new(other as u32);
+                if other != victim && other != id {
+                    assert!(!swim.is_dead(other), "{id} wrongly killed {other}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swim_disabled_runs_without_detector_traffic() {
+        let mut sim = classic_sim(8, 3, 77);
+        everyone_subscribes(&mut sim, TopicId::new(0));
+        sim.run_until(SimTime::from_secs(2));
+        for (_, node) in sim.nodes() {
+            assert!(node.swim_state().is_none());
+            assert!(node.swim_observations().is_empty());
+        }
     }
 
     #[test]

@@ -183,6 +183,30 @@ impl FairnessLedger {
         self.active_filters
     }
 
+    /// Folds another ledger's counters into this one.
+    ///
+    /// Used by composite architectures whose node runs two protocol
+    /// stacks at once (e.g. the broker/gossip hybrid): message counters
+    /// add, while `active_filters` takes the maximum — both stacks
+    /// mirror the same application subscriptions, so adding would
+    /// double-count the node's benefit.
+    pub fn absorb(&mut self, other: &FairnessLedger) {
+        fn add(a: &mut Counters, b: &Counters) {
+            a.published_msgs += b.published_msgs;
+            a.published_bytes += b.published_bytes;
+            a.forwarded_msgs += b.forwarded_msgs;
+            a.forwarded_bytes += b.forwarded_bytes;
+            a.delivered_events += b.delivered_events;
+            a.maintenance_msgs += b.maintenance_msgs;
+            a.maintenance_credits += b.maintenance_credits;
+        }
+        add(&mut self.total, &other.total);
+        add(&mut self.window, &other.window);
+        add(&mut self.completed_window, &other.completed_window);
+        self.active_filters = self.active_filters.max(other.active_filters);
+        self.windows_rolled = self.windows_rolled.max(other.windows_rolled);
+    }
+
     /// Closes the current window: its counters become the *completed*
     /// window that rate queries read, and a fresh window starts.
     pub fn roll_window(&mut self) {

@@ -26,6 +26,7 @@ use fed_baselines::broker::{BrokerCmd, BrokerNode};
 use fed_baselines::common::DeliveryLog;
 use fed_baselines::dam::{DamCmd, DamConfig, DamNode, GroupTable};
 use fed_baselines::dks::{DksCmd, DksConfig, DksNode};
+use fed_baselines::hybrid::{HybridCmd, HybridConfig, HybridNode};
 use fed_baselines::scribe::{ScribeCmd, ScribeNode};
 use fed_baselines::splitstream::{Forest, SplitStreamNode, StripeCmd};
 use fed_cluster::{ScheduleTrace, ShardMap, ShardedSimulation, WindowPolicy};
@@ -33,6 +34,7 @@ use fed_core::behavior::Behavior;
 use fed_core::gossip::{GossipCmd, GossipConfig, GossipNode};
 use fed_core::ledger::FairnessLedger;
 use fed_dht::DhtNetwork;
+use fed_membership::swim::{SwimObservation, SwimObservationKind};
 use fed_membership::FullMembership;
 use fed_metrics::delivery::DeliveryAudit;
 use fed_profile::{
@@ -41,9 +43,10 @@ use fed_profile::{
 use fed_pubsub::{Event, EventId, TopicId, TopicSpace};
 use fed_sim::exec::Profiler;
 use fed_sim::{NodeId, Protocol, SimDuration, SimTime, Simulation, TransportStats};
+use fed_telemetry::membership::{DetectorEvent, DetectorEventKind, MembershipSeries};
 use fed_telemetry::{ShardCollector, TelemetrySeries};
 use fed_util::rng::Xoshiro256StarStar;
-use fed_workload::churn::ChurnAction;
+use fed_workload::churn::{downtime_intervals, ChurnAction, ChurnEvent};
 use fed_workload::interest::InterestProfile;
 use fed_workload::pubs::Publication;
 use fed_workload::scenario::{Architecture, MaterializedScenario, Placement, ScenarioSpec};
@@ -100,10 +103,21 @@ pub trait ArchProtocol: Protocol {
     fn subscribe_cmd(topic: TopicId) -> Self::Cmd;
     /// The command publishing `event` at this node.
     fn publish_cmd(event: Event) -> Self::Cmd;
-    /// The node's fairness ledger.
-    fn fairness(&self) -> &FairnessLedger;
+    /// The node's fairness ledger (owned: composite architectures
+    /// synthesize a merged ledger on demand).
+    fn fairness(&self) -> FairnessLedger;
     /// Snapshot of the node's delivery log, sorted by event id.
     fn delivery_log(&self) -> Vec<(EventId, SimTime)>;
+    /// The node's SWIM failure-detector observation log, when it runs
+    /// one (empty otherwise).
+    fn swim_observations(&self) -> Vec<SwimObservation> {
+        Vec::new()
+    }
+    /// When the node switched dissemination strategy, for architectures
+    /// with runtime handover (`None` otherwise).
+    fn handover_at(&self) -> Option<SimTime> {
+        None
+    }
 }
 
 /// Sorted snapshot of a baseline [`DeliveryLog`].
@@ -120,8 +134,8 @@ impl ArchProtocol for Node {
     fn publish_cmd(event: Event) -> GossipCmd {
         GossipCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         let mut v: Vec<(EventId, SimTime)> = self
@@ -132,6 +146,30 @@ impl ArchProtocol for Node {
         v.sort_unstable_by_key(|&(id, _)| id);
         v
     }
+    fn swim_observations(&self) -> Vec<SwimObservation> {
+        GossipNode::swim_observations(self)
+    }
+}
+
+impl ArchProtocol for HybridNode {
+    fn subscribe_cmd(topic: TopicId) -> HybridCmd {
+        HybridCmd::SubscribeTopic(topic)
+    }
+    fn publish_cmd(event: Event) -> HybridCmd {
+        HybridCmd::Publish(event)
+    }
+    fn fairness(&self) -> FairnessLedger {
+        self.merged_ledger()
+    }
+    fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
+        self.merged_deliveries()
+    }
+    fn swim_observations(&self) -> Vec<SwimObservation> {
+        HybridNode::swim_observations(self)
+    }
+    fn handover_at(&self) -> Option<SimTime> {
+        self.switched_at()
+    }
 }
 
 impl ArchProtocol for BrokerNode {
@@ -141,8 +179,8 @@ impl ArchProtocol for BrokerNode {
     fn publish_cmd(event: Event) -> BrokerCmd {
         BrokerCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         snapshot_log(self.deliveries())
@@ -156,8 +194,8 @@ impl ArchProtocol for ScribeNode {
     fn publish_cmd(event: Event) -> ScribeCmd {
         ScribeCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         snapshot_log(self.deliveries())
@@ -171,8 +209,8 @@ impl ArchProtocol for DksNode {
     fn publish_cmd(event: Event) -> DksCmd {
         DksCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         snapshot_log(self.deliveries())
@@ -186,8 +224,8 @@ impl ArchProtocol for DamNode {
     fn publish_cmd(event: Event) -> DamCmd {
         DamCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         snapshot_log(self.deliveries())
@@ -201,8 +239,8 @@ impl ArchProtocol for SplitStreamNode {
     fn publish_cmd(event: Event) -> StripeCmd {
         StripeCmd::Publish(event)
     }
-    fn fairness(&self) -> &FairnessLedger {
-        self.ledger()
+    fn fairness(&self) -> FairnessLedger {
+        self.ledger().clone()
     }
     fn delivery_log(&self) -> Vec<(EventId, SimTime)> {
         snapshot_log(self.deliveries())
@@ -329,7 +367,7 @@ where
         .materialize()
         .expect("scenario parameters are validated by construction");
     let n = spec.n;
-    let mut sim = Simulation::new(n, spec.net.clone(), spec.seed, move |id, _| {
+    let mut sim = Simulation::new(n, spec.effective_net(), spec.seed, move |id, _| {
         GossipNode::with_behavior(id, config.clone(), FullMembership::new(id, n), behavior(id))
     });
     schedule_workload(&mut sim, &materialized);
@@ -405,7 +443,7 @@ where
     let n = spec.n;
     let mut sim = ShardedSimulation::with_scheduler(
         n,
-        spec.net.clone(),
+        spec.effective_net(),
         spec.seed,
         shard_map_for(spec, &materialized),
         window_policy_for(spec),
@@ -470,6 +508,21 @@ pub struct ArchOutcome {
     /// phase timings are host measurements and intentionally excluded
     /// from [`crate::scenario_run::outcomes_match`].
     pub profiling: Option<RunProfile>,
+    /// Per-node SWIM failure-detector observation logs, indexed by node
+    /// id; all empty unless the spec enabled `[membership]` on an
+    /// architecture that runs the detector.
+    ///
+    /// Deterministic data, byte-identical across engines and shard
+    /// counts (asserted by the parity suites).
+    pub swim: Vec<Vec<SwimObservation>>,
+    /// Per-node strategy-handover instants, indexed by node id; all
+    /// `None` except for architectures with runtime switching
+    /// ([`Architecture::Hybrid`]).
+    pub handovers: Vec<Option<SimTime>>,
+    /// The scenario's churn trace (ground truth for detection telemetry).
+    pub churn: Vec<ChurnEvent>,
+    /// Scenario horizon.
+    pub horizon: SimTime,
 }
 
 impl ArchOutcome {
@@ -494,6 +547,44 @@ impl ArchOutcome {
     /// Total deliveries across all nodes.
     pub fn total_deliveries(&self) -> usize {
         self.deliveries.iter().map(Vec::len).sum()
+    }
+
+    /// Earliest strategy handover across all nodes, when one happened.
+    pub fn handover_time(&self) -> Option<SimTime> {
+        self.handovers.iter().flatten().min().copied()
+    }
+
+    /// Total SWIM observations across all nodes.
+    pub fn total_swim_observations(&self) -> usize {
+        self.swim.iter().map(Vec::len).sum()
+    }
+
+    /// Folds the run's SWIM observation logs against the churn ground
+    /// truth into the per-window detection series (detection latency,
+    /// false suspicions, refutation waves).
+    ///
+    /// Purely derived from deterministic outcome data, so two outcomes
+    /// with identical `swim` logs produce identical series.
+    pub fn membership_series(&self, window: SimDuration) -> MembershipSeries {
+        let mut events: Vec<DetectorEvent> = Vec::new();
+        for (observer, log) in self.swim.iter().enumerate() {
+            for o in log {
+                events.push(DetectorEvent {
+                    at: o.at,
+                    observer,
+                    subject: o.subject.index(),
+                    kind: match o.kind {
+                        SwimObservationKind::Suspect => DetectorEventKind::Suspect,
+                        SwimObservationKind::Confirm => DetectorEventKind::Confirm,
+                        SwimObservationKind::Refute => DetectorEventKind::Refute,
+                        SwimObservationKind::SelfRefute => DetectorEventKind::SelfRefute,
+                    },
+                });
+            }
+        }
+        events.sort_by_key(|e| (e.at, e.observer, e.subject));
+        let downtime = downtime_intervals(&self.churn, self.horizon);
+        MembershipSeries::build(window, self.horizon, &events, &downtime)
     }
 }
 
@@ -534,9 +625,15 @@ pub fn run_architecture(spec: &ScenarioSpec, engine: EngineKind) -> ArchOutcome 
         .materialize()
         .expect("scenario parameters are validated by construction");
     let n = spec.n;
+    // The spec's `[membership]` section arms the SWIM detector inside
+    // every gossip stack the chosen architecture runs.
+    let with_membership = |config: GossipConfig| match &spec.membership {
+        Some(swim) => config.with_swim(swim.clone()),
+        None => config,
+    };
     match spec.arch {
         Architecture::FairGossip => {
-            let config = GossipConfig::fair(8, 16, ROUND);
+            let config = with_membership(GossipConfig::fair(8, 16, ROUND));
             execute(spec, materialized, engine, move |id, _| {
                 GossipNode::with_behavior(
                     id,
@@ -547,7 +644,7 @@ pub fn run_architecture(spec: &ScenarioSpec, engine: EngineKind) -> ArchOutcome 
             })
         }
         Architecture::StaticGossip => {
-            let config = GossipConfig::classic(8, 16, ROUND);
+            let config = with_membership(GossipConfig::classic(8, 16, ROUND));
             execute(spec, materialized, engine, move |id, _| {
                 GossipNode::with_behavior(
                     id,
@@ -593,6 +690,13 @@ pub fn run_architecture(spec: &ScenarioSpec, engine: EngineKind) -> ArchOutcome 
             let forest = Arc::new(Forest::build(n, 8, 8));
             execute(spec, materialized, engine, move |id, _| {
                 SplitStreamNode::new(id, Arc::clone(&forest))
+            })
+        }
+        Architecture::Hybrid => {
+            let mut config = HybridConfig::standard();
+            config.gossip = with_membership(config.gossip);
+            execute(spec, materialized, engine, move |id, _| {
+                HybridNode::new(id, n, config.clone())
             })
         }
     }
@@ -670,7 +774,7 @@ where
     let profiling = spec.profile.is_some();
     match engine {
         EngineKind::Sequential => {
-            let mut sim = Simulation::new(spec.n, spec.net.clone(), spec.seed, factory);
+            let mut sim = Simulation::new(spec.n, spec.effective_net(), spec.seed, factory);
             schedule_workload(&mut sim, &materialized);
             let mut shard_profile = profiling.then(ShardProfile::default);
             let run_start = profiling.then(std::time::Instant::now);
@@ -748,7 +852,7 @@ where
             let mut trace = profiling.then(ScheduleTrace::default);
             let mut sim = ShardedSimulation::with_scheduler(
                 spec.n,
-                spec.net.clone(),
+                spec.effective_net(),
                 spec.seed,
                 map,
                 window_policy_for(spec),
@@ -827,9 +931,13 @@ where
 {
     let mut deliveries = vec![Vec::new(); spec.n];
     let mut ledgers = vec![FairnessLedger::new(); spec.n];
+    let mut swim = vec![Vec::new(); spec.n];
+    let mut handovers = vec![None; spec.n];
     for (id, node) in nodes {
         deliveries[id.index()] = node.delivery_log();
-        ledgers[id.index()] = node.fairness().clone();
+        ledgers[id.index()] = node.fairness();
+        swim[id.index()] = node.swim_observations();
+        handovers[id.index()] = node.handover_at();
     }
     ArchOutcome {
         arch: spec.arch,
@@ -843,6 +951,10 @@ where
         shards,
         telemetry,
         profiling,
+        swim,
+        handovers,
+        churn: materialized.churn,
+        horizon: materialized.horizon,
     }
 }
 

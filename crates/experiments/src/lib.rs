@@ -185,6 +185,14 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
             let r = robust::run(96, seed);
             println!("{}", r.loss_table);
             println!("{}", r.crash_table);
+            match bench_json::append_bench_json(bench_json::BENCH_PATH, &r.records) {
+                Ok(()) => eprintln!(
+                    "appended {} records to {}",
+                    r.records.len(),
+                    bench_json::BENCH_PATH
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", bench_json::BENCH_PATH),
+            }
         }
         "bias" => {
             let r = bias::run(128, seed);
@@ -420,6 +428,9 @@ pub fn run_scenario_target(target: &str, force_profile: bool) -> Result<(), Stri
     println!("{}", report.fairness);
     println!("{}", report.latency);
     if let Some(t) = &report.telemetry {
+        println!("{t}");
+    }
+    if let Some(t) = &report.membership {
         println!("{t}");
     }
     for t in &report.profile_tables {

@@ -5,7 +5,13 @@
 //! of fairness adaptation is that throttling low-benefit peers thins the
 //! epidemic. We sweep message-loss rates and crash fractions and compare
 //! delivery reliability of the classic and fair protocols.
+//!
+//! Every sweep point also emits a [`BenchRecord`] (suite
+//! `robust-loss-<rate>` / `robust-crash-<fraction>`) so BENCH-DIFF can
+//! flag a robustness-throughput regression between artifacts the same
+//! way it flags the scale sweeps.
 
+use crate::bench_json::BenchRecord;
 use crate::harness::build_gossip_spec;
 use fed_core::behavior::Behavior;
 use fed_core::gossip::GossipConfig;
@@ -14,6 +20,7 @@ use fed_sim::network::{LatencyModel, NetworkModel};
 use fed_sim::{NodeId, SimDuration, SimTime};
 use fed_util::rng::{Rng64, SplitMix64};
 use fed_workload::scenario::ScenarioSpec;
+use std::time::Instant;
 
 /// Result of the E-ROBUST experiment.
 #[derive(Debug)]
@@ -26,6 +33,38 @@ pub struct RobustResult {
     pub loss_points: Vec<(f64, f64, f64)>,
     /// (crash fraction, classic reliability, fair reliability).
     pub crash_points: Vec<(f64, f64, f64)>,
+    /// Machine-readable records of every sweep point, for
+    /// `BENCH_cluster.json` / BENCH-DIFF.
+    pub records: Vec<BenchRecord>,
+}
+
+/// One sweep point's bench record. The sweep parameter is encoded in the
+/// suite name (a configuration field, hence part of the diff key); the
+/// gossip variant rides in `arch`.
+fn point_record(
+    suite: String,
+    arch: &'static str,
+    spec: &ScenarioSpec,
+    events: u64,
+    wall_ms: f64,
+) -> BenchRecord {
+    BenchRecord {
+        suite,
+        arch: arch.into(),
+        n: spec.n,
+        shards: 1,
+        placement: spec.placement.name().into(),
+        adaptive_window: spec.adaptive_window,
+        telemetry: spec.telemetry.is_some(),
+        events,
+        windows: 0,
+        wall_ms,
+        events_per_sec: if wall_ms > 0.0 {
+            events as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    }
 }
 
 /// Runs E-ROBUST at population size `n`.
@@ -35,17 +74,33 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
         &["loss", "classic", "fair"],
     );
     let mut loss_points = Vec::new();
+    let mut records = Vec::new();
     for loss in [0.0, 0.1, 0.2, 0.3, 0.4] {
         let mut rel = Vec::new();
-        for cfg in [
-            GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
-            GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+        for (arch, cfg) in [
+            (
+                "static-gossip",
+                GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
+            ),
+            (
+                "fair-gossip",
+                GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+            ),
         ] {
             let mut scenario = ScenarioSpec::fair_gossip(n, seed);
             scenario.net =
                 NetworkModel::lossy(LatencyModel::Constant(SimDuration::from_millis(10)), loss);
+            let start = Instant::now();
             let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
             run.run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            records.push(point_record(
+                format!("robust-loss-{loss:.2}"),
+                arch,
+                &scenario,
+                run.sim.events_processed(),
+                wall_ms,
+            ));
             rel.push(run.audit().reliability());
         }
         loss_table.row_owned(vec![fmt_f64(loss), fmt_f64(rel[0]), fmt_f64(rel[1])]);
@@ -59,11 +114,18 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
     let mut crash_points = Vec::new();
     for crash_frac in [0.0, 0.1, 0.2, 0.3] {
         let mut rel = Vec::new();
-        for cfg in [
-            GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
-            GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+        for (arch, cfg) in [
+            (
+                "static-gossip",
+                GossipConfig::classic(8, 16, SimDuration::from_millis(100)),
+            ),
+            (
+                "fair-gossip",
+                GossipConfig::fair(8, 16, SimDuration::from_millis(100)),
+            ),
         ] {
             let scenario = ScenarioSpec::fair_gossip(n, seed ^ 0x5A5A);
+            let start = Instant::now();
             let mut run = build_gossip_spec(&scenario, cfg, |_| Behavior::Honest);
             // Crash a random fraction mid-stream.
             let mut pick = SplitMix64::seed_from_u64(seed);
@@ -74,6 +136,13 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
                     .schedule_crash(SimTime::from_secs(8), NodeId::new(*v as u32));
             }
             run.run();
+            records.push(point_record(
+                format!("robust-crash-{crash_frac:.2}"),
+                arch,
+                &scenario,
+                run.sim.events_processed(),
+                start.elapsed().as_secs_f64() * 1e3,
+            ));
             // Reliability counted over survivors and pre-crash events only:
             // measure deliveries of events published before the crash wave
             // at nodes that stayed alive.
@@ -105,12 +174,40 @@ pub fn run(n: usize, seed: u64) -> RobustResult {
         crash_table,
         loss_points,
         crash_points,
+        records,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn every_sweep_point_emits_a_bench_record() {
+        let r = run(48, 31);
+        // 5 loss points + 4 crash points, two protocols each.
+        assert_eq!(r.records.len(), (5 + 4) * 2);
+        for rec in &r.records {
+            assert!(
+                rec.suite.starts_with("robust-loss-") || rec.suite.starts_with("robust-crash-"),
+                "sweep parameter must live in the suite key: {}",
+                rec.suite
+            );
+            assert!(rec.events > 0, "{}: dead run", rec.suite);
+            assert!(rec.events_per_sec > 0.0, "{}: no throughput", rec.suite);
+        }
+        // Keys are unique per (suite, arch): BENCH-DIFF must not collapse
+        // distinct sweep points.
+        let mut keys: Vec<String> = r
+            .records
+            .iter()
+            .map(|rec| format!("{}|{}", rec.suite, rec.arch))
+            .collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before, "duplicate sweep-point keys");
+    }
 
     #[test]
     fn fair_protocol_keeps_gossip_robustness() {

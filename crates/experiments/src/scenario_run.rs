@@ -121,6 +121,8 @@ pub struct ScenarioReport {
     pub latency: Table,
     /// Per-window transient summary when the file enabled telemetry.
     pub telemetry: Option<Table>,
+    /// Failure-detection summary when the file armed `[membership]`.
+    pub membership: Option<Table>,
     /// Profiler tables (phases, stall attribution, work counters) when
     /// the file enabled `[profile]`; empty otherwise.
     pub profile_tables: Vec<Table>,
@@ -146,6 +148,7 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
             "deliveries",
             "reliability",
             "spurious",
+            "handover_ms",
             "wall_ms",
         ],
     );
@@ -160,6 +163,9 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         outcome.total_deliveries().to_string(),
         fmt_f64(audit.reliability()),
         audit.spurious().to_string(),
+        outcome
+            .handover_time()
+            .map_or_else(|| "-".into(), |t| t.as_millis().to_string()),
         fmt_f64(wall_ms),
     ]);
 
@@ -247,6 +253,41 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         t
     });
 
+    let membership = spec.membership.as_ref().map(|_| {
+        let window = spec
+            .telemetry
+            .as_ref()
+            .map_or(fed_sim::SimDuration::from_millis(500), |t| t.window);
+        let series = outcome.membership_series(window);
+        let mut t = Table::new(
+            format!("RUN {name}: failure detection"),
+            &[
+                "observations",
+                "detections",
+                "latency_mean_ms",
+                "false_susp",
+                "refutes",
+                "self_refutes",
+            ],
+        );
+        t.row_owned(vec![
+            outcome.total_swim_observations().to_string(),
+            series.total_detections().to_string(),
+            series
+                .detection_latency_mean_us()
+                .map_or_else(|| "-".into(), |us| fmt_f64(us / 1e3)),
+            series.total_false_suspicions().to_string(),
+            series.total_refutes().to_string(),
+            series
+                .windows
+                .iter()
+                .map(|w| w.self_refutes)
+                .sum::<u64>()
+                .to_string(),
+        ]);
+        t
+    });
+
     let profile_tables = outcome
         .profiling
         .as_ref()
@@ -267,6 +308,7 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         fairness,
         latency,
         telemetry,
+        membership,
         profile_tables,
         outcome,
     }
@@ -285,15 +327,18 @@ pub struct ParityReport {
 ///
 /// Compares every observable that must be engine-invariant: per-node
 /// delivery logs, fairness ledgers, transport statistics, the engine's
-/// event count and (when enabled) the full telemetry series. Barrier
-/// window counts are intentionally excluded — they are scheduling
-/// artifacts, not observables.
+/// event count, (when enabled) the full telemetry series, the SWIM
+/// observation logs and the strategy-handover instants. Barrier window
+/// counts are intentionally excluded — they are scheduling artifacts,
+/// not observables.
 pub fn outcomes_match(a: &ArchOutcome, b: &ArchOutcome) -> bool {
     a.deliveries == b.deliveries
         && a.ledgers == b.ledgers
         && a.stats == b.stats
         && a.events == b.events
         && a.telemetry == b.telemetry
+        && a.swim == b.swim
+        && a.handovers == b.handovers
 }
 
 /// Runs the parity gate for one scenario: sequential baseline, then the

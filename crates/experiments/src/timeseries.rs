@@ -1,14 +1,14 @@
 //! E-TIMESERIES — streaming time-series observability across
 //! architectures.
 //!
-//! Runs every architecture (all seven, DAM included) through the same
+//! Runs every architecture in [`Architecture::ALL`] through the same
 //! bursty scenario — churn plus a flash-crowd publication burst — with
-//! `fed-telemetry` attached, on **both** engines. For each architecture
-//! the experiment:
+//! `fed-telemetry` attached and the SWIM failure detector armed, on
+//! **both** engines. For each architecture the experiment:
 //!
-//! * asserts the **series parity gate**: the sequential engine's series
-//!   and the sharded engine's merged per-shard series must be
-//!   byte-identical (the `identical` column);
+//! * asserts the **series parity gate**: the sequential engine's
+//!   telemetry series, SWIM observation logs and handover instants must
+//!   be byte-identical to the sharded engine's (the `identical` column);
 //! * prints a per-architecture transient summary (worst-window fairness,
 //!   peak latency tail, population dip) distilled from the full series;
 //! * writes the complete per-window series of every architecture to
@@ -22,8 +22,10 @@
 //! exposes.
 
 use crate::harness::{run_architecture, EngineKind};
+use fed_membership::swim::SwimConfig;
 use fed_metrics::table::{fmt_f64, Table};
 use fed_sim::{SimDuration, SimTime};
+use fed_telemetry::membership::MembershipSeries;
 use fed_telemetry::{TelemetrySeries, TelemetrySpec, WindowRow};
 use fed_workload::churn::ChurnPlan;
 use fed_workload::pubs::{FlashCrowd, PubPlan};
@@ -39,7 +41,8 @@ pub const BENCH_TIMESERIES_PATH: &str = "BENCH_timeseries.json";
 
 /// The bursty scenario the experiment samples: steady publishing for
 /// three seconds, then a flash crowd (hot-topic Zipf shift at 4 s with a
-/// 4x rate), under session churn, telemetry at 500 ms windows.
+/// 4x rate), under session churn, telemetry at 500 ms windows, and the
+/// SWIM detector armed (it runs on the gossip-bearing architectures).
 pub fn timeseries_spec(arch: Architecture, n: usize, seed: u64) -> ScenarioSpec {
     let mut spec = ScenarioSpec::standard(arch, n, seed);
     spec.plan = PubPlan {
@@ -62,6 +65,7 @@ pub fn timeseries_spec(arch: Architecture, n: usize, seed: u64) -> ScenarioSpec 
         warmup: SimTime::from_secs(1),
     });
     spec.telemetry = Some(TelemetrySpec::default().with_window(SimDuration::from_millis(500)));
+    spec.membership = Some(SwimConfig::standard());
     spec
 }
 
@@ -70,11 +74,17 @@ pub fn timeseries_spec(arch: Architecture, n: usize, seed: u64) -> ScenarioSpec 
 pub struct ArchSeries {
     /// The architecture.
     pub arch: Architecture,
-    /// Whether the sequential and sharded series are byte-identical
+    /// Whether the sequential and sharded observables (telemetry series,
+    /// SWIM observation logs, handover instants) are byte-identical
     /// (must be `true`).
     pub identical: bool,
     /// The (shared) series, from the sharded run.
     pub series: TelemetrySeries,
+    /// The failure-detection series (same 500 ms windows), all-zero on
+    /// architectures without the SWIM detector.
+    pub membership: MembershipSeries,
+    /// Earliest strategy handover, when the architecture switched.
+    pub handover: Option<SimTime>,
 }
 
 impl ArchSeries {
@@ -175,6 +185,9 @@ pub fn run(n: usize, shards: usize, seed: u64) -> TimeseriesResult {
             "p99_ms_peak",
             "node_load_peak",
             "alive_min",
+            "detections",
+            "false_susp",
+            "handover_ms",
             "identical",
         ],
     );
@@ -184,12 +197,17 @@ pub fn run(n: usize, shards: usize, seed: u64) -> TimeseriesResult {
         let spec = timeseries_spec(arch, n, seed);
         let sequential = run_architecture(&spec, EngineKind::Sequential);
         let cluster = run_architecture(&spec.clone().with_shards(shards), EngineKind::Cluster);
-        let series_match = sequential.telemetry == cluster.telemetry;
+        let series_match = sequential.telemetry == cluster.telemetry
+            && sequential.swim == cluster.swim
+            && sequential.handovers == cluster.handovers;
         identical &= series_match;
+        let membership = cluster.membership_series(SimDuration::from_millis(500));
         let entry = ArchSeries {
             arch,
             identical: series_match,
-            series: cluster.telemetry.expect("spec enables telemetry"),
+            series: cluster.telemetry.clone().expect("spec enables telemetry"),
+            membership,
+            handover: cluster.handover_time(),
         };
         table.row_owned(vec![
             arch.name().to_string(),
@@ -199,6 +217,11 @@ pub fn run(n: usize, shards: usize, seed: u64) -> TimeseriesResult {
             fmt_f64(entry.peak_p99_ms()),
             entry.peak_node_load().to_string(),
             entry.min_alive().to_string(),
+            entry.membership.total_detections().to_string(),
+            entry.membership.total_false_suspicions().to_string(),
+            entry
+                .handover
+                .map_or_else(|| "-".into(), |t| t.as_millis().to_string()),
             series_match.to_string(),
         ]);
         archs.push(entry);
@@ -229,20 +252,25 @@ fn jopt(x: Option<f64>) -> String {
 }
 
 /// Renders the full document: one object per architecture with its
-/// complete per-window series.
+/// complete per-window series, the failure-detection series
+/// (detection latency, false suspicions, refutations) riding alongside.
 fn render_json(n: usize, shards: usize, seed: u64, archs: &[ArchSeries]) -> String {
     let mut out = String::from("[\n");
     for (ai, a) in archs.iter().enumerate() {
         let _ = writeln!(
             out,
             "  {{\"suite\":\"timeseries\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
-             \"seed\":{},\"window_us\":{},\"identical\":{},\"series\":[",
+             \"seed\":{},\"window_us\":{},\"identical\":{},\"handover_ms\":{},\
+             \"detection_latency_mean_us\":{},\"series\":[",
             a.arch.name(),
             n,
             shards,
             seed,
             a.series.spec.window.as_micros(),
             a.identical,
+            a.handover
+                .map_or_else(|| "null".into(), |t| t.as_millis().to_string()),
+            jopt(a.membership.detection_latency_mean_us()),
         );
         let rows = a.series.rows();
         for (i, r) in rows.iter().enumerate() {
@@ -269,6 +297,25 @@ fn render_json(n: usize, shards: usize, seed: u64, archs: &[ArchSeries]) -> Stri
                 jopt(r.latency_p95_ms),
                 jopt(r.latency_p99_ms),
                 if i + 1 < rows.len() { "," } else { "" },
+            );
+        }
+        out.push_str("  ],\"membership\":[\n");
+        let mwindows = &a.membership.windows;
+        for (i, w) in mwindows.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"w\":{},\"suspicions\":{},\"false_suspicions\":{},\
+                 \"confirms\":{},\"detections\":{},\"detection_latency_us_sum\":{},\
+                 \"refutes\":{},\"self_refutes\":{}}}{}",
+                w.index,
+                w.suspicions,
+                w.false_suspicions,
+                w.confirms,
+                w.detections,
+                w.detection_latency_us_sum,
+                w.refutes,
+                w.self_refutes,
+                if i + 1 < mwindows.len() { "," } else { "" },
             );
         }
         let _ = writeln!(out, "  ]}}{}", if ai + 1 < archs.len() { "," } else { "" });
@@ -328,8 +375,40 @@ mod tests {
                 "missing {arch} in JSON"
             );
         }
-        assert_eq!(r.json.matches("\"suite\":\"timeseries\"").count(), 7);
+        assert_eq!(
+            r.json.matches("\"suite\":\"timeseries\"").count(),
+            Architecture::ALL.len()
+        );
+        assert_eq!(
+            r.json.matches("\"membership\":[").count(),
+            Architecture::ALL.len(),
+            "every architecture carries the detection series"
+        );
+        assert!(r.json.contains("\"false_suspicions\":"));
+        assert!(r.json.contains("\"detection_latency_us_sum\":"));
         assert!(!r.json.contains("inf"), "non-finite floats must be null");
         assert!(!r.json.contains("NaN"), "non-finite floats must be null");
+    }
+
+    /// The armed SWIM detector actually observes the churn: the gossip
+    /// architectures log suspicions/confirms, and the detection series
+    /// classifies at least one of them as a true detection.
+    #[test]
+    fn detector_sees_the_churn() {
+        let spec = timeseries_spec(Architecture::FairGossip, 48, 7);
+        let outcome = run_architecture(&spec, EngineKind::Sequential);
+        assert!(
+            outcome.total_swim_observations() > 0,
+            "churn at 15% of 48 nodes must trigger detector traffic"
+        );
+        let series = outcome.membership_series(SimDuration::from_millis(500));
+        assert!(
+            series.total_detections() > 0,
+            "some crash must be confirmed while the node is down"
+        );
+        assert!(
+            series.detection_latency_mean_us().is_some(),
+            "detections imply a measurable latency"
+        );
     }
 }

@@ -36,8 +36,13 @@
 
 pub mod cyclon;
 pub mod sampler;
+pub mod swim;
 pub mod view;
 
 pub use cyclon::{CyclonMsg, CyclonNode, CyclonState};
 pub use sampler::{FullMembership, PeerSampler};
+pub use swim::{
+    SwimConfig, SwimMsg, SwimObservation, SwimObservationKind, SwimState, SwimStatus, SwimTick,
+    SwimUpdate,
+};
 pub use view::{PartialView, ViewEntry};

@@ -1019,7 +1019,7 @@ impl<P: Protocol> Kernel<P> {
                     let slot = &mut self.slots[li];
                     match self
                         .net
-                        .transmit(&mut slot.net_rng, node.index(), to.index())
+                        .transmit(&mut slot.net_rng, now, node.index(), to.index())
                     {
                         Some(latency) => {
                             let at = now + latency.max(MIN_NETWORK_LATENCY);

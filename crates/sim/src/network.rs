@@ -6,7 +6,7 @@
 //! lpbcast, Cyclon), where fairness and reliability are properties of the
 //! *overlay*, not of individual physical links.
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 use fed_util::dist::{InvalidDistribution, LogNormal};
 use fed_util::rng::Rng64;
 
@@ -100,6 +100,104 @@ impl Default for LatencyModel {
     }
 }
 
+/// A scheduled symmetric partition: nodes with id below `split` form one
+/// side, the rest the other; messages crossing the split while
+/// `at <= now < heal` are dropped (both directions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionFault {
+    /// When the partition starts.
+    pub at: SimTime,
+    /// When it heals (exclusive).
+    pub heal: SimTime,
+    /// Boundary node id: ids `< split` are on side A, the rest on side B.
+    pub split: u32,
+}
+
+/// A scheduled asymmetric (one-way) link failure: messages **from** nodes
+/// with id below `split` **to** nodes at or above it are dropped while
+/// `at <= now < until`; the reverse direction keeps working.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OnewayFault {
+    /// When the failure starts.
+    pub at: SimTime,
+    /// When it ends (exclusive).
+    pub until: SimTime,
+    /// Boundary node id: sends from ids `< split` to ids `>= split` drop.
+    pub split: u32,
+}
+
+/// A scheduled latency spike: every message sent while `at <= now < until`
+/// takes `extra` additional latency on top of its sampled value.
+///
+/// Delay spikes only *add* latency, so the model's conservative
+/// [`NetworkModel::min_latency`] lookahead bound stays valid throughout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DelayFault {
+    /// When the spike starts.
+    pub at: SimTime,
+    /// When it ends (exclusive).
+    pub until: SimTime,
+    /// Latency added to every message sent during the spike.
+    pub extra: SimDuration,
+}
+
+/// Deterministic scheduled faults applied by the network model.
+///
+/// Every verdict is a pure function of `(now, from, to)` — no randomness is
+/// consumed deciding a fault, so the per-node RNG streams (and therefore
+/// bit-identity between the sequential and sharded engines) are unaffected
+/// by which faults are configured. Drops remove messages and delay spikes
+/// only add latency, so the conservative lookahead contract
+/// ([`NetworkModel::min_latency`]) holds by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultSchedule {
+    /// Scheduled symmetric partition, if any.
+    pub partition: Option<PartitionFault>,
+    /// Scheduled one-way link failure, if any.
+    pub oneway: Option<OnewayFault>,
+    /// Scheduled message-delay spike, if any.
+    pub delay: Option<DelayFault>,
+}
+
+impl FaultSchedule {
+    /// `true` when no fault is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.partition.is_none() && self.oneway.is_none() && self.delay.is_none()
+    }
+
+    /// `true` when a message `from -> to` sent at `now` is dropped by a
+    /// scheduled partition or one-way failure.
+    pub fn drops(&self, now: SimTime, from: usize, to: usize) -> bool {
+        if let Some(p) = &self.partition {
+            if now >= p.at && now < p.heal {
+                let side_a = (from as u64) < u64::from(p.split);
+                let side_b = (to as u64) < u64::from(p.split);
+                if side_a != side_b {
+                    return true;
+                }
+            }
+        }
+        if let Some(o) = &self.oneway {
+            if now >= o.at
+                && now < o.until
+                && (from as u64) < u64::from(o.split)
+                && (to as u64) >= u64::from(o.split)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Extra latency applied to a message sent at `now`.
+    pub fn extra_delay(&self, now: SimTime) -> SimDuration {
+        match &self.delay {
+            Some(d) if now >= d.at && now < d.until => d.extra,
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
 /// Full network model: latency plus iid loss plus optional partitions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
@@ -108,6 +206,8 @@ pub struct NetworkModel {
     /// `groups[i]` is the partition group of node `i`; messages cross groups
     /// only when no partition is active.
     groups: Option<Vec<u32>>,
+    /// Scheduled deterministic faults.
+    faults: FaultSchedule,
 }
 
 impl NetworkModel {
@@ -117,6 +217,7 @@ impl NetworkModel {
             latency,
             loss_probability: 0.0,
             groups: None,
+            faults: FaultSchedule::default(),
         }
     }
 
@@ -127,7 +228,24 @@ impl NetworkModel {
             latency,
             loss_probability: loss.clamp(0.0, 0.999_999),
             groups: None,
+            faults: FaultSchedule::default(),
         }
+    }
+
+    /// Replaces the scheduled fault schedule (builder style).
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The scheduled fault schedule.
+    pub fn faults(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// Mutable access to the scheduled fault schedule.
+    pub fn faults_mut(&mut self) -> &mut FaultSchedule {
+        &mut self.faults
     }
 
     /// The configured loss probability.
@@ -168,17 +286,26 @@ impl NetworkModel {
         self.groups.is_some()
     }
 
-    /// Decides the fate of one message from `from` to `to`.
+    /// Decides the fate of one message from `from` to `to` sent at `now`.
     ///
     /// Returns `Some(latency)` when the message is delivered, `None` when it
-    /// is lost (random loss or partition). Nodes outside a configured
-    /// partition vector are treated as group 0.
+    /// is lost (random loss, partition, or a scheduled fault). Nodes outside
+    /// a configured partition vector are treated as group 0.
+    ///
+    /// Fault verdicts are evaluated *before* any randomness is drawn, and a
+    /// scheduled drop consumes no randomness at all — so whether a fault
+    /// fires for a message never shifts the RNG stream consumed by later
+    /// messages relative to an engine that evaluated it identically.
     pub fn transmit<R: Rng64 + ?Sized>(
         &self,
         rng: &mut R,
+        now: SimTime,
         from: usize,
         to: usize,
     ) -> Option<SimDuration> {
+        if self.faults.drops(now, from, to) {
+            return None;
+        }
         if let Some(groups) = &self.groups {
             let gf = groups.get(from).copied().unwrap_or(0);
             let gt = groups.get(to).copied().unwrap_or(0);
@@ -191,7 +318,10 @@ impl NetworkModel {
         }
         // Validated at construction; latency sampling cannot fail for the
         // models constructible through the public API.
-        self.latency.sample(rng).ok()
+        self.latency
+            .sample(rng)
+            .ok()
+            .map(|d| d + self.faults.extra_delay(now))
     }
 }
 
@@ -283,7 +413,7 @@ mod tests {
         let net = NetworkModel::reliable(LatencyModel::default());
         let mut r = rng();
         for i in 0..100 {
-            assert!(net.transmit(&mut r, i, i + 1).is_some());
+            assert!(net.transmit(&mut r, SimTime::ZERO, i, i + 1).is_some());
         }
     }
 
@@ -293,7 +423,7 @@ mod tests {
         let mut r = rng();
         let n = 100_000;
         let dropped = (0..n)
-            .filter(|_| net.transmit(&mut r, 0, 1).is_none())
+            .filter(|_| net.transmit(&mut r, SimTime::ZERO, 0, 1).is_none())
             .count();
         let rate = dropped as f64 / n as f64;
         assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
@@ -312,13 +442,14 @@ mod tests {
         let mut net = NetworkModel::reliable(LatencyModel::default());
         net.partition(vec![0, 0, 1, 1]);
         let mut r = rng();
+        let t = SimTime::ZERO;
         assert!(net.is_partitioned());
-        assert!(net.transmit(&mut r, 0, 1).is_some(), "same group passes");
-        assert!(net.transmit(&mut r, 0, 2).is_none(), "cross group blocked");
-        assert!(net.transmit(&mut r, 3, 2).is_some());
+        assert!(net.transmit(&mut r, t, 0, 1).is_some(), "same group passes");
+        assert!(net.transmit(&mut r, t, 0, 2).is_none(), "cross blocked");
+        assert!(net.transmit(&mut r, t, 3, 2).is_some());
         net.heal();
         assert!(!net.is_partitioned());
-        assert!(net.transmit(&mut r, 0, 2).is_some(), "healed");
+        assert!(net.transmit(&mut r, t, 0, 2).is_some(), "healed");
     }
 
     #[test]
@@ -327,7 +458,101 @@ mod tests {
         net.partition(vec![1]);
         let mut r = rng();
         // node 5 is outside the vector -> group 0, node 0 is group 1.
-        assert!(net.transmit(&mut r, 0, 5).is_none());
-        assert!(net.transmit(&mut r, 5, 6).is_some());
+        assert!(net.transmit(&mut r, SimTime::ZERO, 0, 5).is_none());
+        assert!(net.transmit(&mut r, SimTime::ZERO, 5, 6).is_some());
+    }
+
+    #[test]
+    fn scheduled_partition_drops_cross_split_inside_window_only() {
+        let net = NetworkModel::reliable(LatencyModel::default()).with_faults(FaultSchedule {
+            partition: Some(PartitionFault {
+                at: SimTime::from_secs(10),
+                heal: SimTime::from_secs(20),
+                split: 4,
+            }),
+            ..FaultSchedule::default()
+        });
+        let mut r = rng();
+        let during = SimTime::from_secs(15);
+        // Cross-split drops in both directions while the partition holds.
+        assert!(net.transmit(&mut r, during, 0, 7).is_none());
+        assert!(net.transmit(&mut r, during, 7, 0).is_none());
+        // Same side still passes.
+        assert!(net.transmit(&mut r, during, 0, 3).is_some());
+        assert!(net.transmit(&mut r, during, 5, 7).is_some());
+        // Before `at` and at/after `heal` nothing is dropped.
+        assert!(net.transmit(&mut r, SimTime::from_secs(9), 0, 7).is_some());
+        assert!(net.transmit(&mut r, SimTime::from_secs(20), 0, 7).is_some());
+    }
+
+    #[test]
+    fn oneway_fault_is_asymmetric() {
+        let net = NetworkModel::reliable(LatencyModel::default()).with_faults(FaultSchedule {
+            oneway: Some(OnewayFault {
+                at: SimTime::from_secs(5),
+                until: SimTime::from_secs(8),
+                split: 2,
+            }),
+            ..FaultSchedule::default()
+        });
+        let mut r = rng();
+        let during = SimTime::from_secs(6);
+        // Low -> high drops; the reverse direction keeps delivering.
+        assert!(net.transmit(&mut r, during, 1, 3).is_none());
+        assert!(net.transmit(&mut r, during, 3, 1).is_some());
+        assert!(net.transmit(&mut r, SimTime::from_secs(8), 1, 3).is_some());
+    }
+
+    #[test]
+    fn delay_spike_adds_latency_and_preserves_lookahead() {
+        let base = SimDuration::from_millis(10);
+        let extra = SimDuration::from_millis(40);
+        let net = NetworkModel::reliable(LatencyModel::Constant(base)).with_faults(FaultSchedule {
+            delay: Some(DelayFault {
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(2),
+                extra,
+            }),
+            ..FaultSchedule::default()
+        });
+        let mut r = rng();
+        let inside = net
+            .transmit(&mut r, SimTime::from_millis(1500), 0, 1)
+            .unwrap();
+        assert_eq!(inside, base + extra);
+        let outside = net
+            .transmit(&mut r, SimTime::from_millis(2500), 0, 1)
+            .unwrap();
+        assert_eq!(outside, base);
+        // Extra delay only adds: the conservative lookahead stays valid.
+        assert!(inside >= net.min_latency());
+    }
+
+    #[test]
+    fn fault_drops_consume_no_randomness() {
+        // A dropped-by-fault message must not advance the RNG stream: the
+        // next delivered message samples identical latency with or without
+        // the dropped send in between.
+        let faulty = NetworkModel::lossy(
+            LatencyModel::Uniform {
+                lo: SimDuration::from_millis(1),
+                hi: SimDuration::from_millis(50),
+            },
+            0.1,
+        )
+        .with_faults(FaultSchedule {
+            partition: Some(PartitionFault {
+                at: SimTime::ZERO,
+                heal: SimTime::from_secs(100),
+                split: 1,
+            }),
+            ..FaultSchedule::default()
+        });
+        let mut a = rng();
+        let mut b = rng();
+        assert!(faulty.transmit(&mut a, SimTime::ZERO, 0, 1).is_none());
+        let after_drop = faulty.transmit(&mut a, SimTime::ZERO, 1, 2);
+        let without_drop = faulty.transmit(&mut b, SimTime::ZERO, 1, 2);
+        assert_eq!(after_drop, without_drop);
     }
 }

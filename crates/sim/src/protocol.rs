@@ -124,6 +124,45 @@ impl<'a, M> Context<'a, M> {
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
         self.outbox.push(Outgoing::Timer { delay, token });
     }
+
+    /// Runs a closure against an inner context over a different message
+    /// type, then maps every queued send through `wrap` into this context's
+    /// outbox. Timers pass through unchanged — a host embedding several
+    /// sub-protocols must namespace their timer tokens so it can route
+    /// `on_timer` back to the right one.
+    ///
+    /// This is how composite protocols (e.g. a broker/gossip hybrid) drive
+    /// embedded [`Protocol`] implementations without duplicating the
+    /// engine's effect plumbing: the inner protocol sees a fully functional
+    /// deterministic context sharing this node's RNG stream and clock.
+    pub fn scoped<M2, R>(
+        &mut self,
+        wrap: impl Fn(M2) -> M,
+        f: impl FnOnce(&mut Context<'_, M2>) -> R,
+    ) -> R {
+        let mut inner_box: Vec<Outgoing<M2>> = Vec::new();
+        let out = {
+            let mut inner = Context {
+                node: self.node,
+                now: self.now,
+                n: self.n,
+                rng: self.rng,
+                outbox: &mut inner_box,
+            };
+            f(&mut inner)
+        };
+        for effect in inner_box {
+            match effect {
+                Outgoing::Send { to, msg } => {
+                    self.outbox.push(Outgoing::Send { to, msg: wrap(msg) })
+                }
+                Outgoing::Timer { delay, token } => {
+                    self.outbox.push(Outgoing::Timer { delay, token })
+                }
+            }
+        }
+        out
+    }
 }
 
 /// A dissemination protocol: per-node deterministic state machine.

@@ -54,6 +54,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod membership;
+
 use fed_sim::exec::{Probe, SendFate};
 use fed_sim::protocol::NodeId;
 use fed_sim::time::{SimDuration, SimTime};

@@ -1,6 +1,7 @@
 //! Churn traces: scheduled crashes and rejoins.
 
 use fed_sim::SimTime;
+use fed_telemetry::membership::DowntimeInterval;
 use fed_util::dist::{Exponential, InvalidDistribution};
 use fed_util::rng::Rng64;
 
@@ -65,8 +66,11 @@ pub fn generate_churn<R: Rng64>(
     n: usize,
     plan: &ChurnPlan,
 ) -> Result<Vec<ChurnEvent>, InvalidDistribution> {
-    let session = Exponential::new(1.0 / plan.mean_session_secs.max(f64::MIN_POSITIVE))?;
-    let downtime = Exponential::new(1.0 / plan.mean_downtime_secs.max(f64::MIN_POSITIVE))?;
+    // A non-positive or non-finite mean makes `1/mean` invalid, which
+    // `Exponential::new` rejects — the error the rustdoc promises, instead
+    // of clamping into an absurd rate.
+    let session = Exponential::new(1.0 / plan.mean_session_secs)?;
+    let downtime = Exponential::new(1.0 / plan.mean_downtime_secs)?;
     let churners = ((n as f64) * plan.churning_fraction.clamp(0.0, 1.0)).round() as usize;
     let horizon = plan.warmup.as_secs_f64() + plan.duration.as_secs_f64();
     let mut events = Vec::new();
@@ -93,6 +97,45 @@ pub fn generate_churn<R: Rng64>(
     }
     events.sort_by_key(|e| (e.at, e.node));
     Ok(events)
+}
+
+/// Folds a churn trace into ground-truth [`DowntimeInterval`]s for the
+/// membership-telemetry classifier.
+///
+/// Each `Crash` opens an interval for that node; the matching `Join`
+/// closes it (exclusive). A node still down at `horizon` gets an interval
+/// ending at `horizon`. The trace is interpreted as produced by
+/// [`generate_churn`]: sorted by time, strictly alternating per node,
+/// starting with a crash — a second crash while already down is ignored,
+/// as is a join while up.
+pub fn downtime_intervals(events: &[ChurnEvent], horizon: SimTime) -> Vec<DowntimeInterval> {
+    let mut open: std::collections::BTreeMap<usize, SimTime> = std::collections::BTreeMap::new();
+    let mut intervals = Vec::new();
+    for e in events {
+        match e.action {
+            ChurnAction::Crash => {
+                open.entry(e.node).or_insert(e.at);
+            }
+            ChurnAction::Join => {
+                if let Some(down) = open.remove(&e.node) {
+                    intervals.push(DowntimeInterval {
+                        node: e.node,
+                        down,
+                        up: e.at,
+                    });
+                }
+            }
+        }
+    }
+    for (node, down) in open {
+        intervals.push(DowntimeInterval {
+            node,
+            down,
+            up: horizon,
+        });
+    }
+    intervals.sort_by_key(|d| (d.down, d.node));
+    intervals
 }
 
 #[cfg(test)]
@@ -163,6 +206,85 @@ mod tests {
             ..ChurnPlan::default()
         };
         assert!(generate_churn(&mut rng(), 50, &plan).unwrap().is_empty());
+    }
+
+    #[test]
+    fn non_positive_means_are_rejected() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let plan = ChurnPlan {
+                mean_session_secs: bad,
+                ..ChurnPlan::default()
+            };
+            assert!(generate_churn(&mut rng(), 10, &plan).is_err(), "{bad}");
+            let plan = ChurnPlan {
+                mean_downtime_secs: bad,
+                ..ChurnPlan::default()
+            };
+            assert!(generate_churn(&mut rng(), 10, &plan).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn downtime_intervals_pair_crashes_with_joins() {
+        let t = SimTime::from_millis;
+        let events = [
+            ChurnEvent {
+                at: t(100),
+                node: 2,
+                action: ChurnAction::Crash,
+            },
+            ChurnEvent {
+                at: t(200),
+                node: 5,
+                action: ChurnAction::Crash,
+            },
+            ChurnEvent {
+                at: t(400),
+                node: 2,
+                action: ChurnAction::Join,
+            },
+            ChurnEvent {
+                at: t(600),
+                node: 2,
+                action: ChurnAction::Crash,
+            },
+        ];
+        let intervals = downtime_intervals(&events, t(1_000));
+        assert_eq!(
+            intervals,
+            vec![
+                DowntimeInterval {
+                    node: 2,
+                    down: t(100),
+                    up: t(400),
+                },
+                DowntimeInterval {
+                    node: 5,
+                    down: t(200),
+                    up: t(1_000),
+                },
+                DowntimeInterval {
+                    node: 2,
+                    down: t(600),
+                    up: t(1_000),
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn downtime_intervals_cover_generated_traces() {
+        let plan = ChurnPlan::default();
+        let horizon = SimTime::from_secs(65);
+        let events = generate_churn(&mut rng(), 80, &plan).unwrap();
+        let intervals = downtime_intervals(&events, horizon);
+        // One interval per crash event, each well-formed.
+        let crashes = events
+            .iter()
+            .filter(|e| e.action == ChurnAction::Crash)
+            .count();
+        assert_eq!(intervals.len(), crashes);
+        assert!(intervals.iter().all(|d| d.down < d.up && d.up <= horizon));
     }
 
     #[test]

@@ -12,8 +12,9 @@
 use crate::churn::{generate_churn, ChurnEvent, ChurnPlan};
 use crate::interest::{Appetite, InterestProfile};
 use crate::pubs::{generate_schedule, PubPlan, Publication};
+use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
-use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::network::{FaultSchedule, LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
 use fed_util::dist::InvalidDistribution;
@@ -42,11 +43,15 @@ pub enum Architecture {
     Dam,
     /// SplitStream-style interior-node-disjoint forest (paper §3.1).
     SplitStream,
+    /// Telemetry-driven broker/fair-gossip hybrid: starts as a central
+    /// broker and hands dissemination over to fair gossip mid-run when
+    /// the broker's per-window forwarding load spikes.
+    Hybrid,
 }
 
 impl Architecture {
     /// Every architecture, in the paper's presentation order.
-    pub const ALL: [Architecture; 7] = [
+    pub const ALL: [Architecture; 8] = [
         Architecture::FairGossip,
         Architecture::StaticGossip,
         Architecture::Broker,
@@ -54,6 +59,7 @@ impl Architecture {
         Architecture::Dks,
         Architecture::Dam,
         Architecture::SplitStream,
+        Architecture::Hybrid,
     ];
 
     /// The scaling sweep: fair gossip plus every structured baseline the
@@ -77,6 +83,7 @@ impl Architecture {
             Architecture::Dks => "dks",
             Architecture::Dam => "dam",
             Architecture::SplitStream => "splitstream",
+            Architecture::Hybrid => "hybrid",
         }
     }
 
@@ -170,6 +177,14 @@ pub struct ScenarioSpec {
     pub plan: PubPlan,
     /// Optional churn trace parameters.
     pub churn: Option<ChurnPlan>,
+    /// Optional in-protocol SWIM failure detection for the gossip-based
+    /// architectures (fair/static gossip and the hybrid's gossip mode).
+    /// Protocol-level: enabling it changes message traffic, but stays
+    /// bit-identical across engines, shard counts and placements.
+    pub membership: Option<SwimConfig>,
+    /// Scheduled deterministic faults (partitions, one-way failures,
+    /// delay spikes) applied by the network model. Empty by default.
+    pub faults: FaultSchedule,
     /// Optional streaming telemetry: when set, the harness attaches
     /// `fed-telemetry` collectors and the run emits a per-window time
     /// series. Observation only — the virtual-world outcome is
@@ -228,6 +243,8 @@ impl ScenarioSpec {
                 flash: None,
             },
             churn: None,
+            membership: None,
+            faults: FaultSchedule::default(),
             telemetry: None,
             profile: None,
             net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
@@ -288,6 +305,24 @@ impl ScenarioSpec {
     pub fn with_profile(mut self, profile: ProfileSpec) -> Self {
         self.profile = Some(profile);
         self
+    }
+
+    /// Returns the spec with the SWIM failure detector enabled.
+    pub fn with_membership(mut self, swim: SwimConfig) -> Self {
+        self.membership = Some(swim);
+        self
+    }
+
+    /// Returns the spec with a scheduled fault schedule.
+    pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// The network model with the spec's fault schedule applied — what
+    /// the harness hands to the engines.
+    pub fn effective_net(&self) -> NetworkModel {
+        self.net.clone().with_faults(self.faults)
     }
 
     /// End of the publication phase plus a drain margin (TTL rounds plus

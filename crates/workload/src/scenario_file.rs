@@ -3,9 +3,10 @@
 //! Scenarios are *data, not code*: everything a [`ScenarioSpec`] can
 //! express — architecture, population, shards, placement, adaptive
 //! window, interest profile, publication plan (flash crowd included),
-//! churn plan, latency/loss model and telemetry — is writable as a small
-//! TOML file, parsed by [`parse_scenario`] and serialized back by
-//! [`to_toml`]. The curated library under `scenarios/` in the repository
+//! churn plan, latency/loss model, scheduled faults (partitions, one-way
+//! link failures, delay spikes), SWIM failure detection and telemetry —
+//! is writable as a small TOML file, parsed by [`parse_scenario`] and
+//! serialized back by [`to_toml`]. The curated library under `scenarios/` in the repository
 //! root is built entirely from this format, and the `fed-experiments`
 //! runner executes any file via `run <path.toml>` / `run @name`.
 //!
@@ -40,16 +41,21 @@
 //! (property-tested in `tests/scenario_file_props.rs`): floats are
 //! emitted in Rust's shortest round-trip notation, durations in the
 //! coarsest exact unit. The one unrepresentable corner is a
-//! [`NetworkModel`] carrying an active partition — partitions are a
-//! dynamic experiment device installed mid-run, not a scenario knob —
-//! for which [`to_toml`] returns an error.
+//! [`NetworkModel`] carrying an active *dynamic* partition (the
+//! `groups` device experiments install mid-run) — for which [`to_toml`]
+//! returns an error. *Scheduled* partitions are different: they are
+//! plain data with a start and a heal time, and live in the
+//! `[faults.partition]` section.
 
 use crate::churn::ChurnPlan;
 use crate::interest::Appetite;
 use crate::pubs::{FlashCrowd, PubPlan};
 use crate::scenario::{Architecture, Placement, ScenarioSpec};
+use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
-use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::network::{
+    DelayFault, FaultSchedule, LatencyModel, NetworkModel, OnewayFault, PartitionFault,
+};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
 use std::collections::BTreeMap;
@@ -673,6 +679,17 @@ const TELEMETRY_KEYS: &[&str] = &[
     "latency_buckets",
 ];
 const PROFILE_KEYS: &[&str] = &["trace"];
+const FAULT_PARTITION_KEYS: &[&str] = &["at", "heal", "split"];
+const FAULT_ONEWAY_KEYS: &[&str] = &["at", "until", "split"];
+const FAULT_DELAY_KEYS: &[&str] = &["at", "until", "extra"];
+const MEMBERSHIP_KEYS: &[&str] = &[
+    "probe_period",
+    "probe_timeout",
+    "ping_req_fanout",
+    "suspect_timeout",
+    "max_piggyback",
+    "gossip_multiplier",
+];
 
 /// All sections a scenario file may contain.
 const SECTIONS: &[&str] = &[
@@ -683,6 +700,10 @@ const SECTIONS: &[&str] = &[
     "publish.flash",
     "churn",
     "network",
+    "faults.partition",
+    "faults.oneway",
+    "faults.delay",
+    "membership",
     "telemetry",
     "profile",
 ];
@@ -911,6 +932,127 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
         }
     };
 
+    // [faults.*] — optional scheduled faults, applied by the network
+    // model as pure functions of (now, from, to). Each subsection is a
+    // single fault window; the `split` boundary partitions node ids
+    // (`< split` on one side, the rest on the other).
+    let fault_partition = match section("faults.partition", FAULT_PARTITION_KEYS)? {
+        None => None,
+        Some(mut partition) => {
+            let header = partition.header_line;
+            let f = PartitionFault {
+                at: partition.req_instant("at")?,
+                heal: partition.req_instant("heal")?,
+                split: partition.req_usize("split", 0..=MAX_NODES)? as u32,
+            };
+            partition.finish()?;
+            if f.at >= f.heal {
+                return Err(ScenarioFileError::at(
+                    header,
+                    format!(
+                        "[faults.partition] needs at < heal (got {}us >= {}us)",
+                        f.at.as_micros(),
+                        f.heal.as_micros()
+                    ),
+                ));
+            }
+            Some(f)
+        }
+    };
+    let fault_oneway = match section("faults.oneway", FAULT_ONEWAY_KEYS)? {
+        None => None,
+        Some(mut oneway) => {
+            let header = oneway.header_line;
+            let f = OnewayFault {
+                at: oneway.req_instant("at")?,
+                until: oneway.req_instant("until")?,
+                split: oneway.req_usize("split", 0..=MAX_NODES)? as u32,
+            };
+            oneway.finish()?;
+            if f.at >= f.until {
+                return Err(ScenarioFileError::at(
+                    header,
+                    format!(
+                        "[faults.oneway] needs at < until (got {}us >= {}us)",
+                        f.at.as_micros(),
+                        f.until.as_micros()
+                    ),
+                ));
+            }
+            Some(f)
+        }
+    };
+    let fault_delay = match section("faults.delay", FAULT_DELAY_KEYS)? {
+        None => None,
+        Some(mut delay) => {
+            let header = delay.header_line;
+            let f = DelayFault {
+                at: delay.req_instant("at")?,
+                until: delay.req_instant("until")?,
+                extra: delay.req_duration("extra")?,
+            };
+            delay.finish()?;
+            if f.at >= f.until {
+                return Err(ScenarioFileError::at(
+                    header,
+                    format!(
+                        "[faults.delay] needs at < until (got {}us >= {}us)",
+                        f.at.as_micros(),
+                        f.until.as_micros()
+                    ),
+                ));
+            }
+            Some(f)
+        }
+    };
+    let faults = FaultSchedule {
+        partition: fault_partition,
+        oneway: fault_oneway,
+        delay: fault_delay,
+    };
+
+    // [membership] — optional; its presence enables the SWIM failure
+    // detector on gossip-based architectures. Every key defaults to
+    // [`SwimConfig::standard`].
+    let membership = match section("membership", MEMBERSHIP_KEYS)? {
+        None => None,
+        Some(mut membership) => {
+            let header = membership.header_line;
+            let d = SwimConfig::standard();
+            let cfg = SwimConfig {
+                probe_period: membership.opt_duration("probe_period", d.probe_period)?,
+                probe_timeout: membership.opt_duration("probe_timeout", d.probe_timeout)?,
+                ping_req_fanout: membership.opt_usize(
+                    "ping_req_fanout",
+                    0..=1_000,
+                    d.ping_req_fanout,
+                )?,
+                suspect_timeout: membership.opt_duration("suspect_timeout", d.suspect_timeout)?,
+                max_piggyback: membership.opt_usize(
+                    "max_piggyback",
+                    1..=10_000,
+                    d.max_piggyback,
+                )?,
+                gossip_multiplier: membership.opt_usize(
+                    "gossip_multiplier",
+                    1..=1_000,
+                    d.gossip_multiplier as usize,
+                )? as u32,
+            };
+            membership.finish()?;
+            // A zero probe period would re-arm the protocol tick at the
+            // same instant forever; reject it so "a file that parses is
+            // guaranteed to run" holds.
+            if cfg.probe_period == SimDuration::ZERO {
+                return Err(ScenarioFileError::at(
+                    header,
+                    "[membership] probe_period must be positive".to_string(),
+                ));
+            }
+            Some(cfg)
+        }
+    };
+
     // [telemetry] — optional; its presence enables the streaming series.
     let telemetry = match section("telemetry", TELEMETRY_KEYS)? {
         None => None,
@@ -984,6 +1126,8 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
             telemetry,
             profile,
             net,
+            membership,
+            faults,
             seed,
         },
     })
@@ -1009,12 +1153,48 @@ pub fn spec_from_toml(input: &str) -> Result<ScenarioSpec> {
 /// # Errors
 ///
 /// Returns an error when the spec's network model carries an active
-/// partition: partitions are installed dynamically by experiments, not
-/// described by scenario files.
+/// *dynamic* partition (the `groups` device experiments install
+/// mid-run, as opposed to a scheduled `[faults.partition]`), or when a
+/// programmatically built spec carries a fault window or membership
+/// config the parser would reject (`at >= heal`, zero probe period).
 pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
     if spec.net.is_partitioned() {
         return Err(ScenarioFileError::global(
-            "network models with active partitions are not representable in a scenario file",
+            "network models with active dynamic partitions are not representable in a \
+             scenario file (use [faults.partition] for scheduled partitions)",
+        ));
+    }
+    // Scheduled faults belong in `spec.faults` (merged into the network
+    // by `ScenarioSpec::effective_net`); a base model already carrying
+    // them would be silently lost on round trip.
+    if !spec.net.faults().is_empty() {
+        return Err(ScenarioFileError::global(
+            "the base network model must not carry faults directly; \
+             put them in the spec's fault schedule ([faults.*])",
+        ));
+    }
+    // Mirror the parser's semantic checks so to_toml output always
+    // parses back.
+    if spec.faults.partition.is_some_and(|f| f.at >= f.heal) {
+        return Err(ScenarioFileError::global(
+            "[faults.partition] needs at < heal",
+        ));
+    }
+    if spec.faults.oneway.is_some_and(|f| f.at >= f.until) {
+        return Err(ScenarioFileError::global(
+            "[faults.oneway] needs at < until",
+        ));
+    }
+    if spec.faults.delay.is_some_and(|f| f.at >= f.until) {
+        return Err(ScenarioFileError::global("[faults.delay] needs at < until"));
+    }
+    if spec
+        .membership
+        .as_ref()
+        .is_some_and(|m| m.probe_period == SimDuration::ZERO)
+    {
+        return Err(ScenarioFileError::global(
+            "[membership] probe_period must be positive",
         ));
     }
     let mut out = String::new();
@@ -1118,6 +1298,35 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
     }
     if spec.net.loss_probability() > 0.0 {
         push(format!("loss = {}", fmt_float(spec.net.loss_probability())));
+    }
+
+    if let Some(f) = &spec.faults.partition {
+        push("\n[faults.partition]".into());
+        push(format!("at = {}", fmt_time(f.at)));
+        push(format!("heal = {}", fmt_time(f.heal)));
+        push(format!("split = {}", f.split));
+    }
+    if let Some(f) = &spec.faults.oneway {
+        push("\n[faults.oneway]".into());
+        push(format!("at = {}", fmt_time(f.at)));
+        push(format!("until = {}", fmt_time(f.until)));
+        push(format!("split = {}", f.split));
+    }
+    if let Some(f) = &spec.faults.delay {
+        push("\n[faults.delay]".into());
+        push(format!("at = {}", fmt_time(f.at)));
+        push(format!("until = {}", fmt_time(f.until)));
+        push(format!("extra = {}", fmt_dur(f.extra)));
+    }
+
+    if let Some(m) = &spec.membership {
+        push("\n[membership]".into());
+        push(format!("probe_period = {}", fmt_dur(m.probe_period)));
+        push(format!("probe_timeout = {}", fmt_dur(m.probe_timeout)));
+        push(format!("ping_req_fanout = {}", m.ping_req_fanout));
+        push(format!("suspect_timeout = {}", fmt_dur(m.suspect_timeout)));
+        push(format!("max_piggyback = {}", m.max_piggyback));
+        push(format!("gossip_multiplier = {}", m.gossip_multiplier));
     }
 
     if let Some(t) = &spec.telemetry {
@@ -1423,6 +1632,88 @@ mod tests {
         spec.net.partition(vec![0, 0, 1, 1, 0, 0, 1, 1]);
         let err = to_toml(&spec).unwrap_err();
         assert!(err.message.contains("partition"), "{err}");
+    }
+
+    #[test]
+    fn faults_and_membership_parse_and_round_trip() {
+        let input = format!(
+            "{MINIMAL}\n\
+             [faults.partition]\nat = \"2s\"\nheal = \"4s\"\nsplit = 8\n\n\
+             [faults.oneway]\nat = \"1s\"\nuntil = \"3s\"\nsplit = 32\n\n\
+             [faults.delay]\nat = \"500ms\"\nuntil = \"2500ms\"\nextra = \"40ms\"\n\n\
+             [membership]\nprobe_period = \"250ms\"\nping_req_fanout = 2\n"
+        );
+        let f = parse_scenario(&input).unwrap();
+        let faults = &f.spec.faults;
+        assert_eq!(
+            faults.partition,
+            Some(PartitionFault {
+                at: SimTime::from_secs(2),
+                heal: SimTime::from_secs(4),
+                split: 8,
+            })
+        );
+        assert_eq!(
+            faults.oneway,
+            Some(OnewayFault {
+                at: SimTime::from_secs(1),
+                until: SimTime::from_secs(3),
+                split: 32,
+            })
+        );
+        assert_eq!(
+            faults.delay,
+            Some(DelayFault {
+                at: SimTime::from_millis(500),
+                until: SimTime::from_millis(2500),
+                extra: SimDuration::from_millis(40),
+            })
+        );
+        // Unset [membership] keys fall back to the standard config.
+        let m = f.spec.membership.as_ref().unwrap();
+        assert_eq!(m.probe_period, SimDuration::from_millis(250));
+        assert_eq!(m.ping_req_fanout, 2);
+        assert_eq!(m.suspect_timeout, SwimConfig::standard().suspect_timeout);
+        // And the whole thing survives a round trip.
+        let toml = to_toml(&f.spec).unwrap();
+        assert_eq!(spec_from_toml(&toml).unwrap(), f.spec, "{toml}");
+    }
+
+    #[test]
+    fn degenerate_fault_windows_are_rejected() {
+        let bad = format!("{MINIMAL}\n[faults.partition]\nat = \"4s\"\nheal = \"4s\"\nsplit = 8\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("at < heal"), "{err}");
+        let bad = format!("{MINIMAL}\n[faults.oneway]\nat = \"4s\"\nuntil = \"1s\"\nsplit = 8\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("at < until"), "{err}");
+        let bad =
+            format!("{MINIMAL}\n[faults.delay]\nat = \"4s\"\nuntil = \"4s\"\nextra = \"1ms\"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("at < until"), "{err}");
+    }
+
+    #[test]
+    fn zero_probe_period_is_rejected() {
+        let bad = format!("{MINIMAL}\n[membership]\nprobe_period = \"0ms\"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("probe_period"), "{err}");
+        // An empty [membership] section enables the standard detector.
+        let ok = format!("{MINIMAL}\n[membership]\n");
+        let f = parse_scenario(&ok).unwrap();
+        assert_eq!(f.spec.membership, Some(SwimConfig::standard()));
+    }
+
+    #[test]
+    fn net_carrying_faults_directly_is_unrepresentable() {
+        let mut spec = ScenarioSpec::fair_gossip(8, 1);
+        spec.net.faults_mut().delay = Some(DelayFault {
+            at: SimTime::from_secs(1),
+            until: SimTime::from_secs(2),
+            extra: SimDuration::from_millis(5),
+        });
+        let err = to_toml(&spec).unwrap_err();
+        assert!(err.message.contains("fault schedule"), "{err}");
     }
 
     #[test]

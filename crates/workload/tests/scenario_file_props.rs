@@ -5,8 +5,11 @@
 //! [`ScenarioSpec`] — plus strict rejection of malformed files (unknown
 //! keys, bad duration units, out-of-range values).
 
+use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
-use fed_sim::network::{LatencyModel, NetworkModel};
+use fed_sim::network::{
+    DelayFault, FaultSchedule, LatencyModel, NetworkModel, OnewayFault, PartitionFault,
+};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
 use fed_workload::scenario_file::{parse_scenario, spec_from_toml, to_toml};
@@ -125,6 +128,77 @@ fn profile_strategy() -> impl Strategy<Value = Option<ProfileSpec>> {
     ]
 }
 
+fn faults_strategy() -> impl Strategy<Value = FaultSchedule> {
+    // Fault windows must satisfy `at < heal`/`at < until` — the parser
+    // rejects degenerate windows, so the round-trip property quantifies
+    // over valid ones.
+    let partition = prop_oneof![
+        Just(None),
+        (0u64..=1_000_000_000, 1u64..=1_000_000_000, 0u32..=10_000).prop_map(|(at, len, split)| {
+            Some(PartitionFault {
+                at: SimTime::from_micros(at),
+                heal: SimTime::from_micros(at + len),
+                split,
+            })
+        }),
+    ];
+    let oneway = prop_oneof![
+        Just(None),
+        (0u64..=1_000_000_000, 1u64..=1_000_000_000, 0u32..=10_000).prop_map(|(at, len, split)| {
+            Some(OnewayFault {
+                at: SimTime::from_micros(at),
+                until: SimTime::from_micros(at + len),
+                split,
+            })
+        }),
+    ];
+    let delay = prop_oneof![
+        Just(None),
+        (
+            0u64..=1_000_000_000,
+            1u64..=1_000_000_000,
+            0u64..=10_000_000
+        )
+            .prop_map(|(at, len, extra)| {
+                Some(DelayFault {
+                    at: SimTime::from_micros(at),
+                    until: SimTime::from_micros(at + len),
+                    extra: SimDuration::from_micros(extra),
+                })
+            }),
+    ];
+    (partition, oneway, delay).prop_map(|(partition, oneway, delay)| FaultSchedule {
+        partition,
+        oneway,
+        delay,
+    })
+}
+
+fn membership_strategy() -> impl Strategy<Value = Option<SwimConfig>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(SwimConfig::standard())),
+        (
+            1u64..=10_000_000,
+            0u64..=10_000_000,
+            0usize..=1_000,
+            0u64..=100_000_000,
+            1usize..=10_000,
+            1usize..=1_000
+        )
+            .prop_map(|(period, timeout, fanout, suspect, piggy, mult)| {
+                Some(SwimConfig {
+                    probe_period: SimDuration::from_micros(period),
+                    probe_timeout: SimDuration::from_micros(timeout),
+                    ping_req_fanout: fanout,
+                    suspect_timeout: SimDuration::from_micros(suspect),
+                    max_piggyback: piggy,
+                    gossip_multiplier: mult as u32,
+                })
+            }),
+    ]
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     let head = (
         arch_strategy(),
@@ -156,11 +230,13 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         0u32..=999_999u32,
         any::<u64>(),
     );
-    (head, plan, tail).prop_map(
+    let robust = (faults_strategy(), membership_strategy());
+    (head, plan, tail, robust).prop_map(
         |(
             (arch, n, shards, placement, adaptive_window, num_topics, zipf, appetite),
             (rate, duration, topic_zipf, payload_bytes, warmup, flash),
             (churn, telemetry, profile, latency, loss, seed),
+            (faults, membership),
         )| {
             let loss = fractional(loss, 1_000_000);
             let net = if loss > 0.0 {
@@ -189,6 +265,8 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 telemetry,
                 profile,
                 net,
+                membership,
+                faults,
                 seed,
             }
         },
