@@ -13,7 +13,7 @@
 use crate::common::DeliveryLog;
 use fed_core::ledger::FairnessLedger;
 use fed_pubsub::{Event, SubscriptionTable, TopicId};
-use fed_sim::{Context, NodeId, Protocol};
+use fed_sim::{Context, HopKind, NodeId, Protocol};
 use std::collections::{BTreeSet, HashMap};
 
 /// Wire messages of the broker system.
@@ -187,6 +187,21 @@ impl Protocol for BrokerNode {
             BrokerMsg::Publish(e) | BrokerMsg::Notify(e) => 8 + e.size_bytes(),
             BrokerMsg::Subscribe(_) | BrokerMsg::Unsubscribe(_) => 12,
         }
+    }
+
+    fn trace_payload(msg: &BrokerMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        // Subscription management is control plane.
+        let (e, kind) = match msg {
+            BrokerMsg::Publish(e) => (e, HopKind::BrokerIngress),
+            BrokerMsg::Notify(e) => (e, HopKind::BrokerNotify),
+            BrokerMsg::Subscribe(_) | BrokerMsg::Unsubscribe(_) => return,
+        };
+        emit(
+            e.id().as_u64(),
+            e.topic().as_u32(),
+            e.size_bytes() as u32,
+            kind,
+        );
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::common::DeliveryLog;
 use fed_core::ledger::FairnessLedger;
 use fed_pubsub::{Event, EventId, SubscriptionTable, TopicId, TopicSpace};
-use fed_sim::{Context, NodeId, Protocol, SimDuration};
+use fed_sim::{Context, HopKind, NodeId, Protocol, SimDuration};
 use fed_util::rng::Rng64;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
@@ -245,6 +245,27 @@ impl Protocol for DamNode {
                 12 + events.iter().map(Event::size_bytes).sum::<usize>()
             }
             DamMsg::Handoff { event } => 8 + event.size_bytes(),
+        }
+    }
+
+    fn trace_payload(msg: &DamMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        match msg {
+            DamMsg::Gossip { events, .. } => {
+                for e in events {
+                    emit(
+                        e.id().as_u64(),
+                        e.topic().as_u32(),
+                        e.size_bytes() as u32,
+                        HopKind::GossipPush,
+                    );
+                }
+            }
+            DamMsg::Handoff { event } => emit(
+                event.id().as_u64(),
+                event.topic().as_u32(),
+                event.size_bytes() as u32,
+                HopKind::GossipHandoff,
+            ),
         }
     }
 }

@@ -20,7 +20,7 @@ use crate::dam::GroupTable;
 use fed_core::ledger::FairnessLedger;
 use fed_dht::{DhtId, DhtNetwork};
 use fed_pubsub::{Event, EventId, SubscriptionTable, TopicId};
-use fed_sim::{Context, NodeId, Protocol};
+use fed_sim::{Context, HopKind, NodeId, Protocol};
 use fed_util::rng::Rng64;
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -252,6 +252,19 @@ impl Protocol for DksNode {
         match msg {
             DksMsg::IndexRoute { event } | DksMsg::GroupFlood { event } => 8 + event.size_bytes(),
         }
+    }
+
+    fn trace_payload(msg: &DksMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        let (e, kind) = match msg {
+            DksMsg::IndexRoute { event } => (event, HopKind::DhtRoute),
+            DksMsg::GroupFlood { event } => (event, HopKind::GroupFlood),
+        };
+        emit(
+            e.id().as_u64(),
+            e.topic().as_u32(),
+            e.size_bytes() as u32,
+            kind,
+        );
     }
 }
 

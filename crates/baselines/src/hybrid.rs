@@ -274,6 +274,16 @@ impl Protocol for HybridNode {
             HybridMsg::Switch => 8,
         }
     }
+
+    fn trace_payload(msg: &HybridMsg, emit: &mut dyn FnMut(u64, u32, u32, fed_sim::HopKind)) {
+        // Hops keep the embedded stack's tags, so a trace shows which
+        // strategy carried each event across the handover.
+        match msg {
+            HybridMsg::B(m) => BrokerNode::trace_payload(m, emit),
+            HybridMsg::G(m) => GossipNode::<FullMembership>::trace_payload(m, emit),
+            HybridMsg::Switch => {}
+        }
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,7 @@ use crate::common::DeliveryLog;
 use fed_core::ledger::FairnessLedger;
 use fed_dht::{DhtId, DhtNetwork};
 use fed_pubsub::{Event, SubscriptionTable, TopicId};
-use fed_sim::{Context, NodeId, Protocol};
+use fed_sim::{Context, HopKind, NodeId, Protocol};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -222,6 +222,21 @@ impl Protocol for ScribeNode {
             ScribeMsg::Join { .. } => 12,
             ScribeMsg::ToRoot { event } | ScribeMsg::Multicast { event } => 8 + event.size_bytes(),
         }
+    }
+
+    fn trace_payload(msg: &ScribeMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        // Tree joins are control plane.
+        let (e, kind) = match msg {
+            ScribeMsg::ToRoot { event } => (event, HopKind::TreeToRoot),
+            ScribeMsg::Multicast { event } => (event, HopKind::TreeEdge),
+            ScribeMsg::Join { .. } => return,
+        };
+        emit(
+            e.id().as_u64(),
+            e.topic().as_u32(),
+            e.size_bytes() as u32,
+            kind,
+        );
     }
 }
 

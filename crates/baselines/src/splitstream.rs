@@ -13,7 +13,7 @@
 use crate::common::DeliveryLog;
 use fed_core::ledger::FairnessLedger;
 use fed_pubsub::{Event, SubscriptionTable, TopicId};
-use fed_sim::{Context, NodeId, Protocol};
+use fed_sim::{Context, HopKind, NodeId, Protocol};
 use std::sync::Arc;
 
 /// The interior-node-disjoint forest over `n` nodes.
@@ -220,6 +220,19 @@ impl Protocol for SplitStreamNode {
         match msg {
             StripeMsg::ToRoot(e) | StripeMsg::Down(e) => 8 + e.size_bytes(),
         }
+    }
+
+    fn trace_payload(msg: &StripeMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        let (e, kind) = match msg {
+            StripeMsg::ToRoot(e) => (e, HopKind::StripeToRoot),
+            StripeMsg::Down(e) => (e, HopKind::StripeEdge),
+        };
+        emit(
+            e.id().as_u64(),
+            e.topic().as_u32(),
+            e.size_bytes() as u32,
+            kind,
+        );
     }
 }
 

@@ -132,7 +132,7 @@ pub use shard_map::ShardMap;
 
 use fed_sim::exec::{
     seed_streams, EffectSink, EventKey, EventKind, EventQueue, Kernel, NullProbe, NullProfiler,
-    Probe, Profiler, QueueStats, TransportStats, WindowWork, EXTERNAL_SRC,
+    NullTracer, Probe, Profiler, QueueStats, Tracer, TransportStats, WindowWork, EXTERNAL_SRC,
 };
 use fed_sim::network::NetworkModel;
 use fed_sim::protocol::{NodeId, Protocol};
@@ -662,7 +662,7 @@ struct Links<P: Protocol> {
 /// Dispatches one event through the kernel with a [`ShardSink`] wired to
 /// this worker's queue and outbound mailboxes.
 #[allow(clippy::too_many_arguments)]
-fn dispatch_one<P, C, R>(
+fn dispatch_one<P, C, R, T>(
     key: EventKey,
     kind: EventKind<P>,
     kernel: &mut Kernel<P>,
@@ -676,10 +676,12 @@ fn dispatch_one<P, C, R>(
     factory: &mut dyn FnMut(NodeId, &mut Xoshiro256StarStar) -> P,
     probe: &mut Option<&mut C>,
     profiler: &mut Option<&mut R>,
+    tracer: &mut Option<&mut T>,
 ) where
     P: Protocol,
     C: Probe,
     R: Profiler,
+    T: Tracer,
 {
     let mut sink = ShardSink {
         map,
@@ -697,14 +699,16 @@ fn dispatch_one<P, C, R>(
         &mut sink,
         probe.as_deref_mut().map(|p| p as &mut dyn Probe),
         profiler.as_deref_mut().map(|p| p as &mut dyn Profiler),
+        tracer.as_deref_mut().map(|t| t as &mut dyn Tracer),
     );
 }
 
 #[allow(clippy::too_many_arguments)]
-fn worker_loop<P, C, R>(
+fn worker_loop<P, C, R, T>(
     shard: &mut Shard<P>,
     mut probe: Option<&mut C>,
     mut profiler: Option<&mut R>,
+    mut tracer: Option<&mut T>,
     factory: &(dyn Fn(NodeId, &mut Xoshiro256StarStar) -> P + Send + Sync),
     map: &ShardMap,
     sched: &Scheduler,
@@ -715,6 +719,7 @@ fn worker_loop<P, C, R>(
     P: Protocol,
     C: Probe,
     R: Profiler,
+    T: Tracer,
 {
     let num_shards = map.num_shards();
     let mut factory = |id: NodeId, rng: &mut Xoshiro256StarStar| factory(id, rng);
@@ -796,6 +801,7 @@ fn worker_loop<P, C, R>(
                 &mut factory,
                 &mut probe,
                 &mut profiler,
+                &mut tracer,
             );
         }
         let execute_ns = exec_t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
@@ -1231,6 +1237,44 @@ where
         C: Probe + Send,
         R: Profiler + Send,
     {
+        self.run_until_instrumented::<C, R, NullTracer>(
+            target,
+            probes,
+            profilers,
+            &mut [],
+            schedule,
+        )
+    }
+
+    /// [`ShardedSimulation::run_until_profiled`] with one [`Tracer`] per
+    /// shard as well.
+    ///
+    /// Worker `s` threads `tracers[s]` through its dispatch loop: the
+    /// tracer receives one [`fed_sim::HopRecord`] per application event
+    /// per network send of the nodes shard `s` owns. Hops are recorded on
+    /// the *sender's* shard, so each hop is observed exactly once across
+    /// the cluster; a caller wanting the global trace merges the
+    /// shard-local buffers afterwards (the `fed-trace` crate's merge is
+    /// canonical and byte-identical to a sequential engine's single
+    /// buffer). Pass an empty slice to run untraced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probes`, `profilers` or `tracers` is non-empty with
+    /// length ≠ the shard count.
+    pub fn run_until_instrumented<C, R, T>(
+        &mut self,
+        target: SimTime,
+        probes: &mut [C],
+        profilers: &mut [R],
+        tracers: &mut [T],
+        schedule: Option<&mut ScheduleTrace>,
+    ) -> ClusterReport
+    where
+        C: Probe + Send,
+        R: Profiler + Send,
+        T: Tracer + Send,
+    {
         let num_shards = self.map.num_shards();
         assert!(
             probes.is_empty() || probes.len() == num_shards,
@@ -1241,6 +1285,11 @@ where
             profilers.is_empty() || profilers.len() == num_shards,
             "need one profiler per shard ({} != {num_shards})",
             profilers.len()
+        );
+        assert!(
+            tracers.is_empty() || tracers.len() == num_shards,
+            "need one tracer per shard ({} != {num_shards})",
+            tracers.len()
         );
         let lookahead = self.lookahead;
         let policy = self.window;
@@ -1306,6 +1355,11 @@ where
             } else {
                 profilers.iter_mut().map(Some).collect()
             };
+            let mut tracer_slots: Vec<Option<&mut T>> = if tracers.is_empty() {
+                (0..num_shards).map(|_| None).collect()
+            } else {
+                tracers.iter_mut().map(Some).collect()
+            };
             let red_lock = Mutex::new(red);
             let sched = &sched;
             std::thread::scope(|scope| {
@@ -1344,11 +1398,12 @@ where
                 let mut ret_txs = ret_txs.into_iter();
                 let mut ret_rxs = ret_rxs.into_iter();
                 let mut decision_rxs = decision_rxs.into_iter();
-                for ((shard, probe), profiler) in self
+                for (((shard, probe), profiler), tracer) in self
                     .shards
                     .iter_mut()
                     .zip(probe_slots.drain(..))
                     .zip(profiler_slots.drain(..))
+                    .zip(tracer_slots.drain(..))
                 {
                     let factory = Arc::clone(&factory);
                     let map = Arc::clone(&map);
@@ -1365,6 +1420,7 @@ where
                             shard,
                             probe,
                             profiler,
+                            tracer,
                             &*factory,
                             &map,
                             sched,

@@ -25,7 +25,7 @@ use crate::ledger::{FairnessLedger, RatioSpec};
 use fed_membership::swim::{SwimConfig, SwimMsg, SwimObservation, SwimState, SwimUpdate};
 use fed_membership::PeerSampler;
 use fed_pubsub::{Event, EventId, Filter, SubscriptionTable, TopicId};
-use fed_sim::{Context, NodeId, Protocol, SimDuration, SimTime};
+use fed_sim::{Context, HopKind, NodeId, Protocol, SimDuration, SimTime};
 use fed_util::rng::Rng64;
 use std::collections::{HashMap, HashSet};
 
@@ -643,6 +643,20 @@ impl<S: PeerSampler + 'static> Protocol for GossipNode<S> {
         match msg {
             GossipMsg::Push { events, swim, .. } => push_size(events, swim.len()),
             GossipMsg::Swim(m) => m.wire_size(),
+        }
+    }
+
+    fn trace_payload(msg: &GossipMsg, emit: &mut dyn FnMut(u64, u32, u32, HopKind)) {
+        // SWIM traffic is control plane; only pushes carry events.
+        if let GossipMsg::Push { events, .. } = msg {
+            for e in events {
+                emit(
+                    e.id().as_u64(),
+                    e.topic().as_u32(),
+                    e.size_bytes() as u32,
+                    HopKind::GossipPush,
+                );
+            }
         }
     }
 }

@@ -38,6 +38,14 @@ const MEASUREMENT_FIELDS: &[&str] = &[
     "idle_ms",
     "series",
     "identical",
+    // BENCH_timeseries.json header measurements: the earliest strategy
+    // handover (null until one fires) and the SWIM detector's mean
+    // detection latency. Treating these as configuration would split a
+    // row into spurious added/removed pairs whenever the measurement
+    // moved — and a null handover would drop the row from the diff
+    // entirely, since null has no scalar key representation.
+    "handover_ms",
+    "detection_latency_mean_us",
 ];
 
 /// Default regression threshold: a row fails when its events/s dropped
@@ -265,6 +273,42 @@ mod tests {
         let r = diff(old, old, 0.2).unwrap();
         assert_eq!(r.compared, 1);
         assert!(r.regressions.is_empty());
+    }
+
+    /// A committed pair of real-shape `BENCH_timeseries.json` artifacts:
+    /// the header's measured fields (`handover_ms`, including its null
+    /// form, and `detection_latency_mean_us`) moved between the runs,
+    /// yet both rows still pair up by configuration — nothing is
+    /// silently dropped or misread as an added/removed configuration.
+    #[test]
+    fn timeseries_header_measurements_do_not_split_rows() {
+        let old = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/data/bench_timeseries_old.json"
+        ));
+        let new = include_str!(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/data/bench_timeseries_new.json"
+        ));
+        let r = diff(old, new, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(
+            r.compared, 2,
+            "both timeseries rows must pair up:\n{}",
+            r.table
+        );
+        assert!(r.regressions.is_empty());
+        assert_eq!(r.table.len(), 2, "no added/removed rows:\n{}", r.table);
+        // The key is pure configuration — measured header fields and the
+        // series itself stay out of it.
+        let doc = json::parse(new).unwrap();
+        let key = row_key(&doc.as_array().unwrap()[1]).unwrap();
+        assert!(key.contains("arch=hybrid") && key.contains("seed=42"));
+        for measured in ["handover_ms=", "detection_latency_mean_us=", "series="] {
+            assert!(
+                !key.contains(measured),
+                "{measured} leaked into the key {key:?}"
+            );
+        }
     }
 
     #[test]

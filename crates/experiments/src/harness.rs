@@ -41,10 +41,11 @@ use fed_profile::{
     CountingProbe, RunProfile, ScheduleSummary, ShardProfile, WindowSlice, WorkCounters,
 };
 use fed_pubsub::{Event, EventId, TopicId, TopicSpace};
-use fed_sim::exec::Profiler;
-use fed_sim::{NodeId, Protocol, SimDuration, SimTime, Simulation, TransportStats};
+use fed_sim::exec::{Profiler, Tracer};
+use fed_sim::{HopRecord, NodeId, Protocol, SimDuration, SimTime, Simulation, TransportStats};
 use fed_telemetry::membership::{DetectorEvent, DetectorEventKind, MembershipSeries};
 use fed_telemetry::{ShardCollector, TelemetrySeries};
+use fed_trace::{merge_hops, ShardTraceBuffer};
 use fed_util::rng::Xoshiro256StarStar;
 use fed_workload::churn::{downtime_intervals, ChurnAction, ChurnEvent};
 use fed_workload::interest::InterestProfile;
@@ -508,6 +509,12 @@ pub struct ArchOutcome {
     /// phase timings are host measurements and intentionally excluded
     /// from [`crate::scenario_run::outcomes_match`].
     pub profiling: Option<RunProfile>,
+    /// Merged per-event hop trace, when the spec enabled `[trace]`.
+    ///
+    /// Already in the canonical (sorted) order, so traces from different
+    /// engines or shard counts compare with `==`: byte-identical for the
+    /// same spec (gated by the `trace_parity` integration suite).
+    pub trace: Option<Vec<HopRecord>>,
     /// Per-node SWIM failure-detector observation logs, indexed by node
     /// id; all empty unless the spec enabled `[membership]` on an
     /// architecture that runs the detector.
@@ -772,27 +779,31 @@ where
 {
     let horizon = materialized.horizon;
     let profiling = spec.profile.is_some();
+    let tracing = spec.trace.is_some();
     match engine {
         EngineKind::Sequential => {
             let mut sim = Simulation::new(spec.n, spec.effective_net(), spec.seed, factory);
             schedule_workload(&mut sim, &materialized);
             let mut shard_profile = profiling.then(ShardProfile::default);
+            let mut tracer = spec.trace.as_ref().map(ShardTraceBuffer::new);
             let run_start = profiling.then(std::time::Instant::now);
             let (telemetry, probe_calls) = match spec.telemetry {
                 Some(t) => {
                     let mut collector = CountingProbe::new(ShardCollector::sequential(t, spec.n));
-                    sim.run_profiled(
+                    sim.run_instrumented(
                         horizon,
                         Some(&mut collector),
                         shard_profile.as_mut().map(|p| p as &mut dyn Profiler),
+                        tracer.as_mut().map(|b| b as &mut dyn Tracer),
                     );
                     (Some(collector.inner.finalize(horizon)), collector.calls)
                 }
-                None if profiling => {
-                    sim.run_profiled(
+                None if profiling || tracing => {
+                    sim.run_instrumented(
                         horizon,
                         None,
                         shard_profile.as_mut().map(|p| p as &mut dyn Profiler),
+                        tracer.as_mut().map(|b| b as &mut dyn Tracer),
                     );
                     (None, 0)
                 }
@@ -801,6 +812,9 @@ where
                     (None, 0)
                 }
             };
+            // The single sequential buffer still goes through the merge
+            // so both engines expose the identical canonical ordering.
+            let trace_hops = tracer.map(|b| merge_hops([b]));
             let wall_ns = run_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             let stats = sim.transport_stats_all().to_vec();
             let events = sim.events_processed();
@@ -826,6 +840,7 @@ where
                 1,
                 telemetry,
                 profile,
+                trace_hops,
             )
         }
         EngineKind::Cluster => {
@@ -849,6 +864,13 @@ where
             } else {
                 Vec::new()
             };
+            // One shard-local trace buffer per worker; each hop is
+            // recorded on the shard owning the sender, and the merge
+            // restores the canonical global order exactly.
+            let mut tracers: Vec<ShardTraceBuffer> = match &spec.trace {
+                Some(t) => (0..num_shards).map(|_| ShardTraceBuffer::new(t)).collect(),
+                None => Vec::new(),
+            };
             let mut trace = profiling.then(ScheduleTrace::default);
             let mut sim = ShardedSimulation::with_scheduler(
                 spec.n,
@@ -860,10 +882,16 @@ where
             );
             schedule_workload(&mut sim, &materialized);
             let run_start = profiling.then(std::time::Instant::now);
-            if collectors.is_empty() && !profiling {
+            if collectors.is_empty() && !profiling && !tracing {
                 sim.run_until(horizon);
             } else {
-                sim.run_until_profiled(horizon, &mut collectors, &mut profilers, trace.as_mut());
+                sim.run_until_instrumented(
+                    horizon,
+                    &mut collectors,
+                    &mut profilers,
+                    &mut tracers,
+                    trace.as_mut(),
+                );
             }
             let wall_ns = run_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
             let probe_calls: Vec<u64> = collectors.iter().map(|c| c.calls).collect();
@@ -899,6 +927,11 @@ where
                 schedule: trace.as_ref().map(schedule_summary),
                 wall_ns,
             });
+            let trace_hops = if tracers.is_empty() {
+                None
+            } else {
+                Some(merge_hops(tracers))
+            };
             collect(
                 spec,
                 materialized,
@@ -909,6 +942,7 @@ where
                 shards,
                 telemetry,
                 profile,
+                trace_hops,
             )
         }
     }
@@ -925,6 +959,7 @@ fn collect<'a, P>(
     shards: usize,
     telemetry: Option<TelemetrySeries>,
     profiling: Option<RunProfile>,
+    trace: Option<Vec<HopRecord>>,
 ) -> ArchOutcome
 where
     P: ArchProtocol + 'a,
@@ -951,6 +986,7 @@ where
         shards,
         telemetry,
         profiling,
+        trace,
         swim,
         handovers,
         churn: materialized.churn,

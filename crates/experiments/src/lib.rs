@@ -18,6 +18,7 @@
 //! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
 //! | E-TIMESERIES | [`timeseries`] | per-window fairness/latency transients under churn + flash crowd (beyond the paper) |
 //! | PROFILE | [`profile`] | scheduler profiler: phase timings, stall attribution, overhead (beyond the paper) |
+//! | TRACE | [`trace`] | per-event dissemination tracing: delivery trees, fairness attribution (beyond the paper) |
 //! | RUN / PARITY | [`scenario_run`] | declarative scenario files + cross-engine parity gate (beyond the paper) |
 //! | BENCH-DIFF | [`bench_diff`] | regression diff of two `BENCH_*` artifacts (beyond the paper) |
 //!
@@ -56,6 +57,7 @@ pub mod scale;
 pub mod scenario_run;
 pub mod subs;
 pub mod timeseries;
+pub mod trace;
 
 /// One runnable experiment: its CLI id and a one-line description.
 #[derive(Debug, Clone, Copy)]
@@ -124,6 +126,10 @@ pub const REGISTRY: &[ExperimentInfo] = &[
     ExperimentInfo {
         id: "profile",
         summary: "scheduler profiler: phase timings, stall attribution, overhead",
+    },
+    ExperimentInfo {
+        id: "trace",
+        summary: "per-event dissemination tracing: delivery trees, fairness attribution",
     },
 ];
 
@@ -241,7 +247,27 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
                 Err(e) => eprintln!("could not write {}: {e}", profile::BENCH_PROFILE_PATH),
             }
         }
-        other => return run_smoke(other, seed) || run_profile_smoke(other, seed),
+        "trace" => {
+            let r = trace::run(256, 4, seed);
+            println!("{}", r.summary);
+            println!("{}", r.tree_table);
+            println!("{}", r.event_table);
+            println!("{}", r.attribution_table);
+            assert!(r.identical, "traced engines diverged");
+            match trace::append_trace_bench(trace::BENCH_TRACE_PATH, &r.records) {
+                Ok(()) => eprintln!(
+                    "appended {} record(s) to {}",
+                    r.records.len(),
+                    trace::BENCH_TRACE_PATH
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", trace::BENCH_TRACE_PATH),
+            }
+        }
+        other => {
+            return run_smoke(other, seed)
+                || run_profile_smoke(other, seed)
+                || run_trace_smoke(other, seed)
+        }
     }
     true
 }
@@ -395,15 +421,110 @@ fn run_profile_smoke(id: &str, seed: u64) -> bool {
     true
 }
 
+/// Handles the `trace-smoke[:arch[:n[:shards]]]` pseudo-id: the smoke
+/// configuration run with tracing off then on (default: splitstream at
+/// 100 000 nodes on 8 shards), printing the overhead line, appending a
+/// record to `BENCH_trace.json` and asserting the enabled tracer stays
+/// under [`trace::OVERHEAD_BAR`]. Like `smoke`, not part of
+/// [`REGISTRY`] — CI invokes it explicitly, time-boxed.
+fn run_trace_smoke(id: &str, seed: u64) -> bool {
+    let mut parts = id.split(':');
+    if parts.next() != Some("trace-smoke") {
+        return false;
+    }
+    let arch = match parts.next() {
+        None => fed_workload::Architecture::SplitStream,
+        Some(name) => match fed_workload::Architecture::parse(name) {
+            Some(a) => a,
+            None => return false,
+        },
+    };
+    let n: usize = match parts.next() {
+        None => 100_000,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    let shards: usize = match parts.next() {
+        None => 8,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    if parts.next().is_some() {
+        return false;
+    }
+    let s = trace::smoke(arch, n, shards, seed);
+    let rec = &s.record;
+    println!(
+        "TRACE-SMOKE {} n={} shards={}: {} events, {} hops, \
+         off {:.0} ms ({:.0} events/s), on {:.0} ms ({:.0} events/s), \
+         overhead {:+.1}%",
+        rec.arch,
+        rec.n,
+        rec.shards,
+        rec.events,
+        rec.hops,
+        rec.wall_ms_off,
+        rec.events_per_sec_off,
+        rec.wall_ms_on,
+        rec.events_per_sec_on,
+        rec.overhead_frac * 100.0,
+    );
+    if let Err(e) = trace::append_trace_bench(trace::BENCH_TRACE_PATH, std::slice::from_ref(rec)) {
+        eprintln!("could not append to {}: {e}", trace::BENCH_TRACE_PATH);
+    }
+    assert!(rec.events > 0, "trace smoke processed no events");
+    assert!(rec.hops > 0, "trace smoke recorded no hops");
+    assert!(
+        crate::scenario_run::outcomes_match(&s.point.off, &s.point.on),
+        "tracing changed the outcome"
+    );
+    assert!(
+        rec.overhead_frac < trace::OVERHEAD_BAR,
+        "enabled tracer overhead {:.1}% breaches the {:.0}% bar",
+        rec.overhead_frac * 100.0,
+        trace::OVERHEAD_BAR * 100.0
+    );
+    true
+}
+
+/// The directory generated trace artifacts land in by default —
+/// gitignored, so ad-hoc exports never pollute the work tree (see
+/// docs/OBSERVABILITY.md "Trace artifacts").
+pub const TRACES_DIR: &str = "traces";
+
+/// Writes a trace artifact, creating [`TRACES_DIR`] on demand when the
+/// path points into it.
+fn write_trace_file(path: &str, contents: &str) -> Result<(), String> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        }
+    }
+    std::fs::write(path, contents).map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    eprintln!("wrote {path} (load in https://ui.perfetto.dev)");
+    Ok(())
+}
+
 /// Executes one scenario file (`run <path.toml>` / `run @name`) and
 /// prints its report tables. `force_profile` (the CLI's `--profile`
 /// flag) turns profiling on even when the file has no `[profile]`
-/// section.
+/// section; `force_trace` (`--trace`) does the same for per-event
+/// dissemination tracing.
 ///
 /// When profiling is on, the per-shard phase/stall/work tables print
-/// after the regular report and the Chrome Trace Event JSON is written
-/// to the file's `[profile] trace` path, defaulting to
-/// `TRACE_<name>.json`.
+/// after the regular report and the scheduler's Chrome Trace Event JSON
+/// is written to the file's `[profile] trace` path, defaulting to
+/// `traces/TRACE_<name>.json`. When tracing is on, the delivery-tree,
+/// worst-stretch and forwarding-attribution tables print too and the
+/// per-event hop timeline is written to the file's `[trace] export`
+/// path, defaulting to `traces/TRACE_<name>.events.json` (distinct
+/// defaults, so a run with both enabled never overwrites one artifact
+/// with the other).
 ///
 /// The scenario file is self-contained — its own `seed` applies, not the
 /// runner's `--seed` flag.
@@ -411,8 +532,12 @@ fn run_profile_smoke(id: &str, seed: u64) -> bool {
 /// # Errors
 ///
 /// Returns a message when the target cannot be resolved, read or parsed,
-/// or the trace file cannot be written.
-pub fn run_scenario_target(target: &str, force_profile: bool) -> Result<(), String> {
+/// or a trace file cannot be written.
+pub fn run_scenario_target(
+    target: &str,
+    force_profile: bool,
+    force_trace: bool,
+) -> Result<(), String> {
     let path = scenario_run::resolve_target(target);
     let file = scenario_run::load_file(&path)?;
     let name = scenario_run::display_name(&path, &file);
@@ -422,6 +547,9 @@ pub fn run_scenario_target(target: &str, force_profile: bool) -> Result<(), Stri
     let mut spec = file.spec.clone();
     if force_profile && spec.profile.is_none() {
         spec.profile = Some(fed_profile::ProfileSpec::default());
+    }
+    if force_trace && spec.trace.is_none() {
+        spec.trace = Some(fed_trace::TraceSpec::default());
     }
     let report = scenario_run::run_scenario(&name, &spec);
     println!("{}", report.summary);
@@ -436,16 +564,24 @@ pub fn run_scenario_target(target: &str, force_profile: bool) -> Result<(), Stri
     for t in &report.profile_tables {
         println!("{t}");
     }
+    for t in &report.trace_tables {
+        println!("{t}");
+    }
     if let Some(profile) = &report.outcome.profiling {
         let trace_path = spec
             .profile
             .as_ref()
             .and_then(|p| p.trace.clone())
-            .unwrap_or_else(|| format!("TRACE_{name}.json"));
-        let trace = fed_profile::chrome_trace_json(profile, &name);
-        std::fs::write(&trace_path, trace)
-            .map_err(|e| format!("cannot write trace {trace_path}: {e}"))?;
-        eprintln!("wrote {trace_path} (load in https://ui.perfetto.dev)");
+            .unwrap_or_else(|| format!("{TRACES_DIR}/TRACE_{name}.json"));
+        write_trace_file(&trace_path, &fed_profile::chrome_trace_json(profile, &name))?;
+    }
+    if let Some(hops) = &report.outcome.trace {
+        let export_path = spec
+            .trace
+            .as_ref()
+            .and_then(|t| t.export.clone())
+            .unwrap_or_else(|| format!("{TRACES_DIR}/TRACE_{name}.events.json"));
+        write_trace_file(&export_path, &fed_trace::perfetto_trace_json(hops, &name))?;
     }
     if report.outcome.total_deliveries() == 0 {
         return Err(format!(

@@ -6,6 +6,7 @@
 //! fed-experiments --seed 7 fig1
 //! fed-experiments run scenarios/wan-lognormal.toml
 //! fed-experiments run --profile @fair-vs-static
+//! fed-experiments run --trace @zipf-hotspot
 //! fed-experiments run @flash-crowd-100k
 //! fed-experiments parity @all          # whole-library cross-engine gate
 //! fed-experiments bench-diff old.json BENCH_cluster.json
@@ -18,8 +19,13 @@ enum Command {
     /// A registered experiment id (or `smoke:*` / `profile-smoke:*`
     /// pseudo-id).
     Experiment(String),
-    /// `run [--profile] <path.toml|@name>` — execute one scenario file.
-    Run { target: String, profile: bool },
+    /// `run [--profile] [--trace] <path.toml|@name>` — execute one
+    /// scenario file.
+    Run {
+        target: String,
+        profile: bool,
+        trace: bool,
+    },
     /// `parity <path.toml|@name|@all>` — cross-engine parity gate.
     Parity(String),
     /// `bench-diff <old.json> <new.json> [--threshold F]`.
@@ -37,11 +43,13 @@ fn print_help() {
         println!("  {:<12} {}", e.id, e.summary);
     }
     println!("\nscenario files:");
-    println!("  run [--profile] <path.toml|@name>");
+    println!("  run [--profile] [--trace] <path.toml|@name>");
     println!("                              execute one declarative scenario");
     println!("                              (@name resolves to scenarios/<name>.toml;");
     println!("                              the file's own seed applies; --profile forces");
-    println!("                              profiling on and writes TRACE_<name>.json)");
+    println!("                              profiling on and writes traces/TRACE_<name>.json;");
+    println!("                              --trace forces per-event dissemination tracing");
+    println!("                              and writes traces/TRACE_<name>.events.json)");
     println!("  parity <path.toml|@name|@all>");
     println!(
         "                              seq-vs-cluster bit-identity gate at shards {:?}",
@@ -60,6 +68,8 @@ fn print_help() {
     println!("                              cluster liveness run (default splitstream:100000:8)");
     println!("  profile-smoke[:arch[:n[:shards]]]");
     println!("                              profiler off/on overhead gate on the same workload");
+    println!("  trace-smoke[:arch[:n[:shards]]]");
+    println!("                              tracer off/on overhead gate on the same workload");
 }
 
 fn main() -> ExitCode {
@@ -81,17 +91,28 @@ fn main() -> ExitCode {
             }
             "run" | "parity" => {
                 let mut profile = false;
+                let mut trace = false;
                 let mut target = args.next();
-                if arg == "run" && target.as_deref() == Some("--profile") {
-                    profile = true;
-                    target = args.next();
+                if arg == "run" {
+                    loop {
+                        match target.as_deref() {
+                            Some("--profile") => profile = true,
+                            Some("--trace") => trace = true,
+                            _ => break,
+                        }
+                        target = args.next();
+                    }
                 }
                 let Some(target) = target else {
                     eprintln!("{arg} requires a target: a scenario .toml path or @name");
                     return ExitCode::FAILURE;
                 };
                 commands.push(if arg == "run" {
-                    Command::Run { target, profile }
+                    Command::Run {
+                        target,
+                        profile,
+                        trace,
+                    }
                 } else {
                     Command::Parity(target)
                 });
@@ -155,9 +176,13 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             }
-            Command::Run { target, profile } => {
+            Command::Run {
+                target,
+                profile,
+                trace,
+            } => {
                 eprintln!("=== running scenario {target} ===");
-                if let Err(e) = fed_experiments::run_scenario_target(target, *profile) {
+                if let Err(e) = fed_experiments::run_scenario_target(target, *profile, *trace) {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }

@@ -126,6 +126,10 @@ pub struct ScenarioReport {
     /// Profiler tables (phases, stall attribution, work counters) when
     /// the file enabled `[profile]`; empty otherwise.
     pub profile_tables: Vec<Table>,
+    /// Tracing tables (delivery-tree summary, worst-stretch events,
+    /// forwarding-cost attribution) when the file enabled `[trace]`;
+    /// empty otherwise.
+    pub trace_tables: Vec<Table>,
     /// The raw outcome, for callers that want more than tables.
     pub outcome: ArchOutcome,
 }
@@ -301,6 +305,12 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         })
         .unwrap_or_default();
 
+    let trace_tables = outcome
+        .trace
+        .as_ref()
+        .map(|hops| crate::trace::trace_tables(name, hops, crate::trace::direct_floor(spec)))
+        .unwrap_or_default();
+
     ScenarioReport {
         name: name.to_string(),
         engine,
@@ -310,6 +320,7 @@ pub fn run_scenario(name: &str, spec: &ScenarioSpec) -> ScenarioReport {
         telemetry,
         membership,
         profile_tables,
+        trace_tables,
         outcome,
     }
 }
@@ -330,7 +341,11 @@ pub struct ParityReport {
 /// event count, (when enabled) the full telemetry series, the SWIM
 /// observation logs and the strategy-handover instants. Barrier window
 /// counts are intentionally excluded — they are scheduling artifacts,
-/// not observables.
+/// not observables. Hop traces are compared separately (see
+/// [`traces_match`]): they are an *observation* whose presence depends
+/// on the instrumentation config, so an untraced run can still match a
+/// traced one in the virtual world — which is exactly what the tracer's
+/// passivity tests assert.
 pub fn outcomes_match(a: &ArchOutcome, b: &ArchOutcome) -> bool {
     a.deliveries == b.deliveries
         && a.ledgers == b.ledgers
@@ -339,6 +354,14 @@ pub fn outcomes_match(a: &ArchOutcome, b: &ArchOutcome) -> bool {
         && a.telemetry == b.telemetry
         && a.swim == b.swim
         && a.handovers == b.handovers
+}
+
+/// `true` when two outcomes carry byte-identical merged hop traces —
+/// including both being untraced. Used alongside [`outcomes_match`]
+/// wherever the two runs share the same `[trace]` config (the parity
+/// gate, the TRACE experiment, the `trace_parity` suite).
+pub fn traces_match(a: &ArchOutcome, b: &ArchOutcome) -> bool {
+    a.trace == b.trace
 }
 
 /// Runs the parity gate for one scenario: sequential baseline, then the
@@ -372,7 +395,7 @@ pub fn parity_gate(name: &str, spec: &ScenarioSpec, shard_counts: &[usize]) -> P
         let start = Instant::now();
         let outcome = run_architecture(&spec, EngineKind::Cluster);
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-        let same = outcomes_match(&baseline, &outcome);
+        let same = outcomes_match(&baseline, &outcome) && traces_match(&baseline, &outcome);
         identical &= same;
         table.row_owned(vec![
             "cluster".to_string(),

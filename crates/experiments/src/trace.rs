@@ -1,0 +1,567 @@
+//! TRACE — per-event causal dissemination tracing: delivery-tree
+//! metrics, forwarding-cost attribution, tracer overhead.
+//!
+//! The registered `trace` experiment runs one traced scenario on both
+//! engines, gates the merged hop buffers byte-identical, and reports
+//! (a) an aggregate summary of the reconstructed delivery trees, (b) the
+//! worst-stretch events with their per-event hop/duplicate/depth
+//! metrics, (c) the per-node forwarding-cost attribution table — who
+//! forwarded how many bytes for which topics, the paper's fairness
+//! question at per-event resolution — and (d) the tracer's own off/on
+//! overhead at the always-on [`SMOKE_SAMPLE_RATE`], appended to
+//! `BENCH_trace.json` (the full-rate cost is reported alongside,
+//! ungated — it scales with hop volume by design).
+//!
+//! The `trace-smoke[:arch[:n[:shards]]]` pseudo-id is the
+//! large-population CI entry point: the same off/on measurement on the
+//! standard smoke workload, asserting the enabled tracer stays under
+//! [`OVERHEAD_BAR`].
+
+use crate::bench_json::{append_json_objects, escape};
+use crate::harness::{run_architecture, ArchOutcome, EngineKind};
+use crate::scale::smoke_spec;
+use fed_metrics::table::{fmt_f64, Table};
+use fed_sim::{HopRecord, SimDuration, SimTime};
+use fed_trace::{analyze, attribution, EventTrace, TraceSpec};
+use fed_workload::pubs::PubPlan;
+use fed_workload::scenario::{Architecture, Placement, ScenarioSpec};
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Default output path of the tracer benchmark artifact, relative to the
+/// invocation directory.
+pub const BENCH_TRACE_PATH: &str = "BENCH_trace.json";
+
+/// Ceiling on the enabled tracer's wall-clock overhead, as a fraction of
+/// the untraced run — asserted by the `trace-smoke` pseudo-id. Same bar
+/// as the profiler's.
+pub const OVERHEAD_BAR: f64 = crate::profile::OVERHEAD_BAR;
+
+/// Sampling rate the overhead gates measure at: the always-on tracing
+/// configuration. Full-rate tracing materializes every hop record (tens
+/// of megabytes per 100k-node run) and is a *data-collection* mode whose
+/// cost scales with hop volume, not an instrument you leave attached;
+/// the deterministic hash sampler exists precisely so a fractional rate
+/// keeps the instrument cheap while still tracing the same whole-event
+/// subset on every engine. Enumerating hops for unsampled events costs
+/// a few percent; the dominant cost is materializing and merge-sorting
+/// the *kept* records, which scales with `rate × hop volume` — hence a
+/// rate that keeps a handful of whole events per smoke run.
+pub const SMOKE_SAMPLE_RATE: f64 = 0.02;
+
+/// The direct-latency lower bound for `spec`: the fastest the network
+/// could carry one message, i.e. the best any dissemination scheme could
+/// do for any subscriber. The denominator of every stretch figure.
+pub fn direct_floor(spec: &ScenarioSpec) -> SimDuration {
+    spec.effective_net().min_latency()
+}
+
+/// Aggregate summary of a trace's reconstructed delivery trees.
+pub fn summary_table(name: &str, hops: &[HopRecord], events: &[EventTrace]) -> Table {
+    let mut t = Table::new(
+        format!("TRACE {name}: delivery trees"),
+        &[
+            "events",
+            "hops",
+            "drops",
+            "deliveries",
+            "duplicates",
+            "depth max",
+            "stress max",
+            "stretch mean",
+            "stretch max",
+        ],
+    );
+    let sum = |f: fn(&EventTrace) -> u64| events.iter().map(f).sum::<u64>();
+    let stretch_mean = if events.is_empty() {
+        0.0
+    } else {
+        events.iter().map(|e| e.stretch).sum::<f64>() / events.len() as f64
+    };
+    t.row_owned(vec![
+        events.len().to_string(),
+        hops.len().to_string(),
+        sum(|e| e.drops).to_string(),
+        sum(|e| e.deliveries).to_string(),
+        sum(|e| e.duplicates).to_string(),
+        events
+            .iter()
+            .map(|e| e.depth)
+            .max()
+            .unwrap_or(0)
+            .to_string(),
+        events
+            .iter()
+            .map(|e| e.link_stress)
+            .max()
+            .unwrap_or(0)
+            .to_string(),
+        fmt_f64(stretch_mean),
+        fmt_f64(events.iter().map(|e| e.stretch).fold(0.0, f64::max)),
+    ]);
+    t
+}
+
+/// The worst-stretch events, one row each: per-event hop count,
+/// duplicates, tree depth, link stress, worst latency and stretch.
+pub fn event_table(name: &str, events: &[EventTrace], limit: usize) -> Table {
+    let mut t = Table::new(
+        format!("TRACE {name}: worst-stretch events (top {limit})"),
+        &[
+            "event",
+            "topic",
+            "deliveries",
+            "hops",
+            "dups",
+            "depth",
+            "stress",
+            "latency_ms",
+            "stretch",
+        ],
+    );
+    let mut ranked: Vec<&EventTrace> = events.iter().collect();
+    // Stretch descending; packed event id breaks ties deterministically.
+    ranked.sort_by(|a, b| {
+        b.stretch
+            .total_cmp(&a.stretch)
+            .then_with(|| a.event.cmp(&b.event))
+    });
+    for e in ranked.into_iter().take(limit) {
+        t.row_owned(vec![
+            format!("{}#{}", e.publisher, fed_trace::seq_of(e.event)),
+            e.topic.to_string(),
+            e.deliveries.to_string(),
+            e.hops.to_string(),
+            e.duplicates.to_string(),
+            e.depth.to_string(),
+            e.link_stress.to_string(),
+            fmt_f64(e.max_latency_us as f64 / 1e3),
+            fmt_f64(e.stretch),
+        ]);
+    }
+    t
+}
+
+/// The forwarding-cost attribution table: which nodes paid how many
+/// transmissions and bytes for which topics, heaviest first, with each
+/// row's share of the total traced bytes.
+pub fn attribution_table(name: &str, hops: &[HopRecord], limit: usize) -> Table {
+    let mut rows = attribution(hops);
+    let total_bytes: u64 = rows.iter().map(|r| r.bytes).sum();
+    let total_hops: u64 = rows.iter().map(|r| r.hops).sum();
+    // Bytes descending; (node, topic) breaks ties deterministically.
+    rows.sort_by(|a, b| {
+        b.bytes
+            .cmp(&a.bytes)
+            .then_with(|| (a.node, a.topic).cmp(&(b.node, b.topic)))
+    });
+    let mut t = Table::new(
+        format!("TRACE {name}: forwarding cost by node and topic (top {limit})"),
+        &["node", "topic", "events", "hops", "bytes", "byte share"],
+    );
+    for r in rows.iter().take(limit) {
+        t.row_owned(vec![
+            r.node.to_string(),
+            r.topic.to_string(),
+            r.events.to_string(),
+            r.hops.to_string(),
+            r.bytes.to_string(),
+            fmt_f64(if total_bytes == 0 {
+                0.0
+            } else {
+                r.bytes as f64 / total_bytes as f64
+            }),
+        ]);
+    }
+    t.row_owned(vec![
+        "all".to_string(),
+        "all".to_string(),
+        "-".to_string(),
+        total_hops.to_string(),
+        total_bytes.to_string(),
+        fmt_f64(1.0),
+    ]);
+    t
+}
+
+/// The three tables `run --trace` prints for a traced scenario.
+pub fn trace_tables(name: &str, hops: &[HopRecord], floor: SimDuration) -> Vec<Table> {
+    let events = analyze(hops, floor);
+    vec![
+        summary_table(name, hops, &events),
+        event_table(name, &events, 10),
+        attribution_table(name, hops, 15),
+    ]
+}
+
+/// One `BENCH_trace.json` record: a configuration run with tracing off
+/// then on, so the instrumentation overhead is tracked across PRs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceBenchRecord {
+    /// Which harness produced the record (`trace`, `trace-smoke`).
+    pub suite: String,
+    /// Architecture name.
+    pub arch: String,
+    /// Population size.
+    pub n: usize,
+    /// Shard count in use.
+    pub shards: usize,
+    /// Sampling rate the traced run used.
+    pub sample_rate: f64,
+    /// Events processed (identical off and on — tracing is passive).
+    pub events: u64,
+    /// Hop records the traced run collected.
+    pub hops: u64,
+    /// Wall-clock milliseconds with tracing off.
+    pub wall_ms_off: f64,
+    /// Wall-clock milliseconds with tracing on.
+    pub wall_ms_on: f64,
+    /// `wall_ms_on / wall_ms_off - 1`.
+    pub overhead_frac: f64,
+    /// Events per wall-clock second with tracing off.
+    pub events_per_sec_off: f64,
+    /// Events per wall-clock second with tracing on.
+    pub events_per_sec_on: f64,
+}
+
+impl TraceBenchRecord {
+    /// The record as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"suite\":\"{}\",\"arch\":\"{}\",\"n\":{},\"shards\":{},\
+             \"sample_rate\":{},\"events\":{},\"hops\":{},\
+             \"wall_ms_off\":{:.3},\"wall_ms_on\":{:.3},\
+             \"overhead_frac\":{:.4},\
+             \"events_per_sec_off\":{:.1},\"events_per_sec_on\":{:.1}}}",
+            escape(&self.suite),
+            escape(&self.arch),
+            self.n,
+            self.shards,
+            self.sample_rate,
+            self.events,
+            self.hops,
+            self.wall_ms_off,
+            self.wall_ms_on,
+            self.overhead_frac,
+            self.events_per_sec_off,
+            self.events_per_sec_on,
+        )
+    }
+}
+
+/// Appends tracer benchmark records to the JSON array at `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying filesystem error.
+pub fn append_trace_bench(path: impl AsRef<Path>, records: &[TraceBenchRecord]) -> io::Result<()> {
+    let objects: Vec<String> = records.iter().map(TraceBenchRecord::to_json).collect();
+    append_json_objects(path, &objects)
+}
+
+/// An off/on overhead measurement of one cluster configuration.
+#[derive(Debug)]
+pub struct TraceOverheadPoint {
+    /// The traced spec (tracing on).
+    pub spec: ScenarioSpec,
+    /// Outcome of the untraced run.
+    pub off: ArchOutcome,
+    /// Outcome of the traced run.
+    pub on: ArchOutcome,
+    /// Wall-clock milliseconds without tracing (best of `runs`).
+    pub wall_ms_off: f64,
+    /// Wall-clock milliseconds with tracing (best of `runs`).
+    pub wall_ms_on: f64,
+}
+
+impl TraceOverheadPoint {
+    /// `wall_on / wall_off - 1`: the enabled tracer's relative cost.
+    pub fn overhead_frac(&self) -> f64 {
+        self.wall_ms_on / self.wall_ms_off.max(1e-9) - 1.0
+    }
+
+    /// The measurement as one [`TraceBenchRecord`].
+    pub fn record(&self, suite: &str) -> TraceBenchRecord {
+        TraceBenchRecord {
+            suite: suite.to_string(),
+            arch: self.spec.arch.name().to_string(),
+            n: self.spec.n,
+            shards: self.on.shards,
+            sample_rate: self.spec.trace.as_ref().map_or(1.0, |t| t.sample_rate),
+            events: self.on.events,
+            hops: self.on.trace.as_ref().map_or(0, |t| t.len() as u64),
+            wall_ms_off: self.wall_ms_off,
+            wall_ms_on: self.wall_ms_on,
+            overhead_frac: self.overhead_frac(),
+            events_per_sec_off: self.off.events as f64 / (self.wall_ms_off / 1e3).max(1e-9),
+            events_per_sec_on: self.on.events as f64 / (self.wall_ms_on / 1e3).max(1e-9),
+        }
+    }
+}
+
+/// Runs `spec` on the cluster engine with tracing off, then on, `runs`
+/// times each, keeping the best wall clock per configuration (the
+/// repeats damp scheduler noise so the overhead fraction is meaningful).
+pub fn measure_trace_overhead(spec: &ScenarioSpec, runs: usize) -> TraceOverheadPoint {
+    let runs = runs.max(1);
+    let mut spec_off = spec.clone();
+    spec_off.trace = None;
+    let spec_on = spec
+        .clone()
+        .with_trace(spec.trace.clone().unwrap_or_default());
+    let best = |spec: &ScenarioSpec| {
+        let mut wall_ms = f64::INFINITY;
+        let mut outcome = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let o = run_architecture(spec, EngineKind::Cluster);
+            wall_ms = wall_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            outcome = Some(o);
+        }
+        (outcome.expect("runs >= 1"), wall_ms)
+    };
+    let (off, wall_ms_off) = best(&spec_off);
+    let (on, wall_ms_on) = best(&spec_on);
+    TraceOverheadPoint {
+        spec: spec_on,
+        off,
+        on,
+        wall_ms_off,
+        wall_ms_on,
+    }
+}
+
+/// The scenario the registered `trace` experiment runs: the standard
+/// workload with a shorter publication phase (as PROFILE uses), traced
+/// at full sampling. The plan is denser than PROFILE's (40 ev/s, ~200
+/// distinct events) so the whole-event sampler at [`SMOKE_SAMPLE_RATE`]
+/// has real granularity in the sampled-overhead row.
+pub fn trace_scenario(n: usize, shards: usize, seed: u64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::fair_gossip(n, seed)
+        .with_shards(shards)
+        .with_trace(TraceSpec::default());
+    spec.plan = PubPlan {
+        rate_per_sec: 40.0,
+        duration: SimTime::from_secs(5),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+        flash: None,
+    };
+    spec
+}
+
+/// Result of the TRACE experiment.
+#[derive(Debug)]
+pub struct TraceResult {
+    /// Off/on overhead summary, one row per configuration.
+    pub summary: Table,
+    /// Aggregate delivery-tree summary of the traced run.
+    pub tree_table: Table,
+    /// Worst-stretch events of the traced run.
+    pub event_table: Table,
+    /// Per-node forwarding-cost attribution of the traced run.
+    pub attribution_table: Table,
+    /// Whether the sequential and cluster runs agreed on every
+    /// observable *and* produced byte-identical merged hop traces (must
+    /// be `true`).
+    pub identical: bool,
+    /// Machine-readable record for `BENCH_trace.json`.
+    pub records: Vec<TraceBenchRecord>,
+}
+
+/// Runs the TRACE experiment: sequential-vs-cluster byte-identity of the
+/// full-rate merged hop trace at `shards` shards, plus the off/on
+/// overhead measurement at the always-on [`SMOKE_SAMPLE_RATE`].
+///
+/// The overhead rows here are informational, not gated: this small,
+/// publication-dense scenario sends ~10 traceable hops per engine event
+/// (the 100k smoke sends under one), so its relative tracer cost is a
+/// worst case. The [`OVERHEAD_BAR`] gate is asserted by `trace-smoke`
+/// on the large-population workload.
+pub fn run(n: usize, shards: usize, seed: u64) -> TraceResult {
+    // Byte-identity gate and tables at full sampling: every hop traced.
+    let spec = trace_scenario(n, shards, seed);
+    let seq = run_architecture(&spec, EngineKind::Sequential);
+    let full_start = Instant::now();
+    let clu = run_architecture(&spec, EngineKind::Cluster);
+    let full_wall_ms = full_start.elapsed().as_secs_f64() * 1e3;
+
+    // Overhead at the sampled always-on configuration. Whole-event
+    // sampling over ~200 events at 2% can legitimately keep none; the
+    // salt is free, so use one under which this scenario's event-id
+    // hashes deterministically admit a couple of whole events.
+    let mut sampled = spec.clone();
+    sampled.trace = Some(TraceSpec {
+        sample_rate: SMOKE_SAMPLE_RATE,
+        salt: 47,
+        ..TraceSpec::default()
+    });
+    let point = measure_trace_overhead(&sampled, 3);
+
+    let seq_trace = seq.trace.as_ref().expect("tracing on");
+    let identical = crate::scenario_run::outcomes_match(&seq, &clu)
+        && crate::scenario_run::traces_match(&seq, &clu)
+        && crate::scenario_run::outcomes_match(&seq, &point.on)
+        && crate::scenario_run::outcomes_match(&seq, &point.off);
+
+    let mut summary = Table::new(
+        format!("TRACE: instrumentation overhead (n={n}, shards={shards})"),
+        &[
+            "config",
+            "events",
+            "hops",
+            "wall_ms",
+            "events/s",
+            "overhead",
+            "identical",
+        ],
+    );
+    summary.row_owned(vec![
+        "trace off".to_string(),
+        point.off.events.to_string(),
+        "-".to_string(),
+        fmt_f64(point.wall_ms_off),
+        fmt_f64(point.off.events as f64 / (point.wall_ms_off / 1e3).max(1e-9)),
+        "-".to_string(),
+        identical.to_string(),
+    ]);
+    summary.row_owned(vec![
+        format!("sampled {SMOKE_SAMPLE_RATE}"),
+        point.on.events.to_string(),
+        point.on.trace.as_ref().map_or(0, Vec::len).to_string(),
+        fmt_f64(point.wall_ms_on),
+        fmt_f64(point.on.events as f64 / (point.wall_ms_on / 1e3).max(1e-9)),
+        fmt_f64(point.overhead_frac()),
+        identical.to_string(),
+    ]);
+    summary.row_owned(vec![
+        "full rate".to_string(),
+        clu.events.to_string(),
+        seq_trace.len().to_string(),
+        fmt_f64(full_wall_ms),
+        fmt_f64(clu.events as f64 / (full_wall_ms / 1e3).max(1e-9)),
+        fmt_f64(full_wall_ms / point.wall_ms_off.max(1e-9) - 1.0),
+        identical.to_string(),
+    ]);
+
+    let name = "fair-gossip";
+    let floor = direct_floor(&spec);
+    let events = analyze(seq_trace, floor);
+    let records = vec![point.record("trace")];
+    TraceResult {
+        summary,
+        tree_table: summary_table(name, seq_trace, &events),
+        event_table: event_table(name, &events, 10),
+        attribution_table: attribution_table(name, seq_trace, 15),
+        identical,
+        records,
+    }
+}
+
+/// Outcome of one `trace-smoke` overhead run.
+#[derive(Debug)]
+pub struct TraceSmokePoint {
+    /// The off/on measurement.
+    pub point: TraceOverheadPoint,
+    /// The record appended to `BENCH_trace.json`.
+    pub record: TraceBenchRecord,
+}
+
+/// The large-population tracer smoke: the standard smoke workload
+/// (round-robin placement, adaptive windows, telemetry off) run with
+/// tracing off then on at [`SMOKE_SAMPLE_RATE`], twice each, keeping
+/// the best wall clocks.
+///
+/// One deviation from the shared smoke plan: the publication rate is
+/// raised to 50 ev/s (~100 distinct events instead of ~10). Sampling is
+/// *whole-event* — at 100k nodes each event fans out to tens of
+/// thousands of hops, and a fractional draw over ten coarse events
+/// would keep zero or one of them, making both the hop count and the
+/// measured cost lottery tickets. A denser plan gives the sampler real
+/// granularity, so the sampled hop volume — and with it the overhead
+/// number — is representative.
+///
+/// The caller asserts the overhead bar — see [`crate::run_by_id`]'s
+/// `trace-smoke` pseudo-id.
+pub fn smoke(arch: Architecture, n: usize, shards: usize, seed: u64) -> TraceSmokePoint {
+    let mut spec =
+        smoke_spec(arch, n, shards, Placement::RoundRobin, true, seed).with_trace(TraceSpec {
+            sample_rate: SMOKE_SAMPLE_RATE,
+            ..TraceSpec::default()
+        });
+    spec.plan.rate_per_sec = 50.0;
+    let point = measure_trace_overhead(&spec, 2);
+    let record = point.record("trace-smoke");
+    TraceSmokePoint { point, record }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fed_profile::json;
+
+    #[test]
+    fn trace_experiment_gates_parity_and_builds_tables() {
+        let r = run(48, 3, 42);
+        assert!(r.identical, "traced engines diverged");
+        assert_eq!(r.summary.len(), 3);
+        assert_eq!(r.tree_table.len(), 1);
+        assert!(!r.event_table.is_empty(), "no events traced");
+        assert!(r.attribution_table.len() > 1, "no forwarding attributed");
+        assert_eq!(r.records.len(), 1);
+        let rec = &r.records[0];
+        assert_eq!(rec.suite, "trace");
+        assert!(rec.events > 0);
+        assert!(rec.hops > 0);
+        assert!(rec.wall_ms_on > 0.0 && rec.wall_ms_off > 0.0);
+    }
+
+    #[test]
+    fn bench_record_renders_parseable_json() {
+        let r = run(32, 2, 7);
+        let text = r.records[0].to_json();
+        let v = json::parse(&text).expect("record must parse as JSON");
+        assert_eq!(v.get("suite").and_then(|s| s.as_str()), Some("trace"));
+        assert!(v.get("overhead_frac").and_then(|o| o.as_f64()).is_some());
+        assert_eq!(
+            v.get("hops").and_then(|h| h.as_f64()).unwrap() as u64,
+            r.records[0].hops
+        );
+    }
+
+    #[test]
+    fn tracing_is_passive() {
+        let spec = trace_scenario(32, 2, 11);
+        let p = measure_trace_overhead(&spec, 1);
+        assert!(
+            crate::scenario_run::outcomes_match(&p.off, &p.on),
+            "tracing changed a result"
+        );
+        assert!(p.off.trace.is_none());
+        assert!(p.on.trace.is_some());
+    }
+
+    #[test]
+    fn sampling_cuts_the_buffer_without_perturbing_the_run() {
+        let full = run_architecture(&trace_scenario(32, 1, 5), EngineKind::Sequential);
+        let mut spec = trace_scenario(32, 1, 5);
+        spec.trace = Some(TraceSpec {
+            sample_rate: 0.25,
+            ..TraceSpec::default()
+        });
+        let sampled = run_architecture(&spec, EngineKind::Sequential);
+        assert!(crate::scenario_run::outcomes_match(&full, &sampled));
+        let full_hops = full.trace.unwrap();
+        let some_hops = sampled.trace.unwrap();
+        assert!(!some_hops.is_empty() && some_hops.len() < full_hops.len());
+        // The sampled buffer is exactly the filtered full buffer.
+        let filtered: Vec<_> = full_hops
+            .iter()
+            .filter(|h| fed_trace::sampled(h.event, 0, 0.25))
+            .copied()
+            .collect();
+        assert_eq!(some_hops, filtered);
+    }
+}

@@ -11,8 +11,8 @@
 //! results.
 
 use crate::exec::{
-    reborrow, reborrow_profiler, seed_streams, EventKey, EventKind, EventQueue, Kernel, Probe,
-    ProfilePhase, Profiler, QueueStats, EXTERNAL_SRC,
+    reborrow, reborrow_profiler, reborrow_tracer, seed_streams, EventKey, EventKind, EventQueue,
+    Kernel, Probe, ProfilePhase, Profiler, QueueStats, Tracer, EXTERNAL_SRC,
 };
 use crate::network::NetworkModel;
 use crate::protocol::{NodeId, Protocol};
@@ -258,8 +258,23 @@ impl<P: Protocol> Simulation<P> {
     pub fn run_profiled(
         &mut self,
         target: SimTime,
+        probe: Option<&mut dyn Probe>,
+        profiler: Option<&mut dyn Profiler>,
+    ) -> RunReport {
+        self.run_instrumented(target, probe, profiler, None)
+    }
+
+    /// [`Simulation::run_profiled`] with an optional [`Tracer`] attached
+    /// as well: the tracer receives one
+    /// [`HopRecord`](crate::exec::HopRecord) per application event per
+    /// network send (see [`crate::Protocol::trace_payload`]). Like the
+    /// other hooks it is purely passive and free when absent.
+    pub fn run_instrumented(
+        &mut self,
+        target: SimTime,
         mut probe: Option<&mut dyn Probe>,
         mut profiler: Option<&mut dyn Profiler>,
+        mut tracer: Option<&mut dyn Tracer>,
     ) -> RunReport {
         let t0 = profiler.as_ref().map(|_| std::time::Instant::now());
         let mut events = 0u64;
@@ -284,6 +299,7 @@ impl<P: Protocol> Simulation<P> {
                 &mut self.queue,
                 reborrow(&mut probe),
                 reborrow_profiler(&mut profiler),
+                reborrow_tracer(&mut tracer),
             );
         }
         if completed {
@@ -312,8 +328,15 @@ impl<P: Protocol> Simulation<P> {
         let (key, kind) = self.queue.pop()?;
         self.now = key.time;
         self.events_processed += 1;
-        self.kernel
-            .dispatch(key, kind, &mut *self.factory, &mut self.queue, None, None);
+        self.kernel.dispatch(
+            key,
+            kind,
+            &mut *self.factory,
+            &mut self.queue,
+            None,
+            None,
+            None,
+        );
         Some(key.time)
     }
 

@@ -694,6 +694,158 @@ pub(crate) fn reborrow_profiler<'a>(
     }
 }
 
+/// Protocol-assigned classification of one traced hop.
+///
+/// Every [`Protocol`] tags the hops it produces via
+/// [`Protocol::trace_payload`], so a trace can distinguish a broker relay
+/// from a gossip forward from a tree edge without knowing which
+/// architecture produced it. Variants carry stable `u8` tags (see
+/// [`HopKind::tag`]) so serialized traces stay comparable across builds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum HopKind {
+    /// An epidemic push carrying application events (gossip round or
+    /// publisher seed).
+    GossipPush = 0,
+    /// A handoff bridging a publisher into a group it is not part of.
+    GossipHandoff = 1,
+    /// A client submitting a publication to a broker hub.
+    BrokerIngress = 2,
+    /// A broker hub notifying one subscriber.
+    BrokerNotify = 3,
+    /// A hop routing an event toward a rendezvous/tree root.
+    TreeToRoot = 4,
+    /// A multicast-tree edge from parent to child.
+    TreeEdge = 5,
+    /// A DHT routing hop toward an index node.
+    DhtRoute = 6,
+    /// An infect-and-die flood inside a topic group.
+    GroupFlood = 7,
+    /// A stripe publication routed toward its stripe root.
+    StripeToRoot = 8,
+    /// A stripe-tree edge from parent to child.
+    StripeEdge = 9,
+}
+
+impl HopKind {
+    /// Stable serialization tag of this kind.
+    pub const fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Short lowercase name, for tables and JSON export.
+    pub const fn name(self) -> &'static str {
+        match self {
+            HopKind::GossipPush => "gossip-push",
+            HopKind::GossipHandoff => "gossip-handoff",
+            HopKind::BrokerIngress => "broker-ingress",
+            HopKind::BrokerNotify => "broker-notify",
+            HopKind::TreeToRoot => "tree-to-root",
+            HopKind::TreeEdge => "tree-edge",
+            HopKind::DhtRoute => "dht-route",
+            HopKind::GroupFlood => "group-flood",
+            HopKind::StripeToRoot => "stripe-to-root",
+            HopKind::StripeEdge => "stripe-edge",
+        }
+    }
+}
+
+/// One application event's passage over one network hop.
+///
+/// Recorded on the *sender's* side at transmission time, so on a sharded
+/// engine each hop is recorded exactly once — on the shard owning the
+/// sender — regardless of where the receiver lives. Every field is
+/// deterministic (virtual times, ids, sizes), so trace buffers are
+/// partition-invariant and merge byte-identically across engines.
+///
+/// The derived `Ord` is the canonical trace order used to merge
+/// shard-local buffers: `(send_time, from, to, event, kind, …)` — fully
+/// identical records (possible when one callback retransmits the same
+/// payload) compare equal and are interchangeable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HopRecord {
+    /// Virtual time the sender handed the message to the network.
+    pub send_time: SimTime,
+    /// Sending node.
+    pub from: u32,
+    /// Destination node.
+    pub to: u32,
+    /// Packed application event id (publisher in the high word, the
+    /// publisher's sequence number in the low word).
+    pub event: u64,
+    /// Topic the event belongs to.
+    pub topic: u32,
+    /// Protocol-assigned hop classification.
+    pub kind: HopKind,
+    /// Bytes this event contributed to the carrying message.
+    pub bytes: u32,
+    /// Scheduled delivery instant; `None` when the network dropped the
+    /// message.
+    pub deliver_time: Option<SimTime>,
+}
+
+/// Per-event causal tracing hooks over the execution substrate, beside
+/// [`Probe`] and [`Profiler`].
+///
+/// A tracer observes application events crossing network hops: whenever a
+/// traced node hands a message to the network, the kernel asks the
+/// protocol to enumerate the application events it carries
+/// ([`Protocol::trace_payload`]) and reports one [`HopRecord`] per event.
+/// Everything a tracer sees is deterministic, so attaching one can never
+/// perturb the virtual-world outcome; when none is attached the per-send
+/// cost is a skipped `Option` branch, which keeps tracing free when off.
+///
+/// Time-zero `on_init` effects run before any tracer can be attached
+/// (mirroring probes), so they are consistently unobserved on every
+/// engine; a *rejoin*'s init effects happen during dispatch and are
+/// traced.
+pub trait Tracer {
+    /// One application event crossed (or was dropped on) one hop.
+    fn on_hop(&mut self, hop: HopRecord) {
+        let _ = hop;
+    }
+}
+
+/// The disabled tracer: every hook is a no-op.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {}
+
+/// Reborrows an optional tracer (mirrors [`reborrow`] for probes).
+pub(crate) fn reborrow_tracer<'a>(
+    tracer: &'a mut Option<&mut dyn Tracer>,
+) -> Option<&'a mut dyn Tracer> {
+    match tracer {
+        Some(t) => Some(&mut **t),
+        None => None,
+    }
+}
+
+/// Enumerates `msg`'s application payload via [`Protocol::trace_payload`]
+/// and reports one [`HopRecord`] per carried event.
+fn trace_send<P: Protocol>(
+    tracer: &mut dyn Tracer,
+    msg: &P::Msg,
+    from: NodeId,
+    to: NodeId,
+    send_time: SimTime,
+    deliver_time: Option<SimTime>,
+) {
+    P::trace_payload(msg, &mut |event, topic, bytes, kind| {
+        tracer.on_hop(HopRecord {
+            send_time,
+            from: from.as_u32(),
+            to: to.as_u32(),
+            event,
+            topic,
+            kind,
+            bytes,
+            deliver_time,
+        });
+    });
+}
+
 /// The deterministic random streams of one node.
 #[derive(Debug, Clone)]
 pub struct NodeStreams {
@@ -799,7 +951,7 @@ impl<P: Protocol> Kernel<P> {
         // consistently unobserved on every engine.
         for i in 0..kernel.owned.len() {
             let id = NodeId::new(kernel.owned[i]);
-            kernel.invoke(id, Invoke::Init, SimTime::ZERO, sink, None);
+            kernel.invoke(id, Invoke::Init, SimTime::ZERO, sink, None, None);
         }
         kernel
     }
@@ -888,6 +1040,7 @@ impl<P: Protocol> Kernel<P> {
     ///
     /// Events for nodes this kernel does not own are ignored (the router
     /// upstream is responsible for addressing).
+    #[allow(clippy::too_many_arguments)] // one slot per instrumentation hook
     pub fn dispatch(
         &mut self,
         key: EventKey,
@@ -896,6 +1049,7 @@ impl<P: Protocol> Kernel<P> {
         sink: &mut dyn EffectSink<P>,
         mut probe: Option<&mut dyn Probe>,
         profiler: Option<&mut dyn Profiler>,
+        tracer: Option<&mut dyn Tracer>,
     ) {
         let now = key.time;
         if let Some(p) = reborrow(&mut probe) {
@@ -916,7 +1070,7 @@ impl<P: Protocol> Kernel<P> {
                 if let Some(p) = reborrow(&mut probe) {
                     p.on_receive(now, to, size);
                 }
-                self.invoke(to, Invoke::Message { from, msg }, now, sink, probe);
+                self.invoke(to, Invoke::Message { from, msg }, now, sink, probe, tracer);
             }
             EventKind::Timer {
                 node,
@@ -929,7 +1083,7 @@ impl<P: Protocol> Kernel<P> {
                 if !self.slots[li].alive || self.slots[li].incarnation != incarnation {
                     return; // stale timer from a previous incarnation
                 }
-                self.invoke(node, Invoke::Timer(token), now, sink, probe);
+                self.invoke(node, Invoke::Timer(token), now, sink, probe, tracer);
             }
             EventKind::Command { node, cmd } => {
                 let Some(li) = self.local_of(node) else {
@@ -938,7 +1092,7 @@ impl<P: Protocol> Kernel<P> {
                 if !self.slots[li].alive {
                     return;
                 }
-                self.invoke(node, Invoke::Command(cmd), now, sink, probe);
+                self.invoke(node, Invoke::Command(cmd), now, sink, probe, tracer);
             }
             EventKind::Crash(node) => {
                 let Some(li) = self.local_of(node) else {
@@ -970,7 +1124,7 @@ impl<P: Protocol> Kernel<P> {
                 if let Some(p) = reborrow(&mut probe) {
                     p.on_liveness(now, node, true);
                 }
-                self.invoke(node, Invoke::Init, now, sink, probe);
+                self.invoke(node, Invoke::Init, now, sink, probe, tracer);
             }
         }
     }
@@ -982,6 +1136,7 @@ impl<P: Protocol> Kernel<P> {
         now: SimTime,
         sink: &mut dyn EffectSink<P>,
         mut probe: Option<&mut dyn Probe>,
+        mut tracer: Option<&mut dyn Tracer>,
     ) {
         debug_assert!(self.scratch.is_empty());
         let Some(li) = self.local_of(node) else {
@@ -1026,6 +1181,9 @@ impl<P: Protocol> Kernel<P> {
                             if let Some(p) = reborrow(&mut probe) {
                                 p.on_send(now, node, size, SendFate::Delivered { at });
                             }
+                            if let Some(t) = reborrow_tracer(&mut tracer) {
+                                trace_send::<P>(t, &msg, node, to, now, Some(at));
+                            }
                             let seq = slot.next_seq;
                             slot.next_seq += 1;
                             sink.emit(
@@ -1045,6 +1203,9 @@ impl<P: Protocol> Kernel<P> {
                             self.stats[li].msgs_lost += 1;
                             if let Some(p) = reborrow(&mut probe) {
                                 p.on_send(now, node, size, SendFate::Lost);
+                            }
+                            if let Some(t) = reborrow_tracer(&mut tracer) {
+                                trace_send::<P>(t, &msg, node, to, now, None);
                             }
                         }
                     }

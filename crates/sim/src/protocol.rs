@@ -197,6 +197,19 @@ pub trait Protocol: Sized {
     fn message_size(_msg: &Self::Msg) -> usize {
         1
     }
+
+    /// Enumerates the application events `msg` carries, for per-event
+    /// causal tracing ([`crate::Tracer`]).
+    ///
+    /// Called only while a tracer is attached, once per network send, on
+    /// the sender's side. For every application event the message carries,
+    /// the implementation calls `emit(event, topic, bytes, kind)` with the
+    /// packed event id, its topic, the bytes that event contributes to the
+    /// message, and the protocol's [`crate::HopKind`] classification of
+    /// the hop. Control traffic (acks, joins, membership) emits nothing.
+    /// The default treats every message as control traffic, so protocols
+    /// opt into tracing explicitly.
+    fn trace_payload(_msg: &Self::Msg, _emit: &mut dyn FnMut(u64, u32, u32, crate::HopKind)) {}
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ use fed_profile::ProfileSpec;
 use fed_sim::network::{FaultSchedule, LatencyModel, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
+use fed_trace::TraceSpec;
 use fed_util::dist::InvalidDistribution;
 use fed_util::rng::{Rng64, Xoshiro256StarStar};
 
@@ -196,6 +197,13 @@ pub struct ScenarioSpec {
     /// Observation only — the virtual-world outcome is bit-identical
     /// with or without it.
     pub profile: Option<ProfileSpec>,
+    /// Optional per-event dissemination tracing: when set, the harness
+    /// attaches `fed-trace` collectors and the run reports per-event
+    /// delivery-tree metrics and a forwarding-cost attribution table
+    /// (plus a Perfetto trace file). Sampling is a pure hash of the
+    /// event id, so the virtual-world outcome is bit-identical with or
+    /// without it, at any shard count.
+    pub trace: Option<TraceSpec>,
     /// Network model.
     pub net: NetworkModel,
     /// Master seed fixing the interest profile, the publication schedule,
@@ -247,6 +255,7 @@ impl ScenarioSpec {
             faults: FaultSchedule::default(),
             telemetry: None,
             profile: None,
+            trace: None,
             net: NetworkModel::reliable(LatencyModel::Constant(SimDuration::from_millis(10))),
             seed,
         }
@@ -304,6 +313,13 @@ impl ScenarioSpec {
     /// only; never changes the outcome).
     pub fn with_profile(mut self, profile: ProfileSpec) -> Self {
         self.profile = Some(profile);
+        self
+    }
+
+    /// Returns the spec with per-event dissemination tracing attached
+    /// (observation only; never changes the outcome).
+    pub fn with_trace(mut self, trace: TraceSpec) -> Self {
+        self.trace = Some(trace);
         self
     }
 

@@ -58,6 +58,7 @@ use fed_sim::network::{
 };
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
+use fed_trace::TraceSpec;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -439,6 +440,17 @@ impl Reader {
 
     fn req_u64(&mut self, key: &str) -> Result<u64> {
         let (v, line) = self.req(key)?;
+        self.u64_of(key, v, line)
+    }
+
+    fn opt_u64(&mut self, key: &str, default: u64) -> Result<u64> {
+        match self.take(key) {
+            None => Ok(default),
+            Some((v, line)) => self.u64_of(key, v, line),
+        }
+    }
+
+    fn u64_of(&self, key: &str, v: Value, line: usize) -> Result<u64> {
         let (i, line) = self.int_of(key, v, line)?;
         if i < 0 || i > u64::MAX as i128 {
             return Err(self.key_err(
@@ -679,6 +691,7 @@ const TELEMETRY_KEYS: &[&str] = &[
     "latency_buckets",
 ];
 const PROFILE_KEYS: &[&str] = &["trace"];
+const TRACE_KEYS: &[&str] = &["sample_rate", "salt", "export"];
 const FAULT_PARTITION_KEYS: &[&str] = &["at", "heal", "split"];
 const FAULT_ONEWAY_KEYS: &[&str] = &["at", "until", "split"];
 const FAULT_DELAY_KEYS: &[&str] = &["at", "until", "extra"];
@@ -706,6 +719,7 @@ const SECTIONS: &[&str] = &[
     "membership",
     "telemetry",
     "profile",
+    "trace",
 ];
 
 /// Parses a complete scenario file.
@@ -1098,6 +1112,25 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
         }
     };
 
+    // [trace] — optional; its presence (even empty) enables per-event
+    // dissemination tracing.
+    let trace = match section("trace", TRACE_KEYS)? {
+        None => None,
+        Some(mut trace) => {
+            let d = TraceSpec::default();
+            let spec = TraceSpec {
+                sample_rate: trace.opt_float("sample_rate", FloatCheck::Fraction, d.sample_rate)?,
+                salt: trace.opt_u64("salt", d.salt)?,
+                export: trace.opt_str("export")?.map(|(s, _)| s),
+            };
+            let header = trace.header_line;
+            trace.finish()?;
+            TraceSpec::checked(spec.clone())
+                .map_err(|e| ScenarioFileError::at(header, format!("[trace] {e}")))?;
+            Some(spec)
+        }
+    };
+
     // Anything left over is an unknown section.
     if let Some((path, sec)) = doc.sections.into_iter().next() {
         return Err(ScenarioFileError::at(
@@ -1125,6 +1158,7 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
             churn,
             telemetry,
             profile,
+            trace,
             net,
             membership,
             faults,
@@ -1345,6 +1379,15 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
         }
     }
 
+    if let Some(t) = &spec.trace {
+        push("\n[trace]".into());
+        push(format!("sample_rate = {}", fmt_float(t.sample_rate)));
+        push(format!("salt = {}", t.salt));
+        if let Some(export) = &t.export {
+            push(format!("export = \"{export}\""));
+        }
+    }
+
     Ok(out)
 }
 
@@ -1513,6 +1556,35 @@ mod tests {
         let bad = format!("{MINIMAL}\n[profile]\ntrace = \"  \"\n");
         let err = parse_scenario(&bad).unwrap_err();
         assert!(err.message.contains("[profile]"), "{err}");
+    }
+
+    #[test]
+    fn trace_section_parses_and_validates() {
+        // An empty section enables tracing with the defaults.
+        let input = format!("{MINIMAL}\n[trace]\n");
+        let f = parse_scenario(&input).unwrap();
+        assert_eq!(f.spec.trace, Some(TraceSpec::default()));
+        // No section at all means no tracing.
+        assert!(parse_scenario(MINIMAL).unwrap().spec.trace.is_none());
+        // All knobs round through.
+        let input = format!(
+            "{MINIMAL}\n[trace]\nsample_rate = 0.25\nsalt = 42\nexport = \"traces/t.json\"\n"
+        );
+        let t = parse_scenario(&input).unwrap().spec.trace.unwrap();
+        assert_eq!(t.sample_rate, 0.25);
+        assert_eq!(t.salt, 42);
+        assert_eq!(t.export.as_deref(), Some("traces/t.json"));
+        // Out-of-range rates and unknown keys are rejected.
+        let bad = format!("{MINIMAL}\n[trace]\nsample_rate = 1.5\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("fraction"), "{err}");
+        let bad = format!("{MINIMAL}\n[trace]\nrate = 0.5\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("unknown key `rate`"), "{err}");
+        // An empty export path is rejected by the spec check.
+        let bad = format!("{MINIMAL}\n[trace]\nexport = \" \"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("[trace]"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,7 @@ use fed_sim::network::{
 };
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
+use fed_trace::TraceSpec;
 use fed_workload::scenario_file::{parse_scenario, spec_from_toml, to_toml};
 use fed_workload::{
     Appetite, Architecture, ChurnPlan, FlashCrowd, Placement, PubPlan, ScenarioSpec,
@@ -128,6 +129,27 @@ fn profile_strategy() -> impl Strategy<Value = Option<ProfileSpec>> {
     ]
 }
 
+fn trace_strategy() -> impl Strategy<Value = Option<TraceSpec>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(TraceSpec::default())),
+        (0u32..=1000, any::<u64>()).prop_map(|(rate, salt)| {
+            Some(TraceSpec {
+                sample_rate: fractional(rate, 1000),
+                salt,
+                export: None,
+            })
+        }),
+        (0u32..=1000, any::<u64>(), "[A-Za-z0-9_./-]{1,40}").prop_map(|(rate, salt, path)| {
+            Some(TraceSpec {
+                sample_rate: fractional(rate, 1000),
+                salt,
+                export: Some(path),
+            })
+        }),
+    ]
+}
+
 fn faults_strategy() -> impl Strategy<Value = FaultSchedule> {
     // Fault windows must satisfy `at < heal`/`at < until` — the parser
     // rejects degenerate windows, so the round-trip property quantifies
@@ -230,13 +252,13 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         0u32..=999_999u32,
         any::<u64>(),
     );
-    let robust = (faults_strategy(), membership_strategy());
+    let robust = (faults_strategy(), membership_strategy(), trace_strategy());
     (head, plan, tail, robust).prop_map(
         |(
             (arch, n, shards, placement, adaptive_window, num_topics, zipf, appetite),
             (rate, duration, topic_zipf, payload_bytes, warmup, flash),
             (churn, telemetry, profile, latency, loss, seed),
-            (faults, membership),
+            (faults, membership, trace),
         )| {
             let loss = fractional(loss, 1_000_000);
             let net = if loss > 0.0 {
@@ -264,6 +286,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 churn,
                 telemetry,
                 profile,
+                trace,
                 net,
                 membership,
                 faults,
