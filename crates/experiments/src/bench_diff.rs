@@ -9,6 +9,13 @@
 //! regression and fails the command — CI diffs the fresh artifact
 //! against the committed one (`git show HEAD:BENCH_cluster.json`).
 //!
+//! Rows without a throughput rate — the `BENCH_sweep.json` frontier and
+//! aggregate rows — are compared on the directional sweep metrics
+//! instead ([`FRONTIER_METRICS`]): fairness and reliability must not
+//! drop, latency and forwarding cost must not rise, each by more than
+//! the threshold. Those quantities are virtual-world deterministic, so
+//! CI runs the sweep diff with `--threshold 0` — byte-equal or fail.
+//!
 //! Configurations appear many times in an appended artifact (one record
 //! per historical run); the **last occurrence wins**, so the diff always
 //! compares the most recent measurement on each side.
@@ -46,6 +53,37 @@ const MEASUREMENT_FIELDS: &[&str] = &[
     // entirely, since null has no scalar key representation.
     "handover_ms",
     "detection_latency_mean_us",
+    // BENCH_sweep.json measurements: per-frontier-point axes and
+    // per-architecture aggregates. `workload_index` names the generated
+    // workload behind a frontier point — informational, and free to move
+    // when the frontier reshuffles, so it must not split the row.
+    "workload_index",
+    "jain",
+    "latency_p95_ms",
+    "msgs_per_delivery",
+    "reliability",
+    "jain_mean",
+    "latency_p95_mean_ms",
+    "msgs_per_delivery_mean",
+    "reliability_mean",
+    "frontier_points",
+];
+
+/// Directional sweep metrics: `(field, higher_is_better)`. Rows without
+/// a throughput rate (the `BENCH_sweep.json` shape) are compared on
+/// these instead — a row regresses when any metric present on both
+/// sides moves *adversely* past the threshold, so a fairness drop, a
+/// latency increase or a forwarding-cost increase all trip CI, while
+/// improvements of any size pass.
+pub const FRONTIER_METRICS: &[(&str, bool)] = &[
+    ("jain", true),
+    ("jain_mean", true),
+    ("reliability", true),
+    ("reliability_mean", true),
+    ("latency_p95_ms", false),
+    ("latency_p95_mean_ms", false),
+    ("msgs_per_delivery", false),
+    ("msgs_per_delivery_mean", false),
 ];
 
 /// Default regression threshold: a row fails when its events/s dropped
@@ -170,7 +208,50 @@ pub fn diff(old_text: &str, new_text: &str, threshold: f64) -> Result<DiffReport
                         ]);
                     }
                     _ => {
-                        table.row_owned(vec![key.clone(), dash(), dash(), dash(), "ok".into()]);
+                        // No throughput on this pair: compare the
+                        // directional sweep metrics instead, reporting
+                        // the most adverse mover.
+                        let mut worst: Option<(&str, f64, f64, f64)> = None;
+                        for &(metric, higher_is_better) in FRONTIER_METRICS {
+                            let o = old_row.get(metric).and_then(Value::as_f64);
+                            let n = new_row.get(metric).and_then(Value::as_f64);
+                            let (Some(o), Some(n)) = (o, n) else { continue };
+                            if o <= 0.0 {
+                                continue;
+                            }
+                            let delta = n / o - 1.0;
+                            // Positive = adverse, whatever the direction.
+                            let adverse = if higher_is_better { -delta } else { delta };
+                            if worst.is_none_or(|w| adverse > w.3) {
+                                worst = Some((metric, o, n, adverse));
+                            }
+                        }
+                        match worst {
+                            Some((metric, o, n, adverse)) => {
+                                let status = if adverse > threshold {
+                                    regressions.push(key.clone());
+                                    "REGRESSION".to_string()
+                                } else {
+                                    "ok".to_string()
+                                };
+                                table.row_owned(vec![
+                                    key.clone(),
+                                    format!("{metric}={}", fmt_f64(o)),
+                                    format!("{metric}={}", fmt_f64(n)),
+                                    format!("{:+.1}%", (n / o - 1.0) * 100.0),
+                                    status,
+                                ]);
+                            }
+                            None => {
+                                table.row_owned(vec![
+                                    key.clone(),
+                                    dash(),
+                                    dash(),
+                                    dash(),
+                                    "ok".into(),
+                                ]);
+                            }
+                        }
                     }
                 }
             }
@@ -309,6 +390,62 @@ mod tests {
                 "{measured} leaked into the key {key:?}"
             );
         }
+    }
+
+    fn frontier_row(suite: &str, point: usize, jain: f64, lat: f64, cost: f64) -> String {
+        format!(
+            "{{\"suite\": \"{suite}\", \"arch\": \"fair-gossip\", \"sweep_seed\": 42, \
+             \"workloads\": 48, \"point\": {point}, \"workload_index\": {point}, \
+             \"jain\": {jain:.6}, \"latency_p95_ms\": {lat:.6}, \
+             \"msgs_per_delivery\": {cost:.6}, \"reliability\": 1.000000}}"
+        )
+    }
+
+    #[test]
+    fn identical_frontier_rows_pass_at_zero_threshold() {
+        let old = doc(&[frontier_row("sweep", 0, 0.9, 40.0, 6.0)]);
+        let r = diff(&old, &old, 0.0).unwrap();
+        assert_eq!(r.compared, 1);
+        assert!(r.regressions.is_empty(), "{}", r.table);
+    }
+
+    #[test]
+    fn adverse_frontier_moves_are_regressions() {
+        let old = doc(&[frontier_row("sweep", 0, 0.9, 40.0, 6.0)]);
+        // Fairness dropped past the threshold.
+        let worse_jain = doc(&[frontier_row("sweep", 0, 0.6, 40.0, 6.0)]);
+        let r = diff(&old, &worse_jain, 0.2).unwrap();
+        assert_eq!(r.regressions.len(), 1, "{}", r.table);
+        // Latency rose past the threshold.
+        let worse_lat = doc(&[frontier_row("sweep", 0, 0.9, 60.0, 6.0)]);
+        let r = diff(&old, &worse_lat, 0.2).unwrap();
+        assert_eq!(r.regressions.len(), 1, "{}", r.table);
+        // Forwarding cost rose past the threshold.
+        let worse_cost = doc(&[frontier_row("sweep", 0, 0.9, 40.0, 9.0)]);
+        let r = diff(&old, &worse_cost, 0.2).unwrap();
+        assert_eq!(r.regressions.len(), 1, "{}", r.table);
+    }
+
+    #[test]
+    fn favorable_frontier_moves_of_any_size_pass() {
+        let old = doc(&[frontier_row("sweep", 0, 0.5, 40.0, 6.0)]);
+        let better = doc(&[frontier_row("sweep", 0, 1.0, 10.0, 2.0)]);
+        let r = diff(&old, &better, 0.2).unwrap();
+        assert_eq!(r.compared, 1);
+        assert!(r.regressions.is_empty(), "{}", r.table);
+    }
+
+    #[test]
+    fn frontier_measurements_stay_out_of_the_row_key() {
+        // A frontier reshuffle moves every measurement (including the
+        // originating workload index) but the row must still pair up by
+        // (suite, arch, sweep_seed, workloads, point).
+        let old = doc(&[frontier_row("sweep", 0, 0.9, 40.0, 6.0)]);
+        let new = doc(&[frontier_row("sweep", 0, 0.91, 39.0, 5.9)
+            .replace("\"workload_index\": 0", "\"workload_index\": 17")]);
+        let r = diff(&old, &new, DEFAULT_THRESHOLD).unwrap();
+        assert_eq!(r.compared, 1, "{}", r.table);
+        assert!(r.regressions.is_empty());
     }
 
     #[test]

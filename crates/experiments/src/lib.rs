@@ -16,6 +16,7 @@
 //! | E-BIAS | [`bias`] | §5.2 Q6 — audits against lying peers |
 //! | E-ABLATE | [`ablation`] | design-choice ablations (correction gain, civic minimum) |
 //! | E-SCALE | [`scale`] | sharded-runtime scaling sweep (beyond the paper) |
+//! | E-SWEEP | [`sweep`] | generative scenario sweeps, Pareto frontier maps (beyond the paper) |
 //! | E-TIMESERIES | [`timeseries`] | per-window fairness/latency transients under churn + flash crowd (beyond the paper) |
 //! | PROFILE | [`profile`] | scheduler profiler: phase timings, stall attribution, overhead (beyond the paper) |
 //! | TRACE | [`trace`] | per-event dissemination tracing: delivery trees, fairness attribution (beyond the paper) |
@@ -56,6 +57,7 @@ pub mod robust;
 pub mod scale;
 pub mod scenario_run;
 pub mod subs;
+pub mod sweep;
 pub mod timeseries;
 pub mod trace;
 
@@ -118,6 +120,10 @@ pub const REGISTRY: &[ExperimentInfo] = &[
     ExperimentInfo {
         id: "scale",
         summary: "sharded-runtime scaling sweep with parity gate",
+    },
+    ExperimentInfo {
+        id: "sweep",
+        summary: "generative scenario sweep: Pareto frontier map across all architectures",
     },
     ExperimentInfo {
         id: "timeseries",
@@ -222,6 +228,28 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
                 Err(e) => eprintln!("could not write {}: {e}", bench_json::BENCH_PATH),
             }
         }
+        "sweep" => {
+            let r = sweep::run("sweep", seed, sweep::FULL_WORKLOADS);
+            println!("{}", r.table);
+            if r.degenerate > 0 {
+                eprintln!(
+                    "sweep: {} degenerate run(s) excluded (no deliveries)",
+                    r.degenerate
+                );
+            }
+            assert!(
+                r.identical,
+                "sweep artifact rows diverged between the engines"
+            );
+            match sweep::replace_suite_rows(sweep::BENCH_SWEEP_PATH, "sweep", &r.records) {
+                Ok(()) => eprintln!(
+                    "wrote {} sweep row(s) to {}",
+                    r.records.len(),
+                    sweep::BENCH_SWEEP_PATH
+                ),
+                Err(e) => eprintln!("could not write {}: {e}", sweep::BENCH_SWEEP_PATH),
+            }
+        }
         "timeseries" => {
             let r = timeseries::run(256, 4, seed);
             println!("{}", r.table);
@@ -267,6 +295,7 @@ pub fn run_by_id(id: &str, seed: u64) -> bool {
             return run_smoke(other, seed)
                 || run_profile_smoke(other, seed)
                 || run_trace_smoke(other, seed)
+                || run_sweep_smoke(other, seed)
         }
     }
     true
@@ -491,6 +520,52 @@ fn run_trace_smoke(id: &str, seed: u64) -> bool {
     true
 }
 
+/// Handles the `sweep-smoke[:workloads]` pseudo-id: the sweep downscaled
+/// to a prefix of the generated workload family (default
+/// [`sweep::SMOKE_WORKLOADS`]), written into `BENCH_sweep.json` under
+/// the `sweep-smoke` suite. The rows are deterministic virtual-world
+/// quantities, so CI regenerates them and diffs against the committed
+/// artifact — any drift is a behavior change, not noise. Like `smoke`,
+/// not part of [`REGISTRY`] — CI invokes it explicitly, time-boxed.
+fn run_sweep_smoke(id: &str, seed: u64) -> bool {
+    let mut parts = id.split(':');
+    if parts.next() != Some("sweep-smoke") {
+        return false;
+    }
+    let workloads: u64 = match parts.next() {
+        None => sweep::SMOKE_WORKLOADS,
+        Some(v) => match v.parse() {
+            Ok(v) if v > 0 => v,
+            _ => return false,
+        },
+    };
+    if parts.next().is_some() {
+        return false;
+    }
+    let r = sweep::run("sweep-smoke", seed, workloads);
+    println!("{}", r.table);
+    if r.degenerate > 0 {
+        eprintln!(
+            "sweep-smoke: {} degenerate run(s) excluded (no deliveries)",
+            r.degenerate
+        );
+    }
+    assert!(
+        r.identical,
+        "sweep-smoke artifact rows diverged between the engines"
+    );
+    assert!(!r.records.is_empty(), "sweep-smoke rendered no rows");
+    match sweep::replace_suite_rows(sweep::BENCH_SWEEP_PATH, "sweep-smoke", &r.records) {
+        Ok(()) => eprintln!(
+            "wrote {} sweep-smoke row(s) to {}",
+            r.records.len(),
+            sweep::BENCH_SWEEP_PATH
+        ),
+        Err(e) => eprintln!("could not write {}: {e}", sweep::BENCH_SWEEP_PATH),
+    }
+    true
+}
+
 /// The directory generated trace artifacts land in by default —
 /// gitignored, so ad-hoc exports never pollute the work tree (see
 /// docs/OBSERVABILITY.md "Trace artifacts").
@@ -612,7 +687,7 @@ pub fn bench_diff_target(old: &str, new: &str, threshold: Option<f64>) -> Result
         Ok(())
     } else {
         Err(format!(
-            "bench-diff: events/s regressed past {:.0}% on: {}",
+            "bench-diff: measurements regressed past {:.0}% on: {}",
             threshold * 100.0,
             report.regressions.join("; ")
         ))

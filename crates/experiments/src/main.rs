@@ -70,6 +70,9 @@ fn print_help() {
     println!("                              profiler off/on overhead gate on the same workload");
     println!("  trace-smoke[:arch[:n[:shards]]]");
     println!("                              tracer off/on overhead gate on the same workload");
+    println!("  sweep-smoke[:workloads]");
+    println!("                              downscaled generative sweep; regenerates the");
+    println!("                              sweep-smoke suite of BENCH_sweep.json for CI diffing");
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,73 @@
+//! Differential mini-fuzz: generated scenarios seq-vs-cluster.
+//!
+//! Runs a fixed prefix of the seed-derived generated workload family
+//! (`fed_workload::generated_spec` — the same generator behind the
+//! `sweep` experiment) on both engines and asserts bit-identical
+//! outcomes. The generated space mixes population sizes, appetites,
+//! latency models, loss, churn, fault schedules and mobility traces, so
+//! this is a broad randomized parity gate that stays deterministic: the
+//! same specs every run, reproducible from `(FUZZ_SEED, index)` alone.
+//!
+//! On a mismatch the offending spec is dumped as a repro scenario file
+//! (every generated spec is representable by construction) and the test
+//! panics with its path — `fed-experiments parity <path>` replays it.
+
+use fed_experiments::harness::{run_architecture, EngineKind};
+use fed_experiments::scenario_run::outcomes_match;
+use fed_workload::scenario_file::to_toml;
+use fed_workload::{generated_spec, Architecture};
+
+/// The sweep seed of the fuzz family — distinct from the `sweep`
+/// experiment's CLI seed so the two suites sample different cells.
+const FUZZ_SEED: u64 = 0xF0D5;
+
+/// Generated workloads per run; each index also picks the architecture
+/// and the cluster shard count, so the prefix covers all eight
+/// architectures at several shard counts.
+const FUZZ_CASES: u64 = 16;
+
+const SHARD_CYCLE: [usize; 3] = [2, 4, 7];
+
+#[test]
+fn generated_scenarios_are_engine_agnostic() {
+    for index in 0..FUZZ_CASES {
+        let arch = Architecture::ALL[index as usize % Architecture::ALL.len()];
+        let shards = SHARD_CYCLE[index as usize % SHARD_CYCLE.len()];
+        let spec = generated_spec(FUZZ_SEED, index)
+            .with_arch(arch)
+            .with_shards(shards);
+        let sequential = run_architecture(&spec, EngineKind::Sequential);
+        let cluster = run_architecture(&spec, EngineKind::Cluster);
+        if !outcomes_match(&sequential, &cluster) {
+            let repro = std::env::temp_dir().join(format!(
+                "fed_generated_parity_repro_{FUZZ_SEED:x}_{index}.toml"
+            ));
+            let toml = to_toml(&spec).expect("generated specs are representable");
+            std::fs::write(&repro, toml).expect("repro spec must be writable");
+            panic!(
+                "generated scenario (seed {FUZZ_SEED:#x}, index {index}, arch {arch}, \
+                 {shards} shards) diverged between the engines; repro spec written to \
+                 {} — replay with `fed-experiments parity {}`",
+                repro.display(),
+                repro.display()
+            );
+        }
+    }
+}
+
+/// The repro path itself stays honest: a generated spec dumped with
+/// `to_toml` parses back to the exact spec that ran, so the file the
+/// fuzz test writes on failure replays the same simulation.
+#[test]
+fn fuzz_repro_dumps_round_trip() {
+    for index in 0..FUZZ_CASES {
+        let spec = generated_spec(FUZZ_SEED, index)
+            .with_arch(Architecture::ALL[index as usize % Architecture::ALL.len()]);
+        let toml = to_toml(&spec).expect("generated specs are representable");
+        assert_eq!(
+            fed_workload::spec_from_toml(&toml).expect("dump parses"),
+            spec,
+            "index {index}: repro dump diverged from the spec that ran"
+        );
+    }
+}

@@ -12,7 +12,9 @@
 use fed_experiments::harness::{run_architecture, ArchOutcome, EngineKind};
 use fed_experiments::scenario_run::outcomes_match;
 use fed_membership::swim::SwimConfig;
-use fed_sim::network::{DelayFault, FaultSchedule, OnewayFault, PartitionFault};
+use fed_sim::network::{
+    DelayFault, FaultSchedule, MobilitySegment, MobilityTrace, OnewayFault, PartitionFault,
+};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
 use fed_workload::churn::ChurnPlan;
@@ -178,6 +180,89 @@ fn hybrid_handover_parity_under_flash_crowd() {
         outcome.handovers.iter().all(|h| h.is_some()),
         "every node must eventually switch"
     );
+}
+
+/// A periodic mobility blackout (ids < 24 lose the core for 1.3s of
+/// every 2.5s cycle) under the armed detector: each blackout looks like
+/// mass failure — *false* suspicions, since nobody crashed — and each
+/// reconnection triggers refutations. The trace is evaluated as a pure
+/// function of (time, from, to), so the whole history is bit-identical
+/// across engines and shard counts {1, 2, 4, 7}.
+#[test]
+fn swim_parity_under_mobility_blackouts() {
+    let mut spec = detector_spec(Architecture::FairGossip, 72, 13);
+    spec = spec.with_mobility(MobilityTrace {
+        split: 24,
+        period: Some(SimDuration::from_millis(2_500)),
+        segments: vec![
+            MobilitySegment {
+                at: SimTime::ZERO,
+                extra: SimDuration::ZERO,
+                disconnected: false,
+            },
+            MobilitySegment {
+                at: SimTime::from_millis(1_200),
+                extra: SimDuration::ZERO,
+                disconnected: true,
+            },
+        ],
+    });
+    let outcome = assert_parity(&spec, "mobility blackout");
+    let series = outcome.membership_series(SimDuration::from_millis(500));
+    assert!(
+        series.total_false_suspicions() > 0,
+        "a blackout must look like failure to the detector"
+    );
+    assert!(
+        series.total_refutes() > 0,
+        "each reconnection must trigger a refutation wave"
+    );
+}
+
+/// The hybrid broker→gossip handover still fires — at the same instant
+/// everywhere — when a mobility trace is degrading the world underneath
+/// the flash crowd: an extra-latency segment while the load builds,
+/// then a permanent disconnection of a fringe group after the switch.
+#[test]
+fn hybrid_handover_parity_under_mobility() {
+    let mut spec = detector_spec(Architecture::Hybrid, 64, 9);
+    spec.plan = PubPlan {
+        rate_per_sec: 20.0,
+        duration: SimTime::from_secs(5),
+        topic_zipf_s: 1.0,
+        payload_bytes: 64,
+        warmup: SimTime::from_secs(1),
+        flash: Some(FlashCrowd {
+            at: SimTime::from_secs(2),
+            topic_zipf_s: 3.0,
+            rate_factor: 12.0,
+        }),
+    };
+    spec = spec.with_mobility(MobilityTrace {
+        split: 16,
+        period: None,
+        segments: vec![
+            MobilitySegment {
+                at: SimTime::from_millis(1_500),
+                extra: SimDuration::from_millis(25),
+                disconnected: false,
+            },
+            MobilitySegment {
+                at: SimTime::from_millis(4_000),
+                extra: SimDuration::ZERO,
+                disconnected: true,
+            },
+        ],
+    });
+    let outcome = assert_parity(&spec, "hybrid under mobility");
+    let handover = outcome
+        .handover_time()
+        .expect("the flash crowd must still push load past the spike threshold");
+    assert!(
+        handover >= SimTime::from_secs(2),
+        "handover cannot precede the burst (got {handover:?})"
+    );
+    assert!(outcome.total_deliveries() > 0);
 }
 
 /// Detection *telemetry* is byte-identical too: the membership series

@@ -198,6 +198,126 @@ impl FaultSchedule {
     }
 }
 
+/// One step of a [`MobilityTrace`]: from `at` onwards (until the next
+/// segment starts, or forever for the last segment of an aperiodic trace)
+/// cross-split messages take `extra` additional latency, or are dropped
+/// entirely when `disconnected` is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MobilitySegment {
+    /// Trace-relative activation instant (relative to the period start for
+    /// periodic traces, absolute for aperiodic ones).
+    pub at: SimTime,
+    /// Extra latency added to cross-split messages while this segment is
+    /// active. Ignored when `disconnected` is set.
+    pub extra: SimDuration,
+    /// When set, cross-split messages are dropped while this segment is
+    /// active.
+    pub disconnected: bool,
+}
+
+/// A piecewise time-varying connectivity trace between two node groups —
+/// the dynamic-topology analogue of a [`FaultSchedule`].
+///
+/// Nodes with id below `split` form the mobile group; the trace describes
+/// how the link between the mobile group and everyone else changes over
+/// time. At any instant the *active* segment is the last one whose `at`
+/// is not in the future (on the trace-relative clock); cross-split
+/// messages then take the segment's `extra` additional latency or drop
+/// when it is `disconnected`. Before the first segment starts the trace
+/// has no effect. With a `period` the trace clock is `now mod period`, so
+/// the pattern repeats — a node shuttling through a coverage corridor;
+/// without one the trace plays once on absolute time — a world that
+/// degrades and never recovers.
+///
+/// Like scheduled faults, every verdict is a pure function of
+/// `(now, from, to)` evaluated before any randomness is drawn, and a
+/// trace can only *drop* messages or *add* latency — never deliver
+/// early — so the conservative lookahead bound
+/// ([`NetworkModel::min_latency`]) and seq-vs-cluster bit-identity hold
+/// by construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MobilityTrace {
+    /// Boundary node id: ids `< split` form the mobile group.
+    pub split: u32,
+    /// Optional repeat period; the trace clock is `now mod period`.
+    pub period: Option<SimDuration>,
+    /// Piecewise segments, strictly increasing in `at`.
+    pub segments: Vec<MobilitySegment>,
+}
+
+impl MobilityTrace {
+    /// Checks the structural invariants the evaluation semantics rely on.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the trace has no segments,
+    /// segment instants are not strictly increasing, the period is zero,
+    /// or a segment starts at or past the period.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segments.is_empty() {
+            return Err("mobility trace needs at least one segment".into());
+        }
+        for w in self.segments.windows(2) {
+            if w[1].at <= w[0].at {
+                return Err(format!(
+                    "mobility segments must be strictly increasing in `at` \
+                     ({:?}us then {:?}us)",
+                    w[0].at.as_micros(),
+                    w[1].at.as_micros()
+                ));
+            }
+        }
+        if let Some(p) = self.period {
+            if p == SimDuration::ZERO {
+                return Err("mobility period must be positive".into());
+            }
+            if let Some(seg) = self
+                .segments
+                .iter()
+                .find(|s| s.at.as_micros() >= p.as_micros())
+            {
+                return Err(format!(
+                    "mobility segment at {}us starts at or past the period ({}us)",
+                    seg.at.as_micros(),
+                    p.as_micros()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The segment active at `now`, if any.
+    fn active(&self, now: SimTime) -> Option<&MobilitySegment> {
+        let t = match self.period {
+            Some(p) => now.as_micros() % p.as_micros(),
+            None => now.as_micros(),
+        };
+        self.segments.iter().rev().find(|s| s.at.as_micros() <= t)
+    }
+
+    /// `true` when `from -> to` crosses the mobile-group boundary.
+    fn crosses(&self, from: usize, to: usize) -> bool {
+        ((from as u64) < u64::from(self.split)) != ((to as u64) < u64::from(self.split))
+    }
+
+    /// `true` when a message `from -> to` sent at `now` is dropped by an
+    /// active disconnected segment.
+    pub fn drops(&self, now: SimTime, from: usize, to: usize) -> bool {
+        self.crosses(from, to) && self.active(now).is_some_and(|s| s.disconnected)
+    }
+
+    /// Extra latency applied to a message `from -> to` sent at `now`.
+    pub fn extra_delay(&self, now: SimTime, from: usize, to: usize) -> SimDuration {
+        if !self.crosses(from, to) {
+            return SimDuration::ZERO;
+        }
+        match self.active(now) {
+            Some(s) if !s.disconnected => s.extra,
+            _ => SimDuration::ZERO,
+        }
+    }
+}
+
 /// Full network model: latency plus iid loss plus optional partitions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
@@ -208,6 +328,8 @@ pub struct NetworkModel {
     groups: Option<Vec<u32>>,
     /// Scheduled deterministic faults.
     faults: FaultSchedule,
+    /// Time-varying connectivity trace, if any.
+    mobility: Option<MobilityTrace>,
 }
 
 impl NetworkModel {
@@ -218,6 +340,7 @@ impl NetworkModel {
             loss_probability: 0.0,
             groups: None,
             faults: FaultSchedule::default(),
+            mobility: None,
         }
     }
 
@@ -229,6 +352,7 @@ impl NetworkModel {
             loss_probability: loss.clamp(0.0, 0.999_999),
             groups: None,
             faults: FaultSchedule::default(),
+            mobility: None,
         }
     }
 
@@ -236,6 +360,17 @@ impl NetworkModel {
     pub fn with_faults(mut self, faults: FaultSchedule) -> Self {
         self.faults = faults;
         self
+    }
+
+    /// Replaces the mobility trace (builder style).
+    pub fn with_mobility(mut self, mobility: Option<MobilityTrace>) -> Self {
+        self.mobility = mobility;
+        self
+    }
+
+    /// The configured mobility trace, if any.
+    pub fn mobility(&self) -> Option<&MobilityTrace> {
+        self.mobility.as_ref()
     }
 
     /// The scheduled fault schedule.
@@ -306,6 +441,11 @@ impl NetworkModel {
         if self.faults.drops(now, from, to) {
             return None;
         }
+        if let Some(m) = &self.mobility {
+            if m.drops(now, from, to) {
+                return None;
+            }
+        }
         if let Some(groups) = &self.groups {
             let gf = groups.get(from).copied().unwrap_or(0);
             let gt = groups.get(to).copied().unwrap_or(0);
@@ -316,12 +456,16 @@ impl NetworkModel {
         if self.loss_probability > 0.0 && rng.bernoulli(self.loss_probability) {
             return None;
         }
+        let mobility_extra = match &self.mobility {
+            Some(m) => m.extra_delay(now, from, to),
+            None => SimDuration::ZERO,
+        };
         // Validated at construction; latency sampling cannot fail for the
         // models constructible through the public API.
         self.latency
             .sample(rng)
             .ok()
-            .map(|d| d + self.faults.extra_delay(now))
+            .map(|d| d + self.faults.extra_delay(now) + mobility_extra)
     }
 }
 
@@ -526,6 +670,179 @@ mod tests {
         assert_eq!(outside, base);
         // Extra delay only adds: the conservative lookahead stays valid.
         assert!(inside >= net.min_latency());
+    }
+
+    fn corridor() -> MobilityTrace {
+        // Connected at +10ms extra, then disconnected, repeating every 2s.
+        MobilityTrace {
+            split: 4,
+            period: Some(SimDuration::from_secs(2)),
+            segments: vec![
+                MobilitySegment {
+                    at: SimTime::ZERO,
+                    extra: SimDuration::from_millis(10),
+                    disconnected: false,
+                },
+                MobilitySegment {
+                    at: SimTime::from_millis(1500),
+                    extra: SimDuration::ZERO,
+                    disconnected: true,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn mobility_periodic_trace_repeats() {
+        let base = SimDuration::from_millis(10);
+        let net =
+            NetworkModel::reliable(LatencyModel::Constant(base)).with_mobility(Some(corridor()));
+        let mut r = rng();
+        // First period: connected window adds 10ms, blackout drops.
+        assert_eq!(
+            net.transmit(&mut r, SimTime::from_millis(100), 0, 7),
+            Some(base + SimDuration::from_millis(10))
+        );
+        assert!(net
+            .transmit(&mut r, SimTime::from_millis(1700), 0, 7)
+            .is_none());
+        // Third period: same pattern, trace clock wrapped.
+        assert_eq!(
+            net.transmit(&mut r, SimTime::from_millis(4100), 0, 7),
+            Some(base + SimDuration::from_millis(10))
+        );
+        assert!(net
+            .transmit(&mut r, SimTime::from_millis(5700), 7, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn mobility_affects_cross_split_only() {
+        let base = SimDuration::from_millis(10);
+        let net =
+            NetworkModel::reliable(LatencyModel::Constant(base)).with_mobility(Some(corridor()));
+        let mut r = rng();
+        let blackout = SimTime::from_millis(1700);
+        // Within either side the trace never applies.
+        assert_eq!(net.transmit(&mut r, blackout, 0, 3), Some(base));
+        assert_eq!(net.transmit(&mut r, blackout, 5, 7), Some(base));
+        let connected = SimTime::from_millis(100);
+        assert_eq!(net.transmit(&mut r, connected, 0, 3), Some(base));
+    }
+
+    #[test]
+    fn mobility_aperiodic_trace_plays_once() {
+        let base = SimDuration::from_millis(10);
+        let trace = MobilityTrace {
+            split: 2,
+            period: None,
+            segments: vec![MobilitySegment {
+                at: SimTime::from_secs(3),
+                extra: SimDuration::ZERO,
+                disconnected: true,
+            }],
+        };
+        let net = NetworkModel::reliable(LatencyModel::Constant(base)).with_mobility(Some(trace));
+        let mut r = rng();
+        // Before the first segment the trace has no effect.
+        assert_eq!(
+            net.transmit(&mut r, SimTime::from_secs(1), 0, 5),
+            Some(base)
+        );
+        // The final segment holds forever.
+        assert!(net.transmit(&mut r, SimTime::from_secs(4), 0, 5).is_none());
+        assert!(net
+            .transmit(&mut r, SimTime::from_secs(400), 5, 0)
+            .is_none());
+    }
+
+    #[test]
+    fn mobility_extra_only_adds_so_lookahead_holds() {
+        let base = SimDuration::from_millis(10);
+        let net =
+            NetworkModel::reliable(LatencyModel::Constant(base)).with_mobility(Some(corridor()));
+        let mut r = rng();
+        for ms in [0u64, 500, 1400, 1999, 2100, 3600] {
+            if let Some(d) = net.transmit(&mut r, SimTime::from_millis(ms), 0, 7) {
+                assert!(d >= net.min_latency(), "at {ms}ms: {d:?}");
+            }
+        }
+        assert_eq!(
+            net.min_latency(),
+            base,
+            "mobility does not shrink the bound"
+        );
+    }
+
+    #[test]
+    fn mobility_drops_consume_no_randomness() {
+        // As with scheduled faults: a mobility drop must not advance the RNG
+        // stream consumed by later messages.
+        let net = NetworkModel::lossy(
+            LatencyModel::Uniform {
+                lo: SimDuration::from_millis(1),
+                hi: SimDuration::from_millis(50),
+            },
+            0.1,
+        )
+        .with_mobility(Some(MobilityTrace {
+            split: 1,
+            period: None,
+            segments: vec![MobilitySegment {
+                at: SimTime::ZERO,
+                extra: SimDuration::ZERO,
+                disconnected: true,
+            }],
+        }));
+        let mut a = rng();
+        let mut b = rng();
+        assert!(net.transmit(&mut a, SimTime::ZERO, 0, 1).is_none());
+        let after_drop = net.transmit(&mut a, SimTime::ZERO, 1, 2);
+        let without_drop = net.transmit(&mut b, SimTime::ZERO, 1, 2);
+        assert_eq!(after_drop, without_drop);
+    }
+
+    #[test]
+    fn mobility_validate_rejects_bad_traces() {
+        let seg = |ms: u64| MobilitySegment {
+            at: SimTime::from_millis(ms),
+            extra: SimDuration::ZERO,
+            disconnected: false,
+        };
+        let empty = MobilityTrace {
+            split: 1,
+            period: None,
+            segments: vec![],
+        };
+        assert!(empty
+            .validate()
+            .unwrap_err()
+            .contains("at least one segment"));
+        let unordered = MobilityTrace {
+            split: 1,
+            period: None,
+            segments: vec![seg(100), seg(100)],
+        };
+        assert!(unordered
+            .validate()
+            .unwrap_err()
+            .contains("strictly increasing"));
+        let zero_period = MobilityTrace {
+            split: 1,
+            period: Some(SimDuration::ZERO),
+            segments: vec![seg(0)],
+        };
+        assert!(zero_period.validate().unwrap_err().contains("positive"));
+        let past_period = MobilityTrace {
+            split: 1,
+            period: Some(SimDuration::from_millis(100)),
+            segments: vec![seg(0), seg(100)],
+        };
+        assert!(past_period
+            .validate()
+            .unwrap_err()
+            .contains("past the period"));
+        assert!(corridor().validate().is_ok());
     }
 
     #[test]

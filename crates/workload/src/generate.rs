@@ -1,0 +1,279 @@
+//! Deterministic generative scenario workloads for sweeps and fuzzing.
+//!
+//! [`generated_spec`] maps a `(sweep_seed, index)` pair to one
+//! [`ScenarioSpec`] — a pure function, so a sweep over indices
+//! `0..count` is reproducible from its seed alone, resumable from any
+//! index, and identical on every machine. The generated space covers
+//! the workload dimensions the hand-curated `scenarios/` library
+//! samples only pointwise: population size, topic universe and skew,
+//! all three interest appetites, publication rate and flash crowds,
+//! churn, every latency model, iid loss, scheduled faults and
+//! time-varying connectivity (`[mobility]` traces).
+//!
+//! Two invariants every generated spec satisfies, enforced by tests:
+//!
+//! * it is **representable**: `to_toml` succeeds and round-trips, so a
+//!   failing spec can always be dumped as a repro `.toml` file;
+//! * it is **runnable**: `materialize` succeeds and the population /
+//!   duration bounds keep a seq-vs-cluster differential run cheap.
+//!
+//! The spec is architecture-agnostic (always generated as fair gossip):
+//! sweep and fuzz harnesses iterate architectures on top via
+//! [`ScenarioSpec::with_arch`], so every architecture faces the
+//! identical workload at a given index.
+
+use crate::churn::ChurnPlan;
+use crate::interest::Appetite;
+use crate::pubs::{FlashCrowd, PubPlan};
+use crate::scenario::ScenarioSpec;
+use fed_sim::network::{
+    DelayFault, FaultSchedule, LatencyModel, MobilitySegment, MobilityTrace, NetworkModel,
+    PartitionFault,
+};
+use fed_sim::{SimDuration, SimTime};
+use fed_util::rng::{Rng64, SplitMix64, Xoshiro256StarStar};
+
+/// Smallest population a generated scenario uses.
+pub const MIN_NODES: usize = 32;
+/// Largest population a generated scenario uses — small enough that a
+/// differential seq-vs-cluster run of one spec stays well under a
+/// second.
+pub const MAX_NODES: usize = 192;
+
+/// The generator RNG for one `(sweep_seed, index)` cell.
+///
+/// Seeding goes through one SplitMix64 scramble so neighbouring indices
+/// land in unrelated regions of the Xoshiro state space.
+fn cell_rng(sweep_seed: u64, index: u64) -> Xoshiro256StarStar {
+    let mut mix = SplitMix64::seed_from_u64(sweep_seed ^ index.rotate_left(17));
+    Xoshiro256StarStar::seed_from_u64(mix.next_u64())
+}
+
+fn duration_ms(rng: &mut impl Rng64, lo: u64, hi: u64) -> SimDuration {
+    SimDuration::from_millis(lo + rng.range_u64(hi - lo + 1))
+}
+
+fn time_ms(rng: &mut impl Rng64, lo: u64, hi: u64) -> SimTime {
+    SimTime::from_millis(lo + rng.range_u64(hi - lo + 1))
+}
+
+/// Fractions with a finite decimal expansion keep the generated spec's
+/// floats exactly representable in the TOML round trip.
+fn fraction(rng: &mut impl Rng64, den: u64) -> f64 {
+    rng.range_u64(den + 1) as f64 / den as f64
+}
+
+fn appetite(rng: &mut impl Rng64) -> Appetite {
+    match rng.range_u64(3) {
+        0 => Appetite::Fixed(1 + rng.range_usize(6)),
+        1 => {
+            let lo = rng.range_usize(3);
+            Appetite::Uniform {
+                lo,
+                hi: lo + 1 + rng.range_usize(6),
+            }
+        }
+        _ => Appetite::Bimodal {
+            heavy_fraction: 0.05 + fraction(rng, 100) * 0.4,
+            heavy: 4 + rng.range_usize(8),
+            light: 1 + rng.range_usize(2),
+        },
+    }
+}
+
+fn latency(rng: &mut impl Rng64) -> LatencyModel {
+    match rng.range_u64(3) {
+        0 => LatencyModel::Constant(duration_ms(rng, 1, 30)),
+        1 => {
+            let lo = duration_ms(rng, 1, 15);
+            LatencyModel::Uniform {
+                lo,
+                hi: lo + duration_ms(rng, 1, 30),
+            }
+        }
+        _ => LatencyModel::LogNormalMs {
+            median_ms: (5 + rng.range_u64(40)) as f64,
+            sigma: fraction(rng, 10) * 0.8,
+            // Always floored: generated WAN models keep a real lookahead
+            // so the sharded half of a differential run stays fast.
+            floor: duration_ms(rng, 1, 5),
+        },
+    }
+}
+
+/// Faults are generated against the run phase `[0, horizon_ms)` so a
+/// scheduled window actually overlaps the publication phase.
+fn faults(rng: &mut impl Rng64, n: usize, horizon_ms: u64) -> FaultSchedule {
+    let mut schedule = FaultSchedule::default();
+    if rng.bernoulli(0.25) {
+        let at = rng.range_u64(horizon_ms / 2);
+        schedule.partition = Some(PartitionFault {
+            at: SimTime::from_millis(at),
+            heal: SimTime::from_millis(at + 200 + rng.range_u64(horizon_ms / 2)),
+            split: (1 + rng.range_usize(n - 1)) as u32,
+        });
+    }
+    if rng.bernoulli(0.2) {
+        let at = rng.range_u64(horizon_ms / 2);
+        schedule.delay = Some(DelayFault {
+            at: SimTime::from_millis(at),
+            until: SimTime::from_millis(at + 200 + rng.range_u64(horizon_ms / 2)),
+            extra: duration_ms(rng, 5, 60),
+        });
+    }
+    schedule
+}
+
+fn mobility(rng: &mut impl Rng64, n: usize, horizon_ms: u64) -> Option<MobilityTrace> {
+    if !rng.bernoulli(0.3) {
+        return None;
+    }
+    let split = (1 + rng.range_usize(n - 1)) as u32;
+    let periodic = rng.bernoulli(0.5);
+    let mut segments = Vec::new();
+    let mut at = if rng.bernoulli(0.5) {
+        0
+    } else {
+        rng.range_u64(horizon_ms / 4)
+    };
+    for _ in 0..1 + rng.range_u64(3) {
+        segments.push(MobilitySegment {
+            at: SimTime::from_millis(at),
+            extra: if rng.bernoulli(0.7) {
+                duration_ms(rng, 5, 50)
+            } else {
+                SimDuration::ZERO
+            },
+            disconnected: rng.bernoulli(0.35),
+        });
+        at += 100 + rng.range_u64(horizon_ms / 4);
+    }
+    let period = periodic.then(|| SimDuration::from_millis(at + 100 + rng.range_u64(500)));
+    Some(MobilityTrace {
+        split,
+        period,
+        segments,
+    })
+}
+
+/// The generated scenario at `(sweep_seed, index)`.
+///
+/// Pure and total: every `(seed, index)` yields a spec, the same one
+/// every time. The spec always names fair gossip; callers swap the
+/// architecture per run.
+pub fn generated_spec(sweep_seed: u64, index: u64) -> ScenarioSpec {
+    let mut rng = cell_rng(sweep_seed, index);
+    let n = MIN_NODES + rng.range_usize(MAX_NODES - MIN_NODES + 1);
+    let num_topics = 8 + rng.range_usize(33);
+    let warmup = time_ms(&mut rng, 200, 800);
+    let duration = time_ms(&mut rng, 800, 2_000);
+    let horizon_ms = warmup.as_millis() + duration.as_millis();
+    let flash = rng.bernoulli(0.2).then(|| FlashCrowd {
+        at: SimTime::from_millis(warmup.as_millis() + rng.range_u64(duration.as_millis())),
+        topic_zipf_s: 2.0 + fraction(&mut rng, 10) * 2.0,
+        rate_factor: 2.0 + rng.range_u64(9) as f64,
+    });
+    let churn = rng.bernoulli(0.25).then(|| ChurnPlan {
+        mean_session_secs: 2.0 + rng.range_u64(9) as f64,
+        mean_downtime_secs: 1.0 + rng.range_u64(3) as f64,
+        churning_fraction: 0.1 + fraction(&mut rng, 10) * 0.3,
+        duration: SimTime::from_millis(horizon_ms),
+        warmup,
+    });
+    let latency = latency(&mut rng);
+    let loss = if rng.bernoulli(0.3) {
+        fraction(&mut rng, 100) * 0.05
+    } else {
+        0.0
+    };
+    let net = if loss > 0.0 {
+        NetworkModel::lossy(latency, loss)
+    } else {
+        NetworkModel::reliable(latency)
+    };
+    let faults = faults(&mut rng, n, horizon_ms);
+    let mobility = mobility(&mut rng, n, horizon_ms);
+    let mut spec = ScenarioSpec::fair_gossip(n, rng.next_u64());
+    spec.n = n;
+    spec.num_topics = num_topics;
+    spec.zipf_s = fraction(&mut rng, 10) * 2.0;
+    spec.appetite = appetite(&mut rng);
+    spec.plan = PubPlan {
+        rate_per_sec: (5 + rng.range_u64(36)) as f64,
+        duration,
+        topic_zipf_s: fraction(&mut rng, 10) * 2.0,
+        payload_bytes: 32 << rng.range_u64(4),
+        warmup,
+        flash,
+    };
+    spec.churn = churn;
+    spec.net = net;
+    spec.faults = faults;
+    spec.mobility = mobility;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario_file::{spec_from_toml, to_toml};
+
+    #[test]
+    fn generated_specs_are_deterministic() {
+        for index in 0..32 {
+            assert_eq!(generated_spec(42, index), generated_spec(42, index));
+        }
+        // Different cells differ (the generator is not degenerate).
+        assert_ne!(generated_spec(42, 0), generated_spec(42, 1));
+        assert_ne!(generated_spec(42, 0), generated_spec(43, 0));
+    }
+
+    #[test]
+    fn generated_specs_are_representable_and_runnable() {
+        for index in 0..64 {
+            let spec = generated_spec(7, index);
+            assert!(
+                (MIN_NODES..=MAX_NODES).contains(&spec.n),
+                "index {index}: n={}",
+                spec.n
+            );
+            let toml =
+                to_toml(&spec).unwrap_or_else(|e| panic!("index {index} not representable: {e}"));
+            assert_eq!(
+                spec_from_toml(&toml).unwrap(),
+                spec,
+                "index {index} round trip diverged"
+            );
+            spec.materialize()
+                .unwrap_or_else(|e| panic!("index {index} does not materialize: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_space_covers_the_dynamic_dimensions() {
+        let mut mobile = 0;
+        let mut periodic = 0;
+        let mut faulty = 0;
+        let mut churny = 0;
+        for index in 0..128 {
+            let spec = generated_spec(42, index);
+            if let Some(m) = &spec.mobility {
+                mobile += 1;
+                if m.period.is_some() {
+                    periodic += 1;
+                }
+                m.validate().expect("generated traces are valid");
+            }
+            if !spec.faults.is_empty() {
+                faulty += 1;
+            }
+            if spec.churn.is_some() {
+                churny += 1;
+            }
+        }
+        assert!(mobile >= 20, "only {mobile}/128 specs carried mobility");
+        assert!(periodic >= 5, "only {periodic} periodic traces");
+        assert!(faulty >= 25, "only {faulty}/128 specs carried faults");
+        assert!(churny >= 15, "only {churny}/128 specs carried churn");
+    }
+}

@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod generate;
 pub mod interest;
 pub mod pubs;
 pub mod scenario;
 pub mod scenario_file;
 
 pub use churn::{generate_churn, ChurnAction, ChurnEvent, ChurnPlan};
+pub use generate::generated_spec;
 pub use interest::{Appetite, InterestProfile};
 pub use pubs::{generate_schedule, regular_schedule, FlashCrowd, PubPlan, Publication};
 pub use scenario::{Architecture, MaterializedScenario, Placement, ScenarioSpec};

@@ -14,7 +14,7 @@ use crate::interest::{Appetite, InterestProfile};
 use crate::pubs::{generate_schedule, PubPlan, Publication};
 use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
-use fed_sim::network::{FaultSchedule, LatencyModel, NetworkModel};
+use fed_sim::network::{FaultSchedule, LatencyModel, MobilityTrace, NetworkModel};
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
 use fed_trace::TraceSpec;
@@ -186,6 +186,11 @@ pub struct ScenarioSpec {
     /// Scheduled deterministic faults (partitions, one-way failures,
     /// delay spikes) applied by the network model. Empty by default.
     pub faults: FaultSchedule,
+    /// Optional time-varying connectivity trace (piecewise cross-split
+    /// extra latency / blackouts, optionally periodic) applied by the
+    /// network model. Like faults, verdicts are pure functions of
+    /// `(now, from, to)`, so bit-identity across engines holds.
+    pub mobility: Option<MobilityTrace>,
     /// Optional streaming telemetry: when set, the harness attaches
     /// `fed-telemetry` collectors and the run emits a per-window time
     /// series. Observation only — the virtual-world outcome is
@@ -253,6 +258,7 @@ impl ScenarioSpec {
             churn: None,
             membership: None,
             faults: FaultSchedule::default(),
+            mobility: None,
             telemetry: None,
             profile: None,
             trace: None,
@@ -335,10 +341,19 @@ impl ScenarioSpec {
         self
     }
 
-    /// The network model with the spec's fault schedule applied — what
-    /// the harness hands to the engines.
+    /// Returns the spec with a time-varying connectivity trace.
+    pub fn with_mobility(mut self, mobility: MobilityTrace) -> Self {
+        self.mobility = Some(mobility);
+        self
+    }
+
+    /// The network model with the spec's fault schedule and mobility
+    /// trace applied — what the harness hands to the engines.
     pub fn effective_net(&self) -> NetworkModel {
-        self.net.clone().with_faults(self.faults)
+        self.net
+            .clone()
+            .with_faults(self.faults)
+            .with_mobility(self.mobility.clone())
     }
 
     /// End of the publication phase plus a drain margin (TTL rounds plus

@@ -4,7 +4,8 @@
 //! express — architecture, population, shards, placement, adaptive
 //! window, interest profile, publication plan (flash crowd included),
 //! churn plan, latency/loss model, scheduled faults (partitions, one-way
-//! link failures, delay spikes), SWIM failure detection and telemetry —
+//! link failures, delay spikes), time-varying connectivity (`[mobility]`
+//! piecewise traces), SWIM failure detection and telemetry —
 //! is writable as a small TOML file, parsed by [`parse_scenario`] and
 //! serialized back by [`to_toml`]. The curated library under `scenarios/` in the repository
 //! root is built entirely from this format, and the `fed-experiments`
@@ -54,7 +55,8 @@ use crate::scenario::{Architecture, Placement, ScenarioSpec};
 use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
 use fed_sim::network::{
-    DelayFault, FaultSchedule, LatencyModel, NetworkModel, OnewayFault, PartitionFault,
+    DelayFault, FaultSchedule, LatencyModel, MobilitySegment, MobilityTrace, NetworkModel,
+    OnewayFault, PartitionFault,
 };
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
@@ -695,6 +697,8 @@ const TRACE_KEYS: &[&str] = &["sample_rate", "salt", "export"];
 const FAULT_PARTITION_KEYS: &[&str] = &["at", "heal", "split"];
 const FAULT_ONEWAY_KEYS: &[&str] = &["at", "until", "split"];
 const FAULT_DELAY_KEYS: &[&str] = &["at", "until", "extra"];
+const MOBILITY_KEYS: &[&str] = &["split", "period"];
+const MOBILITY_SEGMENT_KEYS: &[&str] = &["at", "extra", "disconnected"];
 const MEMBERSHIP_KEYS: &[&str] = &[
     "probe_period",
     "probe_timeout",
@@ -716,6 +720,8 @@ const SECTIONS: &[&str] = &[
     "faults.partition",
     "faults.oneway",
     "faults.delay",
+    "mobility",
+    "mobility.seg<k>",
     "membership",
     "telemetry",
     "profile",
@@ -1025,6 +1031,48 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
         delay: fault_delay,
     };
 
+    // [mobility] + [mobility.seg0], [mobility.seg1], … — optional
+    // time-varying connectivity: a piecewise cross-split trace, evaluated
+    // by the network model as a pure function of (now, from, to).
+    // Segments are numbered subsections because the format has no
+    // array-of-tables.
+    let mobility = match section("mobility", MOBILITY_KEYS)? {
+        None => None,
+        Some(mut mobility) => {
+            let header = mobility.header_line;
+            let split = mobility.req_usize("split", 0..=MAX_NODES)? as u32;
+            let period = match mobility.take("period") {
+                None => None,
+                Some((v, line)) => Some(SimDuration::from_micros(
+                    mobility.duration_of("period", v, line)?,
+                )),
+            };
+            mobility.finish()?;
+            let mut segments = Vec::new();
+            while let Some(mut seg) = section(
+                &format!("mobility.seg{}", segments.len()),
+                MOBILITY_SEGMENT_KEYS,
+            )? {
+                let s = MobilitySegment {
+                    at: seg.req_instant("at")?,
+                    extra: seg.opt_duration("extra", SimDuration::ZERO)?,
+                    disconnected: seg.opt_bool("disconnected", false)?,
+                };
+                seg.finish()?;
+                segments.push(s);
+            }
+            let trace = MobilityTrace {
+                split,
+                period,
+                segments,
+            };
+            trace
+                .validate()
+                .map_err(|e| ScenarioFileError::at(header, format!("[mobility] {e}")))?;
+            Some(trace)
+        }
+    };
+
     // [membership] — optional; its presence enables the SWIM failure
     // detector on gossip-based architectures. Every key defaults to
     // [`SwimConfig::standard`].
@@ -1131,6 +1179,28 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
         }
     };
 
+    // Leftover [mobility.*] sections get a targeted diagnosis: a segment
+    // without its parent [mobility], a gap in the numbering, or a typo'd
+    // segment name.
+    if let Some((path, sec)) = doc
+        .sections
+        .iter()
+        .find(|(p, _)| p.starts_with("mobility."))
+    {
+        let hint = match &mobility {
+            None => "segments need a parent [mobility] section".to_string(),
+            Some(m) => format!(
+                "segments must be numbered contiguously from [mobility.seg0] \
+                 (next expected: [mobility.seg{}])",
+                m.segments.len()
+            ),
+        };
+        return Err(ScenarioFileError::at(
+            sec.header_line,
+            format!("unexpected section [{path}]: {hint}"),
+        ));
+    }
+
     // Anything left over is an unknown section.
     if let Some((path, sec)) = doc.sections.into_iter().next() {
         return Err(ScenarioFileError::at(
@@ -1162,6 +1232,7 @@ pub fn parse_scenario(input: &str) -> Result<ScenarioFile> {
             net,
             membership,
             faults,
+            mobility,
             seed,
         },
     })
@@ -1207,6 +1278,12 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
              put them in the spec's fault schedule ([faults.*])",
         ));
     }
+    if spec.net.mobility().is_some() {
+        return Err(ScenarioFileError::global(
+            "the base network model must not carry a mobility trace directly; \
+             put it in the spec's mobility field ([mobility])",
+        ));
+    }
     // Mirror the parser's semantic checks so to_toml output always
     // parses back.
     if spec.faults.partition.is_some_and(|f| f.at >= f.heal) {
@@ -1221,6 +1298,10 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
     }
     if spec.faults.delay.is_some_and(|f| f.at >= f.until) {
         return Err(ScenarioFileError::global("[faults.delay] needs at < until"));
+    }
+    if let Some(m) = &spec.mobility {
+        m.validate()
+            .map_err(|e| ScenarioFileError::global(format!("[mobility] {e}")))?;
     }
     if spec
         .membership
@@ -1351,6 +1432,20 @@ pub fn to_toml(spec: &ScenarioSpec) -> Result<String> {
         push(format!("at = {}", fmt_time(f.at)));
         push(format!("until = {}", fmt_time(f.until)));
         push(format!("extra = {}", fmt_dur(f.extra)));
+    }
+
+    if let Some(m) = &spec.mobility {
+        push("\n[mobility]".into());
+        push(format!("split = {}", m.split));
+        if let Some(p) = m.period {
+            push(format!("period = {}", fmt_dur(p)));
+        }
+        for (k, s) in m.segments.iter().enumerate() {
+            push(format!("\n[mobility.seg{k}]"));
+            push(format!("at = {}", fmt_time(s.at)));
+            push(format!("extra = {}", fmt_dur(s.extra)));
+            push(format!("disconnected = {}", s.disconnected));
+        }
     }
 
     if let Some(m) = &spec.membership {
@@ -1786,6 +1881,123 @@ mod tests {
         });
         let err = to_toml(&spec).unwrap_err();
         assert!(err.message.contains("fault schedule"), "{err}");
+    }
+
+    #[test]
+    fn mobility_trace_parses_and_round_trips() {
+        let input = format!(
+            "{MINIMAL}\n\
+             [mobility]\nsplit = 16\nperiod = \"2s\"\n\n\
+             [mobility.seg0]\nat = \"0s\"\nextra = \"30ms\"\n\n\
+             [mobility.seg1]\nat = \"1500ms\"\ndisconnected = true\n"
+        );
+        let f = parse_scenario(&input).unwrap();
+        let m = f.spec.mobility.as_ref().unwrap();
+        assert_eq!(m.split, 16);
+        assert_eq!(m.period, Some(SimDuration::from_secs(2)));
+        assert_eq!(
+            m.segments,
+            vec![
+                MobilitySegment {
+                    at: SimTime::ZERO,
+                    extra: SimDuration::from_millis(30),
+                    disconnected: false,
+                },
+                MobilitySegment {
+                    at: SimTime::from_millis(1500),
+                    extra: SimDuration::ZERO,
+                    disconnected: true,
+                },
+            ]
+        );
+        let toml = to_toml(&f.spec).unwrap();
+        assert_eq!(spec_from_toml(&toml).unwrap(), f.spec, "{toml}");
+        // An aperiodic trace round-trips without a period key.
+        let input = format!(
+            "{MINIMAL}\n\
+             [mobility]\nsplit = 4\n\n\
+             [mobility.seg0]\nat = \"3s\"\ndisconnected = true\n"
+        );
+        let f = parse_scenario(&input).unwrap();
+        assert_eq!(f.spec.mobility.as_ref().unwrap().period, None);
+        let toml = to_toml(&f.spec).unwrap();
+        assert_eq!(spec_from_toml(&toml).unwrap(), f.spec, "{toml}");
+    }
+
+    #[test]
+    fn mobility_invalid_traces_are_rejected() {
+        // No segments at all.
+        let bad = format!("{MINIMAL}\n[mobility]\nsplit = 4\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("at least one segment"), "{err}");
+        // Non-increasing segment instants.
+        let bad = format!(
+            "{MINIMAL}\n[mobility]\nsplit = 4\n\n\
+             [mobility.seg0]\nat = \"1s\"\n\n[mobility.seg1]\nat = \"1s\"\n"
+        );
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("strictly increasing"), "{err}");
+        // Segment at or past the period.
+        let bad = format!(
+            "{MINIMAL}\n[mobility]\nsplit = 4\nperiod = \"1s\"\n\n\
+             [mobility.seg0]\nat = \"1s\"\n"
+        );
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("past the period"), "{err}");
+        // Zero period.
+        let bad = format!(
+            "{MINIMAL}\n[mobility]\nsplit = 4\nperiod = \"0s\"\n\n\
+             [mobility.seg0]\nat = \"0s\"\n"
+        );
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("positive"), "{err}");
+    }
+
+    #[test]
+    fn mobility_segment_bookkeeping_errors_are_targeted() {
+        // A segment without its parent [mobility].
+        let bad = format!("{MINIMAL}\n[mobility.seg0]\nat = \"0s\"\n");
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("parent [mobility]"), "{err}");
+        // A gap in the numbering: seg0 then seg2.
+        let bad = format!(
+            "{MINIMAL}\n[mobility]\nsplit = 4\n\n\
+             [mobility.seg0]\nat = \"0s\"\n\n[mobility.seg2]\nat = \"2s\"\n"
+        );
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(err.message.contains("[mobility.seg1]"), "{err}");
+        // Unknown keys inside a segment are rejected like everywhere else.
+        let bad = format!(
+            "{MINIMAL}\n[mobility]\nsplit = 4\n\n\
+             [mobility.seg0]\nat = \"0s\"\nextraa = \"1ms\"\n"
+        );
+        let err = parse_scenario(&bad).unwrap_err();
+        assert!(
+            err.message
+                .contains("unknown key `extraa` in [mobility.seg0]"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn net_carrying_mobility_directly_is_unrepresentable() {
+        let trace = MobilityTrace {
+            split: 2,
+            period: None,
+            segments: vec![MobilitySegment {
+                at: SimTime::ZERO,
+                extra: SimDuration::from_millis(1),
+                disconnected: false,
+            }],
+        };
+        let mut spec = ScenarioSpec::fair_gossip(8, 1);
+        spec.net = spec.net.clone().with_mobility(Some(trace.clone()));
+        let err = to_toml(&spec).unwrap_err();
+        assert!(err.message.contains("mobility trace directly"), "{err}");
+        // In the spec's mobility field the same trace serializes fine.
+        let spec = ScenarioSpec::fair_gossip(8, 1).with_mobility(trace);
+        let toml = to_toml(&spec).unwrap();
+        assert_eq!(spec_from_toml(&toml).unwrap(), spec, "{toml}");
     }
 
     #[test]

@@ -1,0 +1,173 @@
+//! Negative-path corpus for the scenario-file parser.
+//!
+//! A table of malformed documents, each asserting the **exact line** the
+//! parser blames and the key-path substrings its message must carry —
+//! the error-reporting contract the docs promise ("strict by design:
+//! errors name the line and the key"). The inline unit tests cover the
+//! mechanics; this corpus pins the user-facing shape of the diagnoses so
+//! a refactor cannot silently degrade them into vague global errors.
+
+use fed_workload::parse_scenario;
+
+/// A complete, valid document the corpus mutates. Every line is
+/// flush-left so line numbers are stable and countable.
+const BASE: &str = "[scenario]\n\
+                    arch = \"fair-gossip\"\n\
+                    nodes = 64\n\
+                    seed = 7\n\
+                    \n\
+                    [topics]\n\
+                    count = 20\n\
+                    \n\
+                    [interest]\n\
+                    appetite = \"fixed\"\n\
+                    topics_per_node = 3\n\
+                    \n\
+                    [publish]\n\
+                    rate_per_sec = 10.0\n\
+                    duration = \"5s\"\n";
+
+/// One corpus entry: the appendix added to [`BASE`], the substring of
+/// the line the error must point at (`None` for a global error), and
+/// the fragments the message must contain.
+struct Case {
+    name: &'static str,
+    appendix: &'static str,
+    blamed_line_marker: Option<&'static str>,
+    message_contains: &'static [&'static str],
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "unknown key in [mobility] is blamed on its own line",
+        appendix: "\n[mobility]\nsplit = 16\nspeed = 3\n\n[mobility.seg0]\nat = \"0ms\"\n",
+        blamed_line_marker: Some("speed = 3"),
+        message_contains: &["unknown key `speed`", "split"],
+    },
+    Case {
+        name: "missing required split is blamed on the section header",
+        appendix: "\n[mobility]\nperiod = \"2s\"\n\n[mobility.seg0]\nat = \"0ms\"\n",
+        blamed_line_marker: Some("[mobility]"),
+        message_contains: &["missing the required key `split`"],
+    },
+    Case {
+        name: "bad duration unit in a segment names the key path",
+        appendix: "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"5sec\"\n",
+        blamed_line_marker: Some("at = \"5sec\""),
+        message_contains: &["bad duration", "\"250us\", \"10ms\", \"2s\""],
+    },
+    Case {
+        name: "non-boolean disconnected is a typed key error",
+        appendix:
+            "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"0ms\"\ndisconnected = \"yes\"\n",
+        blamed_line_marker: Some("disconnected = \"yes\""),
+        message_contains: &["disconnected", "expected true or false"],
+    },
+    Case {
+        name: "out-of-range split is blamed on its line",
+        appendix: "\n[mobility]\nsplit = 100000000\n\n[mobility.seg0]\nat = \"0ms\"\n",
+        blamed_line_marker: Some("split = 100000000"),
+        message_contains: &["out of range"],
+    },
+    Case {
+        name: "orphan segment points at the missing parent",
+        appendix: "\n[mobility.seg0]\nat = \"0ms\"\n",
+        blamed_line_marker: Some("[mobility.seg0]"),
+        message_contains: &[
+            "unexpected section [mobility.seg0]",
+            "parent [mobility] section",
+        ],
+    },
+    Case {
+        name: "a numbering gap names the next expected segment",
+        appendix: "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"0ms\"\n\n\
+                   [mobility.seg2]\nat = \"1s\"\n",
+        blamed_line_marker: Some("[mobility.seg2]"),
+        message_contains: &["numbered contiguously", "next expected: [mobility.seg1]"],
+    },
+    Case {
+        name: "non-increasing segment times fail trace validation at the header",
+        appendix: "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"2s\"\n\n\
+                   [mobility.seg1]\nat = \"1s\"\n",
+        blamed_line_marker: Some("[mobility]"),
+        message_contains: &["[mobility]", "strictly increasing"],
+    },
+    Case {
+        name: "a segment at or past the period fails trace validation",
+        appendix: "\n[mobility]\nsplit = 16\nperiod = \"1s\"\n\n[mobility.seg0]\nat = \"1500ms\"\n",
+        blamed_line_marker: Some("[mobility]"),
+        message_contains: &["[mobility]", "past the period"],
+    },
+    Case {
+        name: "a duplicate [mobility] section is rejected",
+        appendix: "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"0ms\"\n\n\
+                   [mobility]\nsplit = 8\n",
+        blamed_line_marker: None,
+        message_contains: &["duplicate section [mobility]"],
+    },
+    Case {
+        name: "a typo'd top-level section lists the valid ones",
+        appendix: "\n[mobillity]\nsplit = 16\n",
+        blamed_line_marker: Some("[mobillity]"),
+        message_contains: &["unknown section [mobillity]", "mobility.seg<k>"],
+    },
+    Case {
+        name: "duplicate keys inside a segment are rejected",
+        appendix: "\n[mobility]\nsplit = 16\n\n[mobility.seg0]\nat = \"0ms\"\nat = \"1s\"\n",
+        blamed_line_marker: Some("at = \"1s\""),
+        message_contains: &["duplicate key \"at\""],
+    },
+];
+
+/// 1-based line number of the first line containing `marker`.
+fn line_of(doc: &str, marker: &str) -> usize {
+    doc.lines()
+        .position(|l| l.contains(marker))
+        .map(|i| i + 1)
+        .unwrap_or_else(|| panic!("marker {marker:?} not found in document"))
+}
+
+#[test]
+fn base_document_is_valid() {
+    parse_scenario(BASE).expect("the corpus base must parse — mutations prove the cases");
+}
+
+#[test]
+fn malformed_documents_blame_the_exact_line_and_key() {
+    for case in CASES {
+        let doc = format!("{BASE}{}", case.appendix);
+        let err = parse_scenario(&doc)
+            .map(|_| ())
+            .expect_err(&format!("case {:?} must fail", case.name));
+        match case.blamed_line_marker {
+            Some(marker) => {
+                // The duplicate-key marker appears twice; blame must land
+                // on the *second* occurrence, which `line_of` finds when
+                // the marker text is unique to it.
+                let expected = line_of(&doc, marker);
+                assert_eq!(
+                    err.line,
+                    Some(expected),
+                    "case {:?}: expected line {expected}, got {:?} ({err})",
+                    case.name,
+                    err.line
+                );
+            }
+            None => {
+                assert!(
+                    err.line.is_some(),
+                    "case {:?}: even structural errors carry a line ({err})",
+                    case.name
+                );
+            }
+        }
+        for needle in case.message_contains {
+            assert!(
+                err.message.contains(needle),
+                "case {:?}: message {:?} lacks {needle:?}",
+                case.name,
+                err.message
+            );
+        }
+    }
+}

@@ -8,7 +8,8 @@
 use fed_membership::swim::SwimConfig;
 use fed_profile::ProfileSpec;
 use fed_sim::network::{
-    DelayFault, FaultSchedule, LatencyModel, NetworkModel, OnewayFault, PartitionFault,
+    DelayFault, FaultSchedule, LatencyModel, MobilitySegment, MobilityTrace, NetworkModel,
+    OnewayFault, PartitionFault,
 };
 use fed_sim::{SimDuration, SimTime};
 use fed_telemetry::TelemetrySpec;
@@ -221,6 +222,44 @@ fn membership_strategy() -> impl Strategy<Value = Option<SwimConfig>> {
     ]
 }
 
+fn mobility_strategy() -> impl Strategy<Value = Option<MobilityTrace>> {
+    // Segment instants must be strictly increasing and, for periodic
+    // traces, stay below the period — the parser rejects anything else,
+    // so the round-trip property quantifies over valid traces. Strictly
+    // increasing positive gaps make the instants a strictly increasing
+    // prefix-sum; a period is one more gap past the last segment.
+    let segments =
+        proptest::collection::vec((1u64..=1_000_000, 0u64..=100_000, any::<bool>()), 1..6);
+    prop_oneof![
+        Just(None),
+        (
+            0u32..=10_000,
+            segments,
+            any::<bool>(),
+            0u64..=100_000,
+            any::<bool>()
+        )
+            .prop_map(|(split, raw, periodic, slack, first_at_zero)| {
+                let mut at = 0u64;
+                let mut segs = Vec::new();
+                for (i, (gap, extra, disconnected)) in raw.into_iter().enumerate() {
+                    at += if i == 0 && first_at_zero { 0 } else { gap };
+                    segs.push(MobilitySegment {
+                        at: SimTime::from_micros(at),
+                        extra: SimDuration::from_micros(extra),
+                        disconnected,
+                    });
+                }
+                let period = periodic.then(|| SimDuration::from_micros(at + 1 + slack));
+                Some(MobilityTrace {
+                    split,
+                    period,
+                    segments: segs,
+                })
+            }),
+    ]
+}
+
 fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
     let head = (
         arch_strategy(),
@@ -252,13 +291,18 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
         0u32..=999_999u32,
         any::<u64>(),
     );
-    let robust = (faults_strategy(), membership_strategy(), trace_strategy());
+    let robust = (
+        faults_strategy(),
+        membership_strategy(),
+        trace_strategy(),
+        mobility_strategy(),
+    );
     (head, plan, tail, robust).prop_map(
         |(
             (arch, n, shards, placement, adaptive_window, num_topics, zipf, appetite),
             (rate, duration, topic_zipf, payload_bytes, warmup, flash),
             (churn, telemetry, profile, latency, loss, seed),
-            (faults, membership, trace),
+            (faults, membership, trace, mobility),
         )| {
             let loss = fractional(loss, 1_000_000);
             let net = if loss > 0.0 {
@@ -290,6 +334,7 @@ fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
                 net,
                 membership,
                 faults,
+                mobility,
                 seed,
             }
         },
